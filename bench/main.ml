@@ -1,0 +1,191 @@
+(* The experiment harness and benchmark suite.
+
+   The paper (PODC 2014) is a theory paper: its "evaluation" consists of
+   three constructions (Figure 1: local views; Figure 2: factor/product
+   chain; Figure 3: the deterministic algorithm A✱) and the theorems they
+   support.  This harness regenerates, for every figure and theorem, an
+   executable experiment whose series EXPERIMENTS.md records:
+
+     F1  Figure 1   — depth-d local views of the labeled C6
+     F2  Figure 2   — the C3 ⪯ C6 ⪯ C12 factor chain, generalized to lifts
+     F3  Figure 3   — A*  (Theorem 1): deterministic solutions of Π^c
+     T2  Theorem 2  — A∞: derandomization cost tracks |V*|, not |V|
+     T3  Theorem 3  — Norris: view stabilization depth <= n
+     L   Lemmas 2-4 — view graphs are factors; prime factors are unique
+     A1  ablation   — minimal-simulation search cost vs |V*| (exponential)
+     A2  ablation   — coloring granularity vs view graph size vs cost
+     A3  ablation   — decoupled pipeline vs direct randomized algorithm
+
+   After the harness, Bechamel micro-benchmarks time the core operations
+   (one group per experiment id).
+
+   Run with:  dune exec bench/main.exe            (full: harness + timings)
+              dune exec bench/main.exe -- harness (harness only)
+*)
+
+open Anonet_graph
+open Anonet_views
+module Gran = Anonet_problems.Gran
+module Problem = Anonet_problems.Problem
+module Las_vegas = Anonet_runtime.Las_vegas
+module Bundles = Anonet_algorithms.Bundles
+open Anonet
+
+let header title =
+  Printf.printf "\n=== %s %s\n" title (String.make (max 0 (72 - String.length title)) '=')
+
+let colored_instance g colors = Problem.attach_coloring g colors
+
+let c6_instance () =
+  colored_instance (Gen.cycle 6) (Array.init 6 (fun v -> Label.Int ((v mod 3) + 1)))
+
+let cycle_mod_colors n k =
+  colored_instance (Gen.cycle n) (Array.init n (fun v -> Label.Int (v mod k)))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bench_tests () =
+  let c6 = Gen.c6_figure1 () in
+  let c6i = c6_instance () in
+  let c12i = cycle_mod_colors 12 3 in
+  let pet = Gen.label_with_ints (Gen.petersen ()) in
+  let lift = Lift.random ~seed:3 pet ~k:3 in
+  let fig1 =
+    Test.make_grouped ~name:"fig1-views"
+      [
+        Test.make ~name:"view-depth3-c6"
+          (Staged.stage (fun () -> View.of_graph c6 ~root:0 ~depth:3));
+        Test.make ~name:"view-depth8-c6"
+          (Staged.stage (fun () -> View.of_graph c6 ~root:0 ~depth:8));
+        Test.make ~name:"knowledge-depth12-c6"
+          (Staged.stage (fun () -> Anonet.Knowledge.view_of_graph c6 ~root:0 ~depth:12));
+      ]
+  in
+  let fig2 =
+    Test.make_grouped ~name:"fig2-factors"
+      [
+        Test.make ~name:"view-graph-c12"
+          (Staged.stage (fun () -> View_graph.of_graph_exn c12i));
+        Test.make ~name:"view-graph-petersen-lift30"
+          (Staged.stage (fun () -> View_graph.of_graph_exn lift.Lift.graph));
+        Test.make ~name:"refinement-petersen"
+          (Staged.stage (fun () -> Refinement.run pet));
+        Test.make ~name:"iso-petersen" (Staged.stage (fun () -> Iso.equal pet pet));
+      ]
+  in
+  let fig3 =
+    Test.make_grouped ~name:"fig3-derandomization"
+      [
+        Test.make ~name:"a-star-mis-c6"
+          (Staged.stage (fun () ->
+               match A_star.solve ~gran:Bundles.mis c6i () with
+               | Ok _ -> ()
+               | Error m -> failwith m));
+        Test.make ~name:"a-infinity-mis-c6"
+          (Staged.stage (fun () ->
+               match A_infinity.solve ~gran:Bundles.mis c6i () with
+               | Ok _ -> ()
+               | Error m -> failwith m));
+        Test.make ~name:"a-infinity-mis-c12"
+          (Staged.stage (fun () ->
+               match A_infinity.solve ~gran:Bundles.mis c12i () with
+               | Ok _ -> ()
+               | Error m -> failwith m));
+      ]
+  in
+  let searches =
+    Test.make_grouped ~name:"ablate-bits"
+      (List.map
+         (fun k ->
+           let g = Gen.label_with_ints (if k = 2 then Gen.path 2 else Gen.cycle k) in
+           Test.make ~name:(Printf.sprintf "min-search-mis-k%d" k)
+             (Staged.stage (fun () ->
+                  Min_search.minimal_successful
+                    ~solver:Anonet_algorithms.Rand_mis.algorithm g
+                    ~base:(Bit_assignment.empty k) ~len:(Min_search.At_most 16) ())))
+         [ 2; 3; 4; 5 ])
+  in
+  let pipeline =
+    Test.make_grouped ~name:"decouple"
+      [
+        Test.make ~name:"direct-rand-mis-petersen"
+          (Staged.stage (fun () ->
+               Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm (Gen.petersen ())
+                 ~seed:5 ()));
+        Test.make ~name:"decoupled-mis-petersen"
+          (Staged.stage (fun () ->
+               Decouple.solve ~gran:Bundles.mis (Gen.petersen ()) ~seed:5
+                 ~stage_two:(Decouple.Specific Anonet_algorithms.Det_from_two_hop.mis)
+                 ()));
+        Test.make ~name:"recolor-2hop-petersen"
+          (Staged.stage (fun () ->
+               Decouple.solve ~gran:Bundles.two_hop_coloring (Gen.petersen ())
+                 ~seed:5
+                 ~stage_two:
+                   (Decouple.Specific
+                      Anonet_algorithms.Det_from_two_hop.two_hop_recoloring)
+                 ()));
+      ]
+  in
+  let substrates =
+    let tape = Anonet_runtime.Tape.random ~seed:11 in
+    Test.make_grouped ~name:"substrates"
+      [
+        Test.make ~name:"sync-2hop-petersen"
+          (Staged.stage (fun () ->
+               Anonet_runtime.Executor.run Anonet_algorithms.Rand_two_hop.algorithm
+                 (Gen.petersen ()) ~tape ~max_rounds:2000));
+        Test.make ~name:"async-2hop-petersen"
+          (Staged.stage (fun () ->
+               Anonet_runtime.Async.run Anonet_algorithms.Rand_two_hop.algorithm
+                 (Gen.petersen ()) ~tape
+                 ~scheduler:(Anonet_runtime.Async.Random_delay { seed = 3; max_delay = 5 })
+                 ~max_events:2_000_000));
+        Test.make ~name:"stoneage-mis-petersen"
+          (Staged.stage (fun () ->
+               Anonet_stoneage.Engine.run Anonet_stoneage.Mis.machine
+                 (Gen.petersen ()) ~seed:3 ~max_rounds:100_000));
+        Test.make ~name:"stoneage-2hop-petersen"
+          (Staged.stage (fun () ->
+               Anonet_stoneage.Engine.run
+                 (Anonet_stoneage.Two_hop.make ~palette:10)
+                 (Gen.petersen ()) ~seed:4 ~max_rounds:1_000_000));
+      ]
+  in
+  Test.make_grouped ~name:"anonet"
+    [ fig1; fig2; fig3; searches; pipeline; substrates ]
+
+let run_benchmarks () =
+  header "Bechamel micro-benchmarks (monotonic clock per run)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances (bench_tests ()) in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  List.iter (fun v -> Bechamel_notty.Unit.add v (Measure.unit v)) instances;
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.output_image (Notty_unix.eol img)
+
+let run_harness () = Anonet_experiments.Experiments.run_all ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "harness" :: _ -> run_harness ()
+  | _ :: "bench" :: _ -> run_benchmarks ()
+  | _ ->
+    run_harness ();
+    run_benchmarks ()

@@ -1,0 +1,388 @@
+(* anonet — command-line interface to the library.
+
+   Subcommands:
+     views        print a node's depth-d local view (Figure 1)
+     factor       compute the finite view graph / prime factor (Figure 2)
+     solve        run a randomized anonymous algorithm (Las-Vegas)
+     derandomize  solve the 2-hop colored variant deterministically
+                  (A* / A_infinity, Theorems 1 and 2)
+     decouple     the two-stage pipeline: randomized coloring +
+                  deterministic stage
+     norris       report the view stabilization depth (Theorem 3)
+     stoneage     run an algorithm in the weak FSM model of [19]
+     experiments  regenerate the figures/theorem validations
+
+   Graphs are described by compact specs, e.g.:
+     cycle:6  path:5  complete:4  star:5  wheel:6  grid:3x4  torus:3x3
+     hypercube:3  petersen  bintree:4  random:10,0.3,7  regular:10,3,7
+     hamiltonian:8,0.2,7  file:PATH
+*)
+
+open Cmdliner
+open Anonet_graph
+module Problem = Anonet_problems.Problem
+module Gran = Anonet_problems.Gran
+module Catalog = Anonet_problems.Catalog
+module Executor = Anonet_runtime.Executor
+module Las_vegas = Anonet_runtime.Las_vegas
+module Bundles = Anonet_algorithms.Bundles
+
+(* ---------- graph spec parsing ---------- *)
+
+let parse_ints s = List.map int_of_string (String.split_on_char ',' s)
+
+let parse_graph spec =
+  let fail () = failwith (Printf.sprintf "unknown graph spec %S" spec) in
+  match String.split_on_char ':' spec with
+  | [ "file"; path ] -> Graph_io.load path
+  | [ "petersen" ] -> Gen.petersen ()
+  | [ "cycle"; n ] -> Gen.cycle (int_of_string n)
+  | [ "path"; n ] -> Gen.path (int_of_string n)
+  | [ "complete"; n ] -> Gen.complete (int_of_string n)
+  | [ "star"; n ] -> Gen.star (int_of_string n)
+  | [ "wheel"; n ] -> Gen.wheel (int_of_string n)
+  | [ "hypercube"; d ] -> Gen.hypercube (int_of_string d)
+  | [ "bintree"; d ] -> Gen.binary_tree (int_of_string d)
+  | [ "grid"; wh ] | [ "torus"; wh ] -> begin
+      match String.split_on_char 'x' wh with
+      | [ w; h ] ->
+        let w = int_of_string w and h = int_of_string h in
+        if String.length spec > 0 && spec.[0] = 'g' then Gen.grid w h
+        else Gen.torus w h
+      | _ -> fail ()
+    end
+  | [ "random"; args ] -> begin
+      match String.split_on_char ',' args with
+      | [ n; p; seed ] ->
+        Gen.random_connected ~seed:(int_of_string seed) (int_of_string n)
+          (float_of_string p)
+      | _ -> fail ()
+    end
+  | [ "hamiltonian"; args ] -> begin
+      match String.split_on_char ',' args with
+      | [ n; p; seed ] ->
+        Gen.random_hamiltonian ~seed:(int_of_string seed) (int_of_string n)
+          (float_of_string p)
+      | _ -> fail ()
+    end
+  | [ "regular"; args ] -> begin
+      match parse_ints args with
+      | [ n; d; seed ] -> Gen.random_regular ~seed n d
+      | _ -> fail ()
+    end
+  | _ -> fail ()
+
+(* ---------- coloring specs ---------- *)
+
+let parse_coloring g spec =
+  let n = Graph.n g in
+  match String.split_on_char ':' spec with
+  | [ "unique" ] -> Array.init n (fun v -> Label.Int v)
+  | [ "mod"; k ] ->
+    let k = int_of_string k in
+    let c = Array.init n (fun v -> Label.Int (v mod k)) in
+    if not (Props.is_k_hop_coloring g 2 (fun v -> c.(v))) then
+      failwith (Printf.sprintf "mod:%d is not a 2-hop coloring of this graph" k);
+    c
+  | [ "random"; seed ] -> begin
+      match
+        Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g
+          ~seed:(int_of_string seed) ()
+      with
+      | Ok r -> r.Las_vegas.outcome.Executor.outputs
+      | Error m -> failwith m
+    end
+  | _ -> failwith (Printf.sprintf "unknown coloring spec %S" spec)
+
+(* ---------- problem bundles ---------- *)
+
+let parse_bundle = function
+  | "mis" -> Bundles.mis
+  | "coloring" -> Bundles.coloring
+  | "2hop" | "two-hop" -> Bundles.two_hop_coloring
+  | "matching" -> Bundles.maximal_matching
+  | p -> failwith (Printf.sprintf "unknown problem %S (mis|coloring|2hop|matching)" p)
+
+(* ---------- common args ---------- *)
+
+let graph_arg =
+  let doc = "Graph spec, e.g. cycle:6, petersen, random:10,0.3,7, file:PATH." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let problem_arg pos_ix =
+  let doc = "Problem: mis, coloring, 2hop, matching." in
+  Arg.(required & pos pos_ix (some string) None & info [] ~docv:"PROBLEM" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for Las-Vegas stages." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let print_outputs outputs =
+  Array.iteri
+    (fun v o -> Printf.printf "  node %2d: %s\n" v (Label.to_string o))
+    outputs
+
+(* ---------- subcommands ---------- *)
+
+let views_cmd =
+  let run spec root depth coloring =
+    let g = parse_graph spec in
+    let g =
+      match coloring with
+      | None -> g
+      | Some c -> Problem.attach_coloring g (parse_coloring g c)
+    in
+    print_string
+      (Anonet_views.View.to_string (Anonet_views.View.of_graph g ~root ~depth))
+  in
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~doc:"Root node of the view.")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~doc:"View depth (>= 1).")
+  in
+  let coloring =
+    Arg.(value & opt (some string) None
+         & info [ "colors" ] ~doc:"Attach a coloring: unique, mod:K, random:SEED.")
+  in
+  Cmd.v
+    (Cmd.info "views" ~doc:"Print a node's depth-d local view (Figure 1).")
+    Term.(const run $ graph_arg $ root $ depth $ coloring)
+
+let factor_cmd =
+  let run spec coloring dot =
+    let g = parse_graph spec in
+    let colors = parse_coloring g (Option.value ~default:"unique" coloring) in
+    let colored = Graph.with_labels g colors in
+    let vg = Anonet_views.View_graph.of_graph_exn colored in
+    let fg = vg.Anonet_views.View_graph.graph in
+    Printf.printf "graph: %d nodes, %d edges\n" (Graph.n colored)
+      (Graph.num_edges colored);
+    Printf.printf "prime factor (finite view graph): %d nodes, %d edges\n"
+      (Graph.n fg) (Graph.num_edges fg);
+    Printf.printf "prime: %b | views stabilize at depth %d (n = %d, Norris ok: %b)\n"
+      (Graph.n fg = Graph.n colored)
+      vg.Anonet_views.View_graph.stable_view_depth (Graph.n colored)
+      (Anonet_views.Norris.bound_holds colored);
+    Printf.printf "factorizing map: [%s]\n"
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int vg.Anonet_views.View_graph.map)));
+    if dot then
+      print_string
+        (Dot.of_factorization ~product:colored ~factor:fg
+           ~map:vg.Anonet_views.View_graph.map ())
+  in
+  let coloring =
+    Arg.(value & opt (some string) None
+         & info [ "colors" ] ~doc:"Node coloring: unique (default), mod:K, random:SEED.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz output.") in
+  Cmd.v
+    (Cmd.info "factor" ~doc:"Compute the prime factor / view graph (Figure 2).")
+    Term.(const run $ graph_arg $ coloring $ dot)
+
+let solve_cmd =
+  let run problem spec seed trace =
+    let g = parse_graph spec in
+    let bundle = parse_bundle problem in
+    if trace then begin
+      match
+        Anonet_runtime.Trace.record bundle.Gran.solver g
+          ~tape:(Anonet_runtime.Tape.random ~seed)
+          ~max_rounds:(64 * (Graph.n g + 4))
+      with
+      | Error (t, f) ->
+        print_string (Anonet_runtime.Trace.render t);
+        Format.printf "failed: %a@." Executor.pp_failure f;
+        exit 1
+      | Ok (t, outcome) ->
+        print_string (Anonet_runtime.Trace.render t);
+        Printf.printf "valid: %b\n"
+          (bundle.Gran.problem.Problem.is_valid_output g outcome.Executor.outputs)
+    end
+    else begin
+      match Las_vegas.solve bundle.Gran.solver g ~seed () with
+      | Error m -> prerr_endline m; exit 1
+      | Ok r ->
+        let o = r.Las_vegas.outcome.Executor.outputs in
+        Printf.printf "solved %s in %d rounds (%d messages, attempt %d):\n" problem
+          r.Las_vegas.outcome.Executor.rounds r.Las_vegas.outcome.Executor.messages
+          r.Las_vegas.attempts;
+        print_outputs o;
+        Printf.printf "valid: %b\n" (bundle.Gran.problem.Problem.is_valid_output g o)
+    end
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print a round-by-round timeline.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run the randomized anonymous algorithm (Las-Vegas).")
+    Term.(const run $ problem_arg 0 $ Arg.(required & pos 1 (some string) None
+                                           & info [] ~docv:"GRAPH") $ seed_arg $ trace)
+
+let derandomize_cmd =
+  let run problem spec coloring method_ =
+    let g = parse_graph spec in
+    let bundle = parse_bundle problem in
+    let colors = parse_coloring g coloring in
+    let inst = Problem.attach_coloring g colors in
+    match method_ with
+    | "a-star" -> begin
+        match Anonet.A_star.solve ~gran:bundle inst () with
+        | Error m -> prerr_endline m; exit 1
+        | Ok outcome ->
+          Printf.printf "A* solved %s^c deterministically in %d rounds:\n" problem
+            outcome.Executor.rounds;
+          print_outputs outcome.Executor.outputs;
+          Printf.printf "valid: %b\n"
+            (bundle.Gran.problem.Problem.is_valid_output g outcome.Executor.outputs)
+      end
+    | "a-infinity" -> begin
+        match Anonet.A_infinity.solve ~gran:bundle inst () with
+        | Error m -> prerr_endline m; exit 1
+        | Ok r ->
+          Printf.printf
+            "A_infinity solved %s^c (view graph: %d nodes; simulation: %d rounds; \
+             search: %d states):\n"
+            problem
+            (Graph.n r.Anonet.A_infinity.view_graph.Anonet_views.View_graph.graph)
+            (Anonet.Bit_assignment.max_length
+               r.Anonet.A_infinity.found.Anonet.Min_search.assignment)
+            r.Anonet.A_infinity.found.Anonet.Min_search.states_explored;
+          print_outputs r.Anonet.A_infinity.outputs;
+          Printf.printf "valid: %b\n"
+            (bundle.Gran.problem.Problem.is_valid_output g r.Anonet.A_infinity.outputs)
+      end
+    | m -> failwith (Printf.sprintf "unknown method %S (a-star|a-infinity)" m)
+  in
+  let coloring =
+    Arg.(value & opt string "random:1"
+         & info [ "colors" ] ~doc:"2-hop coloring: unique, mod:K, random:SEED.")
+  in
+  let method_ =
+    Arg.(value & opt string "a-infinity"
+         & info [ "method" ] ~doc:"a-star (message passing) or a-infinity.")
+  in
+  Cmd.v
+    (Cmd.info "derandomize"
+       ~doc:"Solve the 2-hop colored variant deterministically (Theorems 1-2).")
+    Term.(const run $ problem_arg 0
+          $ Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH")
+          $ coloring $ method_)
+
+let decouple_cmd =
+  let run problem spec seed stage2 =
+    let g = parse_graph spec in
+    let bundle = parse_bundle problem in
+    let stage_two =
+      match stage2 with
+      | "a-star" -> Anonet.Decouple.Generic_a_star
+      | "a-infinity" -> Anonet.Decouple.Generic_a_infinity
+      | "specific" -> begin
+          match problem with
+          | "mis" -> Anonet.Decouple.Specific Anonet_algorithms.Det_from_two_hop.mis
+          | "coloring" ->
+            Anonet.Decouple.Specific Anonet_algorithms.Det_from_two_hop.coloring
+          | _ -> failwith "specific stage 2 available for mis and coloring only"
+        end
+      | m -> failwith (Printf.sprintf "unknown stage 2 %S" m)
+    in
+    match Anonet.Decouple.solve ~gran:bundle g ~seed ~stage_two () with
+    | Error m -> prerr_endline m; exit 1
+    | Ok r ->
+      Printf.printf
+        "stage 1 (randomized 2-hop coloring): %d rounds\n\
+         stage 2 (deterministic): %d rounds\n"
+        r.Anonet.Decouple.coloring_rounds r.Anonet.Decouple.stage_two_rounds;
+      print_outputs r.Anonet.Decouple.outputs;
+      Printf.printf "valid: %b\n"
+        (bundle.Gran.problem.Problem.is_valid_output g r.Anonet.Decouple.outputs)
+  in
+  let stage2 =
+    Arg.(value & opt string "specific"
+         & info [ "stage2" ] ~doc:"a-star, a-infinity, or specific.")
+  in
+  Cmd.v
+    (Cmd.info "decouple"
+       ~doc:"Two-stage pipeline: randomized coloring, then deterministic stage.")
+    Term.(const run $ problem_arg 0
+          $ Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH")
+          $ seed_arg $ stage2)
+
+let norris_cmd =
+  let run spec =
+    let g = parse_graph spec in
+    Printf.printf "n = %d, view stabilization depth = %d, bound holds: %b\n"
+      (Graph.n g)
+      (Anonet_views.Norris.stable_view_depth g)
+      (Anonet_views.Norris.bound_holds g)
+  in
+  Cmd.v
+    (Cmd.info "norris" ~doc:"View stabilization depth vs Norris' bound (Theorem 3).")
+    Term.(const run $ graph_arg)
+
+let stoneage_cmd =
+  let run problem spec seed palette =
+    let g = parse_graph spec in
+    let machine =
+      match problem with
+      | "mis" -> Anonet_stoneage.Mis.machine
+      | "coloring" ->
+        Anonet_stoneage.Coloring.make
+          ~palette:(Option.value ~default:(Graph.max_degree g + 1) palette)
+      | "2hop" | "two-hop" ->
+        let d = Graph.max_degree g in
+        Anonet_stoneage.Two_hop.make
+          ~palette:(Option.value ~default:((d * d) + 1) palette)
+      | p -> failwith (Printf.sprintf "unknown stone-age problem %S" p)
+    in
+    match
+      Anonet_stoneage.Engine.run machine g ~seed
+        ~max_rounds:(100_000 * (Graph.n g + 4))
+    with
+    | Error e ->
+      Format.eprintf "%a@." Anonet_stoneage.Engine.pp_failure e;
+      exit 1
+    | Ok { outputs; rounds } ->
+      Printf.printf "stone-age %s finished in %d rounds:\n" problem rounds;
+      print_outputs outputs
+  in
+  let palette =
+    Arg.(value & opt (some int) None
+         & info [ "palette" ] ~doc:"Color palette size (default Δ+1 / Δ²+1).")
+  in
+  Cmd.v
+    (Cmd.info "stoneage"
+       ~doc:"Run an algorithm in the weak finite-state-machine model of [19].")
+    Term.(const run $ problem_arg 0
+          $ Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH")
+          $ seed_arg $ palette)
+
+let experiments_cmd =
+  let run id =
+    match id with
+    | None -> Anonet_experiments.Experiments.run_all ()
+    | Some id -> begin
+        match Anonet_experiments.Experiments.run id with
+        | Ok () -> ()
+        | Error m -> prerr_endline m; exit 1
+      end
+  in
+  let id =
+    let doc =
+      "Experiment id (f1, f2, f3, t2, t3, lemmas, a1, a2, a3); all when omitted."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's figures/theorem validations (EXPERIMENTS.md).")
+    Term.(const run $ id)
+
+let main =
+  let doc = "anonymous networks: randomization = 2-hop coloring (PODC 2014)" in
+  Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
+    [ views_cmd; factor_cmd; solve_cmd; derandomize_cmd; decouple_cmd; norris_cmd;
+      stoneage_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,88 @@
+(* The decoupling corollary, end to end.
+
+   The paper's headline: every randomized anonymous algorithm decouples
+   into (1) a generic randomized stage computing a 2-hop coloring, and
+   (2) a problem-specific deterministic stage.  This example runs the MIS
+   pipeline on several networks with all three stage-2 strategies the
+   library offers and compares their costs against the direct randomized
+   algorithm:
+
+   - direct:      the randomized MIS algorithm as-is;
+   - decouple/A*: generic derandomization (Theorem 1) after the coloring;
+   - decouple/A∞: the centralized form (Theorem 2) after the coloring;
+   - decouple/specific: a natural deterministic MIS given the coloring —
+     showing why the corollary is practically appealing.
+
+   Run with:  dune exec examples/decouple_mis.exe
+*)
+
+open Anonet_graph
+module Catalog = Anonet_problems.Catalog
+module Problem = Anonet_problems.Problem
+module Las_vegas = Anonet_runtime.Las_vegas
+module Executor = Anonet_runtime.Executor
+module Bundles = Anonet_algorithms.Bundles
+module Decouple = Anonet.Decouple
+
+let networks =
+  [ "cycle-6", Gen.cycle 6;
+    "path-5", Gen.path 5;
+    "star-5", Gen.star 5;
+    "petersen", Gen.petersen ();
+    "random-9", Gen.random_connected ~seed:7 9 0.3;
+  ]
+
+let direct g seed =
+  match Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm g ~seed () with
+  | Ok r -> r.Las_vegas.outcome.Executor.rounds
+  | Error m -> failwith m
+
+let decoupled g seed stage =
+  match Decouple.solve ~gran:Bundles.mis g ~seed ~stage_two:stage () with
+  | Error m -> failwith m
+  | Ok r ->
+    assert (Catalog.mis.Problem.is_valid_output g r.Decouple.outputs);
+    r
+
+let () =
+  Printf.printf "%-10s | %7s | %18s | %18s | %22s\n" "network" "direct"
+    "decouple+A* " "decouple+A∞" "decouple+specific";
+  Printf.printf "%-10s | %7s | %18s | %18s | %22s\n" "" "(rounds)"
+    "(color+det rounds)" "(color rounds)" "(color+det rounds)";
+  print_endline (String.make 88 '-');
+  List.iter
+    (fun (name, g) ->
+      let seed = 42 in
+      let d = direct g seed in
+      (* A* is exponential in the view-graph size: only run it on the small
+         networks; the specific stage-2 runs everywhere. *)
+      let astar =
+        if Graph.n g <= 6 then begin
+          let r = decoupled g seed Decouple.Generic_a_star in
+          Printf.sprintf "%4d + %-4d" r.Decouple.coloring_rounds r.Decouple.stage_two_rounds
+        end
+        else "   (skipped)"
+      in
+      let ainf =
+        if Graph.n g <= 6 then begin
+          let r = decoupled g seed Decouple.Generic_a_infinity in
+          Printf.sprintf "%4d" r.Decouple.coloring_rounds
+        end
+        else "   (skipped)"
+      in
+      let specific =
+        let r =
+          decoupled g seed
+            (Decouple.Specific Anonet_algorithms.Det_from_two_hop.mis)
+        in
+        Printf.sprintf "%4d + %-4d" r.Decouple.coloring_rounds r.Decouple.stage_two_rounds
+      in
+      Printf.printf "%-10s | %7d | %18s | %18s | %22s\n" name d astar ainf specific)
+    networks;
+  print_newline ();
+  print_endline
+    "All outputs verified as valid maximal independent sets.  The generic";
+  print_endline
+    "stage (A*/A∞) shows randomization is *only* needed for the coloring;";
+  print_endline
+    "the specific stage shows the decoupling is also practically cheap."

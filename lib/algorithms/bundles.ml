@@ -1,0 +1,38 @@
+module Gran = Anonet_problems.Gran
+module Catalog = Anonet_problems.Catalog
+
+let coloring =
+  {
+    Gran.problem = Catalog.coloring;
+    solver = Rand_coloring.algorithm;
+    decider = Deciders.always_yes;
+    output_encoding = Gran.Label_output;
+  }
+
+let two_hop_coloring =
+  {
+    Gran.problem = Catalog.two_hop_coloring;
+    solver = Rand_two_hop.algorithm;
+    decider = Deciders.always_yes;
+    output_encoding = Gran.Label_output;
+  }
+
+let mis =
+  {
+    Gran.problem = Catalog.mis;
+    solver = Rand_mis.algorithm;
+    decider = Deciders.always_yes;
+    output_encoding = Gran.Label_output;
+  }
+
+let maximal_matching =
+  {
+    Gran.problem = Catalog.maximal_matching;
+    solver = Rand_matching.algorithm;
+    decider = Deciders.always_yes;
+    (* matching outputs name ports; the derandomization must translate
+       them through neighbor colors *)
+    output_encoding = Gran.Port_output;
+  }
+
+let all = [ coloring; two_hop_coloring; mis; maximal_matching ]

@@ -1,0 +1,14 @@
+(** GRAN witnesses for the catalog problems: each bundle pairs a problem
+    with a randomized anonymous solver and a decider, in the form the
+    derandomization machinery consumes. *)
+
+val coloring : Anonet_problems.Gran.t
+
+val two_hop_coloring : Anonet_problems.Gran.t
+
+val mis : Anonet_problems.Gran.t
+
+val maximal_matching : Anonet_problems.Gran.t
+
+(** All of the above, for sweeping tests/benches. *)
+val all : Anonet_problems.Gran.t list

@@ -1,0 +1,21 @@
+(** Deciders for the distributed decision problems [Δ_Π] of the catalog.
+
+    Genuine solvability requires a randomized anonymous algorithm deciding
+    instance membership; for the catalog problems (whose instance sets are
+    all labeled graphs) the decider is trivial, and for 2-hop colored
+    variants [Π^c] membership is locally checkable: every violation of the
+    2-hop coloring property involves two nodes at distance at most 2, and
+    each of them can detect it from its 2-hop neighborhood.  Deterministic
+    algorithms are a special case of randomized ones, so these deciders
+    witness GRAN membership as required. *)
+
+(** Decider for problems whose instance set is all labeled graphs: every
+    node immediately votes yes. *)
+val always_yes : Anonet_runtime.Algorithm.t
+
+(** Decider for [Π^c]-style instances where the base problem accepts all
+    graphs: checks that the node's own label is a [Pair] and that the
+    color component is proper within its 2-hop neighborhood; votes
+    [Bool] accordingly.  On a yes-instance all nodes vote yes; on a
+    no-instance at least one node (a violating one) votes no. *)
+val two_hop_colored_variant : Anonet_runtime.Algorithm.t

@@ -1,0 +1,45 @@
+(** Deterministic algorithms that consume a 2-hop coloring.
+
+    These witness the "decoupling" reading of Theorem 1 concretely and
+    cheaply: once the generic randomized preprocessing has produced a 2-hop
+    coloring, natural problem-specific deterministic algorithms finish the
+    job — far more efficiently than the generic simulation [A*], which is
+    what makes the corollary practically interesting.
+
+    Both algorithms expect instances in the [Π^c] convention: node labels
+    of the form [Pair (input, color)] where the colors form a 2-hop
+    coloring (a bare non-pair label is tolerated and treated as the color
+    itself).  A 2-hop coloring makes neighbors' colors pairwise distinct,
+    so "my color is the local minimum" is a well-founded, deterministic
+    tiebreak. *)
+
+(** Greedy MIS by color order: an undecided node joins when its color is
+    smallest among undecided neighbors, leaves when a neighbor joined.
+    Output: [Label.Bool in_mis]. *)
+val mis : Anonet_runtime.Algorithm.t
+
+(** Greedy coloring by color order: when locally minimal among undecided
+    neighbors, pick the smallest nonnegative integer unused by decided
+    neighbors.  Produces at most [Δ+1] colors.  Output: [Label.Int color]. *)
+val coloring : Anonet_runtime.Algorithm.t
+
+(** Greedy maximal matching by color order: an undecided node whose color
+    is locally minimal proposes to its smallest-colored undecided
+    neighbor; a non-proposer accepts its smallest-colored proposer.  The
+    2-hop coloring makes all tiebreaks well-founded: neighbors have
+    distinct colors (local minima are unique per closed neighborhood, so
+    proposers never face proposals), and two proposers courting the same
+    node are 2 hops apart, hence also distinctly colored.  Three-round
+    phases (commit/announce, propose, accept); the globally minimal
+    undecided color always secures a match, so at least one edge joins the
+    matching per phase.  Output: [Label.Int port] or [Label.Unit]. *)
+val matching : Anonet_runtime.Algorithm.t
+
+(** 2-hop color {e reduction}: recolor a 2-hop coloring with arbitrary
+    labels (e.g. the growing bitstrings of the Las-Vegas stage) down to a
+    small integer palette, deterministically.  Greedy by color order over
+    2-hop neighborhoods (three-round phases: announce, relay, decide),
+    producing at most [Δ² + 1] colors — minimizing the count is
+    NP-complete (McCormick [35], cited in Section 1.3), so greedy is the
+    right tool.  Output: [Label.Int color], a proper 2-hop coloring. *)
+val two_hop_recoloring : Anonet_runtime.Algorithm.t

@@ -1,0 +1,28 @@
+(** Monte-Carlo leader election with known network size — the "mock
+    anonymous" case (Section 1.3).
+
+    Genuine anonymity rules out leader election (see the
+    [leader_election] example), but the paper surveys the classic escape
+    hatches: if the nodes know the network size [n] (Itai-Rodeh [26, 27],
+    and with high probability in general graphs [36]), a {e Monte-Carlo}
+    algorithm — one allowed to fail — elects a leader: every node draws an
+    [id_bits]-bit random identifier, floods the maximum for [n] rounds
+    (enough to cover any diameter), and claims leadership iff its own
+    identifier equals the maximum.  The failure mode is a tie on the
+    maximum identifier, with probability at most [n² / 2^id_bits].
+
+    Instances must carry [Label.Int n] (the true node count) at every
+    node — precisely the kind of input-encoded global knowledge whose
+    exclusion motivates the class GRAN.  The algorithm is Monte-Carlo, not
+    Las-Vegas: it always terminates but can produce several leaders, so it
+    witnesses a problem {e outside} GRAN whose relaxation is solvable. *)
+
+(** [make ~id_bits] builds the algorithm; higher [id_bits] lowers the tie
+    probability.  Output: [Label.Bool is_leader].
+    @raise Invalid_argument if [id_bits < 1]. *)
+val make : id_bits:int -> Anonet_runtime.Algorithm.t
+
+(** The leader election problem: instances are graphs where every node is
+    labeled with the (true) node count; valid outputs have exactly one
+    leader. *)
+val problem : Anonet_problems.Problem.t

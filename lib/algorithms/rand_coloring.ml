@@ -1,0 +1,53 @@
+module Label = Anonet_graph.Label
+module Bits = Anonet_graph.Bits
+module Algorithm = Anonet_runtime.Algorithm
+
+let name = "rand-coloring"
+
+type step =
+  | Announce
+  | Decide
+
+type state = {
+  degree : int;
+  cand : Bits.t;
+  final : bool;
+  out : Label.t option;
+  step : step;
+}
+
+let init ~input:_ ~degree =
+  { degree; cand = Bits.empty; final = false; out = None; step = Announce }
+
+let output s = s.out
+
+let decode = function
+  | Some (Label.Bits b) -> b
+  | _ -> invalid_arg "rand-coloring: malformed announce"
+
+let round s ~bit ~inbox =
+  match s.step with
+  | Announce ->
+    { s with step = Decide }, Algorithm.broadcast ~degree:s.degree (Label.Bits s.cand)
+  | Decide ->
+    let heard = Array.map decode inbox in
+    let s =
+      if s.final then s
+      else if Array.exists (Bits.equal s.cand) heard then
+        { s with cand = Bits.append s.cand bit }
+      else { s with final = true; out = Some (Label.Bits s.cand) }
+    in
+    { s with step = Announce }, Algorithm.silence ~degree:s.degree
+
+let algorithm : Algorithm.t =
+  (module struct
+    type nonrec state = state
+
+    let name = name
+
+    let init = init
+
+    let round = round
+
+    let output = output
+  end)

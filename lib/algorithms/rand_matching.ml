@@ -1,0 +1,139 @@
+module Label = Anonet_graph.Label
+module Algorithm = Anonet_runtime.Algorithm
+
+let name = "rand-matching"
+
+type status =
+  | Active
+  | Matched of int  (* port *)
+  | Done_unmatched
+
+type step =
+  | Propose
+  | Accept
+  | Commit
+
+type state = {
+  degree : int;
+  status : status;
+  step : step;
+  phase : int;
+  nbr_status : string array;  (* last heard status per port; "?" initially *)
+  proposed_port : int option;
+  out : Label.t option;
+}
+
+let init ~input:_ ~degree =
+  {
+    degree;
+    status = Active;
+    step = Propose;
+    phase = 0;
+    nbr_status = Array.make degree "?";
+    proposed_port = None;
+    out = None;
+  }
+
+let output s = s.out
+
+let status_tag = function
+  | Active -> "active"
+  | Matched _ -> "matched"
+  | Done_unmatched -> "done"
+
+let msg s tag = Label.Pair (Label.Str (status_tag s.status), Label.Str tag)
+
+let decode = function
+  | Label.Pair (Label.Str status, Label.Str tag) -> status, tag
+  | _ -> invalid_arg "rand-matching: malformed message"
+
+(* Fold the inbox into the port-indexed last-known neighbor statuses and
+   return the tags received per port ("-" where nothing arrived). *)
+let absorb s inbox =
+  let nbr_status = Array.copy s.nbr_status in
+  let tags = Array.make s.degree "-" in
+  Array.iteri
+    (fun p m ->
+      match m with
+      | None -> ()
+      | Some m ->
+        let status, tag = decode m in
+        nbr_status.(p) <- status;
+        tags.(p) <- tag)
+    inbox;
+  { s with nbr_status }, tags
+
+let eligible_ports s =
+  List.filter
+    (fun p -> s.nbr_status.(p) = "active" || s.nbr_status.(p) = "?")
+    (List.init s.degree (fun p -> p))
+
+let statuses_only s = Algorithm.broadcast ~degree:s.degree (msg s "-")
+
+let round s ~bit ~inbox =
+  let s, tags = absorb s inbox in
+  match s.step with
+  | Propose ->
+    let s = { s with step = Accept; phase = s.phase + 1 } in
+    (match s.status with
+     | Matched _ | Done_unmatched -> s, statuses_only s
+     | Active ->
+       (match eligible_ports s with
+        | [] ->
+          let s = { s with status = Done_unmatched; out = Some Label.Unit } in
+          s, statuses_only s
+        | eligible ->
+          if bit then begin
+            (* Proposer: offer to one eligible neighbor, cycling by phase. *)
+            let port = List.nth eligible (s.phase mod List.length eligible) in
+            let s = { s with proposed_port = Some port } in
+            let sends =
+              Array.init s.degree (fun p ->
+                  Some (msg s (if p = port then "p" else "-")))
+            in
+            s, sends
+          end
+          else s, statuses_only s))
+  | Accept ->
+    let s = { s with step = Commit } in
+    (match s.status, s.proposed_port with
+     | Active, None ->
+       (* Responder: accept the lowest-port proposal, if any. *)
+       let proposals =
+         List.filter (fun p -> tags.(p) = "p") (List.init s.degree (fun p -> p))
+       in
+       (match proposals with
+        | [] -> s, statuses_only s
+        | port :: _ ->
+          let s = { s with status = Matched port; out = Some (Label.Int port) } in
+          let sends =
+            Array.init s.degree (fun p ->
+                Some (msg s (if p = port then "a" else "-")))
+          in
+          s, sends)
+     | (Active | Matched _ | Done_unmatched), _ -> s, statuses_only s)
+  | Commit ->
+    let s = { s with step = Propose } in
+    (match s.status, s.proposed_port with
+     | Active, Some port ->
+       let s = { s with proposed_port = None } in
+       if tags.(port) = "a" then begin
+         let s = { s with status = Matched port; out = Some (Label.Int port) } in
+         s, statuses_only s
+       end
+       else s, statuses_only s
+     | (Active | Matched _ | Done_unmatched), _ ->
+       { s with proposed_port = None }, statuses_only s)
+
+let algorithm : Algorithm.t =
+  (module struct
+    type nonrec state = state
+
+    let name = name
+
+    let init = init
+
+    let round = round
+
+    let output = output
+  end)

@@ -1,0 +1,70 @@
+module Label = Anonet_graph.Label
+module Algorithm = Anonet_runtime.Algorithm
+
+let name = "rand-mis"
+
+type status =
+  | Undecided
+  | In_mis
+  | Out_mis
+
+type state = {
+  degree : int;
+  status : status;
+  my_coin : bool option;  (* the coin broadcast in the previous round *)
+  out : Label.t option;
+}
+
+let init ~input:_ ~degree = { degree; status = Undecided; my_coin = None; out = None }
+
+let output s = s.out
+
+let encode_status = function
+  | Undecided -> "u"
+  | In_mis -> "in"
+  | Out_mis -> "out"
+
+let msg status coin = Label.Pair (Label.Str (encode_status status), Label.Bool coin)
+
+let decode = function
+  | Label.Pair (Label.Str s, Label.Bool coin) -> s, coin
+  | _ -> invalid_arg "rand-mis: malformed message"
+
+let round s ~bit ~inbox =
+  (* Round 1 has an empty inbox; from round 2 on every port carries a
+     status message. *)
+  let received = List.filter_map (Option.map decode) (Array.to_list inbox) in
+  let s =
+    match s.status with
+    | In_mis | Out_mis -> s
+    | Undecided ->
+      let neighbor_joined = List.exists (fun (st, _) -> st = "in") received in
+      if neighbor_joined then
+        { s with status = Out_mis; out = Some (Label.Bool false) }
+      else begin
+        let undecided_heads =
+          List.exists (fun (st, coin) -> st = "u" && coin) received
+        in
+        match s.my_coin with
+        | Some true when (not undecided_heads) && List.length received = s.degree ->
+          { s with status = In_mis; out = Some (Label.Bool true) }
+        | _ -> s
+      end
+  in
+  (* Broadcast the (possibly new) status with a fresh coin; decided nodes'
+     coins are ignored by receivers. *)
+  let s = { s with my_coin = Some bit } in
+  s, Algorithm.broadcast ~degree:s.degree (msg s.status bit)
+
+let algorithm : Algorithm.t =
+  (module struct
+    type nonrec state = state
+
+    let name = name
+
+    let init = init
+
+    let round = round
+
+    let output = output
+  end)

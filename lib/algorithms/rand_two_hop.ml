@@ -1,0 +1,84 @@
+module Label = Anonet_graph.Label
+module Bits = Anonet_graph.Bits
+module Algorithm = Anonet_runtime.Algorithm
+
+let name = "rand-2hop-coloring"
+
+(* Phase structure (3 rounds per phase):
+     Announce: send own candidate on all ports.
+     Relay:    receive announcements; send their sorted multiset.
+     Decide:   receive relays; detect conflicts; append the random bit or
+               finalize.
+   The [step] field names the sub-round the node is about to perform. *)
+
+type step =
+  | Announce
+  | Relay
+  | Decide
+
+type state = {
+  degree : int;
+  cand : Bits.t;
+  final : bool;
+  out : Label.t option;
+  step : step;
+  heard : Bits.t array;  (* candidates announced by neighbors, port-indexed *)
+}
+
+let init ~input:_ ~degree =
+  { degree; cand = Bits.empty; final = false; out = None; step = Announce; heard = [||] }
+
+let output s = s.out
+
+let announce_msg cand = Label.Bits cand
+
+let relay_msg heard =
+  Label.List (List.sort Label.compare (List.map (fun b -> Label.Bits b) (Array.to_list heard)))
+
+let decode_announce = function
+  | Some (Label.Bits b) -> b
+  | _ -> invalid_arg "rand-2hop: malformed announce"
+
+let decode_relay = function
+  | Some (Label.List xs) -> List.map Label.to_bits xs
+  | _ -> invalid_arg "rand-2hop: malformed relay"
+
+(* Conflict: some neighbor announced my candidate, or my candidate occurs
+   at least twice in some neighbor's relayed multiset (once for me, once
+   for a distinct node within two hops). *)
+let in_conflict cand heard relays =
+  Array.exists (Bits.equal cand) heard
+  || List.exists
+       (fun multiset ->
+         List.length (List.filter (Bits.equal cand) multiset) >= 2)
+       relays
+
+let round s ~bit ~inbox =
+  match s.step with
+  | Announce ->
+    { s with step = Relay }, Algorithm.broadcast ~degree:s.degree (announce_msg s.cand)
+  | Relay ->
+    let heard = Array.map decode_announce inbox in
+    { s with step = Decide; heard }, Algorithm.broadcast ~degree:s.degree (relay_msg heard)
+  | Decide ->
+    let relays = Array.to_list (Array.map decode_relay inbox) in
+    let s =
+      if s.final then s
+      else if in_conflict s.cand s.heard relays then
+        { s with cand = Bits.append s.cand bit }
+      else { s with final = true; out = Some (Label.Bits s.cand) }
+    in
+    { s with step = Announce; heard = [||] }, Algorithm.silence ~degree:s.degree
+
+let algorithm : Algorithm.t =
+  (module struct
+    type nonrec state = state
+
+    let name = name
+
+    let init = init
+
+    let round = round
+
+    let output = output
+  end)

@@ -1,0 +1,45 @@
+(** The infinity-model algorithm [A_∞] (Theorem 2), made effective.
+
+    In the infinity model each node's output is a function of its
+    depth-infinity local view.  [A_∞] (i) reconstructs the infinite view
+    graph [I_∞^c] from the view — here computed directly as the finite
+    view graph, legitimate by Corollary 2 ([G* ≅ G_∞]); (ii) confirms via
+    the problem's decider that the simulation input [J = (V_∞, E_∞, i_∞)]
+    is an instance of [Π] (the lifting-lemma argument of Section 2.3.2
+    guarantees it); (iii) selects the {e smallest successful simulation}
+    of the randomized solver [A_R] on [J]; and (iv) lifts that simulation's
+    outputs back through the infinite view map.
+
+    This is the centralized ("oracle") form of the derandomization: it
+    computes, for every node at once, exactly the value
+    [A_∞(L_∞(v))] — no randomness, no communication beyond the view.
+    The message-passing realization is {!A_star}. *)
+
+type result = {
+  outputs : Anonet_graph.Label.t array;
+      (** deterministic valid outputs for the instance's nodes *)
+  view_graph : Anonet_views.View_graph.t;  (** [I*^c ≅ I_∞^c] *)
+  found : Min_search.found;
+      (** the minimal successful simulation on [J] *)
+  decider_confirmed : bool;
+      (** the decider's verdict on [J] (always [true] for genuine GRAN
+          bundles, by the lifting lemma) *)
+}
+
+(** [solve ~gran g ()] derandomizes [gran.solver] on the [Π^c]-instance
+    [g] (labels [<i, c>] with [c] a 2-hop coloring).
+
+    @param order        total order for the minimal-simulation search
+                        (default {!Min_search.Round_major})
+    @param max_len      simulation length bound (default [64])
+    @param decider_seed seed for the (randomized) decider run (default 1)
+    @return [Error] if [g] is not an instance of [Π^c], if the decider
+    rejects [J], or if no successful simulation exists within [max_len]. *)
+val solve :
+  gran:Anonet_problems.Gran.t ->
+  Anonet_graph.Graph.t ->
+  ?order:Min_search.order ->
+  ?max_len:int ->
+  ?decider_seed:int ->
+  unit ->
+  (result, string) Stdlib.result

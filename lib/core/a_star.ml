@@ -1,0 +1,183 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Bits = Anonet_graph.Bits
+module Algorithm = Anonet_runtime.Algorithm
+module Executor = Anonet_runtime.Executor
+module Tape = Anonet_runtime.Tape
+module Problem = Anonet_problems.Problem
+module Gran = Anonet_problems.Gran
+
+(* The result of the end-of-phase local computation, a pure function of
+   (gathered view, phase): memoized across nodes and executions. *)
+type computation = {
+  new_output : Label.t option;  (* from Update-Output, if successful *)
+  partner_color : Label.t option;
+      (* for Port_output bundles whose output names a port: the 2-hop
+         color of the alias's partner, used to translate the port into
+         the node's own numbering *)
+  new_b : Bits.t option;  (* from Update-Bits, if some extension succeeds *)
+}
+
+let make ~gran ?(order = Min_search.Round_major) ?(max_search_states = 1_000_000)
+    () : Algorithm.t =
+  (module struct
+    let name = "a-star:" ^ gran.Gran.problem.Anonet_problems.Problem.name
+
+    type state = {
+      degree : int;
+      input : Label.t;  (* the Π^c label <i, c> *)
+      b : Bits.t;
+      phase : int;
+      round_in_phase : int;  (* 1-based; phase p has p rounds *)
+      knowledge : Knowledge.t;
+      port_colors : Label.t array option;
+          (* my neighbors' 2-hop colors, in my own port order — the key
+             for translating port-valued alias outputs *)
+      out : Label.t option;
+    }
+
+    let is_instance_colored =
+      (Problem.colored_variant gran.Gran.problem).Problem.is_instance
+
+    (* The simulation input [(V̂, Ê, î)]: candidate labels are
+       <<i, c>, b>; the solver sees only i. *)
+    let solver_input candidate_graph =
+      Graph.map_labels candidate_graph (fun l -> Label.fst (Label.fst l))
+
+    let memo : (int * int, computation) Hashtbl.t = Hashtbl.create 256
+
+    let compute knowledge ~phase =
+      let key = knowledge.Knowledge.id, phase in
+      match Hashtbl.find_opt memo key with
+      | Some c -> c
+      | None ->
+        let c =
+          match
+            Candidates.from_knowledge knowledge ~phase
+              ~is_instance:is_instance_colored
+          with
+          | [] -> { new_output = None; partner_color = None; new_b = None }
+          | selected :: _ ->
+            let j = solver_input selected.Candidates.graph in
+            let assignment = Candidates.assignment_of selected.Candidates.graph in
+            let me = selected.Candidates.me in
+            (* Update-Output *)
+            let sim = Simulation.run ~solver:gran.Gran.solver j ~bits:assignment in
+            let new_output =
+              if sim.Simulation.successful then sim.Simulation.outputs.(me)
+              else None
+            in
+            (* If the output names a port of the alias, record the color
+               of the alias's neighbor at that port for translation. *)
+            let partner_color =
+              match gran.Gran.output_encoding, new_output with
+              | Anonet_problems.Gran.Port_output, Some (Label.Int p)
+                when p >= 0 && p < Graph.degree selected.Candidates.graph me ->
+                let partner = Graph.neighbor selected.Candidates.graph me p in
+                Some
+                  (Label.snd
+                     (Label.fst (Graph.label selected.Candidates.graph partner)))
+              | (Anonet_problems.Gran.Port_output | Anonet_problems.Gran.Label_output), _
+                -> None
+            in
+            (* Update-Bits *)
+            let new_b =
+              match
+                Min_search.minimal_successful ~solver:gran.Gran.solver j
+                  ~base:assignment ~order ~max_states:max_search_states
+                  ~len:(Min_search.Exactly phase) ()
+              with
+              | Some found -> Some found.Min_search.assignment.(me)
+              | None -> None
+            in
+            { new_output; partner_color; new_b }
+        in
+        Hashtbl.add memo key c;
+        c
+
+    let frozen_label s = Label.Pair (s.input, Label.Bits s.b)
+
+    let init ~input ~degree =
+      {
+        degree;
+        input;
+        b = Bits.empty;
+        phase = 1;
+        round_in_phase = 1;
+        knowledge = Knowledge.leaf Label.Unit (* replaced in round 1 *);
+        port_colors = None;
+        out = None;
+      }
+
+    let output s = s.out
+
+    let round s ~bit:_ ~inbox =
+      (* Build this round's knowledge layer. *)
+      let children =
+        if s.round_in_phase = 1 then [||]
+        else
+          Array.map
+            (function
+              | Some m -> Knowledge.of_label m
+              | None -> invalid_arg "a-star: missing knowledge message")
+            inbox
+      in
+      let knowledge =
+        if s.round_in_phase = 1 then Knowledge.leaf (frozen_label s)
+        else Knowledge.node s.knowledge.Knowledge.mark (Array.to_list children)
+      in
+      (* The first exchange round carries the neighbors' frozen labels in
+         port order: harvest the 2-hop colors once. *)
+      let s =
+        if s.port_colors = None && s.round_in_phase = 2 then
+          {
+            s with
+            port_colors =
+              Some
+                (Array.map
+                   (fun (c : Knowledge.t) -> Label.snd (Label.fst c.Knowledge.mark))
+                   children);
+          }
+        else s
+      in
+      if s.round_in_phase < s.phase then
+        (* Exchange step: share the gathered view, one level deeper. *)
+        ( { s with knowledge; round_in_phase = s.round_in_phase + 1 },
+          Algorithm.broadcast ~degree:s.degree (Knowledge.to_label knowledge) )
+      else begin
+        (* Final round of the phase: run Update-Graph / Update-Output /
+           Update-Bits on the gathered view L_p(v, I^p). *)
+        let { new_output; partner_color; new_b } = compute knowledge ~phase:s.phase in
+        (* Translate a port-valued alias output into this node's own port
+           numbering via the partner's color (unique among neighbors). *)
+        let translated =
+          match new_output, partner_color, s.port_colors with
+          | Some _, Some color, Some port_colors ->
+            let rec find q =
+              if q >= Array.length port_colors then new_output
+              else if Label.equal port_colors.(q) color then Some (Label.Int q)
+              else find (q + 1)
+            in
+            find 0
+          | o, _, _ -> o
+        in
+        let out =
+          match s.out, translated with
+          | None, o -> o
+          | (Some _ as o), _ -> o (* outputs are irrevocable *)
+        in
+        let b = Option.value ~default:s.b new_b in
+        ( { s with knowledge; out; b; phase = s.phase + 1; round_in_phase = 1 },
+          Algorithm.silence ~degree:s.degree )
+      end
+  end)
+
+let solve ~gran g ?(order = Min_search.Round_major) ?max_rounds () =
+  let n = Graph.n g in
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 4 * (n + 4) * (n + 4)
+  in
+  let algo = make ~gran ~order () in
+  match Executor.run algo g ~tape:Tape.zero ~max_rounds with
+  | Ok outcome -> Ok outcome
+  | Error failure -> Error (Format.asprintf "%a" Executor.pp_failure failure)

@@ -1,0 +1,60 @@
+(** The deterministic anonymous algorithm [A*] (Theorem 1, Figure 3).
+
+    [A*] solves the 2-hop colored variant [Π^c] of any GRAN problem [Π]
+    with {e no randomness}: it runs in phases [p = 1, 2, ...], where phase
+    [p] spends [p] rounds gathering the depth-[p] local view of the
+    current graph [I^p = (V, E, i, c, b^p)] (a full-information exchange
+    whose messages are hash-consed view DAGs, see {!Knowledge}) and then
+    executes the three sub-procedures of Figure 3 locally:
+
+    - {b Update-Graph}: build the candidate set from the gathered view
+      ({!Candidates}), keep the candidates' finite view graphs, select the
+      smallest under the [(size, encoding)] order;
+    - {b Update-Output}: simulate the randomized solver [A_R] on the
+      selected graph using the bitstring labels [b̂] as the random bits;
+      if the simulation is successful, adopt the output of one's own alias
+      node — irrevocably;
+    - {b Update-Bits}: find the smallest successful [p]-extension of the
+      bitstring assignment ({!Min_search}) and adopt one's alias's string
+      as the next [b] value.
+
+    Termination and correctness follow the paper's analysis: from phase
+    [2n] on, every node selects the true finite view graph [I*^p]
+    (Lemma 7); the first phase [z] admitting a successful extension makes
+    all nodes adopt a common assignment (Update-Bits); and at phase
+    [z + 1] every node outputs according to the same successful simulation
+    (Lemma 8), whose lift is a possible execution of [A_R] on the original
+    instance (Lemma 9) — hence valid.
+
+    Nodes with equal views perform equal computations, so the node-local
+    work is memoized on the hash-consed view identity. *)
+
+(** [make ~gran ()] builds [A*] for the given GRAN bundle.  The resulting
+    algorithm expects [Π^c]-style instances (labels [<i, c>] with [c] a
+    2-hop coloring); on other inputs no candidate ever passes validation
+    and the algorithm never produces outputs.
+
+    @param order search order for Update-Bits (default
+    {!Min_search.Round_major}).
+    @param max_search_states per-search frontier bound (default
+    [1_000_000]). *)
+val make :
+  gran:Anonet_problems.Gran.t ->
+  ?order:Min_search.order ->
+  ?max_search_states:int ->
+  unit ->
+  Anonet_runtime.Algorithm.t
+
+(** [solve ~gran g ()] runs [A*] on the [Π^c]-instance [g] to completion
+    under the synchronous executor (with a constant-zero tape: [A*] is
+    deterministic and ignores its random bits).
+
+    @param max_rounds round budget (default [4 * (n + 4)^2], generous for
+    the quadratic phase schedule). *)
+val solve :
+  gran:Anonet_problems.Gran.t ->
+  Anonet_graph.Graph.t ->
+  ?order:Min_search.order ->
+  ?max_rounds:int ->
+  unit ->
+  (Anonet_runtime.Executor.outcome, string) result

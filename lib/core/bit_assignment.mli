@@ -1,0 +1,63 @@
+(** Bit assignments [b : V -> {0,1}*] and their canonical orders
+    (Section 2.2).
+
+    A [t]-round simulation of the randomized algorithm [A_R] is induced by
+    assigning every node a bitstring to replace its random bits.  The
+    derandomization needs a {e predetermined total order} on assignments so
+    that all nodes deterministically agree on "the smallest successful"
+    one.  The paper fixes: shorter (uniform) length first, then
+    lexicographic on the tuple [(b(u_1), ..., b(u_k))] in the canonical
+    node order — {!compare_node_major}.  Any predetermined order supports
+    the same lemmas; the library's default is {!compare_round_major}
+    (compare the round-1 bits of all nodes, then round 2, ...), which
+    admits an efficient prefix-sharing search.  Tests cross-check that both
+    orders yield valid derandomizations. *)
+
+type t = Anonet_graph.Bits.t array
+(** indexed by the canonical node order of the graph being simulated *)
+
+(** [uniform empty_of n] — [make n len]: [n] all-zero strings of length
+    [len]. *)
+val make : int -> len:int -> t
+
+(** All-empty assignment for [n] nodes. *)
+val empty : int -> t
+
+(** [min_length b] is the number of whole rounds [b] can feed — the length
+    of the induced simulation. *)
+val min_length : t -> int
+
+(** [max_length b] is the longest string in [b]. *)
+val max_length : t -> int
+
+(** [is_uniform b] holds when all strings have equal length (the paper's
+    assignments [b : V -> {0,1}^t]). *)
+val is_uniform : t -> bool
+
+(** [is_extension ~base b] holds when [b.(i)] extends [base.(i)] for all
+    [i] — the "p-extension" relation of Update-Bits (with [len]
+    uniformity checked separately). *)
+val is_extension : base:t -> t -> bool
+
+(** The paper's order: length first (uniform lengths compared as
+    integers; non-uniform assignments compare by their sorted length
+    vectors), then node-major lexicographic. *)
+val compare_node_major : t -> t -> int
+
+(** The library default: length first, then round-major lexicographic
+    (round-1 bits of [u_1..u_k], then round-2 bits, ...). *)
+val compare_round_major : t -> t -> int
+
+(** [extensions base ~len] enumerates every assignment extending [base]
+    with all strings of length exactly [len], in {e node-major}
+    lexicographic order.  The sequence has [2^f] elements where [f] is the
+    number of free bit positions — intended for tiny cross-checks only.
+    @raise Invalid_argument if some [base] string is longer than [len]. *)
+val extensions : t -> len:int -> t Seq.t
+
+(** [lift ~map b] pulls an assignment on a factor back to the product:
+    product node [v] receives [b.(map.(v))] — how a simulation on the view
+    graph induces an execution on the original graph (Section 2.3.2). *)
+val lift : map:int array -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+(** Hash-consed local-view trees — the full-information "knowledge" that
+    nodes of the deterministic algorithm [A*] gather and exchange.
+
+    A depth-[d] local view unfolds to a tree with up to [Δ^d] vertices, but
+    it only has as many {e distinct} subtrees per level as the graph has
+    view-equivalence classes.  This module therefore hash-conses trees:
+    structurally equal trees are physically equal and carry the same [id],
+    so equality is O(1), ordering is memoized, and a depth-[p] view costs
+    O(n·p) memory instead of O(Δ^p).
+
+    Children are kept sorted under {!compare}, which canonicalizes the
+    sibling multiset — the same convention as {!Anonet_views.View} (on
+    2-hop colored graphs siblings have distinct marks, making this a
+    faithful canonical form, cf. Section 2.1).
+
+    Trees serialize to {!Anonet_graph.Label.t} values as minimal DAGs, so
+    exchanging knowledge costs messages polynomial in [n·p], not
+    exponential. *)
+
+type t = private {
+  id : int;  (** hash-consing identity: equal trees have equal ids *)
+  mark : Anonet_graph.Label.t;
+  children : t list;  (** sorted under {!compare} *)
+}
+
+(** [leaf mark] is the depth-1 view with the given mark. *)
+val leaf : Anonet_graph.Label.t -> t
+
+(** [node mark children] builds (and canonicalizes) an internal vertex. *)
+val node : Anonet_graph.Label.t -> t list -> t
+
+(** O(1): hash-consing makes structural and physical equality coincide. *)
+val equal : t -> t -> bool
+
+(** Canonical total order (mark, then children lexicographically);
+    memoized over ids. *)
+val compare : t -> t -> int
+
+(** [depth t] is the number of levels (a leaf has depth 1); memoized. *)
+val depth : t -> int
+
+(** [truncate t ~depth] prunes to the given depth (and re-canonicalizes);
+    memoized.
+    @raise Invalid_argument if [depth < 1]. *)
+val truncate : t -> depth:int -> t
+
+(** [view_of_graph g ~root ~depth] is [L_depth(root, g)] as a hash-consed
+    tree — the same object {!Anonet_views.View.of_graph} describes, but
+    shared. *)
+val view_of_graph : Anonet_graph.Graph.t -> root:int -> depth:int -> t
+
+(** [subtrees t] lists every distinct subtree occurring in [t] (including
+    [t] itself), each once. *)
+val subtrees : t -> t list
+
+(** [to_label t] serializes as a minimal-DAG label; [of_label] inverts it.
+    @raise Invalid_argument on malformed input. *)
+val to_label : t -> Anonet_graph.Label.t
+
+val of_label : Anonet_graph.Label.t -> t

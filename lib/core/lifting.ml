@@ -1,0 +1,28 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Factor = Anonet_views.Factor
+
+type lifted = {
+  product_outputs : Label.t array;
+  factor_outputs : Label.t array;
+  agree : bool;
+}
+
+let lift_outputs ~map outputs = Array.map (fun c -> outputs.(c)) map
+
+let run ~solver ~product ~factor ~map ~bits =
+  let perms = Factor.induced_port_permutations ~product ~factor ~map in
+  let aligned = Graph.permute_ports product perms in
+  let lifted_bits = Bit_assignment.lift ~map bits in
+  let factor_sim = Simulation.run ~solver factor ~bits in
+  let product_sim = Simulation.run ~solver aligned ~bits:lifted_bits in
+  let to_labels outputs =
+    Array.map (function Some l -> l | None -> Label.Str "⊥") outputs
+  in
+  let factor_outputs = to_labels factor_sim.Simulation.outputs in
+  let product_outputs = to_labels product_sim.Simulation.outputs in
+  let agree =
+    Array.length product_outputs = Array.length map
+    && Array.for_all2 Label.equal product_outputs (lift_outputs ~map factor_outputs)
+  in
+  { product_outputs; factor_outputs; agree }

@@ -1,0 +1,43 @@
+(** The lifting lemma [5, 12], executable (Section 2.3.2).
+
+    If [G' ⪯_f G], an execution of an anonymous algorithm on the factor
+    [G'] lifts to an execution on the product [G]: give every product node
+    [v] the random bits of [f(v)] and align its ports with [f(v)]'s
+    through the local isomorphism; then [v] and [f(v)] step through
+    identical states and produce identical outputs.  This is the bridge
+    that makes simulating [A_R] on the view graph meaningful: the lifted
+    simulation is a {e possible} execution of [A_R] on the original graph,
+    so its outputs are valid.
+
+    These functions both {e perform} the lift and {e verify} the lemma
+    instance-by-instance (the test suite and the experiments call them on
+    many factor/product pairs). *)
+
+type lifted = {
+  product_outputs : Anonet_graph.Label.t array;
+      (** outputs of the lifted execution, indexed by product nodes *)
+  factor_outputs : Anonet_graph.Label.t array;
+      (** outputs of the original execution on the factor *)
+  agree : bool;
+      (** whether [product_outputs.(v) = factor_outputs.(map.(v))] for all
+          [v] — the lifting lemma's claim; always [true] for genuine
+          factorizing maps *)
+}
+
+(** [run ~solver ~product ~factor ~map ~bits] executes the simulation
+    induced by [bits] on the factor, lifts it to the product (pulled-back
+    bits, induced port alignment), executes there, and compares.
+
+    @raise Invalid_argument if [map] is not a factorizing map. *)
+val run :
+  solver:Anonet_runtime.Algorithm.t ->
+  product:Anonet_graph.Graph.t ->
+  factor:Anonet_graph.Graph.t ->
+  map:int array ->
+  bits:Bit_assignment.t ->
+  lifted
+
+(** [lift_outputs ~map outputs] is the output labeling a lifted execution
+    produces: product node [v] outputs [outputs.(map.(v))]. *)
+val lift_outputs :
+  map:int array -> Anonet_graph.Label.t array -> Anonet_graph.Label.t array

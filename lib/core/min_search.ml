@@ -1,0 +1,173 @@
+module Graph = Anonet_graph.Graph
+module Bits = Anonet_graph.Bits
+module Executor = Anonet_runtime.Executor
+
+type order =
+  | Round_major
+  | Node_major
+
+type length_constraint =
+  | Exactly of int
+  | At_most of int
+
+type found = {
+  assignment : Bit_assignment.t;
+  sim : Simulation.result;
+  states_explored : int;
+}
+
+exception Search_limit_exceeded
+
+(* ---------- round-major breadth-first search with state dedup ---------- *)
+
+(* A frontier entry: the per-round bit vectors chosen so far (most recent
+   first) and the execution they induce.  Entries are kept in lexicographic
+   order of their prefixes. *)
+type entry = {
+  rev_rounds : bool array list;
+  exec : Executor.Incremental.t;
+}
+
+(* Complete a prefix of [level] rounds to a full assignment of length
+   [len]: prescribed base bits where they exist, zeros elsewhere. *)
+let complete ~base ~rev_rounds ~level ~len =
+  let n = Array.length base in
+  let rounds = Array.of_list (List.rev rev_rounds) in
+  Array.init n (fun v ->
+      let bit r =
+        if r < level then rounds.(r).(v)
+        else if r < Bits.length base.(v) then Bits.get base.(v) r
+        else false
+      in
+      Bits.of_list (List.init len bit))
+
+(* Enumerate the bit vectors for round [r] (1-based) in node-major
+   lexicographic order, honoring prescribed base bits. *)
+let round_vectors ~base ~r =
+  let n = Array.length base in
+  let free =
+    List.filter (fun v -> Bits.length base.(v) < r) (List.init n (fun v -> v))
+  in
+  let f = List.length free in
+  if f > 24 then invalid_arg "Min_search: too many free bits per round";
+  let vector code =
+    let bits = Array.init n (fun v ->
+        if Bits.length base.(v) >= r then Bits.get base.(v) (r - 1) else false)
+    in
+    List.iteri (fun pos v -> bits.(v) <- code lsr (f - 1 - pos) land 1 = 1) free;
+    bits
+  in
+  Seq.map vector (Seq.init (1 lsl f) Fun.id)
+
+let search_round_major ~solver g ~base ~max_states ~len_constraint =
+  let max_base = Bit_assignment.max_length base in
+  let hard_cap =
+    match len_constraint with Exactly l -> l | At_most l -> l
+  in
+  (match len_constraint with
+   | Exactly l when max_base > l ->
+     invalid_arg "Min_search: base longer than exact target"
+   | Exactly _ | At_most _ -> ());
+  let explored = ref 0 in
+  let best : (Bit_assignment.t * Simulation.result) option ref = ref None in
+  let candidate_len level =
+    match len_constraint with
+    | Exactly l -> Some l
+    | At_most l ->
+      let cl = max level max_base in
+      if cl <= l then Some cl else None
+  in
+  let consider entry level =
+    if Executor.Incremental.all_output entry.exec then begin
+      (match candidate_len level with
+       | None -> ()
+       | Some len ->
+         let assignment =
+           complete ~base ~rev_rounds:entry.rev_rounds ~level ~len
+         in
+         let sim =
+           {
+             Simulation.successful = true;
+             outputs = Executor.Incremental.outputs entry.exec;
+             rounds_run = level;
+           }
+         in
+         let better =
+           match !best with
+           | None -> true
+           | Some (a, _) -> Bit_assignment.compare_round_major assignment a < 0
+         in
+         if better then best := Some (assignment, sim));
+      true (* prune: descendants cannot beat this entry's own completion *)
+    end
+    else false
+  in
+  let cap () =
+    (* Once a candidate exists, no strictly longer assignment can win. *)
+    match !best, len_constraint with
+    | Some (a, _), At_most _ -> min hard_cap (Bit_assignment.max_length a)
+    | _, _ -> hard_cap
+  in
+  let start = { rev_rounds = []; exec = Executor.Incremental.start solver g } in
+  let frontier = ref (if consider start 0 then [] else [ start ]) in
+  let level = ref 0 in
+  while !frontier <> [] && !level < cap () do
+    incr level;
+    let r = !level in
+    let seen = Hashtbl.create 256 in
+    let next = ref [] in
+    List.iter
+      (fun entry ->
+        Seq.iter
+          (fun bits ->
+            incr explored;
+            if !explored > max_states then raise Search_limit_exceeded;
+            let exec = Executor.Incremental.step entry.exec ~bits in
+            let fp = Executor.Incremental.fingerprint exec in
+            if not (Hashtbl.mem seen fp) then begin
+              Hashtbl.add seen fp ();
+              let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
+              if not (consider entry r) then next := entry :: !next
+            end)
+          (round_vectors ~base ~r))
+      !frontier;
+    frontier := List.rev !next
+  done;
+  match !best with
+  | None -> None
+  | Some (assignment, sim) ->
+    Some { assignment; sim; states_explored = !explored }
+
+(* ---------- node-major exhaustive enumeration (the paper's order) ------ *)
+
+let search_node_major ~solver g ~base ~max_states ~len_constraint =
+  let max_base = Bit_assignment.max_length base in
+  let lengths =
+    match len_constraint with
+    | Exactly l ->
+      if max_base > l then invalid_arg "Min_search: base longer than exact target";
+      Seq.return l
+    | At_most l -> Seq.init (l - max_base + 1) (fun i -> max_base + i)
+  in
+  let explored = ref 0 in
+  let try_length len =
+    Seq.find_map
+      (fun assignment ->
+        incr explored;
+        if !explored > max_states then raise Search_limit_exceeded;
+        let sim = Simulation.run ~solver g ~bits:assignment in
+        if sim.Simulation.successful then Some (assignment, sim) else None)
+      (Bit_assignment.extensions base ~len)
+  in
+  match Seq.find_map try_length lengths with
+  | None -> None
+  | Some (assignment, sim) ->
+    Some { assignment; sim; states_explored = !explored }
+
+let minimal_successful ~solver g ~base ?(order = Round_major)
+    ?(max_states = 1_000_000) ~len () =
+  if Array.length base <> Graph.n g then
+    invalid_arg "Min_search: assignment size differs from graph size";
+  match order with
+  | Round_major -> search_round_major ~solver g ~base ~max_states ~len_constraint:len
+  | Node_major -> search_node_major ~solver g ~base ~max_states ~len_constraint:len

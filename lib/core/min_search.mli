@@ -1,0 +1,61 @@
+(** Finding the minimal successful simulation (Sections 2.2 and 3.1).
+
+    Update-Bits needs, deterministically and identically at every node, the
+    smallest bit assignment (under a predetermined total order) whose
+    induced simulation of [A_R] is successful.  The orders:
+
+    - {!Round_major} (default): assignments of smaller length first, ties
+      broken by the round-major lexicographic order of
+      {!Bit_assignment.compare_round_major}.  This order admits an
+      efficient search: executions form a tree branching on each round's
+      bit vector, explored breadth-first in lexicographic order while
+      {e deduplicating equal execution states} — two prefixes leading to
+      the same global state have identical futures, and the
+      lexicographically smaller prefix dominates, so the frontier is
+      bounded by the algorithm's reachable state space rather than by
+      [2^(t·k)].
+    - {!Node_major}: the paper's literal order (Section 2.2), implemented
+      by exhaustive enumeration; only viable for tiny instances, used to
+      cross-check the efficient search.
+
+    All the paper's lemmas are order-agnostic — they only need some
+    predetermined total order shared by all nodes. *)
+
+type order =
+  | Round_major
+  | Node_major
+
+type length_constraint =
+  | Exactly of int
+      (** the [p]-extensions of Update-Bits: every string extended to
+          exactly this length *)
+  | At_most of int
+      (** minimal-length successful assignment, searched up to this bound
+          (the setting of Section 2.2 / [A_∞]) *)
+
+type found = {
+  assignment : Bit_assignment.t;
+  sim : Simulation.result;
+  states_explored : int;  (** search effort, for the benchmarks *)
+}
+
+exception Search_limit_exceeded
+
+(** [minimal_successful ~solver g ~base ~len ()] finds the smallest
+    assignment extending [base] (per the chosen order) whose induced
+    simulation on [g] is successful, or [None] if none exists within the
+    length constraint.
+
+    @param max_states abort threshold for the breadth-first frontier
+    (default [1_000_000]); raises {!Search_limit_exceeded} beyond it.
+    @raise Invalid_argument if some [base] string already exceeds an
+    [Exactly] target. *)
+val minimal_successful :
+  solver:Anonet_runtime.Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  base:Bit_assignment.t ->
+  ?order:order ->
+  ?max_states:int ->
+  len:length_constraint ->
+  unit ->
+  found option

@@ -1,0 +1,37 @@
+module Graph = Anonet_graph.Graph
+module Bits = Anonet_graph.Bits
+module Executor = Anonet_runtime.Executor
+
+type result = {
+  successful : bool;
+  outputs : Anonet_graph.Label.t option array;
+  rounds_run : int;
+}
+
+let run ~solver g ~bits =
+  let n = Graph.n g in
+  if Array.length bits <> n then invalid_arg "Simulation.run: wrong assignment size";
+  let l = Bit_assignment.min_length bits in
+  let rec loop exec r =
+    if Executor.Incremental.all_output exec then
+      {
+        successful = true;
+        outputs = Executor.Incremental.outputs exec;
+        rounds_run = Executor.Incremental.round exec;
+      }
+    else if r > l then
+      {
+        successful = false;
+        outputs = Executor.Incremental.outputs exec;
+        rounds_run = Executor.Incremental.round exec;
+      }
+    else begin
+      let round_bits = Array.init n (fun v -> Bits.get bits.(v) (r - 1)) in
+      loop (Executor.Incremental.step exec ~bits:round_bits) (r + 1)
+    end
+  in
+  loop (Executor.Incremental.start solver g) 1
+
+let outputs_exn r =
+  if not r.successful then invalid_arg "Simulation.outputs_exn: not successful";
+  Array.map Option.get r.outputs

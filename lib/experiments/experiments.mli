@@ -1,0 +1,16 @@
+(** The experiment harness: one executable experiment per figure and
+    theorem of the paper, as indexed in DESIGN.md and recorded in
+    EXPERIMENTS.md.  Each experiment prints its series to stdout and
+    asserts its own invariants (a failed claim raises).
+
+    Ids: [f1] [f2] [f3] (the figures), [t2] [t3] (theorems), [lemmas],
+    [a1] [a2] [a3] (ablations). *)
+
+(** Id-indexed experiments: [(id, (description, run))]. *)
+val all : (string * (string * (unit -> unit))) list
+
+(** Run every experiment in order. *)
+val run_all : unit -> unit
+
+(** Run one experiment by id (case-insensitive). *)
+val run : string -> (unit, string) result

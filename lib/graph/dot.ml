@@ -1,0 +1,33 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let node_lines ?(prefix = "v") g =
+  List.init (Graph.n g) (fun v ->
+      Printf.sprintf "  %s%d [label=\"%s\"];" prefix v
+        (escape (Label.to_string (Graph.label g v))))
+
+let edge_lines ?(prefix = "v") g =
+  List.map
+    (fun (u, v) -> Printf.sprintf "  %s%d -- %s%d;" prefix u prefix v)
+    (Graph.edges g)
+
+let of_graph ?(name = "g") g =
+  String.concat "\n"
+    ((Printf.sprintf "graph %s {" name :: node_lines g) @ edge_lines g @ [ "}" ])
+
+let of_factorization ?(name = "factorization") ~product ~factor ~map () =
+  let lines =
+    [ Printf.sprintf "graph %s {" name ]
+    @ [ "  subgraph cluster_product { label=\"product\";" ]
+    @ node_lines ~prefix:"p" product
+    @ edge_lines ~prefix:"p" product
+    @ [ "  }"; "  subgraph cluster_factor { label=\"factor\";" ]
+    @ node_lines ~prefix:"f" factor
+    @ edge_lines ~prefix:"f" factor
+    @ [ "  }" ]
+    @ List.init (Graph.n product) (fun v ->
+          Printf.sprintf "  p%d -- f%d [style=dashed, constraint=false];" v map.(v))
+    @ [ "}" ]
+  in
+  String.concat "\n" lines

@@ -1,0 +1,11 @@
+(** Graphviz (DOT) export, for inspecting graphs, view graphs, and
+    factorizing maps produced by the examples. *)
+
+(** [of_graph ?name g] renders [g] in DOT syntax with labels shown. *)
+val of_graph : ?name:string -> Graph.t -> string
+
+(** [of_factorization ?name ~product ~factor ~map ()] renders product and
+    factor side by side, with dashed arrows depicting the factorizing map
+    (cf. Figure 2). *)
+val of_factorization :
+  ?name:string -> product:Graph.t -> factor:Graph.t -> map:int array -> unit -> string

@@ -1,0 +1,29 @@
+let to_string g ~order =
+  let n = Graph.n g in
+  if Array.length order <> n then invalid_arg "Encode.to_string: wrong order length";
+  let position = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= n || position.(v) <> -1 then
+        invalid_arg "Encode.to_string: not a permutation";
+      position.(v) <- i)
+    order;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "n%d;" n);
+  Array.iter
+    (fun v -> Buffer.add_string buf (Label.encode (Graph.label g v) ^ ";"))
+    order;
+  let edges =
+    List.map
+      (fun (u, v) ->
+        let a = position.(u) and b = position.(v) in
+        min a b, max a b)
+      (Graph.edges g)
+    |> List.sort compare
+  in
+  List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "e%d,%d;" a b)) edges;
+  Buffer.contents buf
+
+let compare_sized (n1, s1) (n2, s2) =
+  let c = Int.compare n1 n2 in
+  if c <> 0 then c else String.compare s1 s2

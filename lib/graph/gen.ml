@@ -1,0 +1,282 @@
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.unlabeled ~n ~edges:(List.init n (fun i -> i, (i + 1) mod n))
+
+let path n =
+  if n < 1 then invalid_arg "Gen.path: need n >= 1";
+  Graph.unlabeled ~n ~edges:(List.init (n - 1) (fun i -> i, i + 1))
+
+let complete n =
+  if n < 1 then invalid_arg "Gen.complete: need n >= 1";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.unlabeled ~n ~edges:!edges
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  Graph.unlabeled ~n:(n + 1) ~edges:(List.init n (fun i -> 0, i + 1))
+
+let wheel n =
+  if n < 3 then invalid_arg "Gen.wheel: need n >= 3";
+  let rim = List.init n (fun i -> 1 + i, 1 + ((i + 1) mod n)) in
+  let spokes = List.init n (fun i -> 0, 1 + i) in
+  Graph.unlabeled ~n:(n + 1) ~edges:(rim @ spokes)
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Gen.complete_bipartite: need sides >= 1";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = 0 to b - 1 do
+      edges := (u, a + v) :: !edges
+    done
+  done;
+  Graph.unlabeled ~n:(a + b) ~edges:!edges
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Gen.grid: need w, h >= 1";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  Graph.unlabeled ~n:(w * h) ~edges:!edges
+
+let torus w h =
+  if w < 3 || h < 3 then invalid_arg "Gen.torus: need w, h >= 3";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      edges := (id x y, id ((x + 1) mod w) y) :: !edges;
+      edges := (id x y, id x ((y + 1) mod h)) :: !edges
+    done
+  done;
+  Graph.unlabeled ~n:(w * h) ~edges:!edges
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Gen.hypercube: need 0 <= d <= 20";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for i = 0 to d - 1 do
+      let u = v lxor (1 lsl i) in
+      if v < u then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.unlabeled ~n ~edges:!edges
+
+let petersen () =
+  (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5. *)
+  let outer = List.init 5 (fun i -> i, (i + 1) mod 5) in
+  let inner = List.init 5 (fun i -> 5 + i, 5 + ((i + 2) mod 5)) in
+  let spokes = List.init 5 (fun i -> i, i + 5) in
+  Graph.unlabeled ~n:10 ~edges:(outer @ inner @ spokes)
+
+let binary_tree depth =
+  if depth < 1 then invalid_arg "Gen.binary_tree: need depth >= 1";
+  let n = (1 lsl depth) - 1 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := ((v - 1) / 2, v) :: !edges
+  done;
+  Graph.unlabeled ~n ~edges:!edges
+
+let random_tree ~seed n =
+  if n < 1 then invalid_arg "Gen.random_tree: need n >= 1";
+  let rng = Prng.create seed in
+  (* Attach node v to a uniformly random earlier node: uniform over
+     increasing trees, which covers all tree shapes. *)
+  let edges = List.init (n - 1) (fun i -> i + 1, Prng.int rng (i + 1)) in
+  Graph.unlabeled ~n ~edges
+
+(* Union-find for connectivity patch-up in [random_connected]. *)
+module Uf = struct
+  let create n = Array.init n (fun i -> i)
+
+  let rec find t x = if t.(x) = x then x else (t.(x) <- find t t.(x); t.(x))
+
+  let union t x y =
+    let rx = find t x and ry = find t y in
+    if rx <> ry then t.(rx) <- ry
+
+  let same t x y = find t x = find t y
+end
+
+let random_connected ~seed n p =
+  if n < 1 then invalid_arg "Gen.random_connected: need n >= 1";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.random_connected: need p in [0, 1]";
+  let rng = Prng.create seed in
+  let uf = Uf.create n in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let x = float_of_int (Prng.int rng 1_000_000) /. 1_000_000.0 in
+      if x < p then begin
+        edges := (u, v) :: !edges;
+        Uf.union uf u v
+      end
+    done
+  done;
+  (* Patch connectivity: repeatedly join two random nodes from different
+     components. *)
+  let rec connect () =
+    let roots = ref [] in
+    for v = 0 to n - 1 do
+      if Uf.find uf v = v then roots := v :: !roots
+    done;
+    match !roots with
+    | [] | [ _ ] -> ()
+    | _ ->
+      let u = Prng.int rng n and v = Prng.int rng n in
+      if u <> v && not (Uf.same uf u v) then begin
+        edges := ((min u v, max u v)) :: !edges;
+        Uf.union uf u v
+      end;
+      connect ()
+  in
+  connect ();
+  Graph.unlabeled ~n ~edges:!edges
+
+let random_regular ~seed n d =
+  if d >= n || d < 1 then invalid_arg "Gen.random_regular: need 1 <= d < n";
+  if n * d mod 2 <> 0 then invalid_arg "Gen.random_regular: n * d must be even";
+  let rng = Prng.create seed in
+  (* Pairing model: n*d stubs, match uniformly, restart on loops/doubles or
+     disconnectedness.  Expected O(1) restarts for modest n, d. *)
+  let attempt () =
+    let stubs = Array.init (n * d) (fun i -> i / d) in
+    Prng.shuffle rng stubs;
+    let seen = Hashtbl.create (n * d) in
+    let uf = Uf.create n in
+    let ok = ref true in
+    let edges = ref [] in
+    let m = n * d / 2 in
+    for i = 0 to m - 1 do
+      let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
+      let e = min u v, max u v in
+      if u = v || Hashtbl.mem seen e then ok := false
+      else begin
+        Hashtbl.add seen e ();
+        Uf.union uf u v;
+        edges := e :: !edges
+      end
+    done;
+    let connected =
+      let r = Uf.find uf 0 in
+      let all = ref true in
+      for v = 1 to n - 1 do
+        if Uf.find uf v <> r then all := false
+      done;
+      !all
+    in
+    if !ok && connected then Some !edges else None
+  in
+  let rec retry k =
+    if k > 10_000 then failwith "Gen.random_regular: too many restarts";
+    match attempt () with
+    | Some edges -> Graph.unlabeled ~n ~edges
+    | None -> retry (k + 1)
+  in
+  retry 0
+
+let random_hamiltonian ~seed n p =
+  if n < 3 then invalid_arg "Gen.random_hamiltonian: need n >= 3";
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.random_hamiltonian: need p in [0, 1]";
+  let rng = Prng.create seed in
+  let cycle_edges = List.init n (fun i -> i, (i + 1) mod n) in
+  let chords = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 2 to n - 1 do
+      let adjacent_on_cycle = (u = 0 && v = n - 1) || v = u + 1 in
+      let x = float_of_int (Prng.int rng 1_000_000) /. 1_000_000.0 in
+      if (not adjacent_on_cycle) && x < p then chords := (u, v) :: !chords
+    done
+  done;
+  Graph.unlabeled ~n ~edges:(cycle_edges @ !chords)
+
+let circulant n offsets =
+  if n < 3 then invalid_arg "Gen.circulant: need n >= 3";
+  if offsets = [] then invalid_arg "Gen.circulant: need at least one offset";
+  List.iter
+    (fun o ->
+      if o < 1 || 2 * o > n then
+        invalid_arg "Gen.circulant: offsets must satisfy 1 <= o <= n/2")
+    offsets;
+  let offsets = List.sort_uniq Int.compare offsets in
+  let edges = ref [] in
+  List.iter
+    (fun o ->
+      for v = 0 to n - 1 do
+        let u = (v + o) mod n in
+        let e = min v u, max v u in
+        if not (List.mem e !edges) then edges := e :: !edges
+      done)
+    offsets;
+  let g = Graph.unlabeled ~n ~edges:!edges in
+  (* connectivity check without depending on Props (layering) *)
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  seen.(0) <- true;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun u ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          incr count;
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  if !count <> n then invalid_arg "Gen.circulant: disconnected (gcd of offsets and n > 1)";
+  g
+
+let lollipop clique tail =
+  if clique < 3 then invalid_arg "Gen.lollipop: need clique >= 3";
+  if tail < 1 then invalid_arg "Gen.lollipop: need tail >= 1";
+  let n = clique + tail in
+  let clique_edges = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      clique_edges := (u, v) :: !clique_edges
+    done
+  done;
+  let tail_edges = List.init tail (fun i -> clique - 1 + i, clique + i) in
+  Graph.unlabeled ~n ~edges:(!clique_edges @ tail_edges)
+
+let caterpillar ~seed n =
+  if n < 2 then invalid_arg "Gen.caterpillar: need n >= 2";
+  let rng = Prng.create seed in
+  let spine = max 2 (n / 2) in
+  let spine_edges = List.init (spine - 1) (fun i -> i, i + 1) in
+  let leg_edges =
+    List.init (n - spine) (fun i -> Prng.int rng spine, spine + i)
+  in
+  Graph.unlabeled ~n ~edges:(spine_edges @ leg_edges)
+
+let barbell k =
+  if k < 3 then invalid_arg "Gen.barbell: need k >= 3";
+  let clique base =
+    let edges = ref [] in
+    for u = 0 to k - 1 do
+      for v = u + 1 to k - 1 do
+        edges := (base + u, base + v) :: !edges
+      done
+    done;
+    !edges
+  in
+  Graph.unlabeled ~n:(2 * k) ~edges:((k - 1, k) :: (clique 0 @ clique k))
+
+let c6_figure1 () =
+  Graph.relabel (cycle 6) (fun v -> Label.Int ((v mod 3) + 1))
+
+let label_with_ints g = Graph.relabel g (fun v -> Label.Int v)

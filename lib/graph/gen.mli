@@ -1,0 +1,93 @@
+(** Generators for the graph families used across tests, examples, and the
+    experiment harness.
+
+    All generated graphs are finite, connected and simple, as required by
+    the model (Section 1.1).  Unless stated otherwise, nodes carry the
+    anonymous label [Label.Unit].  Deterministic families take no seed;
+    random families take an explicit integer seed. *)
+
+(** [cycle n] is the [n]-cycle [C_n] ([n >= 3]). *)
+val cycle : int -> Graph.t
+
+(** [path n] is the path on [n] nodes ([n >= 1]). *)
+val path : int -> Graph.t
+
+(** [complete n] is [K_n] ([n >= 1]). *)
+val complete : int -> Graph.t
+
+(** [star n] is the star with one hub and [n] leaves ([n >= 1]). *)
+val star : int -> Graph.t
+
+(** [wheel n] is a hub joined to every node of [C_n] ([n >= 3]). *)
+val wheel : int -> Graph.t
+
+(** [complete_bipartite a b] is [K_{a,b}] ([a, b >= 1]). *)
+val complete_bipartite : int -> int -> Graph.t
+
+(** [grid w h] is the [w x h] grid ([w, h >= 1], [w * h >= 1]). *)
+val grid : int -> int -> Graph.t
+
+(** [torus w h] is the [w x h] torus ([w, h >= 3]). *)
+val torus : int -> int -> Graph.t
+
+(** [hypercube d] is the [d]-dimensional hypercube ([0 <= d <= 20]). *)
+val hypercube : int -> Graph.t
+
+(** [petersen ()] is the Petersen graph. *)
+val petersen : unit -> Graph.t
+
+(** [binary_tree depth] is the complete binary tree with [depth] levels
+    ([depth >= 1]). *)
+val binary_tree : int -> Graph.t
+
+(** [random_tree ~seed n] is a uniform random labeled-shape tree on [n]
+    nodes ([n >= 1]), via a random Prüfer-like attachment process. *)
+val random_tree : seed:int -> int -> Graph.t
+
+(** [random_connected ~seed n p] samples G(n, p) and, if disconnected, adds
+    uniformly chosen edges between components until connected ([n >= 1],
+    [0 <= p <= 1]). *)
+val random_connected : seed:int -> int -> float -> Graph.t
+
+(** [random_regular ~seed n d] samples a connected [d]-regular graph on [n]
+    nodes by the pairing model with restarts.
+    @raise Invalid_argument if [n * d] is odd or [d >= n]. *)
+val random_regular : seed:int -> int -> int -> Graph.t
+
+(** [random_hamiltonian ~seed n p] is the cycle [0 .. n-1] plus each chord
+    independently with probability [p] ([n >= 3]).  Useful as a lift base:
+    unlike trees (whose lifts are never connected), Hamiltonian graphs
+    admit connected lifts. *)
+val random_hamiltonian : seed:int -> int -> float -> Graph.t
+
+(** [circulant n offsets] is the circulant graph: node [v] adjacent to
+    [v ± o mod n] for each offset [o].  Circulants are vertex-transitive,
+    so the unlabeled circulant has a single view class — the maximal view
+    collapse ([|V✱| = 1] needs... a single class), making them the
+    canonical hard inputs for anonymous computation.
+    @raise Invalid_argument on empty or out-of-range offsets, or if the
+    result is disconnected. *)
+val circulant : int -> int list -> Graph.t
+
+(** [lollipop clique tail] is [K_clique] with a [tail]-node path attached
+    ([clique >= 3], [tail >= 1]) — highly asymmetric, every node its own
+    view class. *)
+val lollipop : int -> int -> Graph.t
+
+(** [caterpillar ~seed n] is a random caterpillar tree: a path spine with
+    random legs, [n >= 2] nodes total. *)
+val caterpillar : seed:int -> int -> Graph.t
+
+(** [barbell k] is two [K_k] cliques joined by a single edge
+    ([k >= 3]) — symmetric across the bridge: exactly the kind of
+    mirror symmetry views cannot break. *)
+val barbell : int -> Graph.t
+
+(** [c6_figure1 ()] is the labeled 6-cycle of Figure 1 of the paper: nodes
+    [u0..u5] colored with the 2-hop coloring (1, 2, 3, 1, 2, 3) — colors
+    rendered as integer labels. *)
+val c6_figure1 : unit -> Graph.t
+
+(** [label_with_ints g] relabels [g] so node [v] gets [Label.Int v] — a
+    convenient unique labeling for factor-graph demonstrations. *)
+val label_with_ints : Graph.t -> Graph.t

@@ -1,0 +1,127 @@
+type t = {
+  n : int;
+  adj : int array array; (* adj.(v).(port) = neighbor of v at that port *)
+  labels : Label.t array;
+}
+
+let validate_edges ~n edges =
+  let seen = Hashtbl.create (List.length edges) in
+  let canonical (u, v) = if u < v then u, v else v, u in
+  let check (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.create: edge (%d, %d) out of range" u v);
+    if u = v then invalid_arg (Printf.sprintf "Graph.create: self-loop at %d" u);
+    let e = canonical (u, v) in
+    if Hashtbl.mem seen e then
+      invalid_arg (Printf.sprintf "Graph.create: duplicate edge (%d, %d)" u v);
+    Hashtbl.add seen e ()
+  in
+  List.iter check edges
+
+let create ~n ~edges ~labels =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  if Array.length labels <> n then
+    invalid_arg "Graph.create: label array length differs from n";
+  validate_edges ~n edges;
+  let buckets = Array.make n [] in
+  let add (u, v) =
+    buckets.(u) <- v :: buckets.(u);
+    buckets.(v) <- u :: buckets.(v)
+  in
+  List.iter add edges;
+  let adj =
+    Array.map (fun nbrs -> Array.of_list (List.sort Int.compare nbrs)) buckets
+  in
+  { n; adj; labels = Array.copy labels }
+
+let unlabeled ~n ~edges = create ~n ~edges ~labels:(Array.make n Label.Unit)
+
+let n g = g.n
+
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g = Array.fold_left (fun m a -> max m (Array.length a)) 0 g.adj
+
+let neighbor g v j = g.adj.(v).(j)
+
+let neighbors g v = g.adj.(v)
+
+let port_to g v u =
+  let a = g.adj.(v) in
+  let rec loop j =
+    if j >= Array.length a then raise Not_found
+    else if a.(j) = u then j
+    else loop (j + 1)
+  in
+  loop 0
+
+let label g v = g.labels.(v)
+
+let labels g = Array.copy g.labels
+
+let has_edge g u v = Array.exists (fun w -> w = v) g.adj.(u)
+
+let edges g =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    Array.iter (fun u -> if v < u then acc := (v, u) :: !acc) g.adj.(v)
+  done;
+  !acc
+
+let num_edges g =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 g.adj / 2
+
+let relabel g f = { g with labels = Array.init g.n f }
+
+let with_labels g labels =
+  if Array.length labels <> g.n then
+    invalid_arg "Graph.with_labels: wrong label array length";
+  { g with labels = Array.copy labels }
+
+let map_labels g f = { g with labels = Array.map f g.labels }
+
+let zip_labels g extra =
+  if Array.length extra <> g.n then
+    invalid_arg "Graph.zip_labels: wrong array length";
+  { g with labels = Array.mapi (fun v l -> Label.Pair (l, extra.(v))) g.labels }
+
+let permute_ports g perms =
+  if Array.length perms <> g.n then
+    invalid_arg "Graph.permute_ports: wrong outer array length";
+  let permute v =
+    let d = Array.length g.adj.(v) in
+    let p = perms.(v) in
+    if Array.length p <> d then
+      invalid_arg "Graph.permute_ports: wrong permutation length";
+    let hit = Array.make d false in
+    Array.iter
+      (fun j ->
+        if j < 0 || j >= d || hit.(j) then
+          invalid_arg "Graph.permute_ports: not a permutation";
+        hit.(j) <- true)
+      p;
+    Array.init d (fun j -> g.adj.(v).(p.(j)))
+  in
+  { g with adj = Array.init g.n permute }
+
+let fold_nodes g ~init ~f =
+  let acc = ref init in
+  for v = 0 to g.n - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let iter_nodes g ~f =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let iter_edges g ~f = List.iter (fun (u, v) -> f u v) (edges g)
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph on %d nodes, %d edges@," g.n (num_edges g);
+  iter_nodes g ~f:(fun v ->
+      Format.fprintf fmt "  %d [%a] ->" v Label.pp g.labels.(v);
+      Array.iter (fun u -> Format.fprintf fmt " %d" u) g.adj.(v);
+      Format.fprintf fmt "@,");
+  Format.fprintf fmt "@]"

@@ -1,0 +1,83 @@
+(** Labeled graphs with port numbering.
+
+    A graph is finite, simple (undirected, no loops, no parallel edges) and
+    labeled: every node [v] carries a label [label g v].  Following the
+    message-passing model of Section 1.1, every node distinguishes the ports
+    corresponding to its incident edges: the neighbors of [v] are an ordered
+    array, and port [j] of [v] is the edge to [neighbor g v j].
+
+    Nodes are identified by dense integers [0 .. n-1] {e for the purposes of
+    this library's bookkeeping only} — the simulated algorithms never see
+    node identities, only labels, degrees and ports. *)
+
+type t
+
+(** {2 Construction} *)
+
+(** [create ~n ~edges ~labels] builds a graph on nodes [0..n-1].
+    Ports are assigned canonically: the neighbors of each node are sorted by
+    node index.  Self-loops and duplicate edges are rejected.
+    @raise Invalid_argument on loops, duplicates, out-of-range endpoints, or
+    a label array of the wrong length. *)
+val create : n:int -> edges:(int * int) list -> labels:Label.t array -> t
+
+(** [unlabeled ~n ~edges] is [create] with all labels [Label.Unit]. *)
+val unlabeled : n:int -> edges:(int * int) list -> t
+
+(** [relabel g f] is [g] with node [v] relabeled to [f v]. *)
+val relabel : t -> (int -> Label.t) -> t
+
+(** [with_labels g labels] replaces the whole labeling.
+    @raise Invalid_argument if the array length differs from [n g]. *)
+val with_labels : t -> Label.t array -> t
+
+(** [map_labels g f] applies [f] to every label. *)
+val map_labels : t -> (Label.t -> Label.t) -> t
+
+(** [zip_labels g extra] pairs each node's label with [extra.(v)], producing
+    the composite labeling [<l(v), extra(v)>] of Section 1.1. *)
+val zip_labels : t -> Label.t array -> t
+
+(** [permute_ports g perms] renumbers ports: the new port [j] of node [v]
+    is the old port [perms.(v).(j)].  Each [perms.(v)] must be a permutation
+    of [0 .. degree g v - 1].
+    @raise Invalid_argument otherwise. *)
+val permute_ports : t -> int array array -> t
+
+(** {2 Accessors} *)
+
+val n : t -> int
+
+val num_edges : t -> int
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+(** [neighbor g v j] is the node at port [j] of [v]. *)
+val neighbor : t -> int -> int -> int
+
+(** [neighbors g v] is the ordered neighbor array of [v] (do not mutate). *)
+val neighbors : t -> int -> int array
+
+(** [port_to g v u] is the port of [v] leading to [u].
+    @raise Not_found if [u] is not a neighbor of [v]. *)
+val port_to : t -> int -> int -> int
+
+val label : t -> int -> Label.t
+
+val labels : t -> Label.t array
+
+(** [has_edge g u v] holds iff [(u, v)] is an edge. *)
+val has_edge : t -> int -> int -> bool
+
+(** [edges g] lists every edge once, as [(u, v)] with [u < v]. *)
+val edges : t -> (int * int) list
+
+val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val iter_nodes : t -> f:(int -> unit) -> unit
+
+val iter_edges : t -> f:(int -> int -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit

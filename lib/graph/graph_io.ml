@@ -1,0 +1,81 @@
+let label_to_string = function
+  | Label.Unit -> "unit"
+  | Label.Int k -> Printf.sprintf "int:%d" k
+  | Label.Str s -> Printf.sprintf "str:%s" s
+  | Label.Bits b -> Printf.sprintf "bits:%s" (Bits.to_string b)
+  | Label.Bool b -> Printf.sprintf "bool:%b" b
+  | (Label.Pair _ | Label.List _) as l ->
+    invalid_arg ("Graph_io: composite label not representable: " ^ Label.to_string l)
+
+let label_of_string s =
+  match String.index_opt s ':' with
+  | None ->
+    if s = "unit" then Label.Unit
+    else invalid_arg (Printf.sprintf "Graph_io: bad label %S" s)
+  | Some i ->
+    let kind = String.sub s 0 i in
+    let payload = String.sub s (i + 1) (String.length s - i - 1) in
+    (match kind with
+     | "int" -> Label.Int (int_of_string payload)
+     | "str" -> Label.Str payload
+     | "bits" -> Label.Bits (Bits.of_string payload)
+     | "bool" -> Label.Bool (bool_of_string payload)
+     | _ -> invalid_arg (Printf.sprintf "Graph_io: bad label kind %S" kind))
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  Graph.iter_nodes g ~f:(fun v ->
+      let l = Graph.label g v in
+      if not (Label.equal l Label.Unit) then
+        Buffer.add_string buf (Printf.sprintf "node %d %s\n" v (label_to_string l)));
+  Graph.iter_edges g ~f:(fun u v ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v));
+  Buffer.contents buf
+
+let of_string s =
+  let n = ref None in
+  let labels = Hashtbl.create 16 in
+  let edges = ref [] in
+  let fail line_no msg =
+    invalid_arg (Printf.sprintf "Graph_io: line %d: %s" line_no msg)
+  in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else begin
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "n"; count ] -> begin
+            match int_of_string_opt count with
+            | Some c when c >= 0 -> n := Some c
+            | Some _ | None -> fail line_no "bad node count"
+          end
+        | [ "node"; v; label ] -> begin
+            match int_of_string_opt v with
+            | None -> fail line_no "bad node index"
+            | Some v ->
+              (try Hashtbl.replace labels v (label_of_string label)
+               with Invalid_argument m -> fail line_no m)
+          end
+        | [ "edge"; u; v ] -> begin
+            match int_of_string_opt u, int_of_string_opt v with
+            | Some u, Some v -> edges := (u, v) :: !edges
+            | _, _ -> fail line_no "bad edge endpoints"
+          end
+        | _ -> fail line_no (Printf.sprintf "unrecognized directive %S" line)
+      end)
+    (String.split_on_char '\n' s);
+  match !n with
+  | None -> invalid_arg "Graph_io: missing 'n <count>' directive"
+  | Some n ->
+    let label_array =
+      Array.init n (fun v ->
+          Option.value ~default:Label.Unit (Hashtbl.find_opt labels v))
+    in
+    Graph.create ~n ~edges:(List.rev !edges) ~labels:label_array
+
+let load path = of_string (In_channel.with_open_text path In_channel.input_all)
+
+let save path g = Out_channel.with_open_text path (fun oc -> output_string oc (to_string g))

@@ -1,0 +1,30 @@
+(** Plain-text serialization of labeled graphs.
+
+    The format is line-oriented and human-editable:
+
+    {v
+    # comments and blank lines are ignored
+    n 6
+    node 0 int:1        # optional; default label is unit
+    node 1 str:hello
+    node 2 bits:0110
+    edge 0 1
+    edge 1 2
+    v}
+
+    Label syntax: [unit], [int:K], [str:S], [bits:B], [bool:true|false].
+    Composite labels are not representable (attach colorings
+    programmatically). *)
+
+(** [to_string g] serializes. *)
+val to_string : Graph.t -> string
+
+(** [of_string s] parses.
+    @raise Invalid_argument with a line-numbered message on bad input. *)
+val of_string : string -> Graph.t
+
+(** [load path] reads and parses a file. *)
+val load : string -> Graph.t
+
+(** [save path g] writes [g] to a file. *)
+val save : string -> Graph.t -> unit

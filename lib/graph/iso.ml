@@ -1,0 +1,93 @@
+let signature g v = Label.encode (Graph.label g v), Graph.degree g v
+
+let multiset_signatures g =
+  List.sort compare (List.init (Graph.n g) (signature g))
+
+let is_isomorphism g1 g2 f =
+  let n = Graph.n g1 in
+  n = Graph.n g2
+  && Array.length f = n
+  && begin
+       let hit = Array.make n false in
+       let bijective =
+         Array.for_all
+           (fun w ->
+             if w < 0 || w >= n || hit.(w) then false
+             else begin
+               hit.(w) <- true;
+               true
+             end)
+           f
+       in
+       bijective
+       && List.for_all
+            (fun (u, v) -> Graph.has_edge g2 f.(u) f.(v))
+            (Graph.edges g1)
+       && Graph.num_edges g1 = Graph.num_edges g2
+       && begin
+            let ok = ref true in
+            Graph.iter_nodes g1 ~f:(fun v ->
+                if not (Label.equal (Graph.label g1 v) (Graph.label g2 f.(v))) then
+                  ok := false);
+            !ok
+          end
+     end
+
+let find g1 g2 =
+  let n = Graph.n g1 in
+  if n <> Graph.n g2
+     || Graph.num_edges g1 <> Graph.num_edges g2
+     || multiset_signatures g1 <> multiset_signatures g2
+  then None
+  else begin
+    let image = Array.make n (-1) in
+    let used = Array.make n false in
+    (* Map nodes of g1 in decreasing-degree order: high-degree nodes are the
+       most constrained, which prunes early. *)
+    let order =
+      List.init n (fun v -> v)
+      |> List.sort (fun a b -> Int.compare (Graph.degree g1 b) (Graph.degree g1 a))
+      |> Array.of_list
+    in
+    let consistent v w =
+      signature g1 v = signature g2 w
+      && Array.for_all
+           (fun u ->
+             image.(u) = -1 || Graph.has_edge g2 w image.(u))
+           (Graph.neighbors g1 v)
+      && begin
+           (* Mapped neighbors of w in g2 must pull back to neighbors of v. *)
+           let ok = ref true in
+           Array.iteri
+             (fun u wu ->
+               if wu <> -1 && Graph.has_edge g2 w wu && not (Graph.has_edge g1 v u)
+               then ok := false)
+             image;
+           !ok
+         end
+    in
+    let rec assign i =
+      if i = n then true
+      else begin
+        let v = order.(i) in
+        let rec try_image w =
+          if w >= n then false
+          else if (not used.(w)) && consistent v w then begin
+            image.(v) <- w;
+            used.(w) <- true;
+            if assign (i + 1) then true
+            else begin
+              image.(v) <- -1;
+              used.(w) <- false;
+              try_image (w + 1)
+            end
+          end
+          else try_image (w + 1)
+        in
+        try_image 0
+      end
+    in
+    if assign 0 then Some image else None
+  end
+
+let equal g1 g2 = Option.is_some (find g1 g2)

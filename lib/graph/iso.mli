@@ -1,0 +1,19 @@
+(** Label-respecting graph isomorphism.
+
+    Two labeled graphs are isomorphic (written [G ≅ G'] in the paper) when
+    some bijection between their node sets preserves both adjacency and
+    labels — equivalently, a factorizing map with multiplicity 1
+    (Section 2.3.1).  The search is a straightforward backtracking over
+    candidate images pruned by label, degree, and adjacency consistency;
+    adequate for the small graphs this library manipulates. *)
+
+(** [find g1 g2] is [Some f] with [f] an isomorphism ([f.(v)] the image of
+    [v]), or [None] if the graphs are not isomorphic. *)
+val find : Graph.t -> Graph.t -> int array option
+
+(** [equal g1 g2] holds iff the graphs are isomorphic. *)
+val equal : Graph.t -> Graph.t -> bool
+
+(** [is_isomorphism g1 g2 f] verifies that [f] is a label-respecting
+    isomorphism from [g1] to [g2]. *)
+val is_isomorphism : Graph.t -> Graph.t -> int array -> bool

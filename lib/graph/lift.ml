@@ -1,0 +1,104 @@
+type t = {
+  graph : Graph.t;
+  map : int array;
+  base : Graph.t;
+}
+
+let check_perm ~k p =
+  if Array.length p <> k then invalid_arg "Lift.make: permutation of wrong size";
+  let hit = Array.make k false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= k || hit.(j) then invalid_arg "Lift.make: not a permutation";
+      hit.(j) <- true)
+    p
+
+let make base ~k ~perm =
+  if k < 1 then invalid_arg "Lift.make: need k >= 1";
+  let n = Graph.n base in
+  let node v i = (i * n) + v in
+  let edges = ref [] in
+  let add_edge (u, v) =
+    let p = perm (u, v) in
+    check_perm ~k p;
+    for i = 0 to k - 1 do
+      edges := (node u i, node v p.(i)) :: !edges
+    done
+  in
+  Graph.iter_edges base ~f:(fun u v -> add_edge (u, v));
+  let labels = Array.init (n * k) (fun x -> Graph.label base (x mod n)) in
+  let graph = Graph.create ~n:(n * k) ~edges:!edges ~labels in
+  let map = Array.init (n * k) (fun x -> x mod n) in
+  { graph; map; base }
+
+let identity base ~k = make base ~k ~perm:(fun _ -> Array.init k (fun i -> i))
+
+let cyclic base ~k ~shift =
+  make base ~k ~perm:(fun e ->
+      let s = ((shift e mod k) + k) mod k in
+      Array.init k (fun i -> (i + s) mod k))
+
+let random ~seed base ~k =
+  let rng = Prng.create seed in
+  let attempt () =
+    let draw _ =
+      let p = Array.init k (fun i -> i) in
+      Prng.shuffle rng p;
+      p
+    in
+    (* Permutations must be consistent per call: memoize per edge. *)
+    let table = Hashtbl.create 16 in
+    let perm e =
+      match Hashtbl.find_opt table e with
+      | Some p -> p
+      | None ->
+        let p = draw e in
+        Hashtbl.add table e p;
+        p
+    in
+    make base ~k ~perm
+  in
+  let connected g =
+    (* Local BFS; [Props] depends on nothing here, but avoid a cycle by
+       inlining the check. *)
+    let n = Graph.n g in
+    if n = 0 then true
+    else begin
+      let seen = Array.make n false in
+      let queue = Queue.create () in
+      Queue.add 0 queue;
+      seen.(0) <- true;
+      let count = ref 1 in
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Array.iter
+          (fun u ->
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              incr count;
+              Queue.add u queue
+            end)
+          (Graph.neighbors g v)
+      done;
+      !count = n
+    end
+  in
+  let rec retry i =
+    if i > 10_000 then failwith "Lift.random: too many disconnected attempts";
+    let l = attempt () in
+    if connected l.graph then l else retry (i + 1)
+  in
+  retry 0
+
+(* Figure 2: a single "twist" on one edge of the cyclic 2-lift of C_m yields
+   the 2m-cycle; with zero twists the lift splits into two disjoint copies. *)
+let twisted_double_cycle m =
+  (* (v mod 3) + 1 is the 2-hop coloring of the figure; valid since 3 | m. *)
+  let base = Graph.relabel (Gen.cycle m) (fun v -> Label.Int ((v mod 3) + 1)) in
+  cyclic base ~k:2 ~shift:(fun (u, v) ->
+      (* The wrap-around edge (0, m-1) twists; all others do not. *)
+      if (u = 0 && v = m - 1) || (v = 0 && u = m - 1) then 1 else 0)
+
+let c12_over_c6 () = twisted_double_cycle 6
+
+let c6_over_c3 () = twisted_double_cycle 3

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The whole library avoids OCaml's global [Random] state so that every
+    randomized run is reproducible from an explicit integer seed: random
+    graph generators, random tapes, and the Las-Vegas harness all thread a
+    [Prng.t] explicitly. *)
+
+type t
+
+(** [create seed] makes a generator; equal seeds give equal streams. *)
+val create : int -> t
+
+(** [bool t] draws one fair bit. *)
+val bool : t -> bool
+
+(** [int t bound] draws a uniform integer in [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bits64 t] draws 64 fresh bits. *)
+val bits64 : t -> int64
+
+(** [split t] derives an independent generator (for per-node streams). *)
+val split : t -> t
+
+(** [shuffle t arr] permutes [arr] in place, uniformly. *)
+val shuffle : t -> 'a array -> unit

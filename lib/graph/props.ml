@@ -1,0 +1,63 @@
+let bfs_distances g v =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(v) <- 0;
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(u) + 1;
+          Queue.add w queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let is_connected g =
+  let n = Graph.n g in
+  n = 0 || Array.for_all (fun d -> d < max_int) (bfs_distances g 0)
+
+let diameter g =
+  if Graph.n g = 0 then invalid_arg "Props.diameter: empty graph";
+  let diam = ref 0 in
+  Graph.iter_nodes g ~f:(fun v ->
+      Array.iter
+        (fun d ->
+          if d = max_int then invalid_arg "Props.diameter: disconnected graph";
+          if d > !diam then diam := d)
+        (bfs_distances g v));
+  !diam
+
+let k_hop_neighbors g v k =
+  let dist = bfs_distances g v in
+  Graph.fold_nodes g ~init:[] ~f:(fun acc u ->
+      if u <> v && dist.(u) <= k then u :: acc else acc)
+  |> List.sort Int.compare
+
+let is_k_hop_coloring g k labeling =
+  let ok = ref true in
+  Graph.iter_nodes g ~f:(fun v ->
+      List.iter
+        (fun u -> if Label.equal (labeling u) (labeling v) then ok := false)
+        (k_hop_neighbors g v k));
+  !ok
+
+let is_two_hop_colored g = is_k_hop_coloring g 2 (Graph.label g)
+
+let distinct_labels g =
+  let seen = Hashtbl.create 16 in
+  Graph.iter_nodes g ~f:(fun v ->
+      Hashtbl.replace seen (Label.encode (Graph.label g v)) ());
+  Hashtbl.length seen
+
+let degree_histogram g =
+  let table = Hashtbl.create 8 in
+  Graph.iter_nodes g ~f:(fun v ->
+      let d = Graph.degree g v in
+      let c = Option.value ~default:0 (Hashtbl.find_opt table d) in
+      Hashtbl.replace table d (c + 1));
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,102 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Props = Anonet_graph.Props
+
+let any_instance (_ : Graph.t) = true
+
+let proper_k_hop k g (o : Label.t array) =
+  Props.is_k_hop_coloring g k (fun v -> o.(v))
+
+let coloring =
+  {
+    Problem.name = "coloring";
+    is_instance = any_instance;
+    is_valid_output = proper_k_hop 1;
+  }
+
+let two_hop_coloring =
+  {
+    Problem.name = "2-hop-coloring";
+    is_instance = any_instance;
+    is_valid_output = proper_k_hop 2;
+  }
+
+let k_hop_coloring k =
+  if k < 1 then invalid_arg "Catalog.k_hop_coloring: need k >= 1";
+  {
+    Problem.name = Printf.sprintf "%d-hop-coloring" k;
+    is_instance = any_instance;
+    is_valid_output = proper_k_hop k;
+  }
+
+let as_bool o v =
+  match o.(v) with Label.Bool b -> Some b | _ -> None
+
+let mis_valid g o =
+  let member v = as_bool o v = Some true in
+  let well_typed = Graph.fold_nodes g ~init:true ~f:(fun acc v -> acc && as_bool o v <> None) in
+  let independent =
+    List.for_all (fun (u, v) -> not (member u && member v)) (Graph.edges g)
+  in
+  let maximal =
+    Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+        acc
+        && (member v || Array.exists member (Graph.neighbors g v)))
+  in
+  well_typed && independent && maximal
+
+let mis =
+  { Problem.name = "mis"; is_instance = any_instance; is_valid_output = mis_valid }
+
+let matching_valid g o =
+  let partner v =
+    match o.(v) with
+    | Label.Int p -> if p >= 0 && p < Graph.degree g v then Some (Graph.neighbor g v p) else None
+    | _ -> None
+  in
+  let well_typed =
+    Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+        acc
+        && match o.(v) with
+           | Label.Unit -> true
+           | Label.Int p -> p >= 0 && p < Graph.degree g v
+           | _ -> false)
+  in
+  let symmetric =
+    Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+        acc
+        && match partner v with
+           | None -> true
+           | Some u -> partner u = Some v)
+  in
+  let maximal =
+    List.for_all
+      (fun (u, v) -> not (partner u = None && partner v = None))
+      (Graph.edges g)
+  in
+  well_typed && symmetric && maximal
+
+let maximal_matching =
+  {
+    Problem.name = "maximal-matching";
+    is_instance = any_instance;
+    is_valid_output = matching_valid;
+  }
+
+let is_valid_decision_output ~yes g o =
+  let votes =
+    Graph.fold_nodes g ~init:(Some []) ~f:(fun acc v ->
+        match acc, o.(v) with
+        | Some vs, Label.Bool b -> Some (b :: vs)
+        | _, _ -> None)
+  in
+  match votes with
+  | None -> false
+  | Some vs -> if yes then List.for_all Fun.id vs else List.exists not vs
+
+let decision ~name yes =
+  {
+    Problem.name = Printf.sprintf "decide-%s" name;
+    is_instance = any_instance;
+    is_valid_output = (fun g o -> is_valid_decision_output ~yes:(yes g) g o);
+  }

@@ -1,0 +1,24 @@
+module Label = Anonet_graph.Label
+
+type output_encoding =
+  | Label_output
+  | Port_output
+
+type t = {
+  problem : Problem.t;
+  solver : Anonet_runtime.Algorithm.t;
+  decider : Anonet_runtime.Algorithm.t;
+  output_encoding : output_encoding;
+}
+
+let check_solved t g outputs = t.problem.Problem.is_valid_output g outputs
+
+let decide t g ~seed =
+  match Anonet_runtime.Las_vegas.solve t.decider g ~seed () with
+  | Error m -> Error m
+  | Ok report ->
+    let votes = report.Anonet_runtime.Las_vegas.outcome.Anonet_runtime.Executor.outputs in
+    let all_yes =
+      Array.for_all (fun l -> match l with Label.Bool b -> b | _ -> false) votes
+    in
+    Ok all_yes

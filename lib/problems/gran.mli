@@ -1,0 +1,42 @@
+(** GRAN bundles (Section 1.1, "Genuine Solvability").
+
+    A problem [Π] belongs to GRAN when (1) some randomized anonymous
+    algorithm solves [Π], and (2) some randomized anonymous algorithm
+    solves the decision problem [Δ_Π] — deciding whether a labeled graph is
+    an instance of [Π].  A bundle carries constructive witnesses of both,
+    which is exactly what the derandomization theorem consumes: [A_R] (the
+    solver) is simulated on the view graph, and the decider certifies that
+    the view graph itself is an instance (the lifting-lemma argument of
+    Section 2.3.2). *)
+
+(** How a solver's outputs reference the network.
+
+    The paper's outputs are plain labels, whose validity is independent of
+    port numberings — [Label_output].  Some problems (maximal matching)
+    are most naturally encoded with outputs that {e name a port}
+    ([Label.Int p] = "matched through my port p"); such outputs are only
+    meaningful relative to the node's own port numbering, which the
+    view-based derandomization cannot see.  Declaring [Port_output] makes
+    the derandomization translate port-valued outputs through neighbor
+    {e colors} (unique within a neighborhood on 2-hop colored instances),
+    which is exactly the information views do carry. *)
+type output_encoding =
+  | Label_output
+  | Port_output
+
+type t = {
+  problem : Problem.t;
+  solver : Anonet_runtime.Algorithm.t;
+      (** a randomized anonymous algorithm solving [problem] *)
+  decider : Anonet_runtime.Algorithm.t;
+      (** a randomized anonymous algorithm solving [Δ_problem] *)
+  output_encoding : output_encoding;
+}
+
+(** [check_solved t g outputs] verifies a claimed solution on instance
+    [g]. *)
+val check_solved : t -> Anonet_graph.Graph.t -> Anonet_graph.Label.t array -> bool
+
+(** [decide t g ~seed] runs the decider and reports whether all nodes voted
+    yes. *)
+val decide : t -> Anonet_graph.Graph.t -> seed:int -> (bool, string) result

@@ -1,0 +1,30 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Props = Anonet_graph.Props
+
+type t = {
+  name : string;
+  is_instance : Graph.t -> bool;
+  is_valid_output : Graph.t -> Label.t array -> bool;
+}
+
+let all_pairs g =
+  Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+      acc && match Graph.label g v with Label.Pair _ -> true | _ -> false)
+
+let strip_coloring g = Graph.map_labels g Label.fst
+
+let coloring_of g = Array.map Label.snd (Graph.labels g)
+
+let attach_coloring g colors = Graph.zip_labels g colors
+
+let colored_variant p =
+  {
+    name = p.name ^ "^c";
+    is_instance =
+      (fun g ->
+        all_pairs g
+        && Props.is_k_hop_coloring g 2 (fun v -> Label.snd (Graph.label g v))
+        && p.is_instance (strip_coloring g));
+    is_valid_output = (fun g o -> p.is_valid_output (strip_coloring g) o);
+  }

@@ -1,0 +1,42 @@
+(** Distributed problems (Section 1.1).
+
+    A problem [Π] is a set of input instances — labeled graphs — and, for
+    each instance, a set of valid output labelings.  Both sets are
+    represented by decidable predicates.  The input label of a node is the
+    graph's label; per the paper's convention the node's degree is always
+    additionally available to algorithms (the runtime provides it), so it
+    is not duplicated inside the label. *)
+
+type t = {
+  name : string;
+  is_instance : Anonet_graph.Graph.t -> bool;
+      (** membership of the instance set [Π] *)
+  is_valid_output : Anonet_graph.Graph.t -> Anonet_graph.Label.t array -> bool;
+      (** [is_valid_output i o] decides [o ∈ Π(i)]; meaningful only when
+          [is_instance i] *)
+}
+
+(** {2 The 2-hop colored variant [Π^c] (Section 1.1)}
+
+    Instances of [Π^c] are instances of [Π] additionally labeled with a
+    2-hop coloring: node labels take the composite form
+    [Pair (input, color)].  Valid outputs are unchanged. *)
+
+(** [colored_variant p] is [Π^c]. *)
+val colored_variant : t -> t
+
+(** [attach_coloring g colors] forms the [Π^c]-style instance
+    [(V, E, <i, c>)] from a [Π]-style instance and a coloring.
+    @raise Invalid_argument on length mismatch. *)
+val attach_coloring :
+  Anonet_graph.Graph.t -> Anonet_graph.Label.t array -> Anonet_graph.Graph.t
+
+(** [strip_coloring g] recovers the underlying [Π]-style instance from a
+    [Π^c]-style instance (drops the second label component).
+    @raise Invalid_argument if some label is not a pair. *)
+val strip_coloring : Anonet_graph.Graph.t -> Anonet_graph.Graph.t
+
+(** [coloring_of g] extracts the color components of a [Π^c]-style
+    instance.
+    @raise Invalid_argument if some label is not a pair. *)
+val coloring_of : Anonet_graph.Graph.t -> Anonet_graph.Label.t array

@@ -1,0 +1,46 @@
+(** The anonymous message-passing algorithm interface (Section 1.1).
+
+    Every node runs the same algorithm.  A node's whole input is its input
+    label (which by convention includes anything the problem wants it to
+    know — the model assumes the degree is always available) and its
+    degree.  Nodes have no identifiers and no knowledge of global
+    parameters.
+
+    Execution is synchronous: in every round a node consumes exactly one
+    random bit (deterministic algorithms simply ignore it — accessing
+    finitely many bits per round is equivalent, Section 1.1), reads the
+    messages that arrived on its ports, and emits at most one message per
+    port.  Outputs are irrevocable: once {!val-S.output} returns [Some o]
+    it must keep returning [Some o] forever; the executor enforces this. *)
+
+module type S = sig
+  type state
+
+  val name : string
+
+  (** [init ~input ~degree] is the state before round 1. *)
+  val init : input:Anonet_graph.Label.t -> degree:int -> state
+
+  (** [round state ~bit ~inbox] consumes one synchronous round.
+      [inbox.(p)] is the message received on port [p] ([None] if the
+      neighbor sent nothing last round; in round 1 the inbox is all
+      [None]).  Returns the new state and the messages to send, one slot
+      per port. *)
+  val round :
+    state ->
+    bit:bool ->
+    inbox:Anonet_graph.Label.t option array ->
+    state * Anonet_graph.Label.t option array
+
+  (** The node's irrevocable local output, if already produced. *)
+  val output : state -> Anonet_graph.Label.t option
+end
+
+type t = (module S)
+
+(** [broadcast ~degree msg] fills every port with [msg] — the common case
+    for port-oblivious algorithms. *)
+let broadcast ~degree msg = Array.make degree (Some msg)
+
+(** [silence ~degree] sends nothing on any port. *)
+let silence ~degree : Anonet_graph.Label.t option array = Array.make degree None

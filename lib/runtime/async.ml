@@ -1,0 +1,184 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Prng = Anonet_graph.Prng
+
+type scheduler =
+  | Fifo
+  | Random_delay of { seed : int; max_delay : int }
+  | Skewed of { seed : int; max_delay : int; slow_node : int }
+
+type outcome = {
+  outputs : Label.t array;
+  events : int;
+  virtual_rounds : int;
+}
+
+type failure =
+  | Event_limit_exceeded of int
+  | Tape_exhausted of { round : int }
+
+let pp_failure fmt = function
+  | Event_limit_exceeded n -> Format.fprintf fmt "no output after %d events" n
+  | Tape_exhausted { round } ->
+    Format.fprintf fmt "tape exhausted at synchronizer round %d" round
+
+(* A message in flight: [round] is the synchronous round it belongs to;
+   [payload = None] is the synchronizer's explicit null. *)
+type message = {
+  target : int;
+  port : int;  (* the target's port on which it arrives *)
+  round : int;
+  payload : Label.t option;
+}
+
+module Timeline = Map.Make (Int)
+
+exception Tape_out of int
+
+let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
+    ~max_events =
+  let n = Graph.n g in
+  (* reverse.(v).(p) = (u, q): port p of v reaches u, arriving on u's q. *)
+  let reverse =
+    Array.init n (fun v ->
+        Array.init (Graph.degree g v) (fun p ->
+            let u = Graph.neighbor g v p in
+            u, Graph.port_to g u v))
+  in
+  let delay_rng = Prng.create (Hashtbl.hash scheduler) in
+  let delay ~source =
+    match scheduler with
+    | Fifo -> 1
+    | Random_delay { max_delay; _ } -> 1 + Prng.int delay_rng (max 1 max_delay)
+    | Skewed { max_delay; slow_node; _ } ->
+      if source = slow_node then max 1 max_delay
+      else 1 + Prng.int delay_rng (max 1 max_delay)
+  in
+  (* Per-node synchronizer state. *)
+  let states = Array.make n None in
+  let next_round = Array.make n 1 in
+  (* buffers.(v) maps a round to (messages per port, count received). *)
+  let buffers = Array.init n (fun _ -> Hashtbl.create 8) in
+  let outputs = Array.make n None in
+  let timeline = ref Timeline.empty in
+  let now = ref 0 in
+  let seq = ref 0 in
+  let events = ref 0 in
+  let max_round = ref 0 in
+  let schedule msg ~source =
+    let t = !now + delay ~source in
+    incr seq;
+    timeline :=
+      Timeline.update t
+        (fun q -> Some ((!seq, msg) :: Option.value ~default:[] q))
+        !timeline
+  in
+  let record_output v state =
+    match outputs.(v), A.output state with
+    | None, o -> outputs.(v) <- o
+    | Some prev, Some cur when Label.equal prev cur -> ()
+    | Some _, _ ->
+      invalid_arg (Printf.sprintf "Async.run: %s revoked an irrevocable output" A.name)
+  in
+  let buffer_for v round =
+    match Hashtbl.find_opt buffers.(v) round with
+    | Some b -> b
+    | None ->
+      let b = Array.make (Graph.degree g v) None, ref 0 in
+      Hashtbl.add buffers.(v) round b;
+      b
+  in
+  (* Execute node [v]'s next synchronous round with the given inbox. *)
+  let execute v ~inbox =
+    let r = next_round.(v) in
+    let bit =
+      match Tape.bit tape ~node:v ~round:r with
+      | Some b -> b
+      | None -> raise (Tape_out r)
+    in
+    let state =
+      match states.(v) with
+      | Some s -> s
+      | None -> assert false
+    in
+    let state', sends = A.round state ~bit ~inbox in
+    if Array.length sends <> Graph.degree g v then
+      invalid_arg "Async.run: wrong send-array length";
+    states.(v) <- Some state';
+    record_output v state';
+    next_round.(v) <- r + 1;
+    if r > !max_round then max_round := r;
+    (* Send every port an explicit (possibly null) round-r message. *)
+    Array.iteri
+      (fun p payload ->
+        let u, q = reverse.(v).(p) in
+        schedule { target = u; port = q; round = r; payload } ~source:v)
+      sends
+  in
+  (* A node may advance when the inbox of its next round is complete; the
+     inbox of round r is the set of round-(r-1) messages. *)
+  let rec advance v =
+    let r = next_round.(v) in
+    let d = Graph.degree g v in
+    if d = 0 then begin
+      (* isolated node: free-running until it outputs *)
+      if outputs.(v) = None then begin
+        incr events;
+        if !events > max_events then raise Exit;
+        execute v ~inbox:[||];
+        advance v
+      end
+    end
+    else if r = 1 then ()
+    else begin
+      match Hashtbl.find_opt buffers.(v) (r - 1) with
+      | Some (inbox, count) when !count = d ->
+        Hashtbl.remove buffers.(v) (r - 1);
+        execute v ~inbox;
+        advance v
+      | Some _ | None -> ()
+    end
+  in
+  let all_output () = Array.for_all Option.is_some outputs in
+  try
+    (* Initialize and run round 1 everywhere (empty inboxes). *)
+    for v = 0 to n - 1 do
+      states.(v) <- Some (A.init ~input:(Graph.label g v) ~degree:(Graph.degree g v));
+      record_output v (Option.get states.(v))
+    done;
+    for v = 0 to n - 1 do
+      execute v ~inbox:(Array.make (Graph.degree g v) None);
+      advance v
+    done;
+    let finished = ref (all_output ()) in
+    while (not !finished) && not (Timeline.is_empty !timeline) do
+      let t, batch = Timeline.min_binding !timeline in
+      timeline := Timeline.remove t !timeline;
+      now := t;
+      let batch = List.sort (fun (a, _) (b, _) -> Int.compare a b) batch in
+      List.iter
+        (fun (_, msg) ->
+          incr events;
+          if !events > max_events then raise Exit;
+          let inbox, count = buffer_for msg.target msg.round in
+          inbox.(msg.port) <- msg.payload;
+          incr count;
+          advance msg.target)
+        batch;
+      if all_output () then finished := true
+    done;
+    if all_output () then
+      Ok
+        {
+          outputs = Array.map Option.get outputs;
+          events = !events;
+          virtual_rounds = !max_round;
+        }
+    else Error (Event_limit_exceeded max_events)
+  with
+  | Exit -> Error (Event_limit_exceeded max_events)
+  | Tape_out round -> Error (Tape_exhausted { round })
+
+let run algo g ~tape ~scheduler ~max_events =
+  let (module A : Algorithm.S) = algo in
+  run (module A) g ~tape ~scheduler ~max_events

@@ -1,0 +1,53 @@
+(** Asynchronous execution and the α-synchronizer.
+
+    The paper's model (Section 1.1) is synchronous.  Real networks are
+    not, and much of the related work the paper engages with (k-local
+    election [37], population protocols [7]) lives in asynchronous
+    models.  This module provides:
+
+    - an event-driven {e asynchronous executor}: messages experience
+      per-message delivery delays chosen by a {!scheduler} (an adversary);
+      a node is activated whenever a message arrives;
+    - the classic {e α-synchronizer}: a wrapper turning any synchronous
+      algorithm of {!Algorithm.S} into an asynchronous one by tagging
+      messages with round numbers and buffering until every neighbor's
+      round-[r] message (an explicit [null] when the algorithm sends
+      nothing) has arrived.
+
+    The synchronizer preserves the synchronous semantics exactly: with the
+    same tape, the asynchronous run produces the same outputs as
+    {!Executor.run} under {e every} scheduler — a property the test suite
+    checks against random and adversarial schedules. *)
+
+(** How the adversary delays messages. *)
+type scheduler =
+  | Fifo  (** deliver in send order (delay 1 each) *)
+  | Random_delay of { seed : int; max_delay : int }
+      (** each message independently delayed by 1..max_delay ticks *)
+  | Skewed of { seed : int; max_delay : int; slow_node : int }
+      (** like [Random_delay] but every message {e from} [slow_node]
+          always takes the maximum delay — an adversary starving one
+          node *)
+
+type outcome = {
+  outputs : Anonet_graph.Label.t array;
+  events : int;  (** messages delivered *)
+  virtual_rounds : int;  (** synchronizer rounds completed *)
+}
+
+type failure =
+  | Event_limit_exceeded of int
+  | Tape_exhausted of { round : int }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [run algo g ~tape ~scheduler ~max_events] executes the synchronous
+    algorithm [algo] on the asynchronous substrate through the
+    α-synchronizer. *)
+val run :
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  tape:Tape.t ->
+  scheduler:scheduler ->
+  max_events:int ->
+  (outcome, failure) result

@@ -1,0 +1,165 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+
+type failure =
+  | Max_rounds_exceeded of int
+  | Tape_exhausted of { round : int }
+
+let pp_failure fmt = function
+  | Max_rounds_exceeded r -> Format.fprintf fmt "no output after %d rounds" r
+  | Tape_exhausted { round } -> Format.fprintf fmt "tape exhausted at round %d" round
+
+type outcome = {
+  outputs : Label.t array;
+  rounds : int;
+  messages : int;
+}
+
+module Incremental = struct
+  (* Existentially packed execution state.  [inboxes.(v).(p)] holds the
+     message node [v] will receive on port [p] this round (sent by its
+     neighbor last round).  [reverse.(v).(p)] is the pair [(u, q)] such
+     that port [p] of [v] reaches [u] whose port [q] comes back to [v]. *)
+  type t =
+    | Pack : {
+        algo : (module Algorithm.S with type state = 's);
+        graph : Graph.t;
+        reverse : (int * int) array array;
+        states : 's array;
+        inboxes : Label.t option array array;
+        outputs : Label.t option array;
+        round : int;
+        messages : int;
+      }
+        -> t
+
+  let reverse_ports g =
+    Array.init (Graph.n g) (fun v ->
+        Array.init (Graph.degree g v) (fun p ->
+            let u = Graph.neighbor g v p in
+            u, Graph.port_to g u v))
+
+  let start (module A : Algorithm.S) g =
+    let n = Graph.n g in
+    let states =
+      Array.init n (fun v ->
+          A.init ~input:(Graph.label g v) ~degree:(Graph.degree g v))
+    in
+    Pack
+      {
+        algo = (module A);
+        graph = g;
+        reverse = reverse_ports g;
+        states;
+        inboxes = Array.init n (fun v -> Array.make (Graph.degree g v) None);
+        outputs = Array.init n (fun v -> A.output states.(v));
+        round = 0;
+        messages = 0;
+      }
+
+  let step ?scramble (Pack e) ~bits =
+    let module A = (val e.algo) in
+    let g = e.graph in
+    let n = Graph.n g in
+    if Array.length bits <> n then invalid_arg "Executor.step: wrong bits length";
+    let states = Array.copy e.states in
+    let next_inboxes = Array.init n (fun v -> Array.make (Graph.degree g v) None) in
+    let messages = ref e.messages in
+    let outputs = Array.copy e.outputs in
+    for v = 0 to n - 1 do
+      let state', sends = A.round states.(v) ~bit:bits.(v) ~inbox:e.inboxes.(v) in
+      if Array.length sends <> Graph.degree g v then
+        invalid_arg
+          (Printf.sprintf "Executor.step: %s sent on %d ports at a degree-%d node"
+             A.name (Array.length sends) (Graph.degree g v));
+      states.(v) <- state';
+      Array.iteri
+        (fun p msg ->
+          match msg with
+          | None -> ()
+          | Some _ ->
+            let u, q = e.reverse.(v).(p) in
+            next_inboxes.(u).(q) <- msg;
+            incr messages)
+        sends;
+      (match outputs.(v), A.output state' with
+       | None, o -> outputs.(v) <- o
+       | Some prev, Some cur when Label.equal prev cur -> ()
+       | Some _, _ ->
+         invalid_arg
+           (Printf.sprintf "Executor.step: %s revoked an irrevocable output" A.name))
+    done;
+    let next_inboxes =
+      match scramble with
+      | None -> next_inboxes
+      | Some permutation ->
+        Array.mapi
+          (fun v inbox ->
+            let d = Array.length inbox in
+            let p = permutation ~node:v ~degree:d ~round:(e.round + 1) in
+            if Array.length p <> d then
+              invalid_arg "Executor.step: scramble returned wrong-size permutation";
+            Array.init d (fun j -> inbox.(p.(j))))
+          next_inboxes
+    in
+    Pack
+      {
+        e with
+        states;
+        inboxes = next_inboxes;
+        outputs;
+        round = e.round + 1;
+        messages = !messages;
+      }
+
+  let outputs (Pack e) = Array.copy e.outputs
+
+  let all_output (Pack e) = Array.for_all Option.is_some e.outputs
+
+  let round (Pack e) = e.round
+
+  let messages (Pack e) = e.messages
+
+  let fingerprint (Pack e) =
+    (* Marshal bytes determine structure, so equal digests mean equal
+       states; differing sharing can only cause false negatives. *)
+    Marshal.to_string (e.states, e.inboxes, e.outputs) []
+end
+
+let run ?scramble_seed algo g ~tape ~max_rounds =
+  let n = Graph.n g in
+  let scramble =
+    Option.map
+      (fun seed ~node ~degree ~round ->
+        let rng =
+          Anonet_graph.Prng.create ((seed * 92_821) + (node * 613) + round)
+        in
+        let p = Array.init degree (fun i -> i) in
+        Anonet_graph.Prng.shuffle rng p;
+        p)
+      scramble_seed
+  in
+  let rec loop exec =
+    if Incremental.all_output exec then begin
+      let outputs = Array.map Option.get (Incremental.outputs exec) in
+      Ok { outputs; rounds = Incremental.round exec; messages = Incremental.messages exec }
+    end
+    else begin
+      let round = Incremental.round exec + 1 in
+      if round > max_rounds then Error (Max_rounds_exceeded max_rounds)
+      else begin
+        let exhausted = ref false in
+        let bits =
+          Array.init n (fun v ->
+              match Tape.bit tape ~node:v ~round with
+              | Some b -> b
+              | None ->
+                exhausted := true;
+                false)
+        in
+        if !exhausted then Error (Tape_exhausted { round })
+        else loop (Incremental.step exec ?scramble ~bits)
+      end
+    end
+  in
+  loop (Incremental.start algo g)

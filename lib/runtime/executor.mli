@@ -1,0 +1,84 @@
+(** Synchronous execution of an anonymous algorithm on a labeled graph.
+
+    The executor realizes the model of Section 1.1: in every round each
+    node consumes one tape bit, receives the messages its neighbors sent in
+    the previous round (port-addressed), computes, and sends at most one
+    message per port.  Execution stops when every node has produced its
+    irrevocable output, when the tape is exhausted, or at [max_rounds].
+
+    {!Incremental} exposes a persistent (copy-on-step) execution state so
+    that searches over bit assignments can branch cheaply — the
+    derandomization's minimal-simulation search explores a tree of
+    executions and backtracks without re-simulating shared prefixes. *)
+
+type failure =
+  | Max_rounds_exceeded of int
+  | Tape_exhausted of { round : int }
+      (** the tape could not feed the given round; for fixed tapes this
+          means the prescribed simulation ended before all nodes output *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type outcome = {
+  outputs : Anonet_graph.Label.t array;
+  rounds : int;
+  messages : int;  (** total messages delivered *)
+}
+
+(** [run algo g ~tape ~max_rounds] executes to completion.
+
+    [scramble_seed], when given, delivers every node's incoming messages
+    in a fresh pseudo-random port order each round — modelling a network
+    {e without} consistent port numbering.  The paper remarks
+    (Section 1.3) that randomized anonymous algorithms do not need port
+    numbers: algorithms that treat their inbox as a multiset (the 2-hop
+    coloring, coloring, and MIS solvers here) are unaffected, while
+    port-dependent protocols (maximal matching, whose very output is a
+    port) genuinely need the ports — the test suite demonstrates both.
+
+    @raise Invalid_argument if the algorithm revokes or changes an output
+    (a model violation — a bug in the algorithm). *)
+val run :
+  ?scramble_seed:int ->
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  tape:Tape.t ->
+  max_rounds:int ->
+  (outcome, failure) result
+
+module Incremental : sig
+  type t
+
+  (** [start algo g] is the execution before round 1. *)
+  val start : Algorithm.t -> Anonet_graph.Graph.t -> t
+
+  (** [step t ~bits] advances one round; [bits.(v)] is node [v]'s bit.
+      [scramble], if given, permutes each node's freshly delivered inbox:
+      [scramble ~node ~degree ~round] must return a permutation of
+      [0 .. degree-1] (see {!run}'s [scramble_seed]).
+      Persistent: [t] remains valid.
+      @raise Invalid_argument on wrong array length or output revocation. *)
+  val step :
+    ?scramble:(node:int -> degree:int -> round:int -> int array) ->
+    t ->
+    bits:bool array ->
+    t
+
+  val outputs : t -> Anonet_graph.Label.t option array
+
+  (** [all_output t] holds when every node has produced its output —
+      the "successful simulation" condition of Section 2.2. *)
+  val all_output : t -> bool
+
+  val round : t -> int
+
+  val messages : t -> int
+
+  (** [fingerprint t] is a digest of the whole execution state (node
+      states, in-flight messages, outputs).  Equal fingerprints imply
+      structurally equal states — two executions with equal fingerprints
+      behave identically under equal future inputs — so searches over bit
+      assignments can deduplicate branches.  (Unequal fingerprints do not
+      imply unequal states; missing a duplicate only costs time.) *)
+  val fingerprint : t -> string
+end

@@ -1,0 +1,28 @@
+module Graph = Anonet_graph.Graph
+
+type report = {
+  outcome : Executor.outcome;
+  attempts : int;
+  seed_used : int;
+}
+
+let solve algo g ~seed ?max_rounds ?(attempts = 20) () =
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> 64 * (Graph.n g + 4)
+  in
+  let rec go i =
+    if i > attempts then
+      Error
+        (Printf.sprintf "Las_vegas.solve: no success in %d attempts of %d rounds"
+           attempts max_rounds)
+    else begin
+      let seed_used = seed + (1_000_003 * (i - 1)) in
+      match Executor.run algo g ~tape:(Tape.random ~seed:seed_used) ~max_rounds with
+      | Ok outcome -> Ok { outcome; attempts = i; seed_used }
+      | Error (Executor.Max_rounds_exceeded _) -> go (i + 1)
+      | Error (Executor.Tape_exhausted _) ->
+        (* Random tapes never exhaust. *)
+        assert false
+    end
+  in
+  go 1

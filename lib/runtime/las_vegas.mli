@@ -1,0 +1,26 @@
+(** Harness for running Las-Vegas algorithms to completion.
+
+    The paper's algorithms terminate with probability 1, so a sufficiently
+    generous round budget almost always suffices; this harness retries with
+    fresh derived seeds in the (measure-zero in the limit, merely unlucky
+    in practice) event the budget runs out, and reports how many attempts
+    were needed. *)
+
+type report = {
+  outcome : Executor.outcome;
+  attempts : int;  (** 1 when the first run already finished *)
+  seed_used : int;
+}
+
+(** [solve algo g ~seed ?max_rounds ?attempts ()] runs [algo] with random
+    tapes derived from [seed], retrying up to [attempts] times
+    (default 20) with a budget of [max_rounds] (default [64 * (n + 4)])
+    rounds per attempt. *)
+val solve :
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  seed:int ->
+  ?max_rounds:int ->
+  ?attempts:int ->
+  unit ->
+  (report, string) result

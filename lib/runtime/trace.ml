@@ -1,0 +1,98 @@
+module Graph = Anonet_graph.Graph
+
+type t = {
+  n : int;
+  output_rounds : int option array;
+  messages_by_round : int list;  (* reversed while recording *)
+  rounds : int;
+}
+
+let record algo g ~tape ~max_rounds =
+  let n = Graph.n g in
+  let output_rounds = Array.make n None in
+  let note exec round =
+    Array.iteri
+      (fun v o ->
+        if o <> None && output_rounds.(v) = None then output_rounds.(v) <- Some round)
+      (Executor.Incremental.outputs exec)
+  in
+  let rec loop exec messages_acc prev_messages =
+    let finish_trace () =
+      {
+        n;
+        output_rounds = Array.copy output_rounds;
+        messages_by_round = List.rev messages_acc;
+        rounds = Executor.Incremental.round exec;
+      }
+    in
+    if Executor.Incremental.all_output exec then begin
+      let outcome =
+        {
+          Executor.outputs = Array.map Option.get (Executor.Incremental.outputs exec);
+          rounds = Executor.Incremental.round exec;
+          messages = Executor.Incremental.messages exec;
+        }
+      in
+      Ok (finish_trace (), outcome)
+    end
+    else begin
+      let round = Executor.Incremental.round exec + 1 in
+      if round > max_rounds then
+        Error (finish_trace (), Executor.Max_rounds_exceeded max_rounds)
+      else begin
+        let exhausted = ref false in
+        let bits =
+          Array.init n (fun v ->
+              match Tape.bit tape ~node:v ~round with
+              | Some b -> b
+              | None ->
+                exhausted := true;
+                false)
+        in
+        if !exhausted then Error (finish_trace (), Executor.Tape_exhausted { round })
+        else begin
+          let exec = Executor.Incremental.step exec ~bits in
+          note exec round;
+          let total = Executor.Incremental.messages exec in
+          loop exec ((total - prev_messages) :: messages_acc) total
+        end
+      end
+    end
+  in
+  let exec = Executor.Incremental.start algo g in
+  note exec 0;
+  loop exec [] 0
+
+let output_rounds t = Array.copy t.output_rounds
+
+let messages_by_round t = t.messages_by_round
+
+let rounds t = t.rounds
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "rounds: %d (columns); nodes: %d (rows); '#' = output set\n"
+       t.rounds t.n);
+  for v = 0 to t.n - 1 do
+    Buffer.add_string buf (Printf.sprintf "node %2d " v);
+    let decided = t.output_rounds.(v) in
+    for r = 1 to t.rounds do
+      let mark =
+        match decided with
+        | Some d when r >= d -> '#'
+        | Some _ | None -> '.'
+      in
+      Buffer.add_char buf mark
+    done;
+    (match decided with
+     | Some d -> Buffer.add_string buf (Printf.sprintf "  (output at round %d)" d)
+     | None -> Buffer.add_string buf "  (no output)");
+    Buffer.add_char buf '\n'
+  done;
+  let total = List.fold_left ( + ) 0 t.messages_by_round in
+  Buffer.add_string buf (Printf.sprintf "messages per round: %s (total %d)\n"
+                           (String.concat " "
+                              (List.map string_of_int t.messages_by_round))
+                           total);
+  Buffer.contents buf

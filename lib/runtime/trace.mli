@@ -1,0 +1,33 @@
+(** Execution traces: round-by-round observation of a run.
+
+    Records, for every round, the cumulative message count and which nodes
+    have produced their irrevocable outputs — enough to see an anonymous
+    algorithm's convergence pattern without breaking the abstraction of
+    node-local state.  Used by the CLI ([anonet solve --trace]) and handy
+    when debugging new algorithms. *)
+
+type t
+
+(** [record algo g ~tape ~max_rounds] executes while recording.  On
+    failure the partial trace is still returned alongside the failure. *)
+val record :
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  tape:Tape.t ->
+  max_rounds:int ->
+  (t * Executor.outcome, t * Executor.failure) result
+
+(** [output_rounds t] maps each node to the round at which it produced its
+    output ([None] if it never did). *)
+val output_rounds : t -> int option array
+
+(** [messages_by_round t] is the number of messages delivered in each
+    round, round 1 first. *)
+val messages_by_round : t -> int list
+
+(** [rounds t] is the number of rounds recorded. *)
+val rounds : t -> int
+
+(** [render t] draws an ASCII timeline: one row per node, one column per
+    round; ['.'] while undecided, ['#'] from the output round on. *)
+val render : t -> string

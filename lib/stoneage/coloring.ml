@@ -1,0 +1,38 @@
+module Label = Anonet_graph.Label
+
+type state =
+  | Start
+  | Drawn of int  (* just drew; display not yet visible to neighbors *)
+  | Checking of int
+  | Final of int
+
+let make ~palette : Machine.t =
+  if palette < 1 then invalid_arg "Stoneage.Coloring.make: need palette >= 1";
+  (module struct
+    type nonrec state = state
+
+    let name = Printf.sprintf "stoneage-coloring-%d" palette
+
+    let blank = Label.Str "blank"
+
+    let letter c = Label.Int c
+
+    let alphabet = blank :: List.init palette letter
+
+    let randomness = palette
+
+    let init () = Start
+
+    let output = function
+      | Final c -> Some (Label.Int c)
+      | Start | Drawn _ | Checking _ -> None
+
+    let transition state ~counts ~random =
+      match state with
+      | Start -> Drawn random, letter random
+      | Drawn c -> Checking c, letter c
+      | Checking c ->
+        if Machine.at_least_one (counts (letter c)) then Drawn random, letter random
+        else Final c, letter c
+      | Final c -> Final c, letter c
+  end)

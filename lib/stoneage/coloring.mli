@@ -1,0 +1,14 @@
+(** Stone-age (1-hop) graph coloring over a fixed finite palette.
+
+    A node draws a uniform random palette color, waits one round for its
+    display to become visible (so that simultaneous identical draws see
+    each other), and finalizes if no neighbor shows the same color.
+    Las-Vegas-terminates whenever the palette exceeds the maximum degree;
+    with a too-small palette the machine livelocks (finite machines cannot
+    magic up more colors) — the executor's round budget turns that into an
+    error, and the tests exhibit it.
+
+    Output: [Label.Int color]. *)
+
+(** [make ~palette] uses colors [0 .. palette-1] ([palette >= 1]). *)
+val make : palette:int -> Machine.t

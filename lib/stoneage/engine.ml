@@ -1,0 +1,81 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Prng = Anonet_graph.Prng
+
+type outcome = {
+  outputs : Label.t array;
+  rounds : int;
+}
+
+type failure = Max_rounds_exceeded of int
+
+let pp_failure fmt (Max_rounds_exceeded r) =
+  Format.fprintf fmt "no output after %d rounds" r
+
+let run (type s) (module M : Machine.S with type state = s) g ~seed ~max_rounds =
+  let n = Graph.n g in
+  let alphabet = M.alphabet in
+  (match alphabet with
+   | [] -> invalid_arg "Stoneage.Engine.run: empty alphabet"
+   | _ -> ());
+  let initial_display = List.hd alphabet in
+  let in_alphabet l = List.exists (Label.equal l) alphabet in
+  let states = Array.init n (fun _ -> M.init ()) in
+  let displays = Array.make n initial_display in
+  let outputs = Array.make n None in
+  let record v state =
+    match outputs.(v), M.output state with
+    | None, o -> outputs.(v) <- o
+    | Some prev, Some cur when Label.equal prev cur -> ()
+    | Some _, _ ->
+      invalid_arg
+        (Printf.sprintf "Stoneage.Engine.run: %s revoked an irrevocable output" M.name)
+  in
+  Array.iteri (fun v s -> record v s) states;
+  let all_output () = Array.for_all Option.is_some outputs in
+  let counts_for v =
+    (* one-two-many counting of neighbor displays, per letter *)
+    let table = Hashtbl.create 8 in
+    Array.iter
+      (fun u ->
+        let key = Label.encode displays.(u) in
+        let c = Option.value ~default:0 (Hashtbl.find_opt table key) in
+        Hashtbl.replace table key (min 2 (c + 1)))
+      (Graph.neighbors g v);
+    fun l ->
+      match Hashtbl.find_opt table (Label.encode l) with
+      | None | Some 0 -> Machine.Zero
+      | Some 1 -> Machine.One
+      | Some _ -> Machine.Many
+  in
+  let rec loop round =
+    if all_output () then
+      Ok { outputs = Array.map Option.get outputs; rounds = round - 1 }
+    else if round > max_rounds then Error (Max_rounds_exceeded max_rounds)
+    else begin
+      (* Snapshot count observers before any display changes. *)
+      let observers = Array.init n counts_for in
+      let next_displays = Array.copy displays in
+      for v = 0 to n - 1 do
+        let random =
+          if M.randomness <= 1 then 0
+          else Prng.int (Prng.create ((seed * 48_271) + (v * 2_531) + round)) M.randomness
+        in
+        let state', display = M.transition states.(v) ~counts:observers.(v) ~random in
+        if not (in_alphabet display) then
+          invalid_arg
+            (Printf.sprintf "Stoneage.Engine.run: %s displayed a letter outside \
+                             its alphabet" M.name);
+        states.(v) <- state';
+        next_displays.(v) <- display;
+        record v state'
+      done;
+      Array.blit next_displays 0 displays 0 n;
+      loop (round + 1)
+    end
+  in
+  loop 1
+
+let run machine g ~seed ~max_rounds =
+  let (module M : Machine.S) = machine in
+  run (module M) g ~seed ~max_rounds

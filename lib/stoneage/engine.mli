@@ -1,0 +1,26 @@
+(** Synchronous executor for stone-age machines (see {!Machine}).
+
+    Every node starts in the uniform initial state displaying the
+    alphabet's first letter; each round, every node observes one-two-many
+    counts of its neighbors' displays and transitions.  Execution stops
+    when every node has produced its irrevocable output. *)
+
+type outcome = {
+  outputs : Anonet_graph.Label.t array;
+  rounds : int;
+}
+
+type failure = Max_rounds_exceeded of int
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [run machine g ~seed ~max_rounds] executes; [seed] drives the bounded
+    random choices reproducibly.
+    @raise Invalid_argument if the machine displays a letter outside its
+    alphabet or revokes an output. *)
+val run :
+  Machine.t ->
+  Anonet_graph.Graph.t ->
+  seed:int ->
+  max_rounds:int ->
+  (outcome, failure) result

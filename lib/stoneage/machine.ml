@@ -1,0 +1,65 @@
+(** The stone-age computation model (Emek-Wattenhofer [19], cited in
+    Section 1.3 of the paper).
+
+    Nodes are anonymous {e finite state machines} — strictly weaker than
+    the message-passing model of Section 1.1:
+
+    - each node continuously {e displays} one letter from a finite
+      alphabet (its only outward communication);
+    - in every synchronous round a node observes, for each letter, only
+      whether {e zero}, {e one}, or {e many} (two or more) of its
+      neighbors currently display it — "one-two-many" counting, the
+      weakest nontrivial counting;
+    - nodes do not know their degree, receive no input, and have a
+      constant number of states;
+    - transitions may consume one bounded uniform random choice per round
+      (the bounded-randomness analogue of the one-bit-per-round
+      convention; grouping rounds converts between the two).
+
+    The paper cites this model to stress how little power 2-hop coloring
+    needs; {!Two_hop} realizes that claim constructively for
+    degree-bounded graphs (finite machines cannot name unboundedly many
+    colors, so a degree bound is information-theoretically necessary). *)
+
+(** Observed multiplicity of a letter among the neighbors. *)
+type count =
+  | Zero
+  | One
+  | Many
+
+(** [at_least_one c] and [at_least_two c] are the usable comparisons. *)
+let at_least_one = function Zero -> false | One | Many -> true
+
+let at_least_two = function Zero | One -> false | Many -> true
+
+module type S = sig
+  type state
+
+  val name : string
+
+  (** The display alphabet; the head of the list is the initial display
+      (shown during round 1, before the first transition takes effect). *)
+  val alphabet : Anonet_graph.Label.t list
+
+  (** Number of equiprobable random choices per round (>= 1; 1 means the
+      machine is deterministic). *)
+  val randomness : int
+
+  (** The uniform initial state — no inputs, no identifiers, no degree. *)
+  val init : unit -> state
+
+  (** [transition state ~counts ~random] consumes one round: [counts l]
+      observes the letter [l] among the neighbors' current displays;
+      [random] is uniform in [0 .. randomness-1].  Returns the new state
+      and the letter to display from the next round on. *)
+  val transition :
+    state ->
+    counts:(Anonet_graph.Label.t -> count) ->
+    random:int ->
+    state * Anonet_graph.Label.t
+
+  (** The irrevocable local output, if produced. *)
+  val output : state -> Anonet_graph.Label.t option
+end
+
+type t = (module S)

@@ -1,0 +1,46 @@
+module Label = Anonet_graph.Label
+
+let l_undecided = Label.Str "u"
+
+let l_candidate = Label.Str "c"
+
+let l_in = Label.Str "in"
+
+let l_out = Label.Str "out"
+
+type state =
+  | Undecided
+  | Candidate
+  | In_mis
+  | Out_mis
+
+let machine : Machine.t =
+  (module struct
+    type nonrec state = state
+
+    let name = "stoneage-mis"
+
+    let alphabet = [ l_undecided; l_candidate; l_in; l_out ]
+
+    let randomness = 2
+
+    let init () = Undecided
+
+    let output = function
+      | In_mis -> Some (Label.Bool true)
+      | Out_mis -> Some (Label.Bool false)
+      | Undecided | Candidate -> None
+
+    let transition state ~counts ~random =
+      match state with
+      | In_mis -> In_mis, l_in
+      | Out_mis -> Out_mis, l_out
+      | Undecided ->
+        if Machine.at_least_one (counts l_in) then Out_mis, l_out
+        else if random = 1 then Candidate, l_candidate
+        else Undecided, l_undecided
+      | Candidate ->
+        if Machine.at_least_one (counts l_in) then Out_mis, l_out
+        else if counts l_candidate = Machine.Zero then In_mis, l_in
+        else Undecided, l_undecided
+  end)

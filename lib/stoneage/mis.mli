@@ -1,0 +1,12 @@
+(** Stone-age maximal independent set.
+
+    A four-state machine: an undecided node tosses a coin to become a
+    {e candidate}; a candidate seeing no other candidate joins the MIS; a
+    node seeing an MIS member leaves.  All decisions read only
+    zero/one/many counts — no degrees, no identifiers, no unbounded
+    messages — demonstrating that the symmetry breaking at the heart of
+    GRAN problems needs almost no machinery beyond randomness.
+
+    Output: [Label.Bool in_mis]. *)
+
+val machine : Machine.t

@@ -1,0 +1,77 @@
+module Label = Anonet_graph.Label
+
+type state = {
+  k : int;  (* the global round index mod palette (all nodes agree) *)
+  color : int;
+  clean : int;  (* evidence-free transitions since the last draw *)
+  started : bool;
+  final : bool;
+}
+
+let make ~palette : Machine.t =
+  if palette < 1 then invalid_arg "Stoneage.Two_hop.make: need palette >= 1";
+  let p = palette in
+  (module struct
+    type nonrec state = state
+
+    let name = Printf.sprintf "stoneage-2hop-%d" p
+
+    let blank = Label.Str "blank"
+
+    let letter c flag = Label.Pair (Label.Int c, Label.Bool flag)
+
+    let alphabet =
+      blank
+      :: List.concat_map (fun c -> [ letter c false; letter c true ]) (List.init p Fun.id)
+
+    let randomness = p
+
+    let init () = { k = 0; color = 0; clean = 0; started = false; final = false }
+
+    let output s = if s.final then Some (Label.Int s.color) else None
+
+    (* one-two-many over a color regardless of its flag bit *)
+    let color_seen counts c =
+      Machine.at_least_one (counts (letter c false))
+      || Machine.at_least_one (counts (letter c true))
+
+    let color_seen_twice counts c =
+      Machine.at_least_two (counts (letter c false))
+      || Machine.at_least_two (counts (letter c true))
+      || (Machine.at_least_one (counts (letter c false))
+          && Machine.at_least_one (counts (letter c true)))
+
+    let any_flag counts =
+      List.exists
+        (fun c -> Machine.at_least_one (counts (letter c true)))
+        (List.init p Fun.id)
+
+    (* Finalize after a window long enough that (a) the fresh display has
+       been visible to the common neighbor, (b) the dedicated flag round
+       for our color has come and gone, and (c) the flag has reached us:
+       p + 4 evidence-free transitions suffice. *)
+    let window = p + 4
+
+    let transition s ~counts ~random =
+      let k = (s.k + 1) mod p in
+      (* The flag this display carries concerns the next round's color. *)
+      let flag_out = color_seen_twice counts ((k + 1) mod p) in
+      if not s.started then begin
+        let s = { k; color = random; clean = 0; started = true; final = false } in
+        s, letter s.color flag_out
+      end
+      else if s.final then { s with k }, letter s.color flag_out
+      else begin
+        let direct = color_seen counts s.color in
+        let relayed = k = s.color mod p && any_flag counts in
+        if direct || relayed then begin
+          let s = { s with k; color = random; clean = 0 } in
+          s, letter s.color flag_out
+        end
+        else begin
+          let clean = s.clean + 1 in
+          let final = clean >= window in
+          { s with k; clean; final }, letter s.color flag_out
+        end
+      end
+  end)

@@ -1,0 +1,25 @@
+(** Stone-age 2-hop coloring over a fixed finite palette — the paper's
+    Section 1.3 claim ("a solution to the 2-hop coloring problem can
+    already be found in the weak model of [19]") made constructive for
+    degree-bounded graphs.
+
+    The difficulty: with one-two-many counting a node can spot a
+    {e 1-hop} color collision directly, but a collision between two of
+    its neighbors ({e its} evidence of a 2-hop collision elsewhere) must
+    be relayed.  The machine time-multiplexes that relay: rounds cycle
+    through the palette, and in the round dedicated to color [l] every
+    node raises a {e flag} bit iff two-or-many of its neighbors display
+    [l] — so a node with color [l] watching for flags in [l]'s round
+    learns of any collision at distance two.  A node finalizes after a
+    full flag cycle (plus pipeline slack) with no evidence; finalized
+    colors never move, and of any colliding pair the later-drawn side is
+    always still mobile, so finalized outputs are sound.
+
+    Termination with probability 1 needs the palette to exceed the number
+    of 2-hop neighbors anywhere, i.e. [palette >= Δ² + 1]; the machine is
+    a finite automaton, so some such bound is unavoidable.
+
+    Output: [Label.Int color], a proper 2-hop coloring. *)
+
+(** [make ~palette] uses colors [0 .. palette-1] ([palette >= 1]). *)
+val make : palette:int -> Machine.t

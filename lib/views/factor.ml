@@ -1,0 +1,68 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+
+let check ~product ~factor ~map =
+  let n = Graph.n product and n' = Graph.n factor in
+  if Array.length map <> n then Error "map has wrong length"
+  else if Array.exists (fun w -> w < 0 || w >= n') map then
+    Error "map image out of range"
+  else begin
+    (* (1) surjectivity *)
+    let hit = Array.make n' false in
+    Array.iter (fun w -> hit.(w) <- true) map;
+    if not (Array.for_all Fun.id hit) then Error "map is not surjective"
+    else begin
+      (* (2) labels respected *)
+      let bad_label = ref None in
+      Graph.iter_nodes product ~f:(fun v ->
+          if not (Label.equal (Graph.label product v) (Graph.label factor map.(v)))
+          then bad_label := Some v);
+      match !bad_label with
+      | Some v -> Error (Printf.sprintf "label not respected at node %d" v)
+      | None ->
+        (* (3) local isomorphism *)
+        let bad = ref None in
+        Graph.iter_nodes product ~f:(fun v ->
+            let images =
+              Array.to_list
+                (Array.map (fun u -> map.(u)) (Graph.neighbors product v))
+            in
+            let targets =
+              Array.to_list (Graph.neighbors factor map.(v))
+            in
+            if List.sort Int.compare images <> List.sort Int.compare targets then
+              bad := Some v);
+        (match !bad with
+         | Some v ->
+           Error
+             (Printf.sprintf
+                "map is not a local isomorphism at node %d (images of Γ(%d) do \
+                 not biject onto Γ(f(%d)))"
+                v v v)
+         | None -> Ok ())
+    end
+  end
+
+let is_factorizing ~product ~factor ~map =
+  match check ~product ~factor ~map with Ok () -> true | Error _ -> false
+
+let multiplicity ~product ~factor =
+  let n = Graph.n product and n' = Graph.n factor in
+  if n' > 0 && n mod n' = 0 then Some (n / n') else None
+
+let induced_port_permutations ~product ~factor ~map =
+  (match check ~product ~factor ~map with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Factor.induced_port_permutations: " ^ msg));
+  let permutation v =
+    let fv = map.(v) in
+    let d = Graph.degree factor fv in
+    Array.init d (fun j ->
+        let target = Graph.neighbor factor fv j in
+        (* Unique since f|Γ(v) is a bijection onto Γ(f(v)). *)
+        let rec find p =
+          if map.(Graph.neighbor product v p) = target then p else find (p + 1)
+        in
+        find 0)
+  in
+  Array.init (Graph.n product) permutation

@@ -1,0 +1,37 @@
+(** Factor / product relations between labeled graphs (Section 2.3.1).
+
+    [G'] is a {e factor} of [G] (and [G] a {e product} of [G']), written
+    [G' ⪯_f G], when the map [f : V -> V'] is: (1) surjective; (2)
+    label-respecting; and (3) a local isomorphism — for every [v], the
+    restriction of [f] to [Γ(v)] is a bijection onto [Γ(f(v))]. *)
+
+(** [check ~product ~factor ~map] verifies the three factorizing-map
+    properties, reporting the first violation. *)
+val check :
+  product:Anonet_graph.Graph.t ->
+  factor:Anonet_graph.Graph.t ->
+  map:int array ->
+  (unit, string) result
+
+(** [is_factorizing ~product ~factor ~map] is [check] as a predicate. *)
+val is_factorizing :
+  product:Anonet_graph.Graph.t -> factor:Anonet_graph.Graph.t -> map:int array -> bool
+
+(** [multiplicity ~product ~factor] is the integer [m] with
+    [|V| = m * |V'|] (well defined whenever a factorizing map exists —
+    see [24]); [None] if the sizes do not divide. *)
+val multiplicity :
+  product:Anonet_graph.Graph.t -> factor:Anonet_graph.Graph.t -> int option
+
+(** [induced_port_permutations ~product ~factor ~map] computes, for every
+    product node [v], the permutation aligning [v]'s ports with the ports
+    of [f(v)]: entry [j] of the result for [v] is the port of [v] whose
+    neighbor maps to [factor]'s neighbor at port [j] of [f(v)].  Used to
+    lift executions from a factor to a product (the lifting lemma [5, 12])
+    with exact port correspondence.
+    @raise Invalid_argument if [map] is not a factorizing map. *)
+val induced_port_permutations :
+  product:Anonet_graph.Graph.t ->
+  factor:Anonet_graph.Graph.t ->
+  map:int array ->
+  int array array

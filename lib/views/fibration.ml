@@ -1,0 +1,60 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Props = Anonet_graph.Props
+
+let directed_representation g =
+  if not (Props.is_two_hop_colored g) then
+    invalid_arg "Fibration.directed_representation: graph is not 2-hop colored";
+  let arcs =
+    List.concat_map
+      (fun (u, v) ->
+        let cu = Graph.label g u and cv = Graph.label g v in
+        [ u, v, Label.Pair (cu, cv); v, u, Label.Pair (cv, cu) ])
+      (Graph.edges g)
+  in
+  Digraph.create ~n:(Graph.n g) ~arcs
+
+let swap_mate = function
+  | Label.Pair (a, b) -> Label.Pair (b, a)
+  | l -> invalid_arg ("Fibration.swap_mate: not a pair color: " ^ Label.to_string l)
+
+let is_fibration ~total ~base ~map =
+  Digraph.n base > 0
+  && Array.length map = Digraph.n total
+  && Array.for_all (fun w -> w >= 0 && w < Digraph.n base) map
+  && begin
+       (* Surjectivity: we check for epimorphic fibrations, the ones that
+          correspond to factorizing maps. *)
+       let hit = Array.make (Digraph.n base) false in
+       Array.iter (fun w -> hit.(w) <- true) map;
+       Array.for_all Fun.id hit
+     end
+  && begin
+       let ok = ref true in
+       for v = 0 to Digraph.n total - 1 do
+         let out_here =
+           List.sort compare
+             (List.map (fun (u, c) -> map.(u), Label.encode c) (Digraph.out_arcs total v))
+         in
+         let out_there =
+           List.sort compare
+             (List.map (fun (u, c) -> u, Label.encode c) (Digraph.out_arcs base map.(v)))
+         in
+         (* With deterministic colorings, the unique-lifting property of a
+            fibration amounts to: the projected out-arcs of [v] coincide
+            (as a set, color-for-color) with the out-arcs of [map v]. *)
+         if out_here <> out_there then ok := false
+       done;
+       !ok
+     end
+
+let check_correspondence ~product ~factor ~map =
+  let factorizing = Factor.is_factorizing ~product ~factor ~map in
+  let fibration =
+    try
+      let total = directed_representation product in
+      let base = directed_representation factor in
+      is_fibration ~total ~base ~map
+    with Invalid_argument _ -> false
+  in
+  factorizing, fibration

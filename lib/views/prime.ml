@@ -1,0 +1,21 @@
+module Graph = Anonet_graph.Graph
+module Props = Anonet_graph.Props
+
+let require_two_hop_colored fn g =
+  if not (Props.is_two_hop_colored g) then
+    invalid_arg (fn ^ ": graph is not 2-hop colored")
+
+let prime_factor g =
+  require_two_hop_colored "Prime.prime_factor" g;
+  View_graph.of_graph_exn g
+
+let is_prime g =
+  let vg = prime_factor g in
+  Graph.n vg.View_graph.graph = Graph.n g
+
+let aliases_faithful g =
+  require_two_hop_colored "Prime.aliases_faithful" g;
+  let n = Graph.n g in
+  let classes = Refinement.classes_at_depth g n in
+  let distinct = List.sort_uniq Int.compare (Array.to_list classes) in
+  List.length distinct = n

@@ -1,0 +1,21 @@
+(** Primality of labeled graphs (Section 2.3.1, Lemmas 3 and 4).
+
+    A labeled graph is {e prime} when all its factors are isomorphic to it.
+    For 2-hop colored graphs the infinite view graph is the unique prime
+    factor (Lemma 3), so primality is decidable by comparing [|V*|] with
+    [|V|], and in a prime 2-hop colored graph the local view is a faithful
+    alias for the node (Lemma 4 / Corollary 1). *)
+
+(** [is_prime g] decides whether the 2-hop colored graph [g] is prime,
+    i.e. whether distinct nodes always have distinct depth-infinity views.
+    @raise Invalid_argument if [g] is not 2-hop colored. *)
+val is_prime : Anonet_graph.Graph.t -> bool
+
+(** [prime_factor g] is the unique prime factor of the 2-hop colored graph
+    [g] — its finite view graph — together with the factorizing map.
+    @raise Invalid_argument if [g] is not 2-hop colored. *)
+val prime_factor : Anonet_graph.Graph.t -> View_graph.t
+
+(** [aliases_faithful g] checks Corollary 1 on a prime 2-hop colored
+    [g]: depth-[n] views are pairwise distinct across nodes. *)
+val aliases_faithful : Anonet_graph.Graph.t -> bool

@@ -1,0 +1,62 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+
+type result = {
+  classes : int array;
+  num_classes : int;
+  stable_view_depth : int;
+  history : int array list;
+}
+
+(* Assign canonical class numbers: sort the distinct keys, number them in
+   order, and map each node to its key's number. *)
+let number_by_sorted_keys keys =
+  let distinct = List.sort_uniq compare (Array.to_list keys) in
+  let table = Hashtbl.create (List.length distinct) in
+  List.iteri (fun i k -> Hashtbl.replace table k i) distinct;
+  Array.map (fun k -> Hashtbl.find table k) keys
+
+let initial g =
+  number_by_sorted_keys
+    (Array.init (Graph.n g) (fun v -> [ Label.encode (Graph.label g v) ]))
+
+let refine_once g classes =
+  let signature v =
+    let nbr =
+      Array.to_list (Array.map (fun u -> classes.(u)) (Graph.neighbors g v))
+      |> List.sort Int.compare
+    in
+    classes.(v) :: nbr
+  in
+  (* Prefixing the old class makes the new partition refine the old one. *)
+  number_by_sorted_keys (Array.init (Graph.n g) signature)
+
+let count_classes classes =
+  1 + Array.fold_left max (-1) classes
+
+let run g =
+  if Graph.n g = 0 then
+    { classes = [||]; num_classes = 0; stable_view_depth = 1; history = [] }
+  else begin
+    let rec go classes history rounds =
+      let next = refine_once g classes in
+      if next = classes then
+        {
+          classes;
+          num_classes = count_classes classes;
+          (* Partition after round r equals depth-(r+1) views; it was
+             already stable at round [rounds], i.e. at view depth
+             [rounds + 1]. *)
+          stable_view_depth = rounds + 1;
+          history = List.rev history;
+        }
+      else go next (next :: history) (rounds + 1)
+    in
+    let c0 = initial g in
+    go c0 [ c0 ] 0
+  end
+
+let classes_at_depth g d =
+  if d < 1 then invalid_arg "Refinement.classes_at_depth: need depth >= 1";
+  let rec go classes r = if r = 0 then classes else go (refine_once g classes) (r - 1) in
+  go (initial g) (d - 1)

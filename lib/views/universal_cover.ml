@@ -1,0 +1,81 @@
+module Graph = Anonet_graph.Graph
+
+let truncation g ~root ~depth =
+  if depth < 1 then invalid_arg "Universal_cover.truncation: need depth >= 1";
+  (* Memoize the non-backtracking subtrees on (node, parent, depth). *)
+  let memo = Hashtbl.create 64 in
+  let rec subtree v ~parent d =
+    match Hashtbl.find_opt memo (v, parent, d) with
+    | Some t -> t
+    | None ->
+      let t =
+        if d = 1 then { View.mark = Graph.label g v; children = [] }
+        else begin
+          let children =
+            Array.to_list (Graph.neighbors g v)
+            |> List.filter (fun u -> u <> parent)
+            |> List.map (fun u -> subtree u ~parent:v (d - 1))
+            |> List.sort View.compare
+          in
+          { View.mark = Graph.label g v; children }
+        end
+      in
+      Hashtbl.add memo (v, parent, d) t;
+      t
+  in
+  if depth = 1 then { View.mark = Graph.label g root; children = [] }
+  else begin
+    let children =
+      Array.to_list (Graph.neighbors g root)
+      |> List.map (fun u -> subtree u ~parent:root (depth - 1))
+      |> List.sort View.compare
+    in
+    { View.mark = Graph.label g root; children }
+  end
+
+let classes_at_depth g d =
+  let n = Graph.n g in
+  let trees = Array.init n (fun v -> truncation g ~root:v ~depth:d) in
+  let distinct =
+    List.sort_uniq View.compare (Array.to_list trees)
+  in
+  let index t =
+    let rec find i = function
+      | [] -> assert false
+      | x :: rest -> if View.compare x t = 0 then i else find (i + 1) rest
+    in
+    find 0 distinct
+  in
+  Array.map index trees
+
+let stable_depth g =
+  let target = (Refinement.run g).Refinement.classes in
+  let same_partition a b =
+    let n = Array.length a in
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if a.(u) = a.(v) <> (b.(u) = b.(v)) then ok := false
+      done
+    done;
+    !ok
+  in
+  let rec search d =
+    if d > max 1 (Graph.n g) then d (* should not happen; Norris bounds it *)
+    else if same_partition (classes_at_depth g d) target then d
+    else search (d + 1)
+  in
+  search 1
+
+let agrees_with_views g ~depth =
+  let uc = classes_at_depth g depth in
+  let views = Refinement.classes_at_depth g depth in
+  let n = Graph.n g in
+  if depth < max 1 n then invalid_arg "Universal_cover.agrees_with_views: need depth >= n";
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if uc.(u) = uc.(v) <> (views.(u) = views.(v)) then ok := false
+    done
+  done;
+  !ok

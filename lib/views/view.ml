@@ -1,0 +1,93 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+
+type t = {
+  mark : Label.t;
+  children : t list;
+}
+
+let rec compare a b =
+  let c = Label.compare a.mark b.mark in
+  if c <> 0 then c else List.compare compare a.children b.children
+
+let equal a b = compare a b = 0
+
+let of_graph g ~root ~depth =
+  if depth < 1 then invalid_arg "View.of_graph: need depth >= 1";
+  (* Memoize on (node, depth): subtrees are shared across the whole
+     construction, so the result is a DAG in memory even when the unfolded
+     tree is exponential. *)
+  let memo = Hashtbl.create 64 in
+  let rec build v d =
+    match Hashtbl.find_opt memo (v, d) with
+    | Some t -> t
+    | None ->
+      let t =
+        if d = 1 then { mark = Graph.label g v; children = [] }
+        else begin
+          let children =
+            Array.to_list (Array.map (fun u -> build u (d - 1)) (Graph.neighbors g v))
+            |> List.sort compare
+          in
+          { mark = Graph.label g v; children }
+        end
+      in
+      Hashtbl.add memo (v, d) t;
+      t
+  in
+  build root depth
+
+let rec depth t =
+  match t.children with
+  | [] -> 1
+  | cs -> 1 + List.fold_left (fun m c -> max m (depth c)) 0 cs
+
+let rec size t = 1 + List.fold_left (fun s c -> s + size c) 0 t.children
+
+let rec truncate t ~depth =
+  if depth < 1 then invalid_arg "View.truncate: need depth >= 1";
+  if depth = 1 then { t with children = [] }
+  else begin
+    let children = List.map (fun c -> truncate c ~depth:(depth - 1)) t.children in
+    { t with children = List.sort compare children }
+  end
+
+let disjoint_union g1 g2 =
+  let n1 = Graph.n g1 and n2 = Graph.n g2 in
+  let edges =
+    Graph.edges g1 @ List.map (fun (u, v) -> u + n1, v + n1) (Graph.edges g2)
+  in
+  let labels =
+    Array.init (n1 + n2) (fun v ->
+        if v < n1 then Graph.label g1 v else Graph.label g2 (v - n1))
+  in
+  (* The union is disconnected, which [Graph.create] allows; only the model
+     requires connectivity, and this graph is internal to the comparison. *)
+  Graph.create ~n:(n1 + n2) ~edges ~labels
+
+let equal_nodes (g1, v1) (g2, v2) ~depth =
+  if depth < 1 then invalid_arg "View.equal_nodes: need depth >= 1";
+  let u = disjoint_union g1 g2 in
+  let classes = Refinement.classes_at_depth u depth in
+  classes.(v1) = classes.(Graph.n g1 + v2)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let rec render ~prefix ~child_prefix t =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (Label.to_string t.mark);
+    Buffer.add_char buf '\n';
+    let rec each = function
+      | [] -> ()
+      | [ c ] ->
+        render ~prefix:(child_prefix ^ "└── ") ~child_prefix:(child_prefix ^ "    ") c
+      | c :: rest ->
+        render ~prefix:(child_prefix ^ "├── ") ~child_prefix:(child_prefix ^ "│   ") c;
+        each rest
+    in
+    each t.children
+  in
+  render ~prefix:"" ~child_prefix:"" t;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,431 @@
+(* Tests for the randomized anonymous algorithms and the deterministic
+   given-a-2-hop-coloring algorithms. *)
+
+open Anonet_graph
+open Anonet_runtime
+open Anonet_problems
+open Anonet_algorithms
+
+let check = Alcotest.(check bool)
+
+let solve algo g seed =
+  match Las_vegas.solve algo g ~seed () with
+  | Error m -> Alcotest.failf "las vegas failed: %s" m
+  | Ok r -> r.Las_vegas.outcome.Executor.outputs
+
+let test_families =
+  [ "p1", Gen.path 1;
+    "p2", Gen.path 2;
+    "p5", Gen.path 5;
+    "c3", Gen.cycle 3;
+    "c6", Gen.cycle 6;
+    "k4", Gen.complete 4;
+    "star5", Gen.star 5;
+    "petersen", Gen.petersen ();
+    "grid33", Gen.grid 3 3;
+    "bipartite", Gen.complete_bipartite 2 3;
+    "rand1", Gen.random_connected ~seed:100 9 0.3;
+    "rand2", Gen.random_connected ~seed:101 11 0.2;
+  ]
+
+let validity_test problem algo () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let o = solve algo g seed in
+          check
+            (Printf.sprintf "%s on %s (seed %d)" problem.Problem.name name seed)
+            true
+            (problem.Problem.is_valid_output g o))
+        [ 1; 2; 3 ])
+    test_families
+
+(* ---------- 2-hop coloring specifics ---------- *)
+
+let test_two_hop_on_symmetric_graph () =
+  (* Symmetric graphs are the hard case: all nodes start identical. *)
+  List.iter
+    (fun seed ->
+      let g = Gen.cycle 8 in
+      let o = solve Rand_two_hop.algorithm g seed in
+      check "valid 2-hop coloring of C8" true
+        (Props.is_k_hop_coloring g 2 (fun v -> o.(v))))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_two_hop_colors_are_bits () =
+  let g = Gen.petersen () in
+  let o = solve Rand_two_hop.algorithm g 7 in
+  Array.iter
+    (fun l -> match l with Label.Bits _ -> () | _ -> Alcotest.fail "expected Bits")
+    o
+
+(* ---------- MIS specifics ---------- *)
+
+let test_mis_on_complete_graph () =
+  (* On K_n the MIS is a single node. *)
+  List.iter
+    (fun seed ->
+      let g = Gen.complete 5 in
+      let o = solve Rand_mis.algorithm g seed in
+      let members =
+        Array.to_list o |> List.filter (Label.equal (Label.Bool true)) |> List.length
+      in
+      Alcotest.(check int) "single member" 1 members)
+    [ 1; 2; 3 ]
+
+let test_mis_on_star () =
+  (* On a star, either the hub alone or all leaves. *)
+  let g = Gen.star 6 in
+  let o = solve Rand_mis.algorithm g 5 in
+  let hub = Label.equal o.(0) (Label.Bool true) in
+  let leaves = Array.sub o 1 6 in
+  if hub then
+    Array.iter (fun l -> check "leaves out" true (Label.equal l (Label.Bool false))) leaves
+  else
+    Array.iter (fun l -> check "leaves in" true (Label.equal l (Label.Bool true))) leaves
+
+(* ---------- matching specifics ---------- *)
+
+let test_matching_even_path () =
+  (* P2: the unique maximal matching matches both nodes. *)
+  let g = Gen.path 2 in
+  let o = solve Rand_matching.algorithm g 3 in
+  check "0 matched" true (Label.equal o.(0) (Label.Int 0));
+  check "1 matched" true (Label.equal o.(1) (Label.Int 0))
+
+let test_matching_single_node () =
+  let g = Gen.path 1 in
+  let o = solve Rand_matching.algorithm g 3 in
+  check "unmatched" true (Label.equal o.(0) Label.Unit)
+
+(* ---------- deterministic algorithms given a 2-hop coloring ---------- *)
+
+let with_two_hop_coloring g seed =
+  let colors = solve Rand_two_hop.algorithm g seed in
+  Problem.attach_coloring g colors
+
+let test_det_mis_valid () =
+  List.iter
+    (fun (name, g) ->
+      let gc = with_two_hop_coloring g 11 in
+      match Executor.run Det_from_two_hop.mis gc ~tape:Tape.zero
+              ~max_rounds:(8 * (Graph.n g + 2)) with
+      | Error e -> Alcotest.failf "det mis on %s: %a" name Executor.pp_failure e
+      | Ok { outputs; _ } ->
+        check (Printf.sprintf "det MIS valid on %s" name) true
+          (Catalog.mis.Problem.is_valid_output g outputs))
+    test_families
+
+let test_det_coloring_valid () =
+  List.iter
+    (fun (name, g) ->
+      let gc = with_two_hop_coloring g 13 in
+      match Executor.run Det_from_two_hop.coloring gc ~tape:Tape.zero
+              ~max_rounds:(8 * (Graph.n g + 2)) with
+      | Error e -> Alcotest.failf "det coloring on %s: %a" name Executor.pp_failure e
+      | Ok { outputs; _ } ->
+        check (Printf.sprintf "det coloring valid on %s" name) true
+          (Catalog.coloring.Problem.is_valid_output g outputs);
+        (* at most Δ+1 integer colors *)
+        Array.iter
+          (fun l ->
+            match l with
+            | Label.Int k -> check "color small" true (k <= Graph.max_degree g)
+            | _ -> Alcotest.fail "expected Int color")
+          outputs)
+    test_families
+
+let test_det_matching_valid () =
+  List.iter
+    (fun (name, g) ->
+      let gc = with_two_hop_coloring g 37 in
+      match Executor.run Det_from_two_hop.matching gc ~tape:Tape.zero
+              ~max_rounds:(24 * (Graph.n g + 2)) with
+      | Error e -> Alcotest.failf "det matching on %s: %a" name Executor.pp_failure e
+      | Ok { outputs; _ } ->
+        check (Printf.sprintf "det matching valid on %s" name) true
+          (Catalog.maximal_matching.Problem.is_valid_output g outputs))
+    test_families
+
+let test_det_matching_deterministic () =
+  let g = Gen.grid 3 3 in
+  let gc = with_two_hop_coloring g 41 in
+  let run tape =
+    match Executor.run Det_from_two_hop.matching gc ~tape ~max_rounds:500 with
+    | Error _ -> Alcotest.fail "should finish"
+    | Ok { outputs; _ } -> outputs
+  in
+  check "tape independent" true
+    (Array.for_all2 Label.equal (run Tape.zero) (run (Tape.random ~seed:77)))
+
+let test_two_hop_recoloring () =
+  List.iter
+    (fun (name, g) ->
+      let gc = with_two_hop_coloring g 29 in
+      match Executor.run Det_from_two_hop.two_hop_recoloring gc ~tape:Tape.zero
+              ~max_rounds:(16 * (Graph.n g + 2)) with
+      | Error e -> Alcotest.failf "recoloring on %s: %a" name Executor.pp_failure e
+      | Ok { outputs; _ } ->
+        check (Printf.sprintf "recoloring valid on %s" name) true
+          (Catalog.two_hop_coloring.Problem.is_valid_output g outputs);
+        (* palette bound: at most Δ² + 1 integer colors *)
+        let dd = Graph.max_degree g * Graph.max_degree g in
+        Array.iter
+          (fun l ->
+            match l with
+            | Label.Int k ->
+              check "palette bound" true (k >= 0 && k <= dd)
+            | _ -> Alcotest.fail "expected Int color")
+          outputs)
+    test_families
+
+let test_recoloring_pipeline () =
+  (* End-to-end: random bitstring coloring reduced to a small palette —
+     the practical decoupled 2-hop coloring pipeline. *)
+  let g = Gen.petersen () in
+  match
+    Anonet.Decouple.solve ~gran:Bundles.two_hop_coloring g ~seed:31
+      ~stage_two:(Anonet.Decouple.Specific Det_from_two_hop.two_hop_recoloring) ()
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check "pipeline output valid" true
+      (Catalog.two_hop_coloring.Problem.is_valid_output g r.Anonet.Decouple.outputs);
+    let distinct =
+      Array.to_list r.Anonet.Decouple.outputs
+      |> List.sort_uniq Label.compare |> List.length
+    in
+    check "palette is small" true (distinct <= 10)
+
+let test_det_is_deterministic () =
+  (* Same colored instance, different tapes: identical outputs. *)
+  let g = Gen.petersen () in
+  let gc = with_two_hop_coloring g 17 in
+  let run tape =
+    match Executor.run Det_from_two_hop.mis gc ~tape ~max_rounds:200 with
+    | Error _ -> Alcotest.fail "should finish"
+    | Ok { outputs; _ } -> outputs
+  in
+  let o1 = run Tape.zero in
+  let o2 = run (Tape.random ~seed:99) in
+  check "tape-independent" true (Array.for_all2 Label.equal o1 o2)
+
+(* ---------- Monte-Carlo leader election (mock-anonymous case) ---------- *)
+
+let with_size_labels g = Graph.relabel g (fun _ -> Label.Int (Graph.n g))
+
+let test_monte_carlo_leader_whp () =
+  (* With 32-bit identifiers ties are (practically) impossible. *)
+  let algo = Monte_carlo_leader.make ~id_bits:32 in
+  List.iter
+    (fun (name, g) ->
+      let gi = with_size_labels g in
+      check (name ^ " instance") true (Monte_carlo_leader.problem.Problem.is_instance gi);
+      List.iter
+        (fun seed ->
+          match Executor.run algo gi ~tape:(Tape.random ~seed)
+                  ~max_rounds:(40 + Graph.n g) with
+          | Error e -> Alcotest.failf "leader on %s: %a" name Executor.pp_failure e
+          | Ok { outputs; _ } ->
+            check
+              (Printf.sprintf "unique leader on %s (seed %d)" name seed)
+              true
+              (Monte_carlo_leader.problem.Problem.is_valid_output gi outputs))
+        [ 1; 2; 3 ])
+    test_families
+
+let test_monte_carlo_failure_mode () =
+  (* With 1-bit identifiers on 5 nodes, the pigeonhole guarantees ties:
+     either several nodes drew the maximum (several leaders) — the
+     Monte-Carlo failure — or, if all drew equal bits, everyone leads. *)
+  let g = with_size_labels (Gen.cycle 5) in
+  let algo = Monte_carlo_leader.make ~id_bits:1 in
+  let failures = ref 0 in
+  for seed = 1 to 10 do
+    match Executor.run algo g ~tape:(Tape.random ~seed) ~max_rounds:50 with
+    | Error _ -> Alcotest.fail "must terminate (Monte Carlo always halts)"
+    | Ok { outputs; _ } ->
+      let leaders =
+        Array.to_list outputs |> List.filter (Label.equal (Label.Bool true))
+        |> List.length
+      in
+      check "at least one claimant" true (leaders >= 1);
+      if leaders > 1 then incr failures
+  done;
+  check "ties happen (Monte Carlo, not Las Vegas)" true (!failures > 0)
+
+let test_monte_carlo_rejects_wrong_size () =
+  (* The instance predicate is what keeps this problem out of GRAN: a
+     lifted instance carries the wrong size label and is excluded. *)
+  let c3 = Graph.relabel (Gen.cycle 3) (fun _ -> Label.Int 3) in
+  let lifted = Lift.cyclic c3 ~k:2 ~shift:(fun (u, v) ->
+      if (u = 0 && v = 2) || (u = 2 && v = 0) then 1 else 0) in
+  check "base is an instance" true
+    (Monte_carlo_leader.problem.Problem.is_instance c3);
+  check "lift is NOT an instance" false
+    (Monte_carlo_leader.problem.Problem.is_instance lifted.Lift.graph)
+
+(* ---------- deciders ---------- *)
+
+let test_decider_two_hop_variant_yes () =
+  let g = Gen.petersen () in
+  let gc = with_two_hop_coloring g 19 in
+  match Executor.run Deciders.two_hop_colored_variant gc ~tape:Tape.zero ~max_rounds:10 with
+  | Error _ -> Alcotest.fail "should finish"
+  | Ok { outputs; _ } ->
+    check "all yes" true (Array.for_all (Label.equal (Label.Bool true)) outputs)
+
+let test_decider_two_hop_variant_no () =
+  (* A 1-hop-proper but not 2-hop-proper coloring must be rejected. *)
+  let g = Gen.cycle 6 in
+  let colors = Array.init 6 (fun v -> Label.Int (v mod 2)) in
+  let gc = Problem.attach_coloring g colors in
+  match Executor.run Deciders.two_hop_colored_variant gc ~tape:Tape.zero ~max_rounds:10 with
+  | Error _ -> Alcotest.fail "should finish"
+  | Ok { outputs; _ } ->
+    check "some no" true (Array.exists (Label.equal (Label.Bool false)) outputs)
+
+let test_decider_malformed_labels () =
+  let g = Gen.cycle 3 in
+  (* labels are not pairs *)
+  match Executor.run Deciders.two_hop_colored_variant g ~tape:Tape.zero ~max_rounds:10 with
+  | Error _ -> Alcotest.fail "should finish"
+  | Ok { outputs; _ } ->
+    check "rejected" true (Array.exists (Label.equal (Label.Bool false)) outputs)
+
+(* ---------- hard symmetric instances ---------- *)
+
+let test_vertex_transitive_hard_cases () =
+  (* Vertex-transitive and mirror-symmetric graphs are the adversarial
+     inputs for anonymous computation: every node starts with an identical
+     view, so only the random bits break symmetry. *)
+  let hard =
+    [ "circulant-8(1,3)", Gen.circulant 8 [ 1; 3 ];
+      "circulant-9(1,2)", Gen.circulant 9 [ 1; 2 ];
+      "torus-3x3", Gen.torus 3 3;
+      "barbell-4", Gen.barbell 4;
+      "hypercube-3", Gen.hypercube 3;
+      "complete-bipartite-3x3", Gen.complete_bipartite 3 3;
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      (* all nodes genuinely look alike *)
+      List.iter
+        (fun seed ->
+          let o2 = solve Rand_two_hop.algorithm g seed in
+          check (Printf.sprintf "2-hop on %s" name) true
+            (Catalog.two_hop_coloring.Problem.is_valid_output g o2);
+          let om = solve Rand_mis.algorithm g seed in
+          check (Printf.sprintf "mis on %s" name) true
+            (Catalog.mis.Problem.is_valid_output g om);
+          let ox = solve Rand_matching.algorithm g seed in
+          check (Printf.sprintf "matching on %s" name) true
+            (Catalog.maximal_matching.Problem.is_valid_output g ox))
+        [ 1; 2 ])
+    hard;
+  (* and the full decoupling survives them too *)
+  List.iter
+    (fun (name, g) ->
+      match
+        Anonet.Decouple.solve ~gran:Bundles.mis g ~seed:9
+          ~stage_two:(Anonet.Decouple.Specific Det_from_two_hop.mis) ()
+      with
+      | Error m -> Alcotest.failf "decouple on %s: %s" name m
+      | Ok r ->
+        check (Printf.sprintf "decoupled mis on %s" name) true
+          (Catalog.mis.Problem.is_valid_output g r.Anonet.Decouple.outputs))
+    hard
+
+(* ---------- round complexity sanity ---------- *)
+
+let test_round_counts_reasonable () =
+  let g = Gen.cycle 6 in
+  match Las_vegas.solve Rand_two_hop.algorithm g ~seed:2 () with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check "rounds bounded" true (r.Las_vegas.outcome.Executor.rounds <= 200)
+
+(* ---------- qcheck: validity on random graphs ---------- *)
+
+let arb_instance =
+  QCheck.make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%f" seed n p)
+    QCheck.Gen.(triple (int_bound 10_000) (int_range 1 12) (float_bound_inclusive 0.4))
+
+let prop_valid bundle =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s solver valid on random graphs" bundle.Gran.problem.Problem.name)
+    ~count:60 arb_instance
+    (fun (seed, n, p) ->
+      let g = Gen.random_connected ~seed n p in
+      let o = solve bundle.Gran.solver g (seed + 1) in
+      bundle.Gran.problem.Problem.is_valid_output g o)
+
+let qcheck_tests = List.map (fun b -> QCheck_alcotest.to_alcotest (prop_valid b)) Bundles.all
+
+let () =
+  Alcotest.run "anonet_algorithms"
+    [
+      ( "validity",
+        [
+          Alcotest.test_case "rand 2-hop coloring" `Quick
+            (validity_test Catalog.two_hop_coloring Rand_two_hop.algorithm);
+          Alcotest.test_case "rand coloring" `Quick
+            (validity_test Catalog.coloring Rand_coloring.algorithm);
+          Alcotest.test_case "rand mis" `Quick
+            (validity_test Catalog.mis Rand_mis.algorithm);
+          Alcotest.test_case "rand matching" `Quick
+            (validity_test Catalog.maximal_matching Rand_matching.algorithm);
+        ] );
+      ( "two-hop",
+        [
+          Alcotest.test_case "symmetric graphs" `Quick test_two_hop_on_symmetric_graph;
+          Alcotest.test_case "outputs are bitstrings" `Quick test_two_hop_colors_are_bits;
+        ] );
+      ( "mis",
+        [
+          Alcotest.test_case "complete graph" `Quick test_mis_on_complete_graph;
+          Alcotest.test_case "star" `Quick test_mis_on_star;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "P2" `Quick test_matching_even_path;
+          Alcotest.test_case "single node" `Quick test_matching_single_node;
+        ] );
+      ( "deterministic-from-coloring",
+        [
+          Alcotest.test_case "MIS valid" `Quick test_det_mis_valid;
+          Alcotest.test_case "coloring valid" `Quick test_det_coloring_valid;
+          Alcotest.test_case "matching valid" `Quick test_det_matching_valid;
+          Alcotest.test_case "matching deterministic" `Quick
+            test_det_matching_deterministic;
+          Alcotest.test_case "2-hop recoloring valid + small palette" `Quick
+            test_two_hop_recoloring;
+          Alcotest.test_case "recoloring pipeline end-to-end" `Quick
+            test_recoloring_pipeline;
+          Alcotest.test_case "tape independent" `Quick test_det_is_deterministic;
+        ] );
+      ( "monte-carlo-leader",
+        [
+          Alcotest.test_case "unique leader w.h.p." `Quick test_monte_carlo_leader_whp;
+          Alcotest.test_case "failure mode with tiny ids" `Quick
+            test_monte_carlo_failure_mode;
+          Alcotest.test_case "lifted instances excluded" `Quick
+            test_monte_carlo_rejects_wrong_size;
+        ] );
+      ( "deciders",
+        [
+          Alcotest.test_case "accepts valid Π^c" `Quick test_decider_two_hop_variant_yes;
+          Alcotest.test_case "rejects bad coloring" `Quick test_decider_two_hop_variant_no;
+          Alcotest.test_case "rejects malformed labels" `Quick test_decider_malformed_labels;
+        ] );
+      ( "hard-instances",
+        [
+          Alcotest.test_case "vertex-transitive & mirror-symmetric" `Quick
+            test_vertex_transitive_hard_cases;
+        ] );
+      "complexity", [ Alcotest.test_case "round counts" `Quick test_round_counts_reasonable ];
+      "properties", qcheck_tests;
+    ]

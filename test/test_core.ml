@@ -1,0 +1,938 @@
+(* Tests for the derandomization core: Knowledge, Bit_assignment,
+   Simulation, Min_search, Candidates, A_infinity, A_star, Lifting,
+   Decouple — the constructive content of Theorems 1 and 2. *)
+
+open Anonet_graph
+open Anonet
+module Problem = Anonet_problems.Problem
+module Gran = Anonet_problems.Gran
+module Catalog = Anonet_problems.Catalog
+module Bundles = Anonet_algorithms.Bundles
+module Executor = Anonet_runtime.Executor
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* A Π^c-style instance: plain inputs zipped with a 2-hop coloring. *)
+let colored_instance g colors = Problem.attach_coloring g colors
+
+let c6_instance () =
+  colored_instance (Gen.cycle 6) (Array.init 6 (fun v -> Label.Int ((v mod 3) + 1)))
+
+let prime_instance g = colored_instance g (Array.init (Graph.n g) (fun v -> Label.Int v))
+
+(* ---------- Knowledge ---------- *)
+
+let test_knowledge_hashcons () =
+  let a = Knowledge.node (Label.Int 1) [ Knowledge.leaf (Label.Int 2) ] in
+  let b = Knowledge.node (Label.Int 1) [ Knowledge.leaf (Label.Int 2) ] in
+  check "same id" true (a.Knowledge.id = b.Knowledge.id);
+  check "equal" true (Knowledge.equal a b);
+  (* children are canonicalized *)
+  let c1 = Knowledge.leaf (Label.Int 1) and c2 = Knowledge.leaf (Label.Int 2) in
+  let x = Knowledge.node Label.Unit [ c1; c2 ] in
+  let y = Knowledge.node Label.Unit [ c2; c1 ] in
+  check "sorted children" true (Knowledge.equal x y)
+
+let test_knowledge_view_matches_view_module () =
+  let g = Gen.c6_figure1 () in
+  for d = 1 to 6 do
+    let k = Knowledge.view_of_graph g ~root:0 ~depth:d in
+    let v = Anonet_views.View.of_graph g ~root:0 ~depth:d in
+    (* Compare shapes via a common rendering: mark sequence of a canonical
+       preorder walk. *)
+    let rec flat_k (t : Knowledge.t) =
+      Label.encode t.Knowledge.mark
+      :: List.concat_map flat_k t.Knowledge.children
+    in
+    let rec flat_v (t : Anonet_views.View.t) =
+      Label.encode t.Anonet_views.View.mark
+      :: List.concat_map flat_v t.Anonet_views.View.children
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "depth %d" d) (flat_v v) (flat_k k)
+  done
+
+let test_knowledge_label_roundtrip () =
+  let g = Gen.petersen () in
+  let k = Knowledge.view_of_graph (Gen.label_with_ints g) ~root:3 ~depth:5 in
+  let k' = Knowledge.of_label (Knowledge.to_label k) in
+  check "roundtrip" true (Knowledge.equal k k');
+  check_int "same id (hash-consed)" k.Knowledge.id k'.Knowledge.id
+
+let test_knowledge_truncate_depth () =
+  let g = Gen.c6_figure1 () in
+  let k = Knowledge.view_of_graph g ~root:0 ~depth:6 in
+  check_int "depth" 6 (Knowledge.depth k);
+  let t = Knowledge.truncate k ~depth:3 in
+  check_int "truncated depth" 3 (Knowledge.depth t);
+  check "truncate = direct view" true
+    (Knowledge.equal t (Knowledge.view_of_graph g ~root:0 ~depth:3))
+
+let test_knowledge_subtrees_shared () =
+  (* C6-figure1 has 3 view classes, so each level contributes at most 3
+     distinct subtrees: the DAG stays linear in depth. *)
+  let g = Gen.c6_figure1 () in
+  let k = Knowledge.view_of_graph g ~root:0 ~depth:10 in
+  let count = List.length (Knowledge.subtrees k) in
+  check "DAG is small" true (count <= 3 * 10)
+
+(* ---------- Bit_assignment ---------- *)
+
+let b s = Bits.of_string s
+
+let test_assignment_orders () =
+  let a1 = [| b "0"; b "1" |] and a2 = [| b "1"; b "0" |] in
+  check "node-major" true (Bit_assignment.compare_node_major a1 a2 < 0);
+  check "round-major agrees here" true (Bit_assignment.compare_round_major a1 a2 < 0);
+  (* length dominates *)
+  let short = [| b "1"; b "1" |] and long = [| b "00"; b "00" |] in
+  check "shorter first (node-major)" true (Bit_assignment.compare_node_major short long < 0);
+  check "shorter first (round-major)" true
+    (Bit_assignment.compare_round_major short long < 0);
+  (* the two orders genuinely differ: a = (01, 10), b = (10, 00).
+     node-major: a < b (01 < 10).  round-major: round1 = (0,1) vs (1,0):
+     a < b too... pick a = (01,00), b = (00,10): node-major: a > b;
+     round-major: round1 (0,0) vs (0,1): a < b. *)
+  let x = [| b "01"; b "00" |] and y = [| b "00"; b "10" |] in
+  check "orders differ (node-major)" true (Bit_assignment.compare_node_major x y > 0);
+  check "orders differ (round-major)" true (Bit_assignment.compare_round_major x y < 0)
+
+let test_assignment_extensions () =
+  let base = [| b "1"; Bits.empty |] in
+  let exts = List.of_seq (Bit_assignment.extensions base ~len:2) in
+  check_int "2^3 extensions" 8 (List.length exts);
+  List.iter
+    (fun e ->
+      check "extends base" true (Bit_assignment.is_extension ~base e);
+      check "uniform" true (Bit_assignment.is_uniform e);
+      check_int "length" 2 (Bit_assignment.max_length e))
+    exts;
+  (* enumeration is sorted node-major *)
+  let sorted = List.sort Bit_assignment.compare_node_major exts in
+  check "sorted" true (List.equal (fun x y -> Bit_assignment.compare_node_major x y = 0) exts sorted);
+  (* first extension is all-zero completion *)
+  check "first is zero-fill" true
+    (Bit_assignment.compare_node_major (List.hd exts) [| b "10"; b "00" |] = 0)
+
+let test_assignment_lift () =
+  let map = [| 0; 1; 0; 1 |] in
+  let bits = [| b "01"; b "10" |] in
+  let lifted = Bit_assignment.lift ~map bits in
+  check "lift" true
+    (Bit_assignment.compare_node_major lifted [| b "01"; b "10"; b "01"; b "10" |] = 0)
+
+(* ---------- Simulation ---------- *)
+
+let test_simulation_length_semantics () =
+  (* rand_coloring on K2 finishes in 4 rounds iff the two bit strings
+     differ at round 2 (the first Decide round). *)
+  let g = Gen.complete 2 in
+  let solver = Anonet_algorithms.Rand_coloring.algorithm in
+  let good = Simulation.run ~solver g ~bits:[| b "0010"; b "0110" |] in
+  check "distinct bits succeed" true good.Simulation.successful;
+  let tie = Simulation.run ~solver g ~bits:[| b "0000"; b "0000" |] in
+  check "identical bits never split" false tie.Simulation.successful;
+  (* too short a tape: conflict unresolved within l rounds *)
+  let short = Simulation.run ~solver g ~bits:[| b "0"; b "1" |] in
+  check "too short" false short.Simulation.successful
+
+(* ---------- Min_search ---------- *)
+
+let test_min_search_cross_check_orders () =
+  (* On tiny instances, exhaustively verify that the BFS (round-major)
+     result equals the brute-force minimum under the round-major order,
+     and that the node-major search returns the brute-force node-major
+     minimum. *)
+  let g = Gen.complete 2 in
+  let solver = Anonet_algorithms.Rand_coloring.algorithm in
+  let base = Bit_assignment.empty 2 in
+  let brute_force order_cmp len =
+    Seq.fold_left
+      (fun acc a ->
+        let sim = Simulation.run ~solver g ~bits:a in
+        if not sim.Simulation.successful then acc
+        else
+          match acc with
+          | None -> Some a
+          | Some current -> if order_cmp a current < 0 then Some a else Some current)
+      None
+      (Bit_assignment.extensions base ~len)
+  in
+  (* find minimal length with any success *)
+  let rec first_len l =
+    if l > 8 then Alcotest.fail "no success within 8 rounds"
+    else
+      match brute_force Bit_assignment.compare_round_major l with
+      | Some a -> l, a
+      | None -> first_len (l + 1)
+  in
+  let len, brute_rm = first_len 1 in
+  (match
+     Min_search.minimal_successful ~solver g ~base ~order:Min_search.Round_major
+       ~len:(Min_search.At_most 8) ()
+   with
+   | None -> Alcotest.fail "BFS found nothing"
+   | Some f ->
+     check_int "same minimal length" len
+       (Bit_assignment.max_length f.Min_search.assignment);
+     check "BFS = brute force (round-major)" true
+       (Bit_assignment.compare_round_major f.Min_search.assignment brute_rm = 0));
+  let brute_nm = Option.get (brute_force Bit_assignment.compare_node_major len) in
+  (match
+     Min_search.minimal_successful ~solver g ~base ~order:Min_search.Node_major
+       ~len:(Min_search.At_most 8) ()
+   with
+   | None -> Alcotest.fail "node-major found nothing"
+   | Some f ->
+     check "node-major = brute force" true
+       (Bit_assignment.compare_node_major f.Min_search.assignment brute_nm = 0))
+
+let test_min_search_exact_mode () =
+  let g = Gen.complete 2 in
+  let solver = Anonet_algorithms.Rand_coloring.algorithm in
+  let base = Bit_assignment.empty 2 in
+  (* exact length 6: compare BFS against brute force *)
+  let len = 6 in
+  let brute =
+    Seq.fold_left
+      (fun acc a ->
+        let sim = Simulation.run ~solver g ~bits:a in
+        if not sim.Simulation.successful then acc
+        else
+          match acc with
+          | None -> Some a
+          | Some c ->
+            if Bit_assignment.compare_round_major a c < 0 then Some a else Some c)
+      None
+      (Bit_assignment.extensions base ~len)
+  in
+  match
+    Min_search.minimal_successful ~solver g ~base ~len:(Min_search.Exactly len) ()
+  with
+  | None -> Alcotest.fail "exact search found nothing"
+  | Some f ->
+    check "exact = brute force" true
+      (Bit_assignment.compare_round_major f.Min_search.assignment (Option.get brute) = 0);
+    check "is extension" true
+      (Bit_assignment.is_extension ~base f.Min_search.assignment)
+
+let test_min_search_respects_base () =
+  (* With node 0 pinned to all-zeros, the search must keep it. *)
+  let g = Gen.complete 2 in
+  let solver = Anonet_algorithms.Rand_coloring.algorithm in
+  let base = [| b "0000"; Bits.empty |] in
+  match
+    Min_search.minimal_successful ~solver g ~base ~len:(Min_search.Exactly 4) ()
+  with
+  | None -> Alcotest.fail "should find an extension"
+  | Some f ->
+    check "base preserved" true
+      (Bits.equal f.Min_search.assignment.(0) (b "0000"));
+    check "successful" true f.Min_search.sim.Simulation.successful
+
+let test_min_search_none_when_impossible () =
+  (* 2-hop coloring needs at least 2 rounds per phase; within 1 round
+     nothing can terminate. *)
+  let g = Gen.complete 2 in
+  let solver = Anonet_algorithms.Rand_two_hop.algorithm in
+  check "no 1-round success" true
+    (Min_search.minimal_successful ~solver g ~base:(Bit_assignment.empty 2)
+       ~len:(Min_search.At_most 1) ()
+     = None)
+
+(* ---------- Candidates (Update-Graph) ---------- *)
+
+let test_candidates_select_view_graph_at_large_phase () =
+  (* Lemma 7: for p >= 2n the selected candidate is the finite view graph
+     of the gathered instance. *)
+  let inst = c6_instance () in
+  let with_b = Graph.map_labels inst (fun l -> Label.Pair (l, Label.Bits Bits.empty)) in
+  let p = 2 * 6 in
+  let k = Knowledge.view_of_graph with_b ~root:0 ~depth:p in
+  let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
+  match Candidates.from_knowledge k ~phase:p ~is_instance with
+  | [] -> Alcotest.fail "no candidates at phase 2n"
+  | selected :: _ ->
+    let vg = Anonet_views.View_graph.of_graph_exn with_b in
+    check "selected = true view graph" true
+      (Iso.equal selected.Candidates.graph vg.Anonet_views.View_graph.graph);
+    check_int "selected has 3 nodes" 3 (Graph.n selected.Candidates.graph);
+    (* my alias maps back to my class *)
+    check_int "alias" vg.Anonet_views.View_graph.map.(0) selected.Candidates.me
+
+let test_candidates_singleton () =
+  let g = Graph.create ~n:1 ~edges:[]
+      ~labels:[| Label.Pair (Label.Pair (Label.Unit, Label.Int 0), Label.Bits Bits.empty) |]
+  in
+  let k = Knowledge.view_of_graph g ~root:0 ~depth:1 in
+  let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
+  match Candidates.from_knowledge k ~phase:1 ~is_instance with
+  | [ c ] ->
+    check_int "one node" 1 (Graph.n c.Candidates.graph);
+    check_int "me" 0 c.Candidates.me
+  | l -> Alcotest.failf "expected exactly one candidate, got %d" (List.length l)
+
+let test_candidates_respect_c1 () =
+  (* At a phase smaller than the view graph, the true quotient violates C1
+     and must not be offered. *)
+  let inst = prime_instance (Gen.cycle 5) in
+  let with_b = Graph.map_labels inst (fun l -> Label.Pair (l, Label.Bits Bits.empty)) in
+  let p = 3 in
+  let k = Knowledge.view_of_graph with_b ~root:0 ~depth:p in
+  let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
+  List.iter
+    (fun c -> check "C1 holds" true (Graph.n c.Candidates.graph <= p))
+    (Candidates.from_knowledge k ~phase:p ~is_instance)
+
+(* ---------- A_infinity (Theorem 2) ---------- *)
+
+let a_inf_instances =
+  [ "c6/3colors", c6_instance ();
+    "c3-prime", prime_instance (Gen.cycle 3);
+    "p4-prime", prime_instance (Gen.path 4);
+    "star4-prime", prime_instance (Gen.star 4);
+    "k4-prime", prime_instance (Gen.complete 4);
+    "c8/4colors",
+    colored_instance (Gen.cycle 8) (Array.init 8 (fun v -> Label.Int (v mod 4)));
+  ]
+
+(* The 2-hop coloring solver needs long successful simulations (three
+   rounds per phase, several phases), and the minimal-simulation search is
+   exponential in the view graph size — the inherent cost of the generic
+   construction, charted by the `ablate-bits` bench.  Restrict that bundle
+   to instances whose view graphs have at most 4 nodes. *)
+let instances_for bundle =
+  if bundle == Bundles.two_hop_coloring then
+    List.filter
+      (fun (name, _) ->
+        List.mem name [ "c6/3colors"; "c3-prime"; "p4-prime" ])
+      a_inf_instances
+  else a_inf_instances
+
+let test_a_infinity_valid_outputs () =
+  List.iter
+    (fun bundle ->
+      List.iter
+        (fun (name, inst) ->
+          match A_infinity.solve ~gran:bundle inst () with
+          | Error m ->
+            Alcotest.failf "A_inf %s on %s: %s"
+              bundle.Gran.problem.Problem.name name m
+          | Ok r ->
+            check
+              (Printf.sprintf "A_inf %s on %s valid"
+                 bundle.Gran.problem.Problem.name name)
+              true
+              (bundle.Gran.problem.Problem.is_valid_output
+                 (Problem.strip_coloring inst) r.A_infinity.outputs))
+        (instances_for bundle))
+    [ Bundles.mis; Bundles.coloring; Bundles.two_hop_coloring;
+      Bundles.maximal_matching ]
+
+let test_a_infinity_deterministic () =
+  let inst = c6_instance () in
+  let run () =
+    match A_infinity.solve ~gran:Bundles.mis inst () with
+    | Error m -> Alcotest.fail m
+    | Ok r -> r.A_infinity.outputs
+  in
+  check "two runs agree" true (Array.for_all2 Label.equal (run ()) (run ()))
+
+let test_a_infinity_respects_symmetry () =
+  (* Nodes with equal views must output equal values. *)
+  let inst = c6_instance () in
+  match A_infinity.solve ~gran:Bundles.coloring inst () with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    let o = r.A_infinity.outputs in
+    check "0 = 3" true (Label.equal o.(0) o.(3));
+    check "1 = 4" true (Label.equal o.(1) o.(4));
+    check "2 = 5" true (Label.equal o.(2) o.(5))
+
+let test_a_infinity_rejects_bad_instance () =
+  (* Missing coloring component *)
+  match A_infinity.solve ~gran:Bundles.mis (Gen.cycle 6) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection of uncolored instance"
+
+let test_a_infinity_node_major_also_valid () =
+  let inst = c6_instance () in
+  match A_infinity.solve ~gran:Bundles.mis inst ~order:Min_search.Node_major
+          ~max_len:6 () with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check "node-major valid" true
+      (Catalog.mis.Problem.is_valid_output (Problem.strip_coloring inst)
+         r.A_infinity.outputs)
+
+(* ---------- Lifting lemma ---------- *)
+
+let test_lifting_on_figure2 () =
+  let l = Lift.c12_over_c6 () in
+  let solver = Anonet_algorithms.Rand_mis.algorithm in
+  (* any assignment on the factor lifts to an execution with matching
+     outputs *)
+  List.iter
+    (fun bits ->
+      let r =
+        Lifting.run ~solver ~product:l.Lift.graph ~factor:l.Lift.base
+          ~map:l.Lift.map ~bits
+      in
+      check "lifting lemma" true r.Lifting.agree)
+    [ Array.init 6 (fun v -> Bits.of_int ~width:6 (v * 7 mod 64));
+      Array.make 6 (b "10110");
+      Array.init 6 (fun v -> Bits.of_int ~width:8 (v * 37 mod 256));
+    ]
+
+let test_lifting_on_random_lifts () =
+  let base = Gen.label_with_ints (Gen.random_hamiltonian ~seed:5 5 0.3) in
+  let l = Lift.random ~seed:6 base ~k:3 in
+  let solver = Anonet_algorithms.Rand_coloring.algorithm in
+  let bits = Array.init 5 (fun v -> Bits.of_int ~width:10 (v * 131 mod 1024)) in
+  let r =
+    Lifting.run ~solver ~product:l.Lift.graph ~factor:l.Lift.base ~map:l.Lift.map
+      ~bits
+  in
+  check "lifting lemma on random lift" true r.Lifting.agree
+
+(* ---------- A_star (Theorem 1) ---------- *)
+
+let a_star_instances =
+  [ "c6/3colors", c6_instance ();
+    "c3-prime", prime_instance (Gen.cycle 3);
+    "p3-prime", prime_instance (Gen.path 3);
+    "p1", prime_instance (Gen.path 1);
+    "star3-prime", prime_instance (Gen.star 3);
+  ]
+
+let test_a_star_valid_outputs () =
+  List.iter
+    (fun bundle ->
+      List.iter
+        (fun (name, inst) ->
+          match A_star.solve ~gran:bundle inst () with
+          | Error m ->
+            Alcotest.failf "A* %s on %s: %s" bundle.Gran.problem.Problem.name name m
+          | Ok outcome ->
+            check
+              (Printf.sprintf "A* %s on %s valid" bundle.Gran.problem.Problem.name name)
+              true
+              (bundle.Gran.problem.Problem.is_valid_output
+                 (Problem.strip_coloring inst) outcome.Executor.outputs))
+        a_star_instances)
+    [ Bundles.mis; Bundles.coloring ]
+
+let test_a_star_two_hop_solver () =
+  (* Derandomizing the 2-hop coloring solver itself: the deep case, since
+     its successful simulations are long. *)
+  let inst = c6_instance () in
+  match A_star.solve ~gran:Bundles.two_hop_coloring inst () with
+  | Error m -> Alcotest.fail m
+  | Ok outcome ->
+    check "valid 2-hop coloring" true
+      (Catalog.two_hop_coloring.Problem.is_valid_output
+         (Problem.strip_coloring inst) outcome.Executor.outputs)
+
+let test_a_star_deterministic_and_symmetric () =
+  let inst = c6_instance () in
+  let run () =
+    match A_star.solve ~gran:Bundles.mis inst () with
+    | Error m -> Alcotest.fail m
+    | Ok o -> o.Executor.outputs
+  in
+  let o1 = run () and o2 = run () in
+  check "deterministic" true (Array.for_all2 Label.equal o1 o2);
+  check "symmetric outputs" true (Label.equal o1.(0) o1.(3))
+
+let test_a_star_matches_validity_on_matching () =
+  let inst = prime_instance (Gen.path 4) in
+  match A_star.solve ~gran:Bundles.maximal_matching inst () with
+  | Error m -> Alcotest.fail m
+  | Ok outcome ->
+    check "valid matching" true
+      (Catalog.maximal_matching.Problem.is_valid_output
+         (Problem.strip_coloring inst) outcome.Executor.outputs)
+
+let test_port_outputs_translated () =
+  (* Port-valued outputs must survive the alias indirection even when the
+     view graph's port numbering disagrees with the instance's — the
+     collapsed instances are where verbatim lifting would produce an
+     asymmetric "matching".  (Matching on an instance whose view graph
+     collapses too much may be unsolvable by ANY view-based rule — e.g.
+     nodes of a 6-cycle with 3 colors pair ambiguously — so we use
+     instances that are matchable yet have non-identity alias orders.) *)
+  List.iter
+    (fun (name, inst) ->
+      (* A_infinity *)
+      (match A_infinity.solve ~gran:Bundles.maximal_matching inst () with
+       | Error m -> Alcotest.failf "A_inf matching on %s: %s" name m
+       | Ok r ->
+         check (Printf.sprintf "A_inf matching valid on %s" name) true
+           (Catalog.maximal_matching.Problem.is_valid_output
+              (Problem.strip_coloring inst) r.A_infinity.outputs));
+      (* A_star *)
+      match A_star.solve ~gran:Bundles.maximal_matching inst () with
+      | Error m -> Alcotest.failf "A* matching on %s: %s" name m
+      | Ok outcome ->
+        check (Printf.sprintf "A* matching valid on %s" name) true
+          (Catalog.maximal_matching.Problem.is_valid_output
+             (Problem.strip_coloring inst) outcome.Executor.outputs))
+    [ (* reversed unique labels: the canonical class order differs from the
+         node order, so alias ports differ from own ports *)
+      "p4-reversed",
+      colored_instance (Gen.path 4) (Array.init 4 (fun v -> Label.Int (10 - v)));
+      "star3-reversed",
+      colored_instance (Gen.star 3) (Array.init 4 (fun v -> Label.Int (20 - v)));
+      "c5-reversed",
+      colored_instance (Gen.cycle 5) (Array.init 5 (fun v -> Label.Int (30 - v)));
+    ]
+
+(* ---------- Decouple ---------- *)
+
+let test_a_star_node_major_order () =
+  (* The analysis is order-agnostic: A* with the paper's node-major order
+     must also solve Π^c (on a tiny instance, since that order is searched
+     exhaustively). *)
+  let inst = prime_instance (Gen.cycle 3) in
+  match A_star.solve ~gran:Bundles.mis inst ~order:Min_search.Node_major () with
+  | Error m -> Alcotest.fail m
+  | Ok outcome ->
+    check "node-major A* valid" true
+      (Catalog.mis.Problem.is_valid_output (Problem.strip_coloring inst)
+         outcome.Executor.outputs)
+
+let test_decouple_all_stages () =
+  let g = Gen.cycle 6 in
+  List.iter
+    (fun (name, stage) ->
+      match Decouple.solve ~gran:Bundles.mis g ~seed:21 ~stage_two:stage () with
+      | Error m -> Alcotest.failf "decouple (%s): %s" name m
+      | Ok r ->
+        check (Printf.sprintf "decoupled MIS valid via %s" name) true
+          (Catalog.mis.Problem.is_valid_output g r.Decouple.outputs);
+        check "coloring stage valid" true
+          (Props.is_k_hop_coloring g 2 (fun v -> r.Decouple.coloring.(v))))
+    [ "a-star", Decouple.Generic_a_star;
+      "a-infinity", Decouple.Generic_a_infinity;
+      "specific", Decouple.Specific Anonet_algorithms.Det_from_two_hop.mis;
+    ]
+
+let test_decouple_coloring_specific () =
+  let g = Gen.petersen () in
+  match
+    Decouple.solve ~gran:Bundles.coloring g ~seed:23
+      ~stage_two:(Decouple.Specific Anonet_algorithms.Det_from_two_hop.coloring) ()
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check "decoupled coloring valid" true
+      (Catalog.coloring.Problem.is_valid_output g r.Decouple.outputs)
+
+(* ---------- literal candidate enumeration (DESIGN.md cross-check) ----- *)
+
+let test_literal_candidates_cross_check () =
+  (* On the colored triangle (prime, 3 nodes), at a phase where the
+     minimality argument applies (p >= 2n = 6... the literal enumerator
+     caps graphs at 4 nodes, fine since the true view graph has 3), the
+     literal Figure-3 candidate set and the quotient construction must
+     select the same graph. *)
+  let inst = prime_instance (Gen.cycle 3) in
+  let with_b = Graph.map_labels inst (fun l -> Label.Pair (l, Label.Bits Bits.empty)) in
+  let p = 6 in
+  let k = Knowledge.view_of_graph with_b ~root:0 ~depth:p in
+  let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
+  let alphabet =
+    List.sort_uniq Label.compare
+      (List.map (fun (t : Knowledge.t) -> t.Knowledge.mark) (Knowledge.subtrees k))
+  in
+  let quotient_based = Candidates.from_knowledge k ~phase:p ~is_instance in
+  let literal = Candidates.literal_candidates k ~phase:p ~alphabet ~is_instance in
+  (match quotient_based, literal with
+   | q :: _, l :: _ ->
+     Alcotest.(check string) "same selection" l.Candidates.encoding q.Candidates.encoding;
+     check_int "same alias" l.Candidates.me q.Candidates.me
+   | _, _ -> Alcotest.fail "both constructions must produce candidates");
+  (* every quotient candidate (of size <= 4) appears in the literal set *)
+  List.iter
+    (fun (q : Candidates.t) ->
+      if Graph.n q.Candidates.graph <= 4 then
+        check "quotient candidate in literal set" true
+          (List.exists
+             (fun (l : Candidates.t) -> String.equal l.Candidates.encoding q.Candidates.encoding)
+             literal))
+    quotient_based
+
+let test_literal_candidates_small_phase () =
+  (* At tiny phases the literal set can contain graphs the quotient
+     construction does not generate; both must still satisfy C1-C3, and
+     the quotient set must be a subset. *)
+  let inst = c6_instance () in
+  let with_b = Graph.map_labels inst (fun l -> Label.Pair (l, Label.Bits Bits.empty)) in
+  let p = 3 in
+  let k = Knowledge.view_of_graph with_b ~root:0 ~depth:p in
+  let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
+  let alphabet =
+    List.sort_uniq Label.compare
+      (List.map (fun (t : Knowledge.t) -> t.Knowledge.mark) (Knowledge.subtrees k))
+  in
+  let quotient_based = Candidates.from_knowledge k ~phase:p ~is_instance in
+  let literal = Candidates.literal_candidates k ~phase:p ~alphabet ~is_instance in
+  List.iter
+    (fun (q : Candidates.t) ->
+      check "subset" true
+        (List.exists
+           (fun (l : Candidates.t) -> String.equal l.Candidates.encoding q.Candidates.encoding)
+           literal))
+    quotient_based;
+  List.iter
+    (fun (c : Candidates.t) -> check "C1" true (Graph.n c.Candidates.graph <= p))
+    literal
+
+(* ---------- the Section 3.2 lemmas, phase by phase --------------------- *)
+
+let test_a_star_phase_lemmas () =
+  (* Re-derive A*'s phase evolution centrally and check the analysis:
+     Observation 1 (the b labels never split view classes), Lemma 6 (from
+     phase n on, the candidate set contains I*^p), and Lemma 7 (from phase
+     2n on, the selection *is* I*^p). *)
+  let inst = c6_instance () in
+  let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
+  let vg_c = Anonet_views.View_graph.of_graph_exn inst in
+  let n_star = Graph.n vg_c.Anonet_views.View_graph.graph in
+  let n = Graph.n inst in
+  let b = ref (Array.make n Bits.empty) in
+  for p = 1 to (2 * n_star) + 4 do
+    let ip = Graph.zip_labels inst (Array.map (fun x -> Label.Bits x) !b) in
+    (* Observation 1: the view classes of I^p (with b) match those of I^c. *)
+    let vg_p = Anonet_views.View_graph.of_graph_exn ip in
+    check
+      (Printf.sprintf "Observation 1 at phase %d" p)
+      true
+      (Iso.equal
+         (Graph.map_labels vg_p.Anonet_views.View_graph.graph Label.fst)
+         vg_c.Anonet_views.View_graph.graph);
+    let target_encoding =
+      Encode.to_string vg_p.Anonet_views.View_graph.graph
+        ~order:(Array.init (Graph.n vg_p.Anonet_views.View_graph.graph) Fun.id)
+    in
+    let new_b = Array.copy !b in
+    Graph.iter_nodes inst ~f:(fun v ->
+        let k = Knowledge.view_of_graph ip ~root:v ~depth:p in
+        let candidates = Candidates.from_knowledge k ~phase:p ~is_instance in
+        (* Lemma 6: I*^p is a candidate from phase n_star on (our quotient
+           construction sees the whole graph once p covers it). *)
+        if p >= 2 * n_star then begin
+          check
+            (Printf.sprintf "Lemma 6 at phase %d node %d" p v)
+            true
+            (List.exists
+               (fun (c : Candidates.t) -> String.equal c.Candidates.encoding target_encoding)
+               candidates);
+          (* Lemma 7: and it is the selection. *)
+          match candidates with
+          | [] -> Alcotest.fail "no candidates at a large phase"
+          | selected :: _ ->
+            Alcotest.(check string)
+              (Printf.sprintf "Lemma 7 at phase %d node %d" p v)
+              target_encoding selected.Candidates.encoding
+        end;
+        (* Update-Bits, as A* would perform it. *)
+        match candidates with
+        | [] -> ()
+        | selected :: _ ->
+          let j = Graph.map_labels selected.Candidates.graph (fun l -> Label.fst (Label.fst l)) in
+          let base = Candidates.assignment_of selected.Candidates.graph in
+          (match
+             Min_search.minimal_successful ~solver:Bundles.mis.Gran.solver j ~base
+               ~len:(Min_search.Exactly p) ()
+           with
+           | Some f -> new_b.(v) <- f.Min_search.assignment.(selected.Candidates.me)
+           | None -> ()));
+    (* prefix property of Update-Bits (used by Lemma 9) *)
+    Array.iteri
+      (fun v nb ->
+        check
+          (Printf.sprintf "b prefix property at phase %d node %d" p v)
+          true
+          (Bits.is_prefix ~prefix:!b.(v) nb))
+      new_b;
+    b := new_b
+  done
+
+(* ---------- k > 2: the lifting impossibility (Section 1.2) ------------ *)
+
+let test_three_hop_coloring_not_gran () =
+  (* The executable version of the paper's claim that the k-hop variant of
+     coloring for k > 2 is not genuinely solvable: any Las-Vegas algorithm
+     would have to produce, on C3, an output valid for C3; lifting that
+     execution to the 2-lift C6 is a possible execution on C6 whose output
+     repeats at distance 3 — invalid.  We check the combinatorial core:
+     every output lifted through the covering map violates 3-hop validity
+     on C6, regardless of what it is. *)
+  let l = Lift.c6_over_c3 () in
+  let three_hop = Catalog.k_hop_coloring 3 in
+  let all_c3_outputs =
+    (* all functions from 3 nodes to a palette of 6 colors suffices: a
+       violation occurs for *any* output, valid-on-C3 or not *)
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b -> List.map (fun c -> [| Label.Int a; Label.Int b; Label.Int c |])
+              [ 0; 1; 2; 3; 4; 5 ])
+          [ 0; 1; 2; 3; 4; 5 ])
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  List.iter
+    (fun o ->
+      let lifted = Lifting.lift_outputs ~map:l.Lift.map o in
+      check "lifted output invalid for 3-hop on C6" false
+        (three_hop.Problem.is_valid_output l.Lift.graph lifted))
+    all_c3_outputs;
+  (* contrast: 2-hop validity on C6 is achievable by lifting a C3 output *)
+  let two_hop_ok =
+    Lifting.lift_outputs ~map:l.Lift.map [| Label.Int 0; Label.Int 1; Label.Int 2 |]
+  in
+  check "2-hop coloring lifts fine" true
+    (Catalog.two_hop_coloring.Problem.is_valid_output l.Lift.graph two_hop_ok)
+
+(* ---------- port obliviousness (Section 1.3 remark) ------------------- *)
+
+let test_port_scrambling_multiset_algorithms_survive () =
+  (* Multiset-style algorithms do not need port numbers. *)
+  let g = Gen.petersen () in
+  List.iter
+    (fun (name, algo, problem) ->
+      match
+        Executor.run ~scramble_seed:7 algo g
+          ~tape:(Anonet_runtime.Tape.random ~seed:5) ~max_rounds:2000
+      with
+      | Error e -> Alcotest.failf "%s under scrambling: %a" name Executor.pp_failure e
+      | Ok { outputs; _ } ->
+        check (name ^ " valid under scrambling") true
+          (problem.Anonet_problems.Problem.is_valid_output g outputs))
+    [ "rand-2hop", Anonet_algorithms.Rand_two_hop.algorithm, Catalog.two_hop_coloring;
+      "rand-coloring", Anonet_algorithms.Rand_coloring.algorithm, Catalog.coloring;
+      "rand-mis", Anonet_algorithms.Rand_mis.algorithm, Catalog.mis;
+    ]
+
+let test_port_scrambling_breaks_matching () =
+  (* Maximal matching genuinely uses ports (its output is a port): under
+     scrambled delivery some run must fail or produce an invalid
+     matching. *)
+  let g = Gen.cycle 5 in
+  let broken = ref false in
+  for seed = 1 to 10 do
+    match
+      Executor.run ~scramble_seed:seed Anonet_algorithms.Rand_matching.algorithm g
+        ~tape:(Anonet_runtime.Tape.random ~seed) ~max_rounds:400
+    with
+    | Error _ -> broken := true
+    | Ok { outputs; _ } ->
+      if not (Catalog.maximal_matching.Problem.is_valid_output g outputs) then
+        broken := true
+  done;
+  check "matching breaks without ports" true !broken
+
+(* ---------- qcheck properties ---------- *)
+
+let arb_colored_instance =
+  (* random small graph + 2-hop coloring computed via the solver *)
+  QCheck.make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%f" seed n p)
+    QCheck.Gen.(triple (int_bound 10_000) (int_range 2 7) (float_bound_inclusive 0.4))
+
+let colored_of (seed, n, p) =
+  let g = Gen.random_connected ~seed n p in
+  match
+    Anonet_runtime.Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g
+      ~seed:(seed + 13) ()
+  with
+  | Error m -> failwith m
+  | Ok r ->
+    g, colored_instance g r.Anonet_runtime.Las_vegas.outcome.Executor.outputs
+
+let prop_a_infinity_valid =
+  QCheck.Test.make ~name:"A_infinity valid on random colored instances" ~count:30
+    arb_colored_instance (fun params ->
+      let g, inst = colored_of params in
+      match A_infinity.solve ~gran:Bundles.mis inst () with
+      | Error m -> QCheck.Test.fail_report m
+      | Ok r -> Catalog.mis.Problem.is_valid_output g r.A_infinity.outputs)
+
+let prop_lifting_lemma =
+  QCheck.Test.make ~name:"lifting lemma on random lifts" ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_bound 10_000) (int_range 2 3)))
+    (fun (seed, k) ->
+      let base = Gen.label_with_ints (Gen.random_hamiltonian ~seed:(seed + 3) 5 0.3) in
+      let l = Lift.random ~seed base ~k in
+      let bits =
+        Array.init 5 (fun v -> Bits.of_int ~width:8 ((seed + (v * 37)) mod 256))
+      in
+      let r =
+        Lifting.run ~solver:Anonet_algorithms.Rand_mis.algorithm
+          ~product:l.Lift.graph ~factor:l.Lift.base ~map:l.Lift.map ~bits
+      in
+      r.Lifting.agree)
+
+let prop_decouple_valid =
+  QCheck.Test.make ~name:"decoupled pipeline valid (specific stage 2)" ~count:30
+    arb_colored_instance (fun (seed, n, p) ->
+      let g = Gen.random_connected ~seed n p in
+      match
+        Decouple.solve ~gran:Bundles.mis g ~seed:(seed + 7)
+          ~stage_two:(Decouple.Specific Anonet_algorithms.Det_from_two_hop.mis) ()
+      with
+      | Error m -> QCheck.Test.fail_report m
+      | Ok r -> Catalog.mis.Problem.is_valid_output g r.Decouple.outputs)
+
+let prop_knowledge_roundtrip =
+  QCheck.Test.make ~name:"Knowledge label roundtrip on random views" ~count:50
+    arb_colored_instance (fun (seed, n, p) ->
+      let g = Gen.random_connected ~seed n p in
+      let depth = 1 + (seed mod (n + 2)) in
+      let k = Knowledge.view_of_graph (Gen.label_with_ints g) ~root:0 ~depth in
+      let k' = Knowledge.of_label (Knowledge.to_label k) in
+      Knowledge.equal k k')
+
+let prop_knowledge_truncate_coherent =
+  QCheck.Test.make ~name:"Knowledge truncate = direct shallow view" ~count:50
+    arb_colored_instance (fun (seed, n, p) ->
+      let g = Gen.label_with_ints (Gen.random_connected ~seed n p) in
+      let deep = Knowledge.view_of_graph g ~root:(seed mod n) ~depth:(n + 2) in
+      let d = 1 + (seed mod (n + 1)) in
+      Knowledge.equal
+        (Knowledge.truncate deep ~depth:d)
+        (Knowledge.view_of_graph g ~root:(seed mod n) ~depth:d))
+
+let prop_min_search_orders_same_length =
+  (* Both orders find a successful assignment of the same minimal length
+     (the orders differ only in the lexicographic tiebreak). *)
+  QCheck.Test.make ~name:"round-major and node-major agree on minimal length"
+    ~count:20
+    (QCheck.make QCheck.Gen.(int_bound 1000))
+    (fun seed ->
+      let g = Gen.label_with_ints (if seed mod 2 = 0 then Gen.path 2 else Gen.cycle 3) in
+      let base = Bit_assignment.empty (Graph.n g) in
+      let solver = Anonet_algorithms.Rand_mis.algorithm in
+      let len order =
+        match Min_search.minimal_successful ~solver g ~base ~order
+                ~len:(Min_search.At_most 10) () with
+        | Some f -> Bit_assignment.max_length f.Min_search.assignment
+        | None -> -1
+      in
+      len Min_search.Round_major = len Min_search.Node_major)
+
+let prop_a_star_random_instances =
+  QCheck.Test.make ~name:"A* valid on random colored instances (small)" ~count:8
+    (QCheck.make
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+       QCheck.Gen.(pair (int_bound 10_000) (int_range 2 5)))
+    (fun (seed, n) ->
+      let g = Gen.random_connected ~seed n 0.4 in
+      match
+        Decouple.solve ~gran:Bundles.mis g ~seed:(seed + 5)
+          ~stage_two:Decouple.Generic_a_star ()
+      with
+      | Error m -> QCheck.Test.fail_report m
+      | Ok r -> Catalog.mis.Problem.is_valid_output g r.Decouple.outputs)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_a_infinity_valid; prop_lifting_lemma; prop_decouple_valid;
+      prop_knowledge_roundtrip; prop_knowledge_truncate_coherent;
+      prop_min_search_orders_same_length; prop_a_star_random_instances ]
+
+let () =
+  Alcotest.run "anonet_core"
+    [
+      ( "knowledge",
+        [
+          Alcotest.test_case "hash-consing" `Quick test_knowledge_hashcons;
+          Alcotest.test_case "matches View module" `Quick
+            test_knowledge_view_matches_view_module;
+          Alcotest.test_case "label roundtrip" `Quick test_knowledge_label_roundtrip;
+          Alcotest.test_case "truncate/depth" `Quick test_knowledge_truncate_depth;
+          Alcotest.test_case "DAG sharing" `Quick test_knowledge_subtrees_shared;
+        ] );
+      ( "bit-assignment",
+        [
+          Alcotest.test_case "orders" `Quick test_assignment_orders;
+          Alcotest.test_case "extensions" `Quick test_assignment_extensions;
+          Alcotest.test_case "lift" `Quick test_assignment_lift;
+        ] );
+      ( "simulation",
+        [ Alcotest.test_case "length semantics" `Quick test_simulation_length_semantics ] );
+      ( "min-search",
+        [
+          Alcotest.test_case "cross-check vs brute force" `Quick
+            test_min_search_cross_check_orders;
+          Alcotest.test_case "exact mode" `Quick test_min_search_exact_mode;
+          Alcotest.test_case "respects base" `Quick test_min_search_respects_base;
+          Alcotest.test_case "none when impossible" `Quick
+            test_min_search_none_when_impossible;
+        ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "Lemma 7 selection" `Quick
+            test_candidates_select_view_graph_at_large_phase;
+          Alcotest.test_case "singleton graph" `Quick test_candidates_singleton;
+          Alcotest.test_case "C1 respected" `Quick test_candidates_respect_c1;
+        ] );
+      ( "a-infinity",
+        [
+          Alcotest.test_case "valid outputs" `Quick test_a_infinity_valid_outputs;
+          Alcotest.test_case "deterministic" `Quick test_a_infinity_deterministic;
+          Alcotest.test_case "respects symmetry" `Quick test_a_infinity_respects_symmetry;
+          Alcotest.test_case "rejects bad instance" `Quick
+            test_a_infinity_rejects_bad_instance;
+          Alcotest.test_case "node-major order" `Quick test_a_infinity_node_major_also_valid;
+        ] );
+      ( "lifting",
+        [
+          Alcotest.test_case "figure 2" `Quick test_lifting_on_figure2;
+          Alcotest.test_case "random lifts" `Quick test_lifting_on_random_lifts;
+        ] );
+      ( "a-star",
+        [
+          Alcotest.test_case "valid outputs" `Slow test_a_star_valid_outputs;
+          Alcotest.test_case "derandomized 2-hop coloring" `Slow test_a_star_two_hop_solver;
+          Alcotest.test_case "deterministic & symmetric" `Slow
+            test_a_star_deterministic_and_symmetric;
+          Alcotest.test_case "matching" `Slow test_a_star_matches_validity_on_matching;
+          Alcotest.test_case "port outputs translated" `Slow
+            test_port_outputs_translated;
+          Alcotest.test_case "node-major order" `Slow test_a_star_node_major_order;
+        ] );
+      ( "decouple",
+        [
+          Alcotest.test_case "all stage-2 variants" `Quick test_decouple_all_stages;
+          Alcotest.test_case "coloring, petersen" `Quick test_decouple_coloring_specific;
+        ] );
+      ( "literal-candidates",
+        [
+          Alcotest.test_case "agrees at large phase" `Slow
+            test_literal_candidates_cross_check;
+          Alcotest.test_case "superset at small phase" `Slow
+            test_literal_candidates_small_phase;
+        ] );
+      ( "phase-lemmas",
+        [
+          Alcotest.test_case "Observation 1, Lemmas 6-7, prefix property" `Slow
+            test_a_star_phase_lemmas;
+        ] );
+      ( "impossibility",
+        [
+          Alcotest.test_case "3-hop coloring not in GRAN" `Quick
+            test_three_hop_coloring_not_gran;
+        ] );
+      ( "port-obliviousness",
+        [
+          Alcotest.test_case "multiset algorithms survive scrambling" `Quick
+            test_port_scrambling_multiset_algorithms_survive;
+          Alcotest.test_case "matching needs ports" `Quick
+            test_port_scrambling_breaks_matching;
+        ] );
+      "properties", qcheck_tests;
+    ]

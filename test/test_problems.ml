@@ -1,0 +1,216 @@
+(* Tests for the problems library: problem specs, validity checkers
+   (positive and negative cases), colored variants, decision problems,
+   and GRAN bundles. *)
+
+open Anonet_graph
+open Anonet_problems
+
+let check = Alcotest.(check bool)
+
+let labels_of_ints xs = Array.of_list (List.map (fun i -> Label.Int i) xs)
+
+let labels_of_bools xs = Array.of_list (List.map (fun b -> Label.Bool b) xs)
+
+(* ---------- coloring ---------- *)
+
+let test_coloring_validity () =
+  let g = Gen.cycle 4 in
+  check "proper 2-coloring accepted" true
+    (Catalog.coloring.Problem.is_valid_output g (labels_of_ints [ 0; 1; 0; 1 ]));
+  check "monochromatic rejected" false
+    (Catalog.coloring.Problem.is_valid_output g (labels_of_ints [ 0; 0; 0; 0 ]));
+  check "one conflict rejected" false
+    (Catalog.coloring.Problem.is_valid_output g (labels_of_ints [ 0; 1; 0; 0 ]));
+  (* colors may be any labels *)
+  check "string colors fine" true
+    (Catalog.coloring.Problem.is_valid_output g
+       [| Label.Str "a"; Label.Str "b"; Label.Str "a"; Label.Str "b" |])
+
+let test_two_hop_validity () =
+  let g = Gen.cycle 6 in
+  check "1-hop-only coloring rejected" false
+    (Catalog.two_hop_coloring.Problem.is_valid_output g
+       (labels_of_ints [ 0; 1; 0; 1; 0; 1 ]));
+  check "3 colors accepted" true
+    (Catalog.two_hop_coloring.Problem.is_valid_output g
+       (labels_of_ints [ 0; 1; 2; 0; 1; 2 ]))
+
+let test_k_hop_validity () =
+  let g = Gen.cycle 6 in
+  let three = Catalog.k_hop_coloring 3 in
+  check "3 colors fail 3-hop" false
+    (three.Problem.is_valid_output g (labels_of_ints [ 0; 1; 2; 0; 1; 2 ]));
+  check "all distinct pass 3-hop" true
+    (three.Problem.is_valid_output g (labels_of_ints [ 0; 1; 2; 3; 4; 5 ]));
+  (* 1-hop agrees with coloring *)
+  let one = Catalog.k_hop_coloring 1 in
+  check "1-hop = coloring" true
+    (one.Problem.is_valid_output g (labels_of_ints [ 0; 1; 0; 1; 0; 1 ]));
+  Alcotest.check_raises "k >= 1 enforced"
+    (Invalid_argument "Catalog.k_hop_coloring: need k >= 1") (fun () ->
+      ignore (Catalog.k_hop_coloring 0))
+
+(* ---------- MIS ---------- *)
+
+let test_mis_validity () =
+  let g = Gen.path 4 in
+  check "alternating accepted" true
+    (Catalog.mis.Problem.is_valid_output g (labels_of_bools [ true; false; true; false ]));
+  check "ends accepted" true
+    (Catalog.mis.Problem.is_valid_output g (labels_of_bools [ true; false; false; true ]));
+  check "adjacent members rejected" false
+    (Catalog.mis.Problem.is_valid_output g (labels_of_bools [ true; true; false; false ]));
+  check "non-maximal rejected" false
+    (Catalog.mis.Problem.is_valid_output g (labels_of_bools [ true; false; false; false ]));
+  check "wrong type rejected" false
+    (Catalog.mis.Problem.is_valid_output g (labels_of_ints [ 1; 0; 1; 0 ]))
+
+(* ---------- matching ---------- *)
+
+let test_matching_validity () =
+  let g = Gen.path 4 in
+  (* nodes: 0-1-2-3; ports are sorted by neighbor index.
+     match 0-1 and 2-3: node 0 port 0 -> 1; node 1 port 0 -> 0;
+     node 2 port 1 -> 3; node 3 port 0 -> 2. *)
+  let good = [| Label.Int 0; Label.Int 0; Label.Int 1; Label.Int 0 |] in
+  check "perfect matching accepted" true
+    (Catalog.maximal_matching.Problem.is_valid_output g good);
+  (* middle edge matched, ends unmatched: maximal *)
+  let middle = [| Label.Unit; Label.Int 1; Label.Int 0; Label.Unit |] in
+  check "middle matching accepted" true
+    (Catalog.maximal_matching.Problem.is_valid_output g middle);
+  (* asymmetric claim rejected *)
+  let asym = [| Label.Int 0; Label.Unit; Label.Int 1; Label.Int 0 |] in
+  check "asymmetric rejected" false
+    (Catalog.maximal_matching.Problem.is_valid_output g asym);
+  (* empty matching not maximal *)
+  let empty = Array.make 4 Label.Unit in
+  check "empty rejected" false
+    (Catalog.maximal_matching.Problem.is_valid_output g empty);
+  (* out-of-range port rejected *)
+  let bad = [| Label.Int 5; Label.Int 0; Label.Unit; Label.Unit |] in
+  check "bad port rejected" false
+    (Catalog.maximal_matching.Problem.is_valid_output g bad)
+
+(* ---------- decision problems ---------- *)
+
+let test_decision_validity () =
+  let has_triangle g =
+    List.exists
+      (fun (u, v) ->
+        List.exists
+          (fun w -> w <> u && w <> v && Graph.has_edge g u w && Graph.has_edge g v w)
+          (List.init (Graph.n g) Fun.id))
+      (Graph.edges g)
+  in
+  let p = Catalog.decision ~name:"triangle" has_triangle in
+  let k3 = Gen.complete 3 and c4 = Gen.cycle 4 in
+  check "yes-instance: all true ok" true
+    (p.Problem.is_valid_output k3 (labels_of_bools [ true; true; true ]));
+  check "yes-instance: one false bad" false
+    (p.Problem.is_valid_output k3 (labels_of_bools [ true; false; true ]));
+  check "no-instance: one false ok" true
+    (p.Problem.is_valid_output c4 (labels_of_bools [ true; false; true; true ]));
+  check "no-instance: all true bad" false
+    (p.Problem.is_valid_output c4 (labels_of_bools [ true; true; true; true ]))
+
+(* ---------- colored variants ---------- *)
+
+let test_colored_variant_membership () =
+  let pc = Problem.colored_variant Catalog.mis in
+  let g = Gen.cycle 6 in
+  let good = Problem.attach_coloring g (labels_of_ints [ 0; 1; 2; 0; 1; 2 ]) in
+  let bad = Problem.attach_coloring g (labels_of_ints [ 0; 1; 0; 1; 0; 1 ]) in
+  check "valid coloring in" true (pc.Problem.is_instance good);
+  check "1-hop-only coloring out" false (pc.Problem.is_instance bad);
+  check "missing pair labels out" false (pc.Problem.is_instance g);
+  (* validity delegates to the base problem on the stripped instance *)
+  check "output validity delegated" true
+    (pc.Problem.is_valid_output good
+       (labels_of_bools [ true; false; false; true; false; false ]))
+
+let test_strip_and_coloring_roundtrip () =
+  let g = Graph.relabel (Gen.path 3) (fun v -> Label.Str (string_of_int v)) in
+  let colors = labels_of_ints [ 5; 6; 7 ] in
+  let inst = Problem.attach_coloring g colors in
+  let stripped = Problem.strip_coloring inst in
+  check "inputs preserved" true
+    (Array.for_all2 Label.equal (Graph.labels g) (Graph.labels stripped));
+  check "colors recovered" true
+    (Array.for_all2 Label.equal colors (Problem.coloring_of inst))
+
+(* ---------- GRAN bundles ---------- *)
+
+let test_gran_decide () =
+  let g = Gen.cycle 5 in
+  List.iter
+    (fun bundle ->
+      match Gran.decide bundle g ~seed:3 with
+      | Ok true -> ()
+      | Ok false -> Alcotest.fail "decider rejected a valid instance"
+      | Error m -> Alcotest.fail m)
+    Anonet_algorithms.Bundles.all
+
+let test_gran_check_solved () =
+  let g = Gen.path 2 in
+  check "good solution" true
+    (Gran.check_solved Anonet_algorithms.Bundles.mis g
+       (labels_of_bools [ true; false ]));
+  check "bad solution" false
+    (Gran.check_solved Anonet_algorithms.Bundles.mis g
+       (labels_of_bools [ true; true ]))
+
+(* ---------- qcheck ---------- *)
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%f" s n p)
+    QCheck.Gen.(triple (int_bound 10_000) (int_range 2 10) (float_bound_inclusive 0.5))
+
+let prop_unique_labels_always_k_hop =
+  QCheck.Test.make ~name:"unique labels satisfy every k-hop coloring" ~count:50
+    arb_graph (fun (seed, n, p) ->
+      let g = Gen.random_connected ~seed n p in
+      let unique = Array.init n (fun v -> Label.Int v) in
+      List.for_all
+        (fun k -> (Catalog.k_hop_coloring k).Problem.is_valid_output g unique)
+        [ 1; 2; 3 ])
+
+let prop_colored_variant_iff =
+  QCheck.Test.make ~name:"colored variant membership iff proper 2-hop" ~count:50
+    arb_graph (fun (seed, n, p) ->
+      let g = Gen.random_connected ~seed n p in
+      let colors = Array.init n (fun v -> Label.Int (v mod max 1 (n - 1))) in
+      let inst = Problem.attach_coloring g colors in
+      let proper = Props.is_k_hop_coloring g 2 (fun v -> colors.(v)) in
+      (Problem.colored_variant Catalog.mis).Problem.is_instance inst = proper)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_unique_labels_always_k_hop; prop_colored_variant_iff ]
+
+let () =
+  Alcotest.run "anonet_problems"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "coloring" `Quick test_coloring_validity;
+          Alcotest.test_case "2-hop coloring" `Quick test_two_hop_validity;
+          Alcotest.test_case "k-hop coloring" `Quick test_k_hop_validity;
+          Alcotest.test_case "mis" `Quick test_mis_validity;
+          Alcotest.test_case "matching" `Quick test_matching_validity;
+          Alcotest.test_case "decision" `Quick test_decision_validity;
+        ] );
+      ( "colored-variant",
+        [
+          Alcotest.test_case "membership" `Quick test_colored_variant_membership;
+          Alcotest.test_case "strip/attach roundtrip" `Quick
+            test_strip_and_coloring_roundtrip;
+        ] );
+      ( "gran",
+        [
+          Alcotest.test_case "deciders accept instances" `Quick test_gran_decide;
+          Alcotest.test_case "check_solved" `Quick test_gran_check_solved;
+        ] );
+      "properties", qcheck_tests;
+    ]

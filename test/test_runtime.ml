@@ -1,0 +1,379 @@
+(* Tests for the runtime: tapes, the synchronous executor, incremental
+   execution, and the Las-Vegas harness. *)
+
+open Anonet_graph
+open Anonet_runtime
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* A tiny deterministic algorithm: output your degree after one round. *)
+let degree_reporter : Algorithm.t =
+  (module struct
+    type state = {
+      degree : int;
+      out : Label.t option;
+    }
+
+    let name = "degree-reporter"
+
+    let init ~input:_ ~degree = { degree; out = None }
+
+    let round s ~bit:_ ~inbox:_ =
+      { s with out = Some (Label.Int s.degree) }, Algorithm.silence ~degree:s.degree
+
+    let output s = s.out
+  end)
+
+(* Echo: round 1 send own label; round 2 output the multiset received. *)
+let gossip : Algorithm.t =
+  (module struct
+    type state = {
+      degree : int;
+      input : Label.t;
+      round_no : int;
+      out : Label.t option;
+    }
+
+    let name = "gossip"
+
+    let init ~input ~degree = { degree; input; round_no = 0; out = None }
+
+    let round s ~bit:_ ~inbox =
+      let s = { s with round_no = s.round_no + 1 } in
+      if s.round_no = 1 then s, Algorithm.broadcast ~degree:s.degree s.input
+      else begin
+        let received =
+          List.sort Label.compare (List.filter_map Fun.id (Array.to_list inbox))
+        in
+        { s with out = Some (Label.List received) }, Algorithm.silence ~degree:s.degree
+      end
+
+    let output s = s.out
+  end)
+
+(* Bit collector: outputs its first three random bits. *)
+let bit_collector : Algorithm.t =
+  (module struct
+    type state = {
+      degree : int;
+      bits : Bits.t;
+      out : Label.t option;
+    }
+
+    let name = "bit-collector"
+
+    let init ~input:_ ~degree = { degree; bits = Bits.empty; out = None }
+
+    let round s ~bit ~inbox:_ =
+      let bits = Bits.append s.bits bit in
+      let s = { s with bits } in
+      let s = if Bits.length bits = 3 then { s with out = Some (Label.Bits bits) } else s in
+      s, Algorithm.silence ~degree:s.degree
+
+    let output s = s.out
+  end)
+
+(* A buggy algorithm that revokes its output: must be rejected.  Degree-1
+   nodes output at round 1 and change their answer at round 2; other nodes
+   stay silent so the execution is still running when the change happens. *)
+let revoker : Algorithm.t =
+  (module struct
+    type state = {
+      degree : int;
+      round_no : int;
+    }
+
+    let name = "revoker"
+
+    let init ~input:_ ~degree = { degree; round_no = 0 }
+
+    let round s ~bit:_ ~inbox:_ =
+      { s with round_no = s.round_no + 1 }, Algorithm.silence ~degree:s.degree
+
+    let output s =
+      if s.degree = 1 && s.round_no >= 1 then Some (Label.Int s.round_no) else None
+  end)
+
+(* ---------- Tape ---------- *)
+
+let test_tape_random_deterministic () =
+  let t1 = Tape.random ~seed:5 and t2 = Tape.random ~seed:5 in
+  for node = 0 to 3 do
+    for round = 1 to 10 do
+      Alcotest.(check (option bool))
+        "same seed same bit"
+        (Tape.bit t1 ~node ~round)
+        (Tape.bit t2 ~node ~round)
+    done
+  done;
+  (* different seeds differ somewhere *)
+  let t3 = Tape.random ~seed:6 in
+  let differs = ref false in
+  for node = 0 to 3 do
+    for round = 1 to 10 do
+      if Tape.bit t1 ~node ~round <> Tape.bit t3 ~node ~round then differs := true
+    done
+  done;
+  check "different seed differs" true !differs
+
+let test_tape_fixed () =
+  let t = Tape.fixed [| Bits.of_string "101"; Bits.of_string "0" |] in
+  Alcotest.(check (option bool)) "node0 r1" (Some true) (Tape.bit t ~node:0 ~round:1);
+  Alcotest.(check (option bool)) "node0 r2" (Some false) (Tape.bit t ~node:0 ~round:2);
+  Alcotest.(check (option bool)) "node0 r4 exhausted" None (Tape.bit t ~node:0 ~round:4);
+  Alcotest.(check (option bool)) "node1 r2 exhausted" None (Tape.bit t ~node:1 ~round:2);
+  check_int "horizon" 1 (Tape.horizon t ~nodes:2);
+  check_int "zero horizon" max_int (Tape.horizon Tape.zero ~nodes:5)
+
+(* ---------- Executor ---------- *)
+
+let test_executor_runs () =
+  let g = Gen.star 3 in
+  match Executor.run degree_reporter g ~tape:Tape.zero ~max_rounds:5 with
+  | Error _ -> Alcotest.fail "should finish"
+  | Ok { outputs; rounds; _ } ->
+    check_int "one round" 1 rounds;
+    check "hub degree" true (Label.equal outputs.(0) (Label.Int 3));
+    check "leaf degree" true (Label.equal outputs.(1) (Label.Int 1))
+
+let test_executor_message_delivery () =
+  let g = Graph.relabel (Gen.path 3) (fun v -> Label.Int (10 * v)) in
+  match Executor.run gossip g ~tape:Tape.zero ~max_rounds:5 with
+  | Error _ -> Alcotest.fail "should finish"
+  | Ok { outputs; messages; _ } ->
+    (* middle node hears both ends *)
+    check "middle hears ends" true
+      (Label.equal outputs.(1) (Label.List [ Label.Int 0; Label.Int 20 ]));
+    check "end hears middle" true (Label.equal outputs.(0) (Label.List [ Label.Int 10 ]));
+    check_int "messages = 2 * edges" 4 messages
+
+let test_executor_fixed_tape_feeds_bits () =
+  let g = Gen.path 2 in
+  let tape = Tape.fixed [| Bits.of_string "101"; Bits.of_string "011" |] in
+  match Executor.run bit_collector g ~tape ~max_rounds:5 with
+  | Error _ -> Alcotest.fail "should finish"
+  | Ok { outputs; _ } ->
+    check "node0 bits" true (Label.equal outputs.(0) (Label.Bits (Bits.of_string "101")));
+    check "node1 bits" true (Label.equal outputs.(1) (Label.Bits (Bits.of_string "011")))
+
+let test_executor_tape_exhaustion () =
+  let g = Gen.path 2 in
+  let tape = Tape.fixed [| Bits.of_string "10"; Bits.of_string "01" |] in
+  match Executor.run bit_collector g ~tape ~max_rounds:5 with
+  | Error (Executor.Tape_exhausted { round }) -> check_int "exhausted at 3" 3 round
+  | Ok _ | Error _ -> Alcotest.fail "expected tape exhaustion"
+
+let test_executor_max_rounds () =
+  let g = Gen.path 2 in
+  (* gossip finishes in 2; give it 1 *)
+  match Executor.run gossip g ~tape:Tape.zero ~max_rounds:1 with
+  | Error (Executor.Max_rounds_exceeded 1) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected max-rounds failure"
+
+let test_executor_rejects_revocation () =
+  let g = Gen.path 3 in
+  Alcotest.check_raises "revocation"
+    (Invalid_argument "Executor.step: revoker revoked an irrevocable output")
+    (fun () -> ignore (Executor.run revoker g ~tape:Tape.zero ~max_rounds:5))
+
+(* ---------- Incremental ---------- *)
+
+let test_incremental_persistence () =
+  let g = Gen.path 2 in
+  let e0 = Executor.Incremental.start bit_collector g in
+  let bits1 = [| true; false |] in
+  let e1 = Executor.Incremental.step e0 ~bits:bits1 in
+  (* branch: from e1, two different second rounds *)
+  let e2a = Executor.Incremental.step e1 ~bits:[| true; true |] in
+  let e2b = Executor.Incremental.step e1 ~bits:[| false; false |] in
+  let e3a = Executor.Incremental.step e2a ~bits:[| true; true |] in
+  let e3b = Executor.Incremental.step e2b ~bits:[| false; false |] in
+  check "branch a done" true (Executor.Incremental.all_output e3a);
+  check "branch b done" true (Executor.Incremental.all_output e3b);
+  let out3a = Executor.Incremental.outputs e3a in
+  let out3b = Executor.Incremental.outputs e3b in
+  check "branch a sees its bits" true
+    (Label.equal (Option.get out3a.(0)) (Label.Bits (Bits.of_string "111")));
+  check "branch b sees its bits" true
+    (Label.equal (Option.get out3b.(0)) (Label.Bits (Bits.of_string "100")));
+  check_int "round counter" 3 (Executor.Incremental.round e3a);
+  check_int "e1 unchanged" 1 (Executor.Incremental.round e1)
+
+(* ---------- Las Vegas ---------- *)
+
+let test_las_vegas_solves () =
+  let g = Gen.cycle 5 in
+  match Las_vegas.solve Anonet_algorithms.Rand_coloring.algorithm g ~seed:1 () with
+  | Error m -> Alcotest.fail m
+  | Ok { outcome; attempts; _ } ->
+    check "valid coloring" true
+      (Anonet_problems.Catalog.coloring.Anonet_problems.Problem.is_valid_output g
+         outcome.Executor.outputs);
+    check "few attempts" true (attempts <= 3)
+
+let test_las_vegas_deterministic_given_seed () =
+  let g = Gen.cycle 5 in
+  let run () =
+    match Las_vegas.solve Anonet_algorithms.Rand_coloring.algorithm g ~seed:3 () with
+    | Error m -> Alcotest.fail m
+    | Ok r -> r.Las_vegas.outcome.Executor.outputs
+  in
+  let o1 = run () and o2 = run () in
+  check "same seed same run" true (Array.for_all2 Label.equal o1 o2)
+
+(* ---------- Trace ---------- *)
+
+let test_trace_records () =
+  let g = Gen.cycle 5 in
+  match
+    Trace.record Anonet_algorithms.Rand_coloring.algorithm g
+      ~tape:(Tape.random ~seed:6) ~max_rounds:400
+  with
+  | Error _ -> Alcotest.fail "should finish"
+  | Ok (t, outcome) ->
+    check_int "rounds agree" outcome.Executor.rounds (Trace.rounds t);
+    let per_round = Trace.messages_by_round t in
+    check_int "message totals agree" outcome.Executor.messages
+      (List.fold_left ( + ) 0 per_round);
+    Array.iter
+      (fun r ->
+        match r with
+        | Some r -> check "output round within run" true (r >= 1 && r <= Trace.rounds t)
+        | None -> Alcotest.fail "every node must have an output round")
+      (Trace.output_rounds t);
+    let rendering = Trace.render t in
+    check "render mentions every node" true
+      (List.for_all
+         (fun v ->
+           let needle = Printf.sprintf "node %2d" v in
+           let rec contains i =
+             i + String.length needle <= String.length rendering
+             && (String.sub rendering i (String.length needle) = needle
+                 || contains (i + 1))
+           in
+           contains 0)
+         (List.init 5 Fun.id))
+
+let test_trace_partial_on_failure () =
+  let g = Gen.path 3 in
+  match Trace.record gossip g ~tape:Tape.zero ~max_rounds:1 with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error (t, Executor.Max_rounds_exceeded 1) -> check_int "partial trace" 1 (Trace.rounds t)
+  | Error (_, _) -> Alcotest.fail "wrong failure"
+
+(* ---------- Async / α-synchronizer ---------- *)
+
+let schedulers =
+  [ "fifo", Async.Fifo;
+    "random-3", Async.Random_delay { seed = 11; max_delay = 3 };
+    "random-9", Async.Random_delay { seed = 12; max_delay = 9 };
+    "skewed", Async.Skewed { seed = 13; max_delay = 7; slow_node = 0 };
+  ]
+
+let test_async_matches_sync () =
+  (* The α-synchronizer must reproduce the synchronous outputs exactly,
+     with the same tape, under every scheduler. *)
+  let cases =
+    [ "gossip/path4", gossip, Gen.path 4, Tape.zero;
+      "bits/path3", bit_collector, Gen.path 3, Tape.random ~seed:5;
+      "2hop/c5", Anonet_algorithms.Rand_two_hop.algorithm, Gen.cycle 5,
+      Tape.random ~seed:2;
+      "mis/petersen", Anonet_algorithms.Rand_mis.algorithm, Gen.petersen (),
+      Tape.random ~seed:3;
+      "matching/c6", Anonet_algorithms.Rand_matching.algorithm, Gen.cycle 6,
+      Tape.random ~seed:4;
+    ]
+  in
+  List.iter
+    (fun (name, algo, g, tape) ->
+      let sync =
+        match Executor.run algo g ~tape ~max_rounds:3000 with
+        | Ok o -> o.Executor.outputs
+        | Error e -> Alcotest.failf "sync %s: %a" name Executor.pp_failure e
+      in
+      List.iter
+        (fun (sname, scheduler) ->
+          match Async.run algo g ~tape ~scheduler ~max_events:2_000_000 with
+          | Error e -> Alcotest.failf "async %s/%s: %a" name sname Async.pp_failure e
+          | Ok { outputs; _ } ->
+            check
+              (Printf.sprintf "%s under %s matches sync" name sname)
+              true
+              (Array.for_all2 Label.equal sync outputs))
+        schedulers)
+    cases
+
+let test_async_single_node () =
+  let g = Gen.path 1 in
+  match
+    Async.run Anonet_algorithms.Rand_mis.algorithm g ~tape:(Tape.random ~seed:1)
+      ~scheduler:Async.Fifo ~max_events:1000
+  with
+  | Error e -> Alcotest.failf "single node: %a" Async.pp_failure e
+  | Ok { outputs; _ } ->
+    check "joins alone" true (Label.equal outputs.(0) (Label.Bool true))
+
+let test_async_virtual_rounds () =
+  (* The synchronizer's virtual round count matches the synchronous round
+     count (up to the final round bookkeeping). *)
+  let g = Gen.cycle 5 in
+  let tape = Tape.random ~seed:9 in
+  let algo = Anonet_algorithms.Rand_coloring.algorithm in
+  let sync =
+    match Executor.run algo g ~tape ~max_rounds:500 with
+    | Ok o -> o.Executor.rounds
+    | Error _ -> Alcotest.fail "sync failed"
+  in
+  match Async.run algo g ~tape ~scheduler:Async.Fifo ~max_events:100_000 with
+  | Error e -> Alcotest.failf "async: %a" Async.pp_failure e
+  | Ok { virtual_rounds; _ } ->
+    check "round counts close" true (abs (virtual_rounds - sync) <= 1)
+
+let test_async_event_limit () =
+  match
+    Async.run Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
+      ~tape:(Tape.random ~seed:1) ~scheduler:Async.Fifo ~max_events:5
+  with
+  | Error (Async.Event_limit_exceeded 5) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected event-limit failure"
+
+let () =
+  Alcotest.run "anonet_runtime"
+    [
+      ( "tape",
+        [
+          Alcotest.test_case "random deterministic" `Quick test_tape_random_deterministic;
+          Alcotest.test_case "fixed" `Quick test_tape_fixed;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "runs" `Quick test_executor_runs;
+          Alcotest.test_case "message delivery" `Quick test_executor_message_delivery;
+          Alcotest.test_case "fixed tape bits" `Quick test_executor_fixed_tape_feeds_bits;
+          Alcotest.test_case "tape exhaustion" `Quick test_executor_tape_exhaustion;
+          Alcotest.test_case "max rounds" `Quick test_executor_max_rounds;
+          Alcotest.test_case "rejects revocation" `Quick test_executor_rejects_revocation;
+        ] );
+      ( "incremental",
+        [ Alcotest.test_case "persistent branching" `Quick test_incremental_persistence ] );
+      ( "las-vegas",
+        [
+          Alcotest.test_case "solves" `Quick test_las_vegas_solves;
+          Alcotest.test_case "seeded determinism" `Quick test_las_vegas_deterministic_given_seed;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records a run" `Quick test_trace_records;
+          Alcotest.test_case "partial on failure" `Quick test_trace_partial_on_failure;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "synchronizer matches sync executor" `Quick
+            test_async_matches_sync;
+          Alcotest.test_case "single node" `Quick test_async_single_node;
+          Alcotest.test_case "virtual rounds" `Quick test_async_virtual_rounds;
+          Alcotest.test_case "event limit" `Quick test_async_event_limit;
+        ] );
+    ]

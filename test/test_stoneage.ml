@@ -1,0 +1,222 @@
+(* Tests for the stone-age model (Section 1.3's weak FSM model): the
+   engine, MIS, bounded-palette coloring, and the 2-hop coloring that the
+   paper asserts is solvable even there. *)
+
+open Anonet_graph
+open Anonet_stoneage
+module Catalog = Anonet_problems.Catalog
+module Problem = Anonet_problems.Problem
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let families =
+  [ "p1", Gen.path 1;
+    "p2", Gen.path 2;
+    "p6", Gen.path 6;
+    "c3", Gen.cycle 3;
+    "c8", Gen.cycle 8;
+    "star5", Gen.star 5;
+    "petersen", Gen.petersen ();
+    "grid33", Gen.grid 3 3;
+    "rand9", Gen.random_connected ~seed:5 9 0.3;
+  ]
+
+let run machine g seed =
+  match Engine.run machine g ~seed ~max_rounds:(4000 * (Graph.n g + 4)) with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "engine: %a" Engine.pp_failure e
+
+(* ---------- engine ---------- *)
+
+let test_engine_deterministic_given_seed () =
+  let g = Gen.cycle 6 in
+  let o1 = run Mis.machine g 3 and o2 = run Mis.machine g 3 in
+  check "same seed same run" true
+    (Array.for_all2 Label.equal o1.Engine.outputs o2.Engine.outputs);
+  check_int "same rounds" o1.Engine.rounds o2.Engine.rounds
+
+let test_engine_round_budget () =
+  (* a machine that never outputs *)
+  let stuck : Machine.t =
+    (module struct
+      type state = unit
+
+      let name = "stuck"
+
+      let alphabet = [ Label.Unit ]
+
+      let randomness = 1
+
+      let init () = ()
+
+      let output () = None
+
+      let transition () ~counts:_ ~random:_ = (), Label.Unit
+    end)
+  in
+  match Engine.run stuck (Gen.path 2) ~seed:1 ~max_rounds:10 with
+  | Error (Engine.Max_rounds_exceeded n) -> check_int "budget reported" 10 n
+  | Ok _ -> Alcotest.fail "expected round-budget failure"
+
+let test_engine_rejects_foreign_letters () =
+  let bad : Machine.t =
+    (module struct
+      type state = unit
+
+      let name = "bad-letters"
+
+      let alphabet = [ Label.Unit ]
+
+      let randomness = 1
+
+      let init () = ()
+
+      let output () = None
+
+      let transition () ~counts:_ ~random:_ = (), Label.Int 42
+    end)
+  in
+  Alcotest.check_raises "foreign letter"
+    (Invalid_argument
+       "Stoneage.Engine.run: bad-letters displayed a letter outside its alphabet")
+    (fun () -> ignore (Engine.run bad (Gen.path 2) ~seed:1 ~max_rounds:10))
+
+(* ---------- MIS ---------- *)
+
+let test_stoneage_mis_valid () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let o = run Mis.machine g seed in
+          check
+            (Printf.sprintf "stone-age MIS valid on %s (seed %d)" name seed)
+            true
+            (Catalog.mis.Problem.is_valid_output g o.Engine.outputs))
+        [ 1; 2; 3 ])
+    families
+
+let test_stoneage_mis_complete_graph () =
+  let g = Gen.complete 6 in
+  let o = run Mis.machine g 7 in
+  let members =
+    Array.to_list o.Engine.outputs
+    |> List.filter (Label.equal (Label.Bool true))
+    |> List.length
+  in
+  check_int "single member on K6" 1 members
+
+(* ---------- bounded-palette coloring ---------- *)
+
+let test_stoneage_coloring_valid () =
+  List.iter
+    (fun (name, g) ->
+      let palette = Graph.max_degree g + 1 in
+      let o = run (Coloring.make ~palette) g 11 in
+      check (Printf.sprintf "stone-age coloring valid on %s" name) true
+        (Catalog.coloring.Problem.is_valid_output g o.Engine.outputs);
+      Array.iter
+        (fun l ->
+          match l with
+          | Label.Int c -> check "palette respected" true (c >= 0 && c < palette)
+          | _ -> Alcotest.fail "expected Int")
+        o.Engine.outputs)
+    families
+
+let test_stoneage_coloring_too_small_palette_livelocks () =
+  (* K4 cannot be properly colored with 3 colors: the machine must hit the
+     round budget rather than output something invalid. *)
+  match Engine.run (Coloring.make ~palette:3) (Gen.complete 4) ~seed:5 ~max_rounds:3000 with
+  | Error (Engine.Max_rounds_exceeded _) -> ()
+  | Ok o ->
+    (* If it terminated, the output would have to be valid — it cannot be. *)
+    Alcotest.failf "terminated?! valid=%b"
+      (Catalog.coloring.Problem.is_valid_output (Gen.complete 4) o.Engine.outputs)
+
+(* ---------- 2-hop coloring (the Section 1.3 claim) ---------- *)
+
+let test_stoneage_two_hop_valid () =
+  List.iter
+    (fun (name, g) ->
+      let d = Graph.max_degree g in
+      let palette = (d * d) + 1 in
+      List.iter
+        (fun seed ->
+          let o = run (Two_hop.make ~palette) g seed in
+          check
+            (Printf.sprintf "stone-age 2-hop coloring valid on %s (seed %d)" name seed)
+            true
+            (Catalog.two_hop_coloring.Problem.is_valid_output g o.Engine.outputs))
+        [ 1; 2 ])
+    families
+
+let test_stoneage_two_hop_feeds_decoupling () =
+  (* The stone-age coloring can seed the paper's deterministic stage: a
+     full pipeline below the message-passing model's strength. *)
+  let g = Gen.cycle 8 in
+  let o = run (Two_hop.make ~palette:5) g 13 in
+  let inst = Problem.attach_coloring g o.Engine.outputs in
+  match
+    Anonet_runtime.Executor.run Anonet_algorithms.Det_from_two_hop.mis inst
+      ~tape:Anonet_runtime.Tape.zero ~max_rounds:200
+  with
+  | Error e -> Alcotest.failf "det stage: %a" Anonet_runtime.Executor.pp_failure e
+  | Ok { outputs; _ } ->
+    check "stone-age colors drive deterministic MIS" true
+      (Catalog.mis.Problem.is_valid_output g outputs)
+
+(* ---------- qcheck ---------- *)
+
+let arb =
+  QCheck.make
+    ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%f" s n p)
+    QCheck.Gen.(triple (int_bound 10_000) (int_range 1 9) (float_bound_inclusive 0.4))
+
+let prop_stoneage_mis =
+  QCheck.Test.make ~name:"stone-age MIS valid on random graphs" ~count:40 arb
+    (fun (seed, n, p) ->
+      let g = Gen.random_connected ~seed n p in
+      let o = run Mis.machine g (seed + 1) in
+      Catalog.mis.Problem.is_valid_output g o.Engine.outputs)
+
+let prop_stoneage_two_hop =
+  QCheck.Test.make ~name:"stone-age 2-hop coloring valid on random graphs" ~count:15
+    arb (fun (seed, n, p) ->
+      let g = Gen.random_connected ~seed n p in
+      let d = Graph.max_degree g in
+      let o = run (Two_hop.make ~palette:((d * d) + 1)) g (seed + 2) in
+      Catalog.two_hop_coloring.Problem.is_valid_output g o.Engine.outputs)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_stoneage_mis; prop_stoneage_two_hop ]
+
+let () =
+  Alcotest.run "anonet_stoneage"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_engine_deterministic_given_seed;
+          Alcotest.test_case "round budget" `Quick test_engine_round_budget;
+          Alcotest.test_case "alphabet enforced" `Quick test_engine_rejects_foreign_letters;
+        ] );
+      ( "mis",
+        [
+          Alcotest.test_case "valid on families" `Quick test_stoneage_mis_valid;
+          Alcotest.test_case "complete graph" `Quick test_stoneage_mis_complete_graph;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "valid with Δ+1 palette" `Quick test_stoneage_coloring_valid;
+          Alcotest.test_case "small palette livelocks" `Quick
+            test_stoneage_coloring_too_small_palette_livelocks;
+        ] );
+      ( "two-hop",
+        [
+          Alcotest.test_case "valid with Δ²+1 palette" `Quick test_stoneage_two_hop_valid;
+          Alcotest.test_case "feeds the decoupling" `Quick
+            test_stoneage_two_hop_feeds_decoupling;
+        ] );
+      "properties", qcheck_tests;
+    ]
