@@ -157,8 +157,32 @@ let bench_tests () =
                  (Gen.petersen ()) ~seed:4 ~max_rounds:1_000_000));
       ]
   in
+  let faults =
+    (* The retransmission wrapper's overhead: the loss-0 row against
+       sync-2hop-petersen of the substrates group isolates the pure
+       wrapper cost (acks + windows on a fault-free network); the loss-20
+       row adds the actual recovery work.  A fresh injector per run —
+       injectors are stateful. *)
+    let tape = Anonet_runtime.Tape.random ~seed:11 in
+    let module Faults = Anonet_runtime.Faults in
+    let wrapped =
+      Anonet_runtime.Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm
+    in
+    Test.make_grouped ~name:"faults"
+      [
+        Test.make ~name:"retransmit-2hop-petersen-loss0"
+          (Staged.stage (fun () ->
+               Anonet_runtime.Executor.run wrapped (Gen.petersen ()) ~tape
+                 ~max_rounds:2000));
+        Test.make ~name:"retransmit-2hop-petersen-loss20"
+          (Staged.stage (fun () ->
+               Anonet_runtime.Executor.run wrapped (Gen.petersen ()) ~tape
+                 ~faults:(Faults.make (Faults.with_loss 0.2 ~seed:7))
+                 ~max_rounds:2000));
+      ]
+  in
   Test.make_grouped ~name:"anonet"
-    [ fig1; fig2; fig3; searches; pipeline; substrates ]
+    [ fig1; fig2; fig3; searches; pipeline; substrates; faults ]
 
 let run_benchmarks () =
   header "Bechamel micro-benchmarks (monotonic clock per run)";

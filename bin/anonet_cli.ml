@@ -24,6 +24,7 @@ module Problem = Anonet_problems.Problem
 module Gran = Anonet_problems.Gran
 module Catalog = Anonet_problems.Catalog
 module Executor = Anonet_runtime.Executor
+module Faults = Anonet_runtime.Faults
 module Las_vegas = Anonet_runtime.Las_vegas
 module Bundles = Anonet_algorithms.Bundles
 
@@ -182,26 +183,43 @@ let factor_cmd =
     Term.(const run $ graph_arg $ coloring $ dot)
 
 let solve_cmd =
-  let run problem spec seed trace =
+  let run_solve problem spec seed trace faults_spec retransmit =
     let g = parse_graph spec in
     let bundle = parse_bundle problem in
+    let plan =
+      match faults_spec with
+      | None -> None
+      | Some s -> begin
+          match Faults.plan_of_string s with
+          | Ok p -> Some p
+          | Error m -> prerr_endline ("bad --faults spec: " ^ m); exit 1
+        end
+    in
+    let solver =
+      if retransmit then Anonet_runtime.Retransmit.wrap bundle.Gran.solver
+      else bundle.Gran.solver
+    in
+    (match plan with
+     | None -> ()
+     | Some p -> Printf.printf "fault plan: %s\n" (Faults.plan_to_string p));
     if trace then begin
+      let faults = Option.map Faults.make plan in
       match
-        Anonet_runtime.Trace.record bundle.Gran.solver g
+        Anonet_runtime.Trace.record ?faults solver g
           ~tape:(Anonet_runtime.Tape.random ~seed)
           ~max_rounds:(64 * (Graph.n g + 4))
       with
       | Error (t, f) ->
         print_string (Anonet_runtime.Trace.render t);
         Format.printf "failed: %a@." Executor.pp_failure f;
-        exit 1
+        exit (Executor.exit_code f)
       | Ok (t, outcome) ->
         print_string (Anonet_runtime.Trace.render t);
         Printf.printf "valid: %b\n"
           (bundle.Gran.problem.Problem.is_valid_output g outcome.Executor.outputs)
     end
     else begin
-      match Las_vegas.solve bundle.Gran.solver g ~seed () with
+      match Las_vegas.solve ?faults:plan solver g ~seed () with
       | Error m -> prerr_endline m; exit 1
       | Ok r ->
         let o = r.Las_vegas.outcome.Executor.outputs in
@@ -212,13 +230,43 @@ let solve_cmd =
         Printf.printf "valid: %b\n" (bundle.Gran.problem.Problem.is_valid_output g o)
     end
   in
+  let run problem spec seed trace faults_spec retransmit =
+    (* Fault injection can feed an algorithm messages its protocol never
+       anticipated (a loss-induced null mid-phase, a corrupted payload);
+       decoders are entitled to reject them.  Report that as the diagnosis
+       it is, not as an internal error. *)
+    try run_solve problem spec seed trace faults_spec retransmit
+    with Invalid_argument m when faults_spec <> None ->
+      Printf.eprintf
+        "fault injection broke the algorithm's protocol: %s\n\
+         (expected for unwrapped algorithms on a faulty network — try \
+         --retransmit)\n"
+        m;
+      exit 1
+  in
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print a round-by-round timeline.")
+  in
+  let faults_spec =
+    let doc =
+      "Inject faults, e.g. 'loss=0.2,seed=7' or \
+       'loss=0.1,dup=0.05,crash=2\\@4,droplink=0-1,budget=10,seed=3'.  Keys: \
+       loss, dup, corrupt (probabilities), seed, budget, crash=V\\@R or \
+       crash=V\\@R1..R2 (crash-recovery), droplink=U-V.  See README."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let retransmit =
+    Arg.(value & flag
+         & info [ "retransmit" ]
+             ~doc:"Wrap the algorithm in the retransmission/ack protocol \
+                   (loss-tolerant; see DESIGN.md).")
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the randomized anonymous algorithm (Las-Vegas).")
     Term.(const run $ problem_arg 0 $ Arg.(required & pos 1 (some string) None
-                                           & info [] ~docv:"GRAPH") $ seed_arg $ trace)
+                                           & info [] ~docv:"GRAPH") $ seed_arg $ trace
+          $ faults_spec $ retransmit)
 
 let derandomize_cmd =
   let run problem spec coloring method_ =
@@ -370,7 +418,8 @@ let experiments_cmd =
   in
   let id =
     let doc =
-      "Experiment id (f1, f2, f3, t2, t3, lemmas, a1, a2, a3); all when omitted."
+      "Experiment id (f1, f2, f3, t2, t3, lemmas, a1, a2, a3, a4, e1, e2, r1); \
+       all when omitted."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in

@@ -481,6 +481,69 @@ let exp_e2 () =
      under every adversarial schedule — all results transfer to\n\
      asynchronous networks."
 
+(* ------------------------------------------------------------------ *)
+(* R1: robustness — retransmission under seeded message loss           *)
+(* ------------------------------------------------------------------ *)
+
+let exp_r1 () =
+  header "R1  robustness: retransmission wrapper under seeded message loss";
+  let module Faults = Anonet_runtime.Faults in
+  let module Retransmit = Anonet_runtime.Retransmit in
+  let trials = 20 in
+  let losses = [ 0.0; 0.1; 0.2; 0.3 ] in
+  let petersen = Gen.petersen () in
+  let leader_instance = Graph.relabel petersen (fun _ -> Label.Int 10) in
+  let cases =
+    [ "2hop/petersen", petersen, Anonet_algorithms.Rand_two_hop.algorithm,
+      Catalog.two_hop_coloring;
+      "mis/petersen", petersen, Anonet_algorithms.Rand_mis.algorithm, Catalog.mis;
+      "leader/petersen", leader_instance,
+      Anonet_algorithms.Monte_carlo_leader.make ~id_bits:24,
+      Anonet_algorithms.Monte_carlo_leader.problem;
+    ]
+  in
+  Printf.printf "%-16s | %4s | %7s | %11s | %9s\n" "algorithm" "loss" "success"
+    "mean rounds" "inflation";
+  List.iter
+    (fun (name, g, algo, problem) ->
+      let wrapped = Retransmit.wrap algo in
+      let base_mean = ref 0.0 in
+      List.iter
+        (fun loss ->
+          let successes = ref 0 and rounds_sum = ref 0 in
+          for t = 1 to trials do
+            let tape = Anonet_runtime.Tape.random ~seed:(Prng.hash2 9000 t) in
+            let faults = Faults.make (Faults.with_loss loss ~seed:(Prng.hash2 9100 t)) in
+            match
+              Executor.run ~faults wrapped g ~tape
+                ~max_rounds:(64 * (Graph.n g + 4))
+            with
+            | Ok o when problem.Problem.is_valid_output g o.Executor.outputs ->
+              incr successes;
+              rounds_sum := !rounds_sum + o.Executor.rounds
+            | Ok _ | Error _ -> ()
+          done;
+          (* The wrapper is transparent on a loss-free network: every trial
+             must succeed at loss 0 (the Monte-Carlo leader's tie
+             probability is ~n²/2²⁴, invisible at 20 fixed seeds). *)
+          assert (loss > 0.0 || !successes = trials);
+          let mean =
+            if !successes = 0 then nan
+            else float_of_int !rounds_sum /. float_of_int !successes
+          in
+          if loss = 0.0 then base_mean := mean;
+          Printf.printf "%-16s | %4.2f | %4d/%2d | %11.1f | %8.2fx\n" name loss
+            !successes trials mean (mean /. !base_mean))
+        losses)
+    cases;
+  print_endline
+    "shape: the retransmission wrapper keeps the success rate at (or near)\n\
+     100% across loss rates — each lost message only delays its inner\n\
+     round — at the price of round inflation growing with the loss rate.\n\
+     Unwrapped algorithms lose messages for good: the synchronous port\n\
+     semantics silently feeds the receiver a null (see the fault-model\n\
+     section of DESIGN.md), and the α-synchronizer outright deadlocks."
+
 let all =
   [ "f1", ("Figure 1: depth-d local views", exp_f1);
     "f2", ("Figure 2: factor chain", exp_f2);
@@ -494,6 +557,7 @@ let all =
     "a4", ("ablation: palette reduction", exp_a4);
     "e1", ("extension: stone-age model", exp_e1);
     "e2", ("extension: asynchronous execution", exp_e2);
+    "r1", ("robustness: retransmission under message loss", exp_r1);
   ]
 
 let run_all () = List.iter (fun (_, (_, f)) -> f ()) all

@@ -4,7 +4,8 @@
     asserts its own invariants (a failed claim raises).
 
     Ids: [f1] [f2] [f3] (the figures), [t2] [t3] (theorems), [lemmas],
-    [a1] [a2] [a3] (ablations). *)
+    [a1] [a2] [a3] [a4] (ablations), [e1] [e2] (extensions), [r1]
+    (robustness under injected faults). *)
 
 (** Id-indexed experiments: [(id, (description, run))]. *)
 val all : (string * (string * (unit -> unit))) list

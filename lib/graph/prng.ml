@@ -30,6 +30,19 @@ let int t bound =
   in
   draw ()
 
+let float t =
+  (* 53 uniform bits over [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1p-53
+
+let hash2 a b =
+  (* One splitmix step per word: mix the first seed, advance by the second
+     scaled by the golden ratio, and mix again — a proper avalanche over
+     both inputs, unlike the arithmetic [seed + c * i] it replaces. *)
+  let z = Int64.add (mix (Int64.of_int a)) (Int64.mul (Int64.of_int b) golden) in
+  (* Drop to 62 bits: [to_int] of a 63-bit value can wrap negative on
+     OCaml's 63-bit native ints. *)
+  Int64.to_int (Int64.shift_right_logical (mix z) 2)
+
 let split t = { state = mix (Int64.add (bits64 t) golden) }
 
 let shuffle t arr =

@@ -20,6 +20,14 @@ val int : t -> int -> int
 (** [bits64 t] draws 64 fresh bits. *)
 val bits64 : t -> int64
 
+(** [float t] draws a uniform float in [0, 1) (53 bits of precision). *)
+val float : t -> float
+
+(** [hash2 a b] mixes two integers into one non-negative integer with full
+    avalanche (splitmix finalizer applied to both words) — for deriving
+    independent seeds from [(seed, index)] pairs. *)
+val hash2 : int -> int -> int
+
 (** [split t] derives an independent generator (for per-node streams). *)
 val split : t -> t
 

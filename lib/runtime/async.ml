@@ -16,11 +16,27 @@ type outcome = {
 type failure =
   | Event_limit_exceeded of int
   | Tape_exhausted of { round : int }
+  | Stalled of { events : int }
 
 let pp_failure fmt = function
   | Event_limit_exceeded n -> Format.fprintf fmt "no output after %d events" n
   | Tape_exhausted { round } ->
     Format.fprintf fmt "tape exhausted at synchronizer round %d" round
+  | Stalled { events } ->
+    Format.fprintf fmt "stalled after %d events: no messages in flight" events
+
+let exit_code = function
+  | Event_limit_exceeded _ -> 5
+  | Tape_exhausted _ -> 3
+  | Stalled _ -> 6
+
+let sample_delay scheduler rng ~source =
+  match scheduler with
+  | Fifo -> 1
+  | Random_delay { max_delay; _ } -> 1 + Prng.int rng (max 1 max_delay)
+  | Skewed { max_delay; slow_node; _ } ->
+    if source = slow_node then max 1 max_delay
+    else 1 + Prng.int rng (max 1 max_delay)
 
 (* A message in flight: [round] is the synchronous round it belongs to;
    [payload = None] is the synchronizer's explicit null. *)
@@ -35,8 +51,8 @@ module Timeline = Map.Make (Int)
 
 exception Tape_out of int
 
-let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
-    ~max_events =
+let run (type s) ?faults (module A : Algorithm.S with type state = s) g ~tape
+    ~scheduler ~max_events =
   let n = Graph.n g in
   (* reverse.(v).(p) = (u, q): port p of v reaches u, arriving on u's q. *)
   let reverse =
@@ -46,14 +62,7 @@ let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
             u, Graph.port_to g u v))
   in
   let delay_rng = Prng.create (Hashtbl.hash scheduler) in
-  let delay ~source =
-    match scheduler with
-    | Fifo -> 1
-    | Random_delay { max_delay; _ } -> 1 + Prng.int delay_rng (max 1 max_delay)
-    | Skewed { max_delay; slow_node; _ } ->
-      if source = slow_node then max 1 max_delay
-      else 1 + Prng.int delay_rng (max 1 max_delay)
-  in
+  let delay ~source = sample_delay scheduler delay_rng ~source in
   (* Per-node synchronizer state. *)
   let states = Array.make n None in
   let next_round = Array.make n 1 in
@@ -65,13 +74,30 @@ let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
   let seq = ref 0 in
   let events = ref 0 in
   let max_round = ref 0 in
-  let schedule msg ~source =
+  let schedule_raw msg ~source =
     let t = !now + delay ~source in
     incr seq;
     timeline :=
       Timeline.update t
         (fun q -> Some ((!seq, msg) :: Option.value ~default:[] q))
         !timeline
+  in
+  (* The wire is where faults live: every scheduled message passes through
+     the injector — including the synchronizer's explicit nulls, which are
+     real messages and can be lost (stalling the receiver forever). *)
+  let schedule msg ~source =
+    match faults with
+    | None -> schedule_raw msg ~source
+    | Some f ->
+      (match
+         Faults.on_send_async f ~src:source ~dst:msg.target ~round:msg.round
+           msg.payload
+       with
+       | Faults.Async_drop -> ()
+       | Faults.Async_deliver payload -> schedule_raw { msg with payload } ~source
+       | Faults.Async_duplicate payload ->
+         schedule_raw { msg with payload } ~source;
+         schedule_raw { msg with payload } ~source)
   in
   let record_output v state =
     match outputs.(v), A.output state with
@@ -87,6 +113,14 @@ let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
       let b = Array.make (Graph.degree g v) None, ref 0 in
       Hashtbl.add buffers.(v) round b;
       b
+  in
+  (* Node activation passes through the fault injector: a crashed node
+     never executes again (the asynchronous substrate has no global clock
+     to schedule a recovery, so crashes are crash-stop here). *)
+  let crashed v =
+    match faults with
+    | None -> false
+    | Some f -> Faults.crashed_forever f ~node:v ~round:next_round.(v)
   in
   (* Execute node [v]'s next synchronous round with the given inbox. *)
   let execute v ~inbox =
@@ -120,7 +154,8 @@ let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
   let rec advance v =
     let r = next_round.(v) in
     let d = Graph.degree g v in
-    if d = 0 then begin
+    if crashed v then ()
+    else if d = 0 then begin
       (* isolated node: free-running until it outputs *)
       if outputs.(v) = None then begin
         incr events;
@@ -147,8 +182,10 @@ let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
       record_output v (Option.get states.(v))
     done;
     for v = 0 to n - 1 do
-      execute v ~inbox:(Array.make (Graph.degree g v) None);
-      advance v
+      if not (crashed v) then begin
+        execute v ~inbox:(Array.make (Graph.degree g v) None);
+        advance v
+      end
     done;
     let finished = ref (all_output ()) in
     while (not !finished) && not (Timeline.is_empty !timeline) do
@@ -174,11 +211,16 @@ let run (type s) (module A : Algorithm.S with type state = s) g ~tape ~scheduler
           events = !events;
           virtual_rounds = !max_round;
         }
+    else if Timeline.is_empty !timeline then
+      (* Nothing in flight and nodes still undecided: a dropped message (or
+         a crashed sender) starved the synchronizer — it deadlocks, by
+         design, because it has no retransmission. *)
+      Error (Stalled { events = !events })
     else Error (Event_limit_exceeded max_events)
   with
   | Exit -> Error (Event_limit_exceeded max_events)
   | Tape_out round -> Error (Tape_exhausted { round })
 
-let run algo g ~tape ~scheduler ~max_events =
+let run ?faults algo g ~tape ~scheduler ~max_events =
   let (module A : Algorithm.S) = algo in
-  run (module A) g ~tape ~scheduler ~max_events
+  run ?faults (module A) g ~tape ~scheduler ~max_events

@@ -38,13 +38,39 @@ type outcome = {
 type failure =
   | Event_limit_exceeded of int
   | Tape_exhausted of { round : int }
+  | Stalled of { events : int }
+      (** no messages in flight, nodes still undecided: a fault starved the
+          synchronizer, which deadlocks by design (no retransmission) —
+          only reachable with [?faults]; see {!Retransmit} for the cure *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
+(** [exit_code f] maps each failure variant to a distinct non-zero process
+    exit code, disjoint from {!Executor.exit_code}: [Event_limit_exceeded]
+    = 5, [Tape_exhausted] = 3 (same meaning as the synchronous one),
+    [Stalled] = 6. *)
+val exit_code : failure -> int
+
+(** [sample_delay scheduler rng ~source] draws one delivery delay — the
+    deterministic core of the adversary, exposed so tests can pin the
+    documented range: every scheduler draws from [1..max_delay], with
+    [Skewed] pinning messages from [slow_node] to exactly [max_delay]. *)
+val sample_delay : scheduler -> Anonet_graph.Prng.t -> source:int -> int
+
 (** [run algo g ~tape ~scheduler ~max_events] executes the synchronous
     algorithm [algo] on the asynchronous substrate through the
-    α-synchronizer. *)
+    α-synchronizer.
+
+    [faults], when given, filters every scheduled message through the
+    {!Faults} injector (loss, duplication, corruption, dead links — nulls
+    included, they are real messages on the wire) and crash-stops failed
+    nodes (the asynchronous substrate has no global clock, so the
+    crash-recovery reading is not available here).  Because the
+    α-synchronizer waits for {e every} neighbor's round-[r] message, a
+    single lost message deadlocks its receiver: expect {!Stalled} under any
+    positive loss rate unless the algorithm is wrapped in {!Retransmit}. *)
 val run :
+  ?faults:Faults.t ->
   Algorithm.t ->
   Anonet_graph.Graph.t ->
   tape:Tape.t ->

@@ -4,10 +4,18 @@ module Label = Anonet_graph.Label
 type failure =
   | Max_rounds_exceeded of int
   | Tape_exhausted of { round : int }
+  | All_nodes_crashed of { round : int }
 
 let pp_failure fmt = function
   | Max_rounds_exceeded r -> Format.fprintf fmt "no output after %d rounds" r
   | Tape_exhausted { round } -> Format.fprintf fmt "tape exhausted at round %d" round
+  | All_nodes_crashed { round } ->
+    Format.fprintf fmt "every node crash-stopped by round %d" round
+
+let exit_code = function
+  | Max_rounds_exceeded _ -> 2
+  | Tape_exhausted _ -> 3
+  | All_nodes_crashed _ -> 4
 
 type outcome = {
   outputs : Label.t array;
@@ -57,38 +65,71 @@ module Incremental = struct
         messages = 0;
       }
 
-  let step ?scramble (Pack e) ~bits =
+  let step ?scramble ?faults (Pack e) ~bits =
     let module A = (val e.algo) in
     let g = e.graph in
     let n = Graph.n g in
     if Array.length bits <> n then invalid_arg "Executor.step: wrong bits length";
+    let round = e.round + 1 in
     let states = Array.copy e.states in
     let next_inboxes = Array.init n (fun v -> Array.make (Graph.degree g v) None) in
     let messages = ref e.messages in
     let outputs = Array.copy e.outputs in
     for v = 0 to n - 1 do
-      let state', sends = A.round states.(v) ~bit:bits.(v) ~inbox:e.inboxes.(v) in
-      if Array.length sends <> Graph.degree g v then
-        invalid_arg
-          (Printf.sprintf "Executor.step: %s sent on %d ports at a degree-%d node"
-             A.name (Array.length sends) (Graph.degree g v));
-      states.(v) <- state';
-      Array.iteri
-        (fun p msg ->
-          match msg with
-          | None -> ()
-          | Some _ ->
-            let u, q = e.reverse.(v).(p) in
-            next_inboxes.(u).(q) <- msg;
-            incr messages)
-        sends;
-      (match outputs.(v), A.output state' with
-       | None, o -> outputs.(v) <- o
-       | Some prev, Some cur when Label.equal prev cur -> ()
-       | Some _, _ ->
-         invalid_arg
-           (Printf.sprintf "Executor.step: %s revoked an irrevocable output" A.name))
+      let crashed =
+        match faults with
+        | None -> false
+        | Some f -> not (Faults.active f ~node:v ~round)
+      in
+      (* A crashed node neither computes nor sends; its round's inbox is
+         lost (the per-round inbox array is simply not read). *)
+      if not crashed then begin
+        let state', sends = A.round states.(v) ~bit:bits.(v) ~inbox:e.inboxes.(v) in
+        if Array.length sends <> Graph.degree g v then
+          invalid_arg
+            (Printf.sprintf "Executor.step: %s sent on %d ports at a degree-%d node"
+               A.name (Array.length sends) (Graph.degree g v));
+        states.(v) <- state';
+        Array.iteri
+          (fun p msg ->
+            match msg with
+            | None -> ()
+            | Some m ->
+              let u, q = e.reverse.(v).(p) in
+              let delivered =
+                match faults with
+                | None -> Some m
+                | Some f -> Faults.on_send_sync f ~src:v ~dst:u ~port:q ~round m
+              in
+              (match delivered with
+               | None -> ()
+               | Some _ ->
+                 next_inboxes.(u).(q) <- delivered;
+                 incr messages))
+          sends;
+        (match outputs.(v), A.output state' with
+         | None, o -> outputs.(v) <- o
+         | Some prev, Some cur when Label.equal prev cur -> ()
+         | Some _, _ ->
+           invalid_arg
+             (Printf.sprintf "Executor.step: %s revoked an irrevocable output" A.name))
+      end
     done;
+    (* Stale duplicates land one round behind the original, on ports that
+       would otherwise be idle (a port carries one message per round). *)
+    (match faults with
+     | None -> ()
+     | Some f ->
+       for v = 0 to n - 1 do
+         List.iter
+           (fun (p, payload) ->
+             if p < Array.length next_inboxes.(v) && next_inboxes.(v).(p) = None
+             then begin
+               next_inboxes.(v).(p) <- Some payload;
+               incr messages
+             end)
+           (Faults.stale_sync f ~dst:v ~round:(round + 1))
+       done);
     let next_inboxes =
       match scramble with
       | None -> next_inboxes
@@ -126,7 +167,7 @@ module Incremental = struct
     Marshal.to_string (e.states, e.inboxes, e.outputs) []
 end
 
-let run ?scramble_seed algo g ~tape ~max_rounds =
+let run ?scramble_seed ?faults algo g ~tape ~max_rounds =
   let n = Graph.n g in
   let scramble =
     Option.map
@@ -148,17 +189,21 @@ let run ?scramble_seed algo g ~tape ~max_rounds =
       let round = Incremental.round exec + 1 in
       if round > max_rounds then Error (Max_rounds_exceeded max_rounds)
       else begin
-        let exhausted = ref false in
-        let bits =
-          Array.init n (fun v ->
-              match Tape.bit tape ~node:v ~round with
-              | Some b -> b
-              | None ->
-                exhausted := true;
-                false)
-        in
-        if !exhausted then Error (Tape_exhausted { round })
-        else loop (Incremental.step exec ?scramble ~bits)
+        match faults with
+        | Some f when Faults.doomed f ~round ~nodes:n ->
+          Error (All_nodes_crashed { round })
+        | _ ->
+          let exhausted = ref false in
+          let bits =
+            Array.init n (fun v ->
+                match Tape.bit tape ~node:v ~round with
+                | Some b -> b
+                | None ->
+                  exhausted := true;
+                  false)
+          in
+          if !exhausted then Error (Tape_exhausted { round })
+          else loop (Incremental.step exec ?scramble ?faults ~bits)
       end
     end
   in

@@ -16,8 +16,17 @@ type failure =
   | Tape_exhausted of { round : int }
       (** the tape could not feed the given round; for fixed tapes this
           means the prescribed simulation ended before all nodes output *)
+  | All_nodes_crashed of { round : int }
+      (** a fault plan crash-stopped every node with no recovery pending —
+          the execution can never complete (only reachable with [?faults]) *)
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** [exit_code f] maps each failure variant to a distinct non-zero process
+    exit code, shared with the CLI: [Max_rounds_exceeded] = 2,
+    [Tape_exhausted] = 3, [All_nodes_crashed] = 4.  ({!Async.exit_code}
+    continues the numbering at 5.) *)
+val exit_code : failure -> int
 
 type outcome = {
   outputs : Anonet_graph.Label.t array;
@@ -36,10 +45,17 @@ type outcome = {
     port-dependent protocols (maximal matching, whose very output is a
     port) genuinely need the ports — the test suite demonstrates both.
 
+    [faults], when given, subjects the run to the adversary of {!Faults}:
+    sent messages may be dropped, duplicated (the stale copy arrives one
+    round late on an otherwise-idle port), or corrupted; crashed nodes skip
+    their rounds entirely (state frozen, nothing sent, arriving messages
+    lost).  The injector is stateful — pass a fresh [Faults.make] per run.
+
     @raise Invalid_argument if the algorithm revokes or changes an output
     (a model violation — a bug in the algorithm). *)
 val run :
   ?scramble_seed:int ->
+  ?faults:Faults.t ->
   Algorithm.t ->
   Anonet_graph.Graph.t ->
   tape:Tape.t ->
@@ -55,11 +71,14 @@ module Incremental : sig
   (** [step t ~bits] advances one round; [bits.(v)] is node [v]'s bit.
       [scramble], if given, permutes each node's freshly delivered inbox:
       [scramble ~node ~degree ~round] must return a permutation of
-      [0 .. degree-1] (see {!run}'s [scramble_seed]).
-      Persistent: [t] remains valid.
+      [0 .. degree-1] (see {!run}'s [scramble_seed]).  [faults], if given,
+      filters message delivery and node activation (see {!run}).
+      Persistent: [t] remains valid — but note a [Faults.t] is itself
+      stateful, so branching searches should not inject faults.
       @raise Invalid_argument on wrong array length or output revocation. *)
   val step :
     ?scramble:(node:int -> degree:int -> round:int -> int array) ->
+    ?faults:Faults.t ->
     t ->
     bits:bool array ->
     t

@@ -1,0 +1,367 @@
+module Label = Anonet_graph.Label
+module Bits = Anonet_graph.Bits
+module Prng = Anonet_graph.Prng
+
+type crash = {
+  node : int;
+  from_round : int;
+  until_round : int option;
+}
+
+type plan = {
+  seed : int;
+  loss : float;
+  duplicate : float;
+  corrupt : float;
+  dead_links : (int * int) list;
+  crashes : crash list;
+  budget : int option;
+}
+
+let no_faults =
+  {
+    seed = 0;
+    loss = 0.0;
+    duplicate = 0.0;
+    corrupt = 0.0;
+    dead_links = [];
+    crashes = [];
+    budget = None;
+  }
+
+let with_loss loss ~seed = { no_faults with loss; seed }
+
+type event_kind =
+  | Dropped of { src : int; dst : int }
+  | Duplicated of { src : int; dst : int }
+  | Corrupted of { src : int; dst : int }
+  | Link_dead of { src : int; dst : int }
+  | Crashed of int
+  | Recovered of int
+
+type event = {
+  round : int;
+  kind : event_kind;
+}
+
+let pp_event fmt { round; kind } =
+  let msg verb src dst = Format.fprintf fmt "round %3d: %s %d -> %d" round verb src dst in
+  match kind with
+  | Dropped { src; dst } -> msg "drop" src dst
+  | Duplicated { src; dst } -> msg "duplicate" src dst
+  | Corrupted { src; dst } -> msg "corrupt" src dst
+  | Link_dead { src; dst } -> msg "dead link" src dst
+  | Crashed v -> Format.fprintf fmt "round %3d: crash node %d" round v
+  | Recovered v -> Format.fprintf fmt "round %3d: recover node %d" round v
+
+type t = {
+  plan : plan;
+  rng : Prng.t;
+  (* crashes that survived the budget, by node *)
+  live_crashes : crash list;
+  dead : (int * int, unit) Hashtbl.t;  (* normalized link -> () *)
+  stale : (int * int, (int * Label.t) list) Hashtbl.t;  (* (dst, round) -> deliveries *)
+  mutable spent : int;
+  mutable events : event list;  (* reversed *)
+}
+
+let record t round kind = t.events <- { round; kind } :: t.events
+
+(* [charge t] spends one unit of budget; false when exhausted. *)
+let charge t =
+  match t.plan.budget with
+  | None ->
+    t.spent <- t.spent + 1;
+    true
+  | Some k ->
+    if t.spent >= k then false
+    else begin
+      t.spent <- t.spent + 1;
+      true
+    end
+
+let check_probability name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Faults.make: %s=%g outside [0,1]" name p)
+
+let make plan =
+  check_probability "loss" plan.loss;
+  check_probability "dup" plan.duplicate;
+  check_probability "corrupt" plan.corrupt;
+  List.iter
+    (fun c ->
+      if c.from_round < 1 then invalid_arg "Faults.make: crash round < 1";
+      match c.until_round with
+      | Some u when u <= c.from_round ->
+        invalid_arg "Faults.make: crash recovery must be after the crash"
+      | _ -> ())
+    plan.crashes;
+  let dead = Hashtbl.create 4 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace dead (min u v, max u v) ())
+    plan.dead_links;
+  let t =
+    {
+      plan;
+      rng = Prng.create (Prng.hash2 plan.seed 0xFA017);
+      live_crashes = [];
+      dead;
+      stale = Hashtbl.create 8;
+      spent = 0;
+      events = [];
+    }
+  in
+  (* Charge crash onsets up front, earliest first, so the budget is spent
+     deterministically regardless of execution order. *)
+  let ordered =
+    List.stable_sort (fun a b -> compare a.from_round b.from_round) plan.crashes
+  in
+  let live =
+    List.filter
+      (fun c ->
+        if charge t then begin
+          record t c.from_round (Crashed c.node);
+          (match c.until_round with
+           | Some u -> record t u (Recovered c.node)
+           | None -> ());
+          true
+        end
+        else false)
+      ordered
+  in
+  { t with live_crashes = live }
+
+let plan t = t.plan
+
+let spent t = t.spent
+
+let events t =
+  List.stable_sort (fun a b -> compare a.round b.round) (List.rev t.events)
+
+let active t ~node ~round =
+  not
+    (List.exists
+       (fun c ->
+         c.node = node && round >= c.from_round
+         && match c.until_round with None -> true | Some u -> round < u)
+       t.live_crashes)
+
+let crashed_forever t ~node ~round =
+  List.exists (fun c -> c.node = node && round >= c.from_round) t.live_crashes
+
+let doomed t ~round ~nodes =
+  nodes > 0
+  && List.for_all
+       (fun v ->
+         List.exists
+           (fun c -> c.node = v && round >= c.from_round && c.until_round = None)
+           t.live_crashes)
+       (List.init nodes Fun.id)
+
+let link_dead t u v = Hashtbl.mem t.dead (min u v, max u v)
+
+(* Structural perturbation: keep the outer constructor where it has more
+   than one inhabitant, so decoders accept the message and read garbage. *)
+let rec corrupt_label rng = function
+  | Label.Unit -> Label.Bool (Prng.bool rng)
+  | Label.Bool b -> Label.Bool (not b)
+  | Label.Int n -> Label.Int (n lxor (1 lsl Prng.int rng 8))
+  | Label.Str s -> Label.Str (s ^ "\x00")
+  | Label.Bits b ->
+    if Bits.is_empty b then Label.Bits (Bits.append b (Prng.bool rng))
+    else begin
+      let i = Prng.int rng (Bits.length b) in
+      Label.Bits
+        (Bits.of_list (List.mapi (fun j x -> if j = i then not x else x) (Bits.to_list b)))
+    end
+  | Label.Pair (a, b) ->
+    if Prng.bool rng then Label.Pair (corrupt_label rng a, b)
+    else Label.Pair (a, corrupt_label rng b)
+  | Label.List [] -> Label.List [ Label.Unit ]
+  | Label.List xs ->
+    let i = Prng.int rng (List.length xs) in
+    Label.List (List.mapi (fun j x -> if j = i then corrupt_label rng x else x) xs)
+
+let hit t p = p > 0.0 && Prng.float t.rng < p
+
+(* The shared per-message decision: what happens to a payload crossing
+   src -> dst in [round].  [`Drop], [`Deliver], or [`Duplicate], with the
+   (possibly corrupted) payload. *)
+let decide t ~src ~dst ~round payload =
+  if link_dead t src dst then begin
+    record t round (Link_dead { src; dst });
+    `Drop payload
+  end
+  else if hit t t.plan.loss && charge t then begin
+    record t round (Dropped { src; dst });
+    `Drop payload
+  end
+  else begin
+    let payload, dup =
+      if hit t t.plan.duplicate && charge t then begin
+        record t round (Duplicated { src; dst });
+        payload, true
+      end
+      else payload, false
+    in
+    let payload =
+      match payload with
+      | Some l when hit t t.plan.corrupt && charge t ->
+        record t round (Corrupted { src; dst });
+        Some (corrupt_label t.rng l)
+      | p -> p
+    in
+    if dup then `Duplicate payload else `Deliver payload
+  end
+
+let on_send_sync t ~src ~dst ~port ~round msg =
+  match decide t ~src ~dst ~round (Some msg) with
+  | `Drop _ -> None
+  | `Deliver p -> p
+  | `Duplicate p ->
+    (* Original arrives at round+1 as usual; the stale copy one round
+       later, competing with fresh traffic for the port. *)
+    (match p with
+     | Some l ->
+       let key = (dst, round + 2) in
+       let prev = Option.value ~default:[] (Hashtbl.find_opt t.stale key) in
+       Hashtbl.replace t.stale key ((port, l) :: prev)
+     | None -> ());
+    p
+
+let stale_sync t ~dst ~round =
+  let key = (dst, round) in
+  match Hashtbl.find_opt t.stale key with
+  | None -> []
+  | Some l ->
+    Hashtbl.remove t.stale key;
+    List.rev l
+
+type async_delivery =
+  | Async_drop
+  | Async_deliver of Label.t option
+  | Async_duplicate of Label.t option
+
+let on_send_async t ~src ~dst ~round payload =
+  match decide t ~src ~dst ~round payload with
+  | `Drop _ -> Async_drop
+  | `Deliver p -> Async_deliver p
+  | `Duplicate p -> Async_duplicate p
+
+(* ---------- the fault-spec grammar ---------- *)
+
+let plan_to_string p =
+  let b = Buffer.create 64 in
+  let add fmt = Printf.ksprintf (fun s ->
+      if Buffer.length b > 0 then Buffer.add_char b ',';
+      Buffer.add_string b s) fmt
+  in
+  if p.loss > 0.0 then add "loss=%g" p.loss;
+  if p.duplicate > 0.0 then add "dup=%g" p.duplicate;
+  if p.corrupt > 0.0 then add "corrupt=%g" p.corrupt;
+  (* always emitted, so even [no_faults] renders to a re-parsable spec *)
+  add "seed=%d" p.seed;
+  (match p.budget with Some k -> add "budget=%d" k | None -> ());
+  List.iter
+    (fun c ->
+      match c.until_round with
+      | None -> add "crash=%d@%d" c.node c.from_round
+      | Some u -> add "crash=%d@%d..%d" c.node c.from_round u)
+    p.crashes;
+  List.iter (fun (u, v) -> add "droplink=%d-%d" u v) p.dead_links;
+  Buffer.contents b
+
+(* Parse "R" (crash-stop) or "R1..R2" (crash-recovery). *)
+let parse_crash_rounds s =
+  match Option.bind (String.index_opt s '.') (fun i ->
+      if i + 1 < String.length s && s.[i + 1] = '.' then Some i else None)
+  with
+  | None -> Option.map (fun r -> r, None) (int_of_string_opt s)
+  | Some i ->
+    let a = String.sub s 0 i in
+    let b = String.sub s (i + 2) (String.length s - i - 2) in
+    (match int_of_string_opt a, int_of_string_opt b with
+     | Some a, Some b when b > a -> Some (a, Some b)
+     | _ -> None)
+
+let plan_of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_item plan item =
+    match plan with
+    | Error _ as e -> e
+    | Ok plan ->
+      let key, value =
+        match String.index_opt item '=' with
+        | Some i ->
+          ( String.sub item 0 i,
+            String.sub item (i + 1) (String.length item - i - 1) )
+        | None -> item, ""
+      in
+      let prob () =
+        match float_of_string_opt value with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+        | _ -> fail "faults: %s=%S is not a probability in [0,1]" key value
+      in
+      let int_v () =
+        match int_of_string_opt value with
+        | Some n -> Ok n
+        | None -> fail "faults: %s=%S is not an integer" key value
+      in
+      let ( let* ) = Result.bind in
+      match key with
+      | "loss" ->
+        let* p = prob () in
+        Ok { plan with loss = p }
+      | "dup" ->
+        let* p = prob () in
+        Ok { plan with duplicate = p }
+      | "corrupt" ->
+        let* p = prob () in
+        Ok { plan with corrupt = p }
+      | "seed" ->
+        let* n = int_v () in
+        Ok { plan with seed = n }
+      | "budget" ->
+        let* n = int_v () in
+        if n < 0 then fail "faults: budget=%d is negative" n
+        else Ok { plan with budget = Some n }
+      | "crash" -> begin
+          match String.index_opt value '@' with
+          | None -> fail "faults: crash needs NODE@ROUND, got %S" value
+          | Some i ->
+            let node = String.sub value 0 i in
+            let rounds = String.sub value (i + 1) (String.length value - i - 1) in
+            let* node =
+              match int_of_string_opt node with
+              | Some n when n >= 0 -> Ok n
+              | _ -> fail "faults: crash node %S" node
+            in
+            let* from_round, until_round =
+              match parse_crash_rounds rounds with
+              | Some (a, b) -> Ok (a, b)
+              | None -> fail "faults: crash rounds %S (want R or R1..R2)" rounds
+            in
+            if from_round < 1 then fail "faults: crash round %d < 1" from_round
+            else
+              Ok
+                {
+                  plan with
+                  crashes = plan.crashes @ [ { node; from_round; until_round } ];
+                }
+        end
+      | "droplink" -> begin
+          match String.split_on_char '-' value with
+          | [ u; v ] -> begin
+              match int_of_string_opt u, int_of_string_opt v with
+              | Some u, Some v ->
+                Ok { plan with dead_links = plan.dead_links @ [ u, v ] }
+              | _ -> fail "faults: droplink %S (want U-V)" value
+            end
+          | _ -> fail "faults: droplink %S (want U-V)" value
+        end
+      | _ -> fail "faults: unknown item %S" item
+  in
+  if String.trim s = "" then Error "faults: empty spec"
+  else
+    List.fold_left parse_item (Ok no_faults)
+      (List.map String.trim (String.split_on_char ',' s))

@@ -1,0 +1,164 @@
+(** Fault injection: an adversarial, seeded, budgeted fault model for both
+    executors.
+
+    The paper's model (Section 1.1) assumes a perfectly reliable network:
+    every message sent in round [r] arrives in round [r+1], and nodes never
+    fail.  This module breaks those assumptions on purpose, so that the
+    constructions can be probed empirically on an unreliable substrate:
+
+    - {e message loss}: a sent message silently disappears;
+    - {e message duplication}: a message is delivered twice — in the
+      synchronous executor the stale copy arrives one round late (and only
+      if the port is otherwise idle, since a port carries at most one
+      message per round); in the asynchronous executor both copies are
+      scheduled with independent delays;
+    - {e message corruption}: the payload is structurally perturbed (a
+      flipped bit, an off-by-one integer, a mangled list element) — the
+      constructor is preserved where possible so decoders fail late, like
+      real bit rot;
+    - {e dead links}: every message crossing a given undirected edge is
+      swallowed;
+    - {e node crashes}: crash-stop (the node permanently stops executing
+      rounds, sends nothing, and loses arriving messages) and
+      crash-recovery (it resumes, with its state intact but all messages
+      from the outage lost).  The asynchronous executor honors only the
+      crash-stop reading (there is no global clock to schedule a wake-up).
+
+    All randomness is drawn from a splitmix generator seeded by the plan,
+    so a fault schedule is exactly reproducible: equal plans and equal
+    executions inject equal faults.  A {e budget} caps the adversary: once
+    [budget] probabilistic faults (and crash onsets) have been spent, the
+    network becomes reliable again.  Dead links are structural, not
+    budgeted.
+
+    A {!plan} is a pure description; {!make} instantiates the stateful
+    injector threaded through one execution.  Injectors must not be shared
+    between runs (they carry the PRNG, the budget counter, the stale-
+    duplicate queue, and the event log). *)
+
+type crash = {
+  node : int;
+  from_round : int;  (** first round the node is down (1-based) *)
+  until_round : int option;
+      (** first round it is back up; [None] = crash-stop forever *)
+}
+
+type plan = {
+  seed : int;
+  loss : float;  (** per-message drop probability, in [0,1] *)
+  duplicate : float;  (** per-message duplication probability *)
+  corrupt : float;  (** per-message corruption probability *)
+  dead_links : (int * int) list;  (** undirected edges that swallow traffic *)
+  crashes : crash list;
+  budget : int option;  (** max faults the adversary may spend; [None] = ∞ *)
+}
+
+(** The reliable network: all probabilities 0, no crashes, no dead links. *)
+val no_faults : plan
+
+(** [with_loss p seed] is [no_faults] with loss probability [p]. *)
+val with_loss : float -> seed:int -> plan
+
+type event_kind =
+  | Dropped of { src : int; dst : int }
+  | Duplicated of { src : int; dst : int }
+  | Corrupted of { src : int; dst : int }
+  | Link_dead of { src : int; dst : int }
+  | Crashed of int
+  | Recovered of int
+
+type event = {
+  round : int;  (** the round the fault was injected (message faults: the
+                    sending round) *)
+  kind : event_kind;
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+(** [make plan] instantiates a fresh injector.  Crash onsets are charged
+    against the budget immediately (in order of [from_round]); a crash the
+    budget cannot afford never happens.
+    @raise Invalid_argument if a probability is outside [0,1] or a crash
+    round is < 1. *)
+val make : plan -> t
+
+val plan : t -> plan
+
+(** Faults injected so far, in round order (stable within a round). *)
+val events : t -> event list
+
+(** Budget spent so far. *)
+val spent : t -> int
+
+(** {2 Hooks for the synchronous executor} *)
+
+(** [active t ~node ~round] is false while [node] is crashed in [round]. *)
+val active : t -> node:int -> round:int -> bool
+
+(** [doomed t ~round ~nodes] holds when every node is crash-stopped (no
+    recovery pending) at [round] — the execution can never complete. *)
+val doomed : t -> round:int -> nodes:int -> bool
+
+(** [on_send_sync t ~src ~dst ~port ~round msg] decides the fate of a
+    message sent by [src] in [round] toward [dst]'s port [port]:
+    [None] = dropped, [Some m] = deliver [m] next round ([m] may be a
+    corrupted copy).  Duplication queues a stale copy for one round later,
+    surfaced by {!stale_sync}. *)
+val on_send_sync :
+  t -> src:int -> dst:int -> port:int -> round:int -> Anonet_graph.Label.t ->
+  Anonet_graph.Label.t option
+
+(** [stale_sync t ~dst ~round] drains the stale duplicates due to arrive at
+    [dst] in [round], as [(port, payload)] pairs.  The executor delivers
+    them only on otherwise-idle ports. *)
+val stale_sync : t -> dst:int -> round:int -> (int * Anonet_graph.Label.t) list
+
+(** {2 Hook for the asynchronous executor} *)
+
+type async_delivery =
+  | Async_drop
+  | Async_deliver of Anonet_graph.Label.t option
+  | Async_duplicate of Anonet_graph.Label.t option
+      (** deliver two copies, independently delayed *)
+
+(** [on_send_async t ~src ~dst ~round payload] decides the fate of an
+    asynchronous message ([payload = None] is the synchronizer's explicit
+    null, which is still a real message on the wire and can be lost). *)
+val on_send_async :
+  t -> src:int -> dst:int -> round:int -> Anonet_graph.Label.t option ->
+  async_delivery
+
+(** [crashed_forever t ~node ~round] — the crash-stop reading used by the
+    asynchronous executor: true from the earliest [from_round] on,
+    recoveries ignored. *)
+val crashed_forever : t -> node:int -> round:int -> bool
+
+(** {2 The fault-spec grammar}
+
+    Comma-separated items (used by [anonet solve --faults]):
+
+    {v
+    loss=P          per-message loss probability       (float in [0,1])
+    dup=P           per-message duplication probability
+    corrupt=P       per-message corruption probability
+    seed=N          adversary PRNG seed                (default 0)
+    budget=K        adversary fault budget             (default unlimited)
+    crash=V@R       crash-stop node V from round R
+    crash=V@R1..R2  crash node V at R1, recover at R2
+    droplink=U-V    kill the undirected link {U,V}
+    v}
+
+    Example: ["loss=0.2,dup=0.05,seed=7,crash=3@5..9,droplink=0-1"]. *)
+
+val plan_of_string : string -> (plan, string) result
+
+(** [plan_to_string p] renders [p] in the grammar above;
+    [plan_of_string (plan_to_string p)] re-reads it exactly. *)
+val plan_to_string : plan -> string
+
+(** [corrupt_label rng l] structurally perturbs [l] (exposed for tests):
+    the result differs from [l] but keeps the outer constructor where the
+    type has more than one inhabitant of it. *)
+val corrupt_label : Anonet_graph.Prng.t -> Anonet_graph.Label.t -> Anonet_graph.Label.t

@@ -1,28 +1,70 @@
 module Graph = Anonet_graph.Graph
+module Prng = Anonet_graph.Prng
 
 type report = {
   outcome : Executor.outcome;
   attempts : int;
   seed_used : int;
+  rounds_spent : int;
 }
 
-let solve algo g ~seed ?max_rounds ?(attempts = 20) () =
-  let max_rounds =
+let solve algo g ~seed ?max_rounds ?(attempts = 20) ?(backoff = 2.0) ?giveup
+    ?faults () =
+  if backoff < 1.0 then invalid_arg "Las_vegas.solve: backoff < 1";
+  let base_rounds =
     match max_rounds with Some r -> r | None -> 64 * (Graph.n g + 4)
   in
-  let rec go i =
+  let budget_for i =
+    (* Exponential backoff: unlucky (or faulted) attempts escalate their
+       round budget instead of burning the same one [attempts] times. *)
+    int_of_float (float_of_int base_rounds *. (backoff ** float_of_int (i - 1)))
+  in
+  let rec go i ~spent ~last_failure =
+    let describe_last () =
+      match last_failure with
+      | None -> ""
+      | Some (f, seed_used, budget) ->
+        Format.asprintf " (last attempt: %a; budget %d; seed %d)"
+          Executor.pp_failure f budget seed_used
+    in
     if i > attempts then
       Error
-        (Printf.sprintf "Las_vegas.solve: no success in %d attempts of %d rounds"
-           attempts max_rounds)
+        (Printf.sprintf
+           "Las_vegas.solve: no success in %d attempts (%d rounds spent)%s"
+           attempts spent (describe_last ()))
     else begin
-      let seed_used = seed + (1_000_003 * (i - 1)) in
-      match Executor.run algo g ~tape:(Tape.random ~seed:seed_used) ~max_rounds with
-      | Ok outcome -> Ok { outcome; attempts = i; seed_used }
-      | Error (Executor.Max_rounds_exceeded _) -> go (i + 1)
-      | Error (Executor.Tape_exhausted _) ->
-        (* Random tapes never exhaust. *)
-        assert false
+      let budget = budget_for i in
+      match giveup with
+      | Some cap when spent + budget > cap && i > 1 ->
+        Error
+          (Printf.sprintf
+             "Las_vegas.solve: giving up after %d attempts: next budget of %d \
+              rounds would exceed the %d-round cap (%d spent)%s"
+             (i - 1) budget cap spent (describe_last ()))
+      | _ ->
+        (* Splitmix-style hash of (seed, attempt): attempts draw unrelated
+           tapes even for adjacent or arithmetically related seeds. *)
+        let seed_used = Prng.hash2 seed i in
+        let faults = Option.map Faults.make faults in
+        (match
+           Executor.run ?faults algo g ~tape:(Tape.random ~seed:seed_used)
+             ~max_rounds:budget
+         with
+         | Ok outcome ->
+           Ok { outcome; attempts = i; seed_used; rounds_spent = spent + outcome.rounds }
+         | Error (Executor.Tape_exhausted _) ->
+           (* Random tapes never exhaust. *)
+           assert false
+         | Error (Executor.All_nodes_crashed _ as f) ->
+           (* The fault plan is deterministic: retrying cannot help. *)
+           Error
+             (Format.asprintf
+                "Las_vegas.solve: %a on attempt %d (seed %d) — fault plan \
+                 leaves no node running"
+                Executor.pp_failure f i seed_used)
+         | Error (Executor.Max_rounds_exceeded _ as f) ->
+           go (i + 1) ~spent:(spent + budget)
+             ~last_failure:(Some (f, seed_used, budget)))
     end
   in
-  go 1
+  go 1 ~spent:0 ~last_failure:None

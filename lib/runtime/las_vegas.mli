@@ -4,23 +4,43 @@
     generous round budget almost always suffices; this harness retries with
     fresh derived seeds in the (measure-zero in the limit, merely unlucky
     in practice) event the budget runs out, and reports how many attempts
-    were needed. *)
+    were needed.
+
+    Each attempt [i] draws its tape from [Prng.hash2 seed i] — a
+    splitmix-style hash, so attempt seeds are pairwise unrelated even for
+    adjacent user seeds — and runs with an exponentially backed-off round
+    budget [max_rounds * backoff^(i-1)]: unlucky or fault-injected runs
+    escalate instead of burning the same fixed budget every time.  A
+    [giveup] cap bounds the total rounds spent across attempts. *)
 
 type report = {
   outcome : Executor.outcome;
   attempts : int;  (** 1 when the first run already finished *)
   seed_used : int;
+  rounds_spent : int;
+      (** total rounds consumed across all attempts, failed ones included *)
 }
 
-(** [solve algo g ~seed ?max_rounds ?attempts ()] runs [algo] with random
-    tapes derived from [seed], retrying up to [attempts] times
-    (default 20) with a budget of [max_rounds] (default [64 * (n + 4)])
-    rounds per attempt. *)
+(** [solve algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ?faults ()]
+    runs [algo] with random tapes derived from [seed], retrying up to
+    [attempts] times (default 20).  Attempt [i] gets a budget of
+    [max_rounds * backoff^(i-1)] rounds ([max_rounds] defaults to
+    [64 * (n + 4)], [backoff] to [2.0]; pass [~backoff:1.0] for the old
+    fixed-budget behavior).  When [giveup] is set, the harness stops as
+    soon as the next attempt's budget would push the total rounds spent
+    past the cap.  [faults] subjects every attempt to a fresh injector for
+    the given plan (see {!Faults}); a plan that crash-stops all nodes fails
+    immediately without retrying.  Error strings include the last attempt's
+    failure, budget, and seed, so diagnosing does not require re-running.
+    @raise Invalid_argument if [backoff < 1]. *)
 val solve :
   Algorithm.t ->
   Anonet_graph.Graph.t ->
   seed:int ->
   ?max_rounds:int ->
   ?attempts:int ->
+  ?backoff:float ->
+  ?giveup:int ->
+  ?faults:Faults.plan ->
   unit ->
   (report, string) result

@@ -1,0 +1,132 @@
+module Label = Anonet_graph.Label
+module IntMap = Map.Make (Int)
+
+(* Wire format, one message per port per outer round:
+     Pair (Int cumulative_ack,
+           List [Pair (Int inner_round, List payload_opt); ...])
+   where payload_opt is [] for an explicit null (the inner algorithm sent
+   nothing on that port that round) and [l] for a real payload [l].  The
+   list carries the whole unacknowledged window — retransmission is simply
+   "send the window again". *)
+
+let encode_payload = function
+  | None -> Label.List []
+  | Some l -> Label.List [ l ]
+
+let decode_payload = function
+  | Label.List [] -> None
+  | Label.List [ l ] -> Some l
+  | _ -> invalid_arg "retransmit: malformed payload"
+
+let decode_wire = function
+  | Label.Pair (Label.Int ack, Label.List items) ->
+    ( ack,
+      List.map
+        (function
+          | Label.Pair (Label.Int r, p) -> r, decode_payload p
+          | _ -> invalid_arg "retransmit: malformed window entry")
+        items )
+  | _ -> invalid_arg "retransmit: malformed message"
+
+type port_state = {
+  pending : (int * Label.t option) list;
+      (* unacknowledged data, ascending inner round *)
+  got : Label.t option IntMap.t;  (* received data by inner round *)
+  recv_upto : int;  (* gap-free prefix received — the cumulative ack we send *)
+}
+
+let fresh_port = { pending = []; got = IntMap.empty; recv_upto = 0 }
+
+let wrap (module A : Algorithm.S) : Algorithm.t =
+  (module struct
+    type state = {
+      degree : int;
+      inner : A.state;
+      inner_round : int;  (* inner rounds executed so far *)
+      ports : port_state array;  (* treated as immutable: copied on update *)
+    }
+
+    let name = Printf.sprintf "retransmit(%s)" A.name
+
+    let init ~input ~degree =
+      {
+        degree;
+        inner = A.init ~input ~degree;
+        inner_round = 0;
+        ports = Array.init degree (fun _ -> fresh_port);
+      }
+
+    let output s = A.output s.inner
+
+    let absorb port_state msg =
+      let ack, items = decode_wire msg in
+      let pending =
+        List.filter (fun (r, _) -> r > ack) port_state.pending
+      in
+      let got =
+        List.fold_left
+          (fun got (r, payload) ->
+            if r > port_state.recv_upto && not (IntMap.mem r got) then
+              IntMap.add r payload got
+            else got)
+          port_state.got items
+      in
+      let rec catch_up upto = if IntMap.mem (upto + 1) got then catch_up (upto + 1) else upto in
+      { pending; got; recv_upto = catch_up port_state.recv_upto }
+
+    let round s ~bit ~inbox =
+      (* 1. Absorb this outer round's wire traffic. *)
+      let ports =
+        Array.mapi
+          (fun p ps -> match inbox.(p) with None -> ps | Some m -> absorb ps m)
+          s.ports
+      in
+      (* 2. Execute at most one inner round, when its inbox is complete:
+         round 1 needs nothing; round r+1 needs round-r data on every
+         port.  One inner round per outer round keeps the inner algorithm
+         on fresh tape bits. *)
+      let can_execute =
+        (* Nodes keep running their inner rounds after producing their own
+           output, exactly like the plain executor: neighbors may still
+           need their messages to decide. *)
+        s.inner_round = 0
+        || Array.for_all (fun ps -> ps.recv_upto >= s.inner_round) ports
+      in
+      let s =
+        if not can_execute then { s with ports }
+        else begin
+          let inner_inbox =
+            if s.inner_round = 0 then Array.make s.degree None
+            else Array.map (fun ps -> IntMap.find s.inner_round ps.got) ports
+          in
+          let inner, sends = A.round s.inner ~bit ~inbox:inner_inbox in
+          if Array.length sends <> s.degree then
+            invalid_arg "retransmit: inner algorithm sent on wrong port count";
+          let executed = s.inner_round + 1 in
+          let ports =
+            Array.mapi
+              (fun p ps ->
+                {
+                  ps with
+                  pending = ps.pending @ [ executed, sends.(p) ];
+                  (* data at or below the consumed round is never read again *)
+                  got = IntMap.filter (fun r _ -> r > s.inner_round) ps.got;
+                })
+              ports
+          in
+          { s with inner; inner_round = executed; ports }
+        end
+      in
+      (* 3. Send the window + cumulative ack on every port, every round. *)
+      let wire ps =
+        Some
+          (Label.Pair
+             ( Label.Int ps.recv_upto,
+               Label.List
+                 (List.map
+                    (fun (r, payload) ->
+                      Label.Pair (Label.Int r, encode_payload payload))
+                    ps.pending) ))
+      in
+      s, Array.map wire s.ports
+  end)

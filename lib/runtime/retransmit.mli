@@ -1,0 +1,37 @@
+(** Retransmission: loss-tolerant execution of any synchronous algorithm.
+
+    [wrap algo] turns an {!Algorithm.t} into one that computes the same
+    thing over a network that loses and duplicates messages.  It is the
+    recovery-side counterpart of the α-synchronizer ({!Async}): where the
+    synchronizer tags messages with round numbers to survive {e delays},
+    the wrapper additionally {e resends} them until acknowledged to survive
+    {e loss}, and deduplicates by round number to survive {e duplication}.
+
+    Protocol, per link and per outer round (one wire message per port per
+    round, so acks piggyback on data):
+
+    - each node keeps, per port, the window of inner-round messages not yet
+      cumulatively acknowledged by the peer, and retransmits the whole
+      window every outer round together with its own cumulative ack;
+    - received data is stored by inner round (duplicates are ignored), and
+      the cumulative ack advances over the gap-free prefix;
+    - the node executes inner round [r+1] as soon as every port has
+      delivered its round-[r] data — at most one inner round per outer
+      round, so each inner round consumes a fresh tape bit, preserving the
+      model's one-bit-per-round discipline.
+
+    On a fault-free network the wrapper is transparent: inner round [r]
+    executes exactly at outer round [r] with the same tape bit, so outputs
+    {e and round counts} equal the unwrapped run's — the only cost is
+    message volume (every port carries a message every round).  Under any
+    loss rate [p < 1] every inner round eventually completes with
+    probability 1.
+
+    What it does {e not} recover from: corruption (there are no checksums;
+    a corrupted round tag or payload is taken at face value) and crashed
+    nodes (a crash-stopped neighbor stalls its links forever, like any
+    synchronous algorithm). *)
+
+(** [wrap algo] is the loss-tolerant version of [algo]; its outputs are
+    [algo]'s outputs and its name is ["retransmit(<name>)"]. *)
+val wrap : Algorithm.t -> Algorithm.t

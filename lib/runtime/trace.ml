@@ -5,9 +5,11 @@ type t = {
   output_rounds : int option array;
   messages_by_round : int list;  (* reversed while recording *)
   rounds : int;
+  fault_events : Faults.event list;
+  crashed : int -> round:int -> bool;  (* node crashed in the given round? *)
 }
 
-let record algo g ~tape ~max_rounds =
+let record ?faults algo g ~tape ~max_rounds =
   let n = Graph.n g in
   let output_rounds = Array.make n None in
   let note exec round =
@@ -23,6 +25,12 @@ let record algo g ~tape ~max_rounds =
         output_rounds = Array.copy output_rounds;
         messages_by_round = List.rev messages_acc;
         rounds = Executor.Incremental.round exec;
+        fault_events =
+          (match faults with None -> [] | Some f -> Faults.events f);
+        crashed =
+          (match faults with
+           | None -> fun _ ~round:_ -> false
+           | Some f -> fun v ~round -> not (Faults.active f ~node:v ~round));
       }
     in
     if Executor.Incremental.all_output exec then begin
@@ -39,6 +47,11 @@ let record algo g ~tape ~max_rounds =
       let round = Executor.Incremental.round exec + 1 in
       if round > max_rounds then
         Error (finish_trace (), Executor.Max_rounds_exceeded max_rounds)
+      else if
+        match faults with
+        | None -> false
+        | Some f -> Faults.doomed f ~round ~nodes:n
+      then Error (finish_trace (), Executor.All_nodes_crashed { round })
       else begin
         let exhausted = ref false in
         let bits =
@@ -51,7 +64,7 @@ let record algo g ~tape ~max_rounds =
         in
         if !exhausted then Error (finish_trace (), Executor.Tape_exhausted { round })
         else begin
-          let exec = Executor.Incremental.step exec ~bits in
+          let exec = Executor.Incremental.step exec ?faults ~bits in
           note exec round;
           let total = Executor.Incremental.messages exec in
           loop exec ((total - prev_messages) :: messages_acc) total
@@ -69,19 +82,27 @@ let messages_by_round t = t.messages_by_round
 
 let rounds t = t.rounds
 
+let fault_events t = t.fault_events
+
 let render t =
   let buf = Buffer.create 256 in
+  let legend =
+    if t.fault_events = [] then "'#' = output set"
+    else "'#' = output set; 'x' = crashed"
+  in
   Buffer.add_string buf
-    (Printf.sprintf "rounds: %d (columns); nodes: %d (rows); '#' = output set\n"
-       t.rounds t.n);
+    (Printf.sprintf "rounds: %d (columns); nodes: %d (rows); %s\n" t.rounds t.n
+       legend);
   for v = 0 to t.n - 1 do
     Buffer.add_string buf (Printf.sprintf "node %2d " v);
     let decided = t.output_rounds.(v) in
     for r = 1 to t.rounds do
       let mark =
-        match decided with
-        | Some d when r >= d -> '#'
-        | Some _ | None -> '.'
+        if t.crashed v ~round:r then 'x'
+        else
+          match decided with
+          | Some d when r >= d -> '#'
+          | Some _ | None -> '.'
       in
       Buffer.add_char buf mark
     done;
@@ -95,4 +116,12 @@ let render t =
                            (String.concat " "
                               (List.map string_of_int t.messages_by_round))
                            total);
+  if t.fault_events <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "fault events (%d):\n" (List.length t.fault_events));
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Format.asprintf "  %a\n" Faults.pp_event e))
+      t.fault_events
+  end;
   Buffer.contents buf

@@ -9,8 +9,13 @@
 type t
 
 (** [record algo g ~tape ~max_rounds] executes while recording.  On
-    failure the partial trace is still returned alongside the failure. *)
+    failure the partial trace is still returned alongside the failure.
+
+    [faults], when given, is threaded to {!Executor.Incremental.step};
+    the injector's event log and crash schedule are captured in the trace
+    and shown by {!render}. *)
 val record :
+  ?faults:Faults.t ->
   Algorithm.t ->
   Anonet_graph.Graph.t ->
   tape:Tape.t ->
@@ -28,6 +33,11 @@ val messages_by_round : t -> int list
 (** [rounds t] is the number of rounds recorded. *)
 val rounds : t -> int
 
+(** [fault_events t] is the injector's event log, in injection order
+    (empty when the run was recorded without [?faults]). *)
+val fault_events : t -> Faults.event list
+
 (** [render t] draws an ASCII timeline: one row per node, one column per
-    round; ['.'] while undecided, ['#'] from the output round on. *)
+    round; ['.'] while undecided, ['#'] from the output round on, ['x']
+    while crashed.  Fault events, if any, are listed below the grid. *)
 val render : t -> string

@@ -201,6 +201,20 @@ let test_incremental_persistence () =
   check_int "round counter" 3 (Executor.Incremental.round e3a);
   check_int "e1 unchanged" 1 (Executor.Incremental.round e1)
 
+(* Never outputs: for exercising the Las-Vegas failure paths. *)
+let never : Algorithm.t =
+  (module struct
+    type state = int
+
+    let name = "never"
+
+    let init ~input:_ ~degree = degree
+
+    let round s ~bit:_ ~inbox:_ = s, Algorithm.silence ~degree:s
+
+    let output _ = None
+  end)
+
 (* ---------- Las Vegas ---------- *)
 
 let test_las_vegas_solves () =
@@ -222,6 +236,59 @@ let test_las_vegas_deterministic_given_seed () =
   in
   let o1 = run () and o2 = run () in
   check "same seed same run" true (Array.for_all2 Label.equal o1 o2)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_las_vegas_error_includes_failure () =
+  let g = Gen.path 2 in
+  match Las_vegas.solve never g ~seed:1 ~max_rounds:5 ~attempts:2 () with
+  | Ok _ -> Alcotest.fail "never must not succeed"
+  | Error m ->
+    check "counts the attempts" true (contains "no success in 2 attempts" m);
+    check "includes the last failure" true (contains "no output after" m);
+    check "includes the budget" true (contains "budget" m)
+
+let test_las_vegas_backoff_escalates () =
+  (* backoff 2.0: budgets 5, 10 — 15 rounds total when both fail. *)
+  let g = Gen.path 2 in
+  (match Las_vegas.solve never g ~seed:1 ~max_rounds:5 ~attempts:2 () with
+  | Ok _ -> Alcotest.fail "never must not succeed"
+  | Error m -> check "second budget doubled" true (contains "budget 10" m));
+  Alcotest.check_raises "backoff < 1 rejected"
+    (Invalid_argument "Las_vegas.solve: backoff < 1")
+    (fun () ->
+      ignore (Las_vegas.solve never g ~seed:1 ~backoff:0.5 ()))
+
+let test_las_vegas_giveup_caps_total () =
+  let g = Gen.path 2 in
+  match
+    Las_vegas.solve never g ~seed:1 ~max_rounds:8 ~attempts:20 ~giveup:20 ()
+  with
+  | Ok _ -> Alcotest.fail "never must not succeed"
+  | Error m ->
+    (* budgets 8, 16: the second attempt would push past the 20-round cap *)
+    check "gives up by the cap" true (contains "giving up" m);
+    check "names the cap" true (contains "20-round cap" m)
+
+let test_las_vegas_reports_rounds_spent () =
+  let g = Gen.cycle 5 in
+  match Las_vegas.solve Anonet_algorithms.Rand_coloring.algorithm g ~seed:1 () with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check "spent at least the final run" true
+      (r.Las_vegas.rounds_spent >= r.Las_vegas.outcome.Executor.rounds)
+
+let test_prng_hash2 () =
+  let h = Prng.hash2 in
+  check "deterministic" true (h 1 2 = h 1 2);
+  check "argument order matters" true (h 1 2 <> h 2 1);
+  check "second arg decorrelates" true (h 1 2 <> h 1 3);
+  check "non-negative (usable as a seed)" true
+    (List.for_all (fun (a, b) -> h a b >= 0)
+       [ 0, 0; 1, 1; -5, 3; max_int, 2; min_int, min_int ])
 
 (* ---------- Trace ---------- *)
 
@@ -331,6 +398,78 @@ let test_async_virtual_rounds () =
   | Ok { virtual_rounds; _ } ->
     check "round counts close" true (abs (virtual_rounds - sync) <= 1)
 
+let test_synchronizer_equivalence_suite () =
+  (* Satellite: Async.run ≡ Executor.run for every fault-free scheduler on
+     cycles, hypercubes, and random connected graphs. *)
+  let graphs =
+    [ "cycle6", Gen.cycle 6;
+      "hypercube3", Gen.hypercube 3;
+      "random(10,.3)", Gen.random_connected ~seed:42 10 0.3;
+    ]
+  in
+  let all_schedulers =
+    [ "fifo", Async.Fifo;
+      "random-delay-6", Async.Random_delay { seed = 21; max_delay = 6 };
+      "skewed-6", Async.Skewed { seed = 22; max_delay = 6; slow_node = 1 };
+    ]
+  in
+  List.iter
+    (fun (gname, g) ->
+      let tape = Tape.random ~seed:31 in
+      let algo = Anonet_algorithms.Rand_two_hop.algorithm in
+      let sync =
+        match Executor.run algo g ~tape ~max_rounds:5000 with
+        | Ok o -> o.Executor.outputs
+        | Error e -> Alcotest.failf "sync %s: %a" gname Executor.pp_failure e
+      in
+      List.iter
+        (fun (sname, scheduler) ->
+          match Async.run algo g ~tape ~scheduler ~max_events:4_000_000 with
+          | Error e -> Alcotest.failf "%s/%s: %a" gname sname Async.pp_failure e
+          | Ok { outputs; _ } ->
+            check
+              (Printf.sprintf "%s under %s = sync" gname sname)
+              true
+              (Array.for_all2 Label.equal sync outputs))
+        all_schedulers)
+    graphs
+
+let test_sample_delay_range () =
+  (* Satellite regression: every scheduler draws delays from the documented
+     1..max_delay range — no off-by-one at either endpoint. *)
+  let max_delay = 5 in
+  let draws scheduler ~source =
+    let rng = Prng.create 17 in
+    List.init 2000 (fun _ -> Async.sample_delay scheduler rng ~source)
+  in
+  let rd = draws (Async.Random_delay { seed = 0; max_delay }) ~source:0 in
+  check "random-delay within 1..max" true
+    (List.for_all (fun d -> d >= 1 && d <= max_delay) rd);
+  check "random-delay hits 1" true (List.mem 1 rd);
+  check "random-delay hits max" true (List.mem max_delay rd);
+  let sk_fast =
+    draws (Async.Skewed { seed = 0; max_delay; slow_node = 3 }) ~source:0
+  in
+  check "skewed (fast node) within 1..max" true
+    (List.for_all (fun d -> d >= 1 && d <= max_delay) sk_fast);
+  check "skewed (fast node) hits 1" true (List.mem 1 sk_fast);
+  check "skewed (fast node) hits max" true (List.mem max_delay sk_fast);
+  let sk_slow =
+    draws (Async.Skewed { seed = 0; max_delay; slow_node = 3 }) ~source:3
+  in
+  check "skewed slow node pinned to max" true
+    (List.for_all (( = ) max_delay) sk_slow);
+  check "fifo is always 1" true
+    (List.for_all (( = ) 1) (draws Async.Fifo ~source:0));
+  (* degenerate max_delay values still give a sane delay >= 1 *)
+  List.iter
+    (fun md ->
+      check
+        (Printf.sprintf "max_delay=%d still delays by 1" md)
+        true
+        (List.for_all (( = ) 1) (draws (Async.Random_delay { seed = 0; max_delay = md }) ~source:0)))
+    [ 0; 1 ]
+
 let test_async_event_limit () =
   match
     Async.run Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
@@ -362,7 +501,17 @@ let () =
         [
           Alcotest.test_case "solves" `Quick test_las_vegas_solves;
           Alcotest.test_case "seeded determinism" `Quick test_las_vegas_deterministic_given_seed;
+          Alcotest.test_case "error includes last failure" `Quick
+            test_las_vegas_error_includes_failure;
+          Alcotest.test_case "backoff escalates budgets" `Quick
+            test_las_vegas_backoff_escalates;
+          Alcotest.test_case "giveup caps total rounds" `Quick
+            test_las_vegas_giveup_caps_total;
+          Alcotest.test_case "reports rounds spent" `Quick
+            test_las_vegas_reports_rounds_spent;
         ] );
+      ( "prng",
+        [ Alcotest.test_case "hash2 decorrelates" `Quick test_prng_hash2 ] );
       ( "trace",
         [
           Alcotest.test_case "records a run" `Quick test_trace_records;
@@ -375,5 +524,8 @@ let () =
           Alcotest.test_case "single node" `Quick test_async_single_node;
           Alcotest.test_case "virtual rounds" `Quick test_async_virtual_rounds;
           Alcotest.test_case "event limit" `Quick test_async_event_limit;
+          Alcotest.test_case "scheduler equivalence suite" `Quick
+            test_synchronizer_equivalence_suite;
+          Alcotest.test_case "sample_delay range" `Quick test_sample_delay_range;
         ] );
     ]
