@@ -19,8 +19,11 @@
    After the harness, Bechamel micro-benchmarks time the core operations
    (one group per experiment id).
 
-   Run with:  dune exec bench/main.exe            (full: harness + timings)
-              dune exec bench/main.exe -- harness (harness only)
+   Run with:  dune exec bench/main.exe                    (harness + timings)
+              dune exec bench/main.exe -- harness         (harness only)
+              dune exec bench/main.exe -- bench           (timings only)
+              dune exec bench/main.exe -- bench-json PATH (timings + pool
+                                          scaling, written to PATH as JSON)
 *)
 
 open Anonet_graph
@@ -29,6 +32,7 @@ module Gran = Anonet_problems.Gran
 module Problem = Anonet_problems.Problem
 module Las_vegas = Anonet_runtime.Las_vegas
 module Bundles = Anonet_algorithms.Bundles
+module Pool = Anonet_parallel.Pool
 open Anonet
 
 let header title =
@@ -184,14 +188,17 @@ let bench_tests () =
   Test.make_grouped ~name:"anonet"
     [ fig1; fig2; fig3; searches; pipeline; substrates; faults ]
 
-let run_benchmarks () =
-  header "Bechamel micro-benchmarks (monotonic clock per run)";
+let analyze_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~stabilize:true () in
   let raw = Benchmark.all cfg instances (bench_tests ()) in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
-  let results = Analyze.merge ols instances results in
+  (Analyze.merge ols instances results, instances)
+
+let run_benchmarks () =
+  header "Bechamel micro-benchmarks (monotonic clock per run)";
+  let results, instances = analyze_benchmarks () in
   List.iter (fun v -> Bechamel_notty.Unit.add v (Measure.unit v)) instances;
   let window =
     match Notty_unix.winsize Unix.stdout with
@@ -204,12 +211,148 @@ let run_benchmarks () =
   in
   Notty_unix.output_image (Notty_unix.eol img)
 
+(* ------------------------------------------------------------------ *)
+(* JSON telemetry: bench-json PATH                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/inf literals; a measurement that failed to fit maps to
+   null so downstream tooling sees "missing", not a parse error. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+(* Flatten the merged OLS table: one (test, ns/run, r²) row per bechamel
+   test, sorted by name for stable diffs. *)
+let ols_rows results =
+  Hashtbl.fold
+    (fun _measure by_test acc ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns_per_run =
+            match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+          in
+          let r_square =
+            match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+          in
+          (name, ns_per_run, r_square) :: acc)
+        by_test acc)
+    results []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+(* Wall-clock scaling of Pool.map on a batch of independent replicas of
+   the hot workloads (the ablate-bits searches and the decouple pipeline
+   rows).  Speedups only materialize on multicore hosts — the JSON
+   records [domains_available] so a 1-core CI row is read as what it is. *)
+let pool_scaling_rows () =
+  let k5 = Gen.label_with_ints (Gen.cycle 5) in
+  let k4 = Gen.label_with_ints (Gen.cycle 4) in
+  let min_search g () =
+    ignore
+      (Min_search.minimal_successful ~solver:Anonet_algorithms.Rand_mis.algorithm
+         g
+         ~base:(Bit_assignment.empty (Graph.n g))
+         ~len:(Min_search.At_most 16) ())
+  in
+  let workloads =
+    [ "ablate-bits", "min-search-mis-k5", min_search k5;
+      "ablate-bits", "min-search-mis-k4", min_search k4;
+      ( "decouple", "direct-rand-mis-petersen",
+        fun () ->
+          ignore
+            (Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm (Gen.petersen ())
+               ~seed:5 ()) );
+      ( "decouple", "decoupled-mis-petersen",
+        fun () ->
+          ignore
+            (Decouple.solve ~gran:Bundles.mis (Gen.petersen ()) ~seed:5
+               ~stage_two:
+                 (Decouple.Specific Anonet_algorithms.Det_from_two_hop.mis)
+               ()) );
+    ]
+  in
+  let batch_size = 8 in
+  List.concat_map
+    (fun (group, name, task) ->
+      let batch = Array.make batch_size task in
+      let time domains =
+        Pool.with_pool ~domains (fun p ->
+            let t0 = Unix.gettimeofday () in
+            ignore (Pool.map p (fun f -> f ()) batch);
+            Unix.gettimeofday () -. t0)
+      in
+      ignore (time 1) (* warm up: page in the code paths once *);
+      let t1 = time 1 in
+      List.map
+        (fun domains ->
+          let t = if domains = 1 then t1 else time domains in
+          (group, name, domains, t, t1 /. t))
+        [ 1; 2; 4 ])
+    workloads
+
+let run_bench_json path =
+  header "Bechamel micro-benchmarks -> JSON telemetry";
+  let results, _instances = analyze_benchmarks () in
+  let tests = ols_rows results in
+  Printf.printf "measured %d tests; timing pool scaling (domains 1/2/4)...\n%!"
+    (List.length tests);
+  let scaling = pool_scaling_rows () in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"anonet-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains_available\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"tests\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s }%s\n"
+           (json_escape name) (json_float ns) (json_float r2)
+           (if i = List.length tests - 1 then "" else ",")))
+    tests;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"pool_scaling\": [\n";
+  List.iteri
+    (fun i (group, name, domains, wall_s, speedup) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"group\": \"%s\", \"workload\": \"%s\", \"domains\": %d, \
+            \"wall_s\": %s, \"speedup_vs_1\": %s }%s\n"
+           (json_escape group) (json_escape name) domains (json_float wall_s)
+           (json_float speedup)
+           (if i = List.length scaling - 1 then "" else ",")))
+    scaling;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (%d tests, %d pool-scaling rows)\n" path
+    (List.length tests) (List.length scaling)
+
 let run_harness () = Anonet_experiments.Experiments.run_all ()
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "harness" :: _ -> run_harness ()
   | _ :: "bench" :: _ -> run_benchmarks ()
+  | _ :: "bench-json" :: path :: _ -> run_bench_json path
+  | _ :: "bench-json" :: [] ->
+    prerr_endline "usage: main.exe bench-json PATH";
+    exit 2
   | _ ->
     run_harness ();
     run_benchmarks ()

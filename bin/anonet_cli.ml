@@ -27,6 +27,7 @@ module Executor = Anonet_runtime.Executor
 module Faults = Anonet_runtime.Faults
 module Las_vegas = Anonet_runtime.Las_vegas
 module Bundles = Anonet_algorithms.Bundles
+module Pool = Anonet_parallel.Pool
 
 (* ---------- graph spec parsing ---------- *)
 
@@ -118,6 +119,21 @@ let seed_arg =
   let doc = "Random seed for Las-Vegas stages." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains (OS threads) for parallel execution.  1 runs \
+     sequentially; higher values race Las-Vegas attempts / shard the \
+     minimal-simulation search / fan out experiment rows, with results \
+     identical to a sequential run."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* The pool lives exactly as long as the command body: workers are joined
+   on the way out even if the body raises. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+
 let print_outputs outputs =
   Array.iteri
     (fun v o -> Printf.printf "  node %2d: %s\n" v (Label.to_string o))
@@ -183,7 +199,7 @@ let factor_cmd =
     Term.(const run $ graph_arg $ coloring $ dot)
 
 let solve_cmd =
-  let run_solve problem spec seed trace faults_spec retransmit =
+  let run_solve problem spec seed trace faults_spec retransmit jobs =
     let g = parse_graph spec in
     let bundle = parse_bundle problem in
     let plan =
@@ -219,7 +235,9 @@ let solve_cmd =
           (bundle.Gran.problem.Problem.is_valid_output g outcome.Executor.outputs)
     end
     else begin
-      match Las_vegas.solve ?faults:plan solver g ~seed () with
+      match
+        with_jobs jobs (fun pool -> Las_vegas.solve ?faults:plan ?pool solver g ~seed ())
+      with
       | Error m -> prerr_endline m; exit 1
       | Ok r ->
         let o = r.Las_vegas.outcome.Executor.outputs in
@@ -230,12 +248,12 @@ let solve_cmd =
         Printf.printf "valid: %b\n" (bundle.Gran.problem.Problem.is_valid_output g o)
     end
   in
-  let run problem spec seed trace faults_spec retransmit =
+  let run problem spec seed trace faults_spec retransmit jobs =
     (* Fault injection can feed an algorithm messages its protocol never
        anticipated (a loss-induced null mid-phase, a corrupted payload);
        decoders are entitled to reject them.  Report that as the diagnosis
        it is, not as an internal error. *)
-    try run_solve problem spec seed trace faults_spec retransmit
+    try run_solve problem spec seed trace faults_spec retransmit jobs
     with Invalid_argument m when faults_spec <> None ->
       Printf.eprintf
         "fault injection broke the algorithm's protocol: %s\n\
@@ -266,10 +284,10 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run the randomized anonymous algorithm (Las-Vegas).")
     Term.(const run $ problem_arg 0 $ Arg.(required & pos 1 (some string) None
                                            & info [] ~docv:"GRAPH") $ seed_arg $ trace
-          $ faults_spec $ retransmit)
+          $ faults_spec $ retransmit $ jobs_arg)
 
 let derandomize_cmd =
-  let run problem spec coloring method_ =
+  let run problem spec coloring method_ jobs =
     let g = parse_graph spec in
     let bundle = parse_bundle problem in
     let colors = parse_coloring g coloring in
@@ -286,7 +304,10 @@ let derandomize_cmd =
             (bundle.Gran.problem.Problem.is_valid_output g outcome.Executor.outputs)
       end
     | "a-infinity" -> begin
-        match Anonet.A_infinity.solve ~gran:bundle inst () with
+        match
+          with_jobs jobs (fun pool ->
+              Anonet.A_infinity.solve ~gran:bundle inst ?pool ())
+        with
         | Error m -> prerr_endline m; exit 1
         | Ok r ->
           Printf.printf
@@ -316,7 +337,7 @@ let derandomize_cmd =
        ~doc:"Solve the 2-hop colored variant deterministically (Theorems 1-2).")
     Term.(const run $ problem_arg 0
           $ Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH")
-          $ coloring $ method_)
+          $ coloring $ method_ $ jobs_arg)
 
 let decouple_cmd =
   let run problem spec seed stage2 =
@@ -407,14 +428,15 @@ let stoneage_cmd =
           $ seed_arg $ palette)
 
 let experiments_cmd =
-  let run id =
-    match id with
-    | None -> Anonet_experiments.Experiments.run_all ()
-    | Some id -> begin
-        match Anonet_experiments.Experiments.run id with
-        | Ok () -> ()
-        | Error m -> prerr_endline m; exit 1
-      end
+  let run id jobs =
+    with_jobs jobs (fun pool ->
+        match id with
+        | None -> Anonet_experiments.Experiments.run_all ?pool ()
+        | Some id -> begin
+            match Anonet_experiments.Experiments.run ?pool id with
+            | Ok () -> ()
+            | Error m -> prerr_endline m; exit 1
+          end)
   in
   let id =
     let doc =
@@ -426,7 +448,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's figures/theorem validations (EXPERIMENTS.md).")
-    Term.(const run $ id)
+    Term.(const run $ id $ jobs_arg)
 
 let main =
   let doc = "anonymous networks: randomization = 2-hop coloring (PODC 2014)" in

@@ -12,7 +12,7 @@ type result = {
 }
 
 let solve ~gran g ?(order = Min_search.Round_major) ?(max_len = 64)
-    ?(decider_seed = 1) () =
+    ?(decider_seed = 1) ?pool () =
   let colored = Problem.colored_variant gran.Gran.problem in
   if not (colored.Problem.is_instance g) then
     Error
@@ -28,8 +28,22 @@ let solve ~gran g ?(order = Min_search.Round_major) ?(max_len = 64)
       let base = Bit_assignment.empty (Graph.n j) in
       (match
          Min_search.minimal_successful ~solver:gran.Gran.solver j ~base ~order
-           ~len:(Min_search.At_most max_len) ()
+           ?pool ~len:(Min_search.At_most max_len) ()
        with
+       (* The search's typed limits degrade to ordinary errors here: the
+          caller learns the instance is out of reach instead of eating an
+          exception from four layers down. *)
+       | exception Min_search.Search_limit_exceeded ->
+         Error
+           "minimal-simulation search exceeded its state budget \
+            (Min_search.Search_limit_exceeded)"
+       | exception Min_search.Branching_limit_exceeded { free_bits; limit } ->
+         Error
+           (Printf.sprintf
+              "minimal-simulation search would branch on %d free bits at once \
+               (limit %d) — the view graph is too large for the generic \
+               derandomization"
+              free_bits limit)
        | None ->
          Error
            (Printf.sprintf "no successful simulation within %d rounds" max_len)

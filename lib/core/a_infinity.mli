@@ -33,13 +33,19 @@ type result = {
                         (default {!Min_search.Round_major})
     @param max_len      simulation length bound (default [64])
     @param decider_seed seed for the (randomized) decider run (default 1)
+    @param pool         shard the minimal-simulation search across a
+                        domain pool (identical results; see {!Min_search})
     @return [Error] if [g] is not an instance of [Π^c], if the decider
-    rejects [J], or if no successful simulation exists within [max_len]. *)
+    rejects [J], if no successful simulation exists within [max_len], or
+    if the search hits its state/branching limits
+    ({!Min_search.Search_limit_exceeded} and
+    {!Min_search.Branching_limit_exceeded} are caught and rendered). *)
 val solve :
   gran:Anonet_problems.Gran.t ->
   Anonet_graph.Graph.t ->
   ?order:Min_search.order ->
   ?max_len:int ->
   ?decider_seed:int ->
+  ?pool:Anonet_parallel.Pool.t ->
   unit ->
   (result, string) Stdlib.result

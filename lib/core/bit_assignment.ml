@@ -59,7 +59,15 @@ let compare_round_major a b =
     by_round 0
   end
 
-let extensions base ~len =
+let free_bits base ~len =
+  Array.fold_left
+    (fun acc s ->
+      if Bits.length s > len then
+        invalid_arg "Bit_assignment.free_bits: base longer than target length";
+      acc + (len - Bits.length s))
+    0 base
+
+let extensions_range base ~len ~lo ~hi =
   Array.iter
     (fun s ->
       if Bits.length s > len then
@@ -73,6 +81,8 @@ let extensions base ~len =
   in
   let f = List.length free in
   if f > 30 then invalid_arg "Bit_assignment.extensions: too many free bits";
+  if lo < 0 || hi > 1 lsl f || lo > hi then
+    invalid_arg "Bit_assignment.extensions_range: bad code range";
   let assignment_of code =
     let suffix = Array.make (Array.length base) [] in
     List.iteri
@@ -84,7 +94,10 @@ let extensions base ~len =
       (fun i s -> Bits.concat s (Bits.of_list (List.rev suffix.(i))))
       base
   in
-  Seq.map assignment_of (Seq.init (1 lsl f) Fun.id)
+  Seq.map (fun i -> assignment_of (lo + i)) (Seq.init (hi - lo) Fun.id)
+
+let extensions base ~len =
+  extensions_range base ~len ~lo:0 ~hi:(1 lsl free_bits base ~len)
 
 let lift ~map b = Array.map (fun c -> b.(c)) map
 

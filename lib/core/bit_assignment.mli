@@ -48,12 +48,25 @@ val compare_node_major : t -> t -> int
     (round-1 bits of [u_1..u_k], then round-2 bits, ...). *)
 val compare_round_major : t -> t -> int
 
+(** [free_bits base ~len] is the number of free bit positions an extension
+    to length [len] must fill — the [f] such that {!extensions} has [2^f]
+    elements.
+    @raise Invalid_argument if some [base] string is longer than [len]. *)
+val free_bits : t -> len:int -> int
+
 (** [extensions base ~len] enumerates every assignment extending [base]
     with all strings of length exactly [len], in {e node-major}
     lexicographic order.  The sequence has [2^f] elements where [f] is the
     number of free bit positions — intended for tiny cross-checks only.
     @raise Invalid_argument if some [base] string is longer than [len]. *)
 val extensions : t -> len:int -> t Seq.t
+
+(** [extensions_range base ~len ~lo ~hi] is the [lo .. hi-1] slice (by
+    enumeration index, i.e. by the integer whose bits fill the free
+    positions) of {!extensions} — random access for sharding the
+    node-major search by fixed bit-prefix.
+    @raise Invalid_argument on a range outside [0 .. 2^f]. *)
+val extensions_range : t -> len:int -> lo:int -> hi:int -> t Seq.t
 
 (** [lift ~map b] pulls an assignment on a factor back to the product:
     product node [v] receives [b.(map.(v))] — how a simulation on the view

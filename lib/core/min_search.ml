@@ -1,6 +1,7 @@
 module Graph = Anonet_graph.Graph
 module Bits = Anonet_graph.Bits
 module Executor = Anonet_runtime.Executor
+module Pool = Anonet_parallel.Pool
 
 type order =
   | Round_major
@@ -17,6 +18,25 @@ type found = {
 }
 
 exception Search_limit_exceeded
+
+exception Branching_limit_exceeded of { free_bits : int; limit : int }
+
+(* Enumerating [2^f] branches at once is hopeless beyond a few dozen free
+   bits; the limits below keep a runaway instance from looking like a
+   hang.  Round-major branches once per round (on that round's free
+   bits), node-major once per candidate length (on the whole extension). *)
+let round_branching_limit = 24
+
+let node_branching_limit = 30
+
+let check_branching ~free_bits ~limit =
+  if free_bits > limit then raise (Branching_limit_exceeded { free_bits; limit })
+
+(* Split [0 .. size-1] into at most [4 * domains] contiguous chunks —
+   enough slack for dynamic balancing without drowning in merge work. *)
+let chunk_bounds ~size ~domains =
+  let chunks = max 1 (min size (4 * domains)) in
+  Array.init chunks (fun c -> c * size / chunks, (c + 1) * size / chunks)
 
 (* ---------- round-major breadth-first search with state dedup ---------- *)
 
@@ -41,15 +61,18 @@ let complete ~base ~rev_rounds ~level ~len =
       in
       Bits.of_list (List.init len bit))
 
+(* Nodes whose base string does not prescribe a bit for round [r]
+   (1-based) — the free bits of that round's branching. *)
+let free_nodes ~base ~r =
+  let n = Array.length base in
+  List.filter (fun v -> Bits.length base.(v) < r) (List.init n (fun v -> v))
+
 (* Enumerate the bit vectors for round [r] (1-based) in node-major
    lexicographic order, honoring prescribed base bits. *)
 let round_vectors ~base ~r =
   let n = Array.length base in
-  let free =
-    List.filter (fun v -> Bits.length base.(v) < r) (List.init n (fun v -> v))
-  in
+  let free = free_nodes ~base ~r in
   let f = List.length free in
-  if f > 24 then invalid_arg "Min_search: too many free bits per round";
   let vector code =
     let bits = Array.init n (fun v ->
         if Bits.length base.(v) >= r then Bits.get base.(v) (r - 1) else false)
@@ -59,7 +82,7 @@ let round_vectors ~base ~r =
   in
   Seq.map vector (Seq.init (1 lsl f) Fun.id)
 
-let search_round_major ~solver g ~base ~max_states ~len_constraint =
+let search_round_major ?pool ~solver g ~base ~max_states ~len_constraint =
   let max_base = Bit_assignment.max_length base in
   let hard_cap =
     match len_constraint with Exactly l -> l | At_most l -> l
@@ -114,23 +137,56 @@ let search_round_major ~solver g ~base ~max_states ~len_constraint =
   while !frontier <> [] && !level < cap () do
     incr level;
     let r = !level in
+    let f = List.length (free_nodes ~base ~r) in
+    check_branching ~free_bits:f ~limit:round_branching_limit;
     let seen = Hashtbl.create 256 in
     let next = ref [] in
-    List.iter
-      (fun entry ->
-        Seq.iter
-          (fun bits ->
-            incr explored;
-            if !explored > max_states then raise Search_limit_exceeded;
-            let exec = Executor.Incremental.step entry.exec ~bits in
-            let fp = Executor.Incremental.fingerprint exec in
-            if not (Hashtbl.mem seen fp) then begin
-              Hashtbl.add seen fp ();
-              let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
-              if not (consider entry r) then next := entry :: !next
-            end)
-          (round_vectors ~base ~r))
-      !frontier;
+    (* Successors in lexicographic prefix order: entries outer (the
+       frontier is sorted), this round's vectors inner.  The first
+       occurrence of an execution state is its lexicographically smallest
+       prefix, so deduplication must scan in exactly this order. *)
+    let absorb entry bits exec fp =
+      if not (Hashtbl.mem seen fp) then begin
+        Hashtbl.add seen fp ();
+        let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
+        if not (consider entry r) then next := entry :: !next
+      end
+    in
+    (match pool with
+     | Some p ->
+       (* Shard the frontier expansion by entry chunks: stepping and
+          fingerprinting (the expensive part) runs on all domains; the
+          order-sensitive dedup/merge is sequential, in index order. *)
+       let entries = Array.of_list !frontier in
+       let nvec = 1 lsl f in
+       let steps = Array.length entries * nvec in
+       if !explored + steps > max_states then raise Search_limit_exceeded;
+       explored := !explored + steps;
+       let vectors = Array.of_seq (round_vectors ~base ~r) in
+       let stepped =
+         Pool.map p
+           (fun (lo, hi) ->
+             Array.init ((hi - lo) * nvec) (fun k ->
+                 let entry = entries.(lo + (k / nvec)) in
+                 let bits = vectors.(k mod nvec) in
+                 let exec = Executor.Incremental.step entry.exec ~bits in
+                 entry, bits, exec, Executor.Incremental.fingerprint exec))
+           (chunk_bounds ~size:(Array.length entries) ~domains:(Pool.domains p))
+       in
+       Array.iter
+         (Array.iter (fun (entry, bits, exec, fp) -> absorb entry bits exec fp))
+         stepped
+     | None ->
+       List.iter
+         (fun entry ->
+           Seq.iter
+             (fun bits ->
+               incr explored;
+               if !explored > max_states then raise Search_limit_exceeded;
+               let exec = Executor.Incremental.step entry.exec ~bits in
+               absorb entry bits exec (Executor.Incremental.fingerprint exec))
+             (round_vectors ~base ~r))
+         !frontier);
     frontier := List.rev !next
   done;
   match !best with
@@ -140,7 +196,7 @@ let search_round_major ~solver g ~base ~max_states ~len_constraint =
 
 (* ---------- node-major exhaustive enumeration (the paper's order) ------ *)
 
-let search_node_major ~solver g ~base ~max_states ~len_constraint =
+let search_node_major ?pool ~solver g ~base ~max_states ~len_constraint =
   let max_base = Bit_assignment.max_length base in
   let lengths =
     match len_constraint with
@@ -150,14 +206,67 @@ let search_node_major ~solver g ~base ~max_states ~len_constraint =
     | At_most l -> Seq.init (l - max_base + 1) (fun i -> max_base + i)
   in
   let explored = ref 0 in
-  let try_length len =
+  let simulate assignment =
+    let sim = Simulation.run ~solver g ~bits:assignment in
+    if sim.Simulation.successful then Some (assignment, sim) else None
+  in
+  let try_length_sequential len =
+    check_branching
+      ~free_bits:(Bit_assignment.free_bits base ~len)
+      ~limit:node_branching_limit;
     Seq.find_map
       (fun assignment ->
         incr explored;
         if !explored > max_states then raise Search_limit_exceeded;
-        let sim = Simulation.run ~solver g ~bits:assignment in
-        if sim.Simulation.successful then Some (assignment, sim) else None)
+        simulate assignment)
       (Bit_assignment.extensions base ~len)
+  in
+  (* Sharded by fixed bit-prefix: the [2^f] extension codes of one length
+     split into contiguous blocks (equal high-order prefixes), raced for
+     the lowest block holding a success — which, blocks being ordered,
+     contains the node-major-least success overall.  The search stays
+     sequential-equivalent including its state budget: the sequential loop
+     simulates at most [max_states - explored] codes before raising, so
+     only that prefix of the space is raced, and the winner's offset
+     recovers the exact sequential [explored] count. *)
+  let try_length_racing p len =
+    let f = Bit_assignment.free_bits base ~len in
+    check_branching ~free_bits:f ~limit:node_branching_limit;
+    let space = 1 lsl f in
+    let allowed = max_states - !explored in
+    if allowed <= 0 then raise Search_limit_exceeded;
+    let range = min space allowed in
+    let bounds = chunk_bounds ~size:range ~domains:(Pool.domains p) in
+    let task ~stop c =
+      let lo, hi = bounds.(c) in
+      let rec scan offset seq =
+        if stop () then None
+        else begin
+          match Seq.uncons seq with
+          | None -> None
+          | Some (assignment, rest) ->
+            (match simulate assignment with
+             | Some found -> Some (lo + offset, found)
+             | None -> scan (offset + 1) rest)
+        end
+      in
+      scan 0 (Bit_assignment.extensions_range base ~len ~lo ~hi)
+    in
+    match Pool.race p ~n:(Array.length bounds) task with
+    | Some (_, (code, found)) ->
+      explored := !explored + code + 1;
+      Some found
+    | None ->
+      if range < space then raise Search_limit_exceeded
+      else begin
+        explored := !explored + space;
+        None
+      end
+  in
+  let try_length =
+    match pool with
+    | Some p -> try_length_racing p
+    | None -> try_length_sequential
   in
   match Seq.find_map try_length lengths with
   | None -> None
@@ -165,9 +274,16 @@ let search_node_major ~solver g ~base ~max_states ~len_constraint =
     Some { assignment; sim; states_explored = !explored }
 
 let minimal_successful ~solver g ~base ?(order = Round_major)
-    ?(max_states = 1_000_000) ~len () =
+    ?(max_states = 1_000_000) ?pool ~len () =
   if Array.length base <> Graph.n g then
     invalid_arg "Min_search: assignment size differs from graph size";
+  (* A one-domain pool computes nothing in parallel: take the sequential
+     path outright so the two are trivially identical. *)
+  let pool =
+    match pool with Some p when Pool.domains p > 1 -> Some p | _ -> None
+  in
   match order with
-  | Round_major -> search_round_major ~solver g ~base ~max_states ~len_constraint:len
-  | Node_major -> search_node_major ~solver g ~base ~max_states ~len_constraint:len
+  | Round_major ->
+    search_round_major ?pool ~solver g ~base ~max_states ~len_constraint:len
+  | Node_major ->
+    search_node_major ?pool ~solver g ~base ~max_states ~len_constraint:len

@@ -19,7 +19,17 @@
       cross-check the efficient search.
 
     All the paper's lemmas are order-agnostic — they only need some
-    predetermined total order shared by all nodes. *)
+    predetermined total order shared by all nodes.
+
+    Both searches accept an optional domain {!Anonet_parallel.Pool}:
+    round-major shards each level's frontier expansion by entry chunks
+    (stepping and fingerprinting run on all domains; the order-sensitive
+    dedup and the {!Bit_assignment.compare_round_major} tiebreak merge
+    sequentially, in lexicographic order), node-major shards each length's
+    enumeration by fixed bit-prefix and races the blocks for the lowest
+    success.  The minimal assignment found — indeed the entire {!found}
+    record, [states_explored] included — is identical to the sequential
+    search's. *)
 
 type order =
   | Round_major
@@ -41,6 +51,16 @@ type found = {
 
 exception Search_limit_exceeded
 
+(** Raised (by either order, either execution mode) when a single
+    branching step would have to enumerate more than [2^limit]
+    alternatives at once: more than 24 free bits in one round
+    (round-major), more than 30 free bits in one candidate length
+    (node-major).  A typed error rather than [Invalid_argument] so that
+    callers can degrade gracefully — report the instance as out of reach,
+    fall back to a coarser base assignment — instead of dying on a
+    stringly-typed assert. *)
+exception Branching_limit_exceeded of { free_bits : int; limit : int }
+
 (** [minimal_successful ~solver g ~base ~len ()] finds the smallest
     assignment extending [base] (per the chosen order) whose induced
     simulation on [g] is successful, or [None] if none exists within the
@@ -48,6 +68,10 @@ exception Search_limit_exceeded
 
     @param max_states abort threshold for the breadth-first frontier
     (default [1_000_000]); raises {!Search_limit_exceeded} beyond it.
+    @param pool shard the search across a domain pool (see above); the
+    result is bit-for-bit identical to the sequential search.
+    @raise Branching_limit_exceeded if one branching step exceeds the
+    enumeration limits above.
     @raise Invalid_argument if some [base] string already exceeds an
     [Exactly] target. *)
 val minimal_successful :
@@ -56,6 +80,7 @@ val minimal_successful :
   base:Bit_assignment.t ->
   ?order:order ->
   ?max_states:int ->
+  ?pool:Anonet_parallel.Pool.t ->
   len:length_constraint ->
   unit ->
   found option

@@ -13,8 +13,24 @@ module Las_vegas = Anonet_runtime.Las_vegas
 module Bundles = Anonet_algorithms.Bundles
 open Anonet
 
+module Pool = Anonet_parallel.Pool
+
 let header title =
   Printf.printf "\n=== %s %s\n" title (String.make (max 0 (72 - String.length title)) '=')
+
+(* Row fan-out: graph-family rows are independent, so a domain pool can
+   render them concurrently — each task returns its fully formatted lines
+   (asserts included), and the rows print in input order regardless of
+   completion order, keeping the output byte-identical to a sequential
+   run. *)
+let print_rows ?pool (tasks : (unit -> string) list) =
+  let tasks = Array.of_list tasks in
+  let rows =
+    match pool with
+    | Some p when Pool.domains p > 1 -> Pool.map p (fun f -> f ()) tasks
+    | _ -> Array.map (fun f -> f ()) tasks
+  in
+  Array.iter print_string rows
 
 let colored_instance g colors = Problem.attach_coloring g colors
 
@@ -30,7 +46,7 @@ let cycle_mod_colors n k =
 (* F1: Figure 1 — local views                                          *)
 (* ------------------------------------------------------------------ *)
 
-let exp_f1 () =
+let exp_f1 ?pool:_ () =
   header "F1  Figure 1: depth-d local views of the labeled C6";
   let g = Gen.c6_figure1 () in
   Printf.printf "the figure itself — L_3(u0) in C6 colored (1,2,3,1,2,3):\n%s\n"
@@ -51,7 +67,7 @@ let exp_f1 () =
 (* F2: Figure 2 — factor chain                                         *)
 (* ------------------------------------------------------------------ *)
 
-let exp_f2 () =
+let exp_f2 ?pool:_ () =
   header "F2  Figure 2: the C3 <= C6 <= C12 factor chain and beyond";
   let c12 = Lift.c12_over_c6 () in
   let c6l = Lift.c6_over_c3 () in
@@ -91,35 +107,35 @@ let exp_f2 () =
 (* F3: Figure 3 / Theorem 1 — A*                                       *)
 (* ------------------------------------------------------------------ *)
 
-let exp_f3 () =
+let exp_f3 ?pool () =
   header "F3  Figure 3 / Theorem 1: the deterministic algorithm A*";
   Printf.printf "%-14s | %-14s | %6s | %8s | %6s\n" "instance" "problem" "rounds"
     "messages" "valid?";
-  let run name inst bundle =
+  let run name inst bundle () =
     match A_star.solve ~gran:bundle inst () with
     | Error m ->
-      Printf.printf "%-14s | %-14s | failed: %s\n" name
+      Printf.sprintf "%-14s | %-14s | failed: %s\n" name
         bundle.Gran.problem.Problem.name m
     | Ok outcome ->
       let valid =
         bundle.Gran.problem.Problem.is_valid_output
           (Problem.strip_coloring inst) outcome.Executor.outputs
       in
-      Printf.printf "%-14s | %-14s | %6d | %8d | %6b\n" name
+      Printf.sprintf "%-14s | %-14s | %6d | %8d | %6b\n" name
         bundle.Gran.problem.Problem.name outcome.Executor.rounds
         outcome.Executor.messages valid
   in
-  List.iter
-    (fun (name, inst) ->
-      run name inst Bundles.mis;
-      run name inst Bundles.coloring)
-    [ "c3-prime", prime_instance (Gen.cycle 3);
-      "p3-prime", prime_instance (Gen.path 3);
-      "star3-prime", prime_instance (Gen.star 3);
-      "c6/3colors", c6_instance ();
-      "c12/3colors", cycle_mod_colors 12 3;
-    ];
-  run "c6/3colors" (c6_instance ()) Bundles.two_hop_coloring;
+  print_rows ?pool
+    (List.concat_map
+       (fun (name, inst) ->
+         [ run name inst Bundles.mis; run name inst Bundles.coloring ])
+       [ "c3-prime", prime_instance (Gen.cycle 3);
+         "p3-prime", prime_instance (Gen.path 3);
+         "star3-prime", prime_instance (Gen.star 3);
+         "c6/3colors", c6_instance ();
+         "c12/3colors", cycle_mod_colors 12 3;
+       ]
+    @ [ run "c6/3colors" (c6_instance ()) Bundles.two_hop_coloring ]);
   print_endline
     "shape: round counts track the phase where the first successful\n\
      simulation exists (the paper's z+1), not |V| — c6 and c12 with the\n\
@@ -129,32 +145,34 @@ let exp_f3 () =
 (* T2: Theorem 2 — A∞, cost tracks |V*| not |V|                        *)
 (* ------------------------------------------------------------------ *)
 
-let exp_t2 () =
+let exp_t2 ?pool () =
   header "T2  Theorem 2: A_infinity — cost tracks |V*|, not |V|";
   Printf.printf "%-16s | %4s | %5s | %10s | %9s | %6s\n" "instance" "|V|" "|V*|"
     "sim length" "search st" "valid?";
-  let run name inst =
+  let run name inst () =
     match A_infinity.solve ~gran:Bundles.mis inst () with
-    | Error m -> Printf.printf "%-16s | failed: %s\n" name m
+    | Error m -> Printf.sprintf "%-16s | failed: %s\n" name m
     | Ok r ->
       let valid =
         Catalog.mis.Problem.is_valid_output (Problem.strip_coloring inst)
           r.A_infinity.outputs
       in
-      Printf.printf "%-16s | %4d | %5d | %10d | %9d | %6b\n" name (Graph.n inst)
+      Printf.sprintf "%-16s | %4d | %5d | %10d | %9d | %6b\n" name (Graph.n inst)
         (Graph.n r.A_infinity.view_graph.View_graph.graph)
         (Bit_assignment.max_length r.A_infinity.found.Min_search.assignment)
         r.A_infinity.found.Min_search.states_explored valid
   in
-  run "c6/3colors" (c6_instance ());
-  run "c12/3colors" (cycle_mod_colors 12 3);
-  run "c24/3colors" (cycle_mod_colors 24 3);
-  run "c48/3colors" (cycle_mod_colors 48 3);
-  run "c8/4colors" (cycle_mod_colors 8 4);
-  run "c16/4colors" (cycle_mod_colors 16 4);
-  run "c3-prime" (prime_instance (Gen.cycle 3));
-  run "k4-prime" (prime_instance (Gen.complete 4));
-  run "p5-prime" (prime_instance (Gen.path 5));
+  print_rows ?pool
+    [ run "c6/3colors" (c6_instance ());
+      run "c12/3colors" (cycle_mod_colors 12 3);
+      run "c24/3colors" (cycle_mod_colors 24 3);
+      run "c48/3colors" (cycle_mod_colors 48 3);
+      run "c8/4colors" (cycle_mod_colors 8 4);
+      run "c16/4colors" (cycle_mod_colors 16 4);
+      run "c3-prime" (prime_instance (Gen.cycle 3));
+      run "k4-prime" (prime_instance (Gen.complete 4));
+      run "p5-prime" (prime_instance (Gen.path 5));
+    ];
   print_endline
     "shape: growing |V| at fixed |V*| leaves the search cost flat (all\n\
      3-color rows explore identical state counts); growing |V*| increases\n\
@@ -164,32 +182,35 @@ let exp_t2 () =
 (* T3: Theorem 3 — Norris                                              *)
 (* ------------------------------------------------------------------ *)
 
-let exp_t3 () =
+let exp_t3 ?pool () =
   header "T3  Theorem 3 (Norris): view stabilization depth <= n";
   Printf.printf "%-20s | %4s | %12s | %8s\n" "family" "n" "stable depth" "depth<=n";
-  let show name g =
+  let show name g () =
     let d = Norris.stable_view_depth g in
-    Printf.printf "%-20s | %4d | %12d | %8b\n" name (Graph.n g) d
+    Printf.sprintf "%-20s | %4d | %12d | %8b\n" name (Graph.n g) d
       (d <= max 1 (Graph.n g))
   in
-  List.iter (fun n -> show (Printf.sprintf "path-%d" n) (Gen.path n)) [ 3; 5; 9; 17; 33 ];
-  List.iter
-    (fun n -> show (Printf.sprintf "cycle-%d (uncolored)" n) (Gen.cycle n))
-    [ 6; 12; 24 ];
-  List.iter
-    (fun k ->
-      show
-        (Printf.sprintf "c24/%d colors" k)
-        (Graph.relabel (Gen.cycle 24) (fun v -> Label.Int (v mod k))))
-    [ 3; 4; 6; 8 ];
-  List.iter
-    (fun seed ->
-      show (Printf.sprintf "G(12,.25) seed %d" seed)
-        (Gen.random_connected ~seed 12 0.25))
-    [ 1; 2; 3 ];
-  show "grid 4x4" (Gen.grid 4 4);
-  show "petersen" (Gen.petersen ());
-  show "hypercube-4" (Gen.hypercube 4);
+  print_rows ?pool
+    (List.map (fun n -> show (Printf.sprintf "path-%d" n) (Gen.path n))
+       [ 3; 5; 9; 17; 33 ]
+    @ List.map
+        (fun n -> show (Printf.sprintf "cycle-%d (uncolored)" n) (Gen.cycle n))
+        [ 6; 12; 24 ]
+    @ List.map
+        (fun k ->
+          show
+            (Printf.sprintf "c24/%d colors" k)
+            (Graph.relabel (Gen.cycle 24) (fun v -> Label.Int (v mod k))))
+        [ 3; 4; 6; 8 ]
+    @ List.map
+        (fun seed ->
+          show (Printf.sprintf "G(12,.25) seed %d" seed)
+            (Gen.random_connected ~seed 12 0.25))
+        [ 1; 2; 3 ]
+    @ [ show "grid 4x4" (Gen.grid 4 4);
+        show "petersen" (Gen.petersen ());
+        show "hypercube-4" (Gen.hypercube 4);
+      ]);
   print_endline
     "shape: stabilization is far below the worst-case n on most graphs\n\
      (paths are the extremal family: depth ~ n/2), matching Norris' bound."
@@ -198,36 +219,37 @@ let exp_t3 () =
 (* L: Lemmas 2-4 — factors and prime factors                           *)
 (* ------------------------------------------------------------------ *)
 
-let exp_lemmas () =
+let exp_lemmas ?pool () =
   header "L   Lemmas 2-4: view graphs are factors; prime factor unique";
   Printf.printf "%-22s | %2s | %6s | %10s | %12s | %7s\n" "base (prime-labeled)" "k"
     "|lift|" "factor ok?" "same prime?" "lift ok?";
-  List.iter
-    (fun (name, base, k, seed) ->
-      let l = Lift.random ~seed base ~k in
-      let vg_b = View_graph.of_graph_exn base in
-      let vg_l = View_graph.of_graph_exn l.Lift.graph in
-      let factor_ok =
-        Factor.is_factorizing ~product:l.Lift.graph ~factor:vg_l.View_graph.graph
-          ~map:vg_l.View_graph.map
-      in
-      let same_prime = Iso.equal vg_b.View_graph.graph vg_l.View_graph.graph in
-      let bits =
-        Array.init (Graph.n base) (fun v -> Bits.of_int ~width:8 (v * 37 mod 256))
-      in
-      let lifted =
-        Lifting.run ~solver:Anonet_algorithms.Rand_mis.algorithm
-          ~product:l.Lift.graph ~factor:base ~map:l.Lift.map ~bits
-      in
-      Printf.printf "%-22s | %2d | %6d | %10b | %12b | %7b\n" name k
-        (Graph.n l.Lift.graph) factor_ok same_prime lifted.Lifting.agree)
+  print_rows ?pool
+    (List.map
+       (fun (name, base, k, seed) () ->
+         let l = Lift.random ~seed base ~k in
+         let vg_b = View_graph.of_graph_exn base in
+         let vg_l = View_graph.of_graph_exn l.Lift.graph in
+         let factor_ok =
+           Factor.is_factorizing ~product:l.Lift.graph
+             ~factor:vg_l.View_graph.graph ~map:vg_l.View_graph.map
+         in
+         let same_prime = Iso.equal vg_b.View_graph.graph vg_l.View_graph.graph in
+         let bits =
+           Array.init (Graph.n base) (fun v -> Bits.of_int ~width:8 (v * 37 mod 256))
+         in
+         let lifted =
+           Lifting.run ~solver:Anonet_algorithms.Rand_mis.algorithm
+             ~product:l.Lift.graph ~factor:base ~map:l.Lift.map ~bits
+         in
+         Printf.sprintf "%-22s | %2d | %6d | %10b | %12b | %7b\n" name k
+           (Graph.n l.Lift.graph) factor_ok same_prime lifted.Lifting.agree)
     [ "cycle-5", Gen.label_with_ints (Gen.cycle 5), 2, 11;
       "cycle-5", Gen.label_with_ints (Gen.cycle 5), 4, 12;
       "petersen", Gen.label_with_ints (Gen.petersen ()), 2, 13;
       "wheel-5", Gen.label_with_ints (Gen.wheel 5), 3, 14;
       "K4", Gen.label_with_ints (Gen.complete 4), 3, 15;
       "ham(6,.4)", Gen.label_with_ints (Gen.random_hamiltonian ~seed:9 6 0.4), 2, 16;
-    ];
+    ]);
   print_endline
     "columns: the view-graph map is a factorizing map (Lemma 2); lift and\n\
      base share one prime factor (Lemma 3); executions lift (lifting lemma)."
@@ -236,14 +258,16 @@ let exp_lemmas () =
 (* A1: ablation — search cost vs |V*|                                  *)
 (* ------------------------------------------------------------------ *)
 
-let exp_a1 () =
+let exp_a1 ?pool () =
   header "A1  ablation: minimal-simulation search cost vs |V*|";
   Printf.printf "%-16s | %5s | %10s | %10s | %9s\n" "solver" "|V*|" "sim length"
     "search st" "time (s)";
+  (* Rows print sequentially — they report wall-clock time, which fanning
+     them out would distort.  The pool instead shards each search itself. *)
   let search solver name g =
     let t0 = Unix.gettimeofday () in
     match
-      Min_search.minimal_successful ~solver g
+      Min_search.minimal_successful ~solver g ?pool
         ~base:(Bit_assignment.empty (Graph.n g)) ~len:(Min_search.At_most 24) ()
     with
     | None ->
@@ -274,14 +298,14 @@ let exp_a1 () =
 (* A2: ablation — coloring granularity                                 *)
 (* ------------------------------------------------------------------ *)
 
-let exp_a2 () =
+let exp_a2 ?pool () =
   header "A2  ablation: coloring granularity vs view graph size vs cost";
   Printf.printf "%-18s | %5s | %10s | %9s\n" "instance" "|V*|" "search st" "time (s)";
   List.iter
     (fun k ->
       let inst = cycle_mod_colors 12 k in
       let t0 = Unix.gettimeofday () in
-      match A_infinity.solve ~gran:Bundles.mis inst ~max_len:24 () with
+      match A_infinity.solve ~gran:Bundles.mis inst ~max_len:24 ?pool () with
       | Error m -> Printf.printf "c12/%-2d colors     | failed: %s\n" k m
       | Ok r ->
         Printf.printf "c12/%-2d colors     | %5d | %10d | %9.3f\n" k
@@ -298,7 +322,7 @@ let exp_a2 () =
 (* A3: ablation — decoupled vs direct                                  *)
 (* ------------------------------------------------------------------ *)
 
-let exp_a3 () =
+let exp_a3 ?pool () =
   header "A3  ablation: decoupled pipeline vs direct randomized algorithm";
   Printf.printf "%-12s | %-10s | %13s | %21s\n" "network" "problem" "direct rounds"
     "decoupled (s1 + s2)";
@@ -312,39 +336,42 @@ let exp_a3 () =
   in
   let seeds = [ 1; 2; 3; 4; 5 ] in
   let avg f = List.fold_left (fun a x -> a +. f x) 0.0 seeds /. float_of_int (List.length seeds) in
-  List.iter
-    (fun (name, g) ->
-      List.iter
-        (fun (pname, bundle, specific) ->
-          let direct =
-            avg (fun seed ->
-                match Las_vegas.solve bundle.Gran.solver g ~seed () with
-                | Ok r -> float_of_int r.Las_vegas.outcome.Executor.rounds
-                | Error m -> failwith m)
-          in
-          let s1 = ref 0.0 and s2 = ref 0.0 in
-          List.iter
-            (fun seed ->
-              match
-                Decouple.solve ~gran:bundle g ~seed
-                  ~stage_two:(Decouple.Specific specific) ()
-              with
-              | Error m -> failwith m
-              | Ok r ->
-                assert (
-                  bundle.Gran.problem.Problem.is_valid_output g r.Decouple.outputs);
-                s1 := !s1 +. float_of_int r.Decouple.coloring_rounds;
-                s2 := !s2 +. float_of_int r.Decouple.stage_two_rounds)
-            seeds;
-          let k = float_of_int (List.length seeds) in
-          Printf.printf "%-12s | %-10s | %13.1f | %9.1f + %-9.1f\n" name pname direct
-            (!s1 /. k) (!s2 /. k))
-        [ "mis", Bundles.mis, Anonet_algorithms.Det_from_two_hop.mis;
-          "coloring", Bundles.coloring, Anonet_algorithms.Det_from_two_hop.coloring;
-          "matching", Bundles.maximal_matching,
-          Anonet_algorithms.Det_from_two_hop.matching;
-        ])
-    families;
+  let row (name, g) (pname, bundle, specific) () =
+    let direct =
+      avg (fun seed ->
+          match Las_vegas.solve bundle.Gran.solver g ~seed () with
+          | Ok r -> float_of_int r.Las_vegas.outcome.Executor.rounds
+          | Error m -> failwith m)
+    in
+    let s1 = ref 0.0 and s2 = ref 0.0 in
+    List.iter
+      (fun seed ->
+        match
+          Decouple.solve ~gran:bundle g ~seed
+            ~stage_two:(Decouple.Specific specific) ()
+        with
+        | Error m -> failwith m
+        | Ok r ->
+          assert (
+            bundle.Gran.problem.Problem.is_valid_output g r.Decouple.outputs);
+          s1 := !s1 +. float_of_int r.Decouple.coloring_rounds;
+          s2 := !s2 +. float_of_int r.Decouple.stage_two_rounds)
+      seeds;
+    let k = float_of_int (List.length seeds) in
+    Printf.sprintf "%-12s | %-10s | %13.1f | %9.1f + %-9.1f\n" name pname direct
+      (!s1 /. k) (!s2 /. k)
+  in
+  print_rows ?pool
+    (List.concat_map
+       (fun family ->
+         List.map (row family)
+           [ "mis", Bundles.mis, Anonet_algorithms.Det_from_two_hop.mis;
+             "coloring", Bundles.coloring,
+             Anonet_algorithms.Det_from_two_hop.coloring;
+             "matching", Bundles.maximal_matching,
+             Anonet_algorithms.Det_from_two_hop.matching;
+           ])
+       families);
   print_endline
     "shape: the decoupled pipeline pays a constant-factor overhead — the\n\
      2-hop coloring stage dominates; the problem-specific deterministic\n\
@@ -355,43 +382,45 @@ let exp_a3 () =
 (* A4: ablation — 2-hop palette reduction                              *)
 (* ------------------------------------------------------------------ *)
 
-let exp_a4 () =
+let exp_a4 ?pool () =
   header "A4  ablation: Las-Vegas palette vs greedy 2-hop recoloring";
   Printf.printf "%-12s | %3s | %9s | %14s | %14s\n" "network" "maxdeg" "bound"
     "LV colors" "reduced colors";
   let distinct outputs =
     Array.to_list outputs |> List.sort_uniq Label.compare |> List.length
   in
-  List.iter
-    (fun (name, g) ->
-      let lv =
-        match
-          Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g ~seed:47 ()
-        with
-        | Ok r -> r.Las_vegas.outcome.Executor.outputs
-        | Error m -> failwith m
-      in
-      let reduced =
-        match
-          Decouple.solve ~gran:Bundles.two_hop_coloring g ~seed:47
-            ~stage_two:
-              (Decouple.Specific Anonet_algorithms.Det_from_two_hop.two_hop_recoloring)
-            ()
-        with
-        | Ok r -> r.Decouple.outputs
-        | Error m -> failwith m
-      in
-      assert (Props.is_k_hop_coloring g 2 (fun v -> reduced.(v)));
-      let dmax = Graph.max_degree g in
-      Printf.printf "%-12s | %6d | %9d | %14d | %14d\n" name dmax
-        ((dmax * dmax) + 1) (distinct lv) (distinct reduced))
+  print_rows ?pool
+    (List.map
+       (fun (name, g) () ->
+         let lv =
+           match
+             Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g ~seed:47 ()
+           with
+           | Ok r -> r.Las_vegas.outcome.Executor.outputs
+           | Error m -> failwith m
+         in
+         let reduced =
+           match
+             Decouple.solve ~gran:Bundles.two_hop_coloring g ~seed:47
+               ~stage_two:
+                 (Decouple.Specific
+                    Anonet_algorithms.Det_from_two_hop.two_hop_recoloring)
+               ()
+           with
+           | Ok r -> r.Decouple.outputs
+           | Error m -> failwith m
+         in
+         assert (Props.is_k_hop_coloring g 2 (fun v -> reduced.(v)));
+         let dmax = Graph.max_degree g in
+         Printf.sprintf "%-12s | %6d | %9d | %14d | %14d\n" name dmax
+           ((dmax * dmax) + 1) (distinct lv) (distinct reduced))
     [ "cycle-12", Gen.cycle 12;
       "path-12", Gen.path 12;
       "petersen", Gen.petersen ();
       "grid-4x4", Gen.grid 4 4;
       "star-8", Gen.star 8;
       "random-14", Gen.random_connected ~seed:10 14 0.25;
-    ];
+    ]);
   print_endline
     "shape: the Las-Vegas stage hands out one bitstring color per view\n\
      class (often ~n of them); greedy reduction brings the palette within\n\
@@ -401,43 +430,46 @@ let exp_a4 () =
 (* E1: extension — the stone-age model (Section 1.3)                   *)
 (* ------------------------------------------------------------------ *)
 
-let exp_e1 () =
+let exp_e1 ?pool () =
   header "E1  extension: 2-hop coloring in the stone-age FSM model";
   Printf.printf "%-12s | %6s | %7s | %12s | %12s | %6s\n" "network" "maxdeg"
     "palette" "mis rounds" "2hop rounds" "valid?";
-  List.iter
-    (fun (name, g) ->
-      let d = Graph.max_degree g in
-      let palette = (d * d) + 1 in
-      let module E = Anonet_stoneage.Engine in
-      let mis_rounds =
-        match E.run Anonet_stoneage.Mis.machine g ~seed:3 ~max_rounds:100_000 with
-        | Ok o ->
-          assert (Anonet_problems.Catalog.mis.Problem.is_valid_output g o.E.outputs);
-          o.E.rounds
-        | Error e -> failwith (Format.asprintf "%a" E.pp_failure e)
-      in
-      let two_hop =
-        match
-          E.run (Anonet_stoneage.Two_hop.make ~palette) g ~seed:4 ~max_rounds:1_000_000
-        with
-        | Ok o -> o
-        | Error e -> failwith (Format.asprintf "%a" E.pp_failure e)
-      in
-      let valid =
-        Anonet_problems.Catalog.two_hop_coloring.Problem.is_valid_output g
-          two_hop.E.outputs
-      in
-      assert valid;
-      Printf.printf "%-12s | %6d | %7d | %12d | %12d | %6b\n" name d palette
-        mis_rounds two_hop.E.rounds valid)
+  print_rows ?pool
+    (List.map
+       (fun (name, g) () ->
+         let d = Graph.max_degree g in
+         let palette = (d * d) + 1 in
+         let module E = Anonet_stoneage.Engine in
+         let mis_rounds =
+           match E.run Anonet_stoneage.Mis.machine g ~seed:3 ~max_rounds:100_000 with
+           | Ok o ->
+             assert (
+               Anonet_problems.Catalog.mis.Problem.is_valid_output g o.E.outputs);
+             o.E.rounds
+           | Error e -> failwith (Format.asprintf "%a" E.pp_failure e)
+         in
+         let two_hop =
+           match
+             E.run (Anonet_stoneage.Two_hop.make ~palette) g ~seed:4
+               ~max_rounds:1_000_000
+           with
+           | Ok o -> o
+           | Error e -> failwith (Format.asprintf "%a" E.pp_failure e)
+         in
+         let valid =
+           Anonet_problems.Catalog.two_hop_coloring.Problem.is_valid_output g
+             two_hop.E.outputs
+         in
+         assert valid;
+         Printf.sprintf "%-12s | %6d | %7d | %12d | %12d | %6b\n" name d palette
+           mis_rounds two_hop.E.rounds valid)
     [ "cycle-8", Gen.cycle 8;
       "path-9", Gen.path 9;
       "petersen", Gen.petersen ();
       "grid-3x3", Gen.grid 3 3;
       "star-6", Gen.star 6;
       "random-10", Gen.random_connected ~seed:6 10 0.3;
-    ];
+    ]);
   print_endline
     "shape: even anonymous finite state machines with one-two-many\n\
      counting compute 2-hop colorings (the paper's Section 1.3 claim);\n\
@@ -448,7 +480,7 @@ let exp_e1 () =
 (* E2: extension — asynchronous execution (α-synchronizer)             *)
 (* ------------------------------------------------------------------ *)
 
-let exp_e2 () =
+let exp_e2 ?pool () =
   header "E2  extension: the α-synchronizer on adversarial schedules";
   Printf.printf "%-22s | %8s | %15s | %s\n" "scheduler" "events" "virtual rounds"
     "outputs = sync?";
@@ -461,21 +493,22 @@ let exp_e2 () =
     | Ok o -> o
     | Error e -> failwith (Format.asprintf "%a" Anonet_runtime.Executor.pp_failure e)
   in
-  List.iter
-    (fun (name, scheduler) ->
-      match Async.run algo g ~tape ~scheduler ~max_events:2_000_000 with
-      | Error e -> failwith (Format.asprintf "%a" Async.pp_failure e)
-      | Ok { Async.outputs; events; virtual_rounds } ->
-        let same =
-          Array.for_all2 Label.equal outputs sync.Anonet_runtime.Executor.outputs
-        in
-        assert same;
-        Printf.printf "%-22s | %8d | %15d | %b\n" name events virtual_rounds same)
+  print_rows ?pool
+    (List.map
+       (fun (name, scheduler) () ->
+         match Async.run algo g ~tape ~scheduler ~max_events:2_000_000 with
+         | Error e -> failwith (Format.asprintf "%a" Async.pp_failure e)
+         | Ok { Async.outputs; events; virtual_rounds } ->
+           let same =
+             Array.for_all2 Label.equal outputs sync.Anonet_runtime.Executor.outputs
+           in
+           assert same;
+           Printf.sprintf "%-22s | %8d | %15d | %b\n" name events virtual_rounds same)
     [ "fifo", Async.Fifo;
       "random<=5", Async.Random_delay { seed = 3; max_delay = 5 };
       "random<=20", Async.Random_delay { seed = 4; max_delay = 20 };
       "starve node 0 (x12)", Async.Skewed { seed = 5; max_delay = 12; slow_node = 0 };
-    ];
+    ]);
   print_endline
     "shape: the synchronizer reproduces the synchronous outputs exactly\n\
      under every adversarial schedule — all results transfer to\n\
@@ -485,7 +518,7 @@ let exp_e2 () =
 (* R1: robustness — retransmission under seeded message loss           *)
 (* ------------------------------------------------------------------ *)
 
-let exp_r1 () =
+let exp_r1 ?pool () =
   header "R1  robustness: retransmission wrapper under seeded message loss";
   let module Faults = Anonet_runtime.Faults in
   let module Retransmit = Anonet_runtime.Retransmit in
@@ -504,38 +537,47 @@ let exp_r1 () =
   in
   Printf.printf "%-16s | %4s | %7s | %11s | %9s\n" "algorithm" "loss" "success"
     "mean rounds" "inflation";
-  List.iter
-    (fun (name, g, algo, problem) ->
-      let wrapped = Retransmit.wrap algo in
-      let base_mean = ref 0.0 in
-      List.iter
-        (fun loss ->
-          let successes = ref 0 and rounds_sum = ref 0 in
-          for t = 1 to trials do
-            let tape = Anonet_runtime.Tape.random ~seed:(Prng.hash2 9000 t) in
-            let faults = Faults.make (Faults.with_loss loss ~seed:(Prng.hash2 9100 t)) in
-            match
-              Executor.run ~faults wrapped g ~tape
-                ~max_rounds:(64 * (Graph.n g + 4))
-            with
-            | Ok o when problem.Problem.is_valid_output g o.Executor.outputs ->
-              incr successes;
-              rounds_sum := !rounds_sum + o.Executor.rounds
-            | Ok _ | Error _ -> ()
-          done;
-          (* The wrapper is transparent on a loss-free network: every trial
-             must succeed at loss 0 (the Monte-Carlo leader's tie
-             probability is ~n²/2²⁴, invisible at 20 fixed seeds). *)
-          assert (loss > 0.0 || !successes = trials);
-          let mean =
-            if !successes = 0 then nan
-            else float_of_int !rounds_sum /. float_of_int !successes
-          in
-          if loss = 0.0 then base_mean := mean;
-          Printf.printf "%-16s | %4.2f | %4d/%2d | %11.1f | %8.2fx\n" name loss
-            !successes trials mean (mean /. !base_mean))
-        losses)
-    cases;
+  (* One task per algorithm case, returning its whole four-row block; the
+     per-loss loop stays sequential inside the task because the inflation
+     column divides by the loss-0 mean. *)
+  print_rows ?pool
+    (List.map
+       (fun (name, g, algo, problem) () ->
+         let wrapped = Retransmit.wrap algo in
+         let base_mean = ref 0.0 in
+         let buf = Buffer.create 256 in
+         List.iter
+           (fun loss ->
+             let successes = ref 0 and rounds_sum = ref 0 in
+             for t = 1 to trials do
+               let tape = Anonet_runtime.Tape.random ~seed:(Prng.hash2 9000 t) in
+               let faults =
+                 Faults.make (Faults.with_loss loss ~seed:(Prng.hash2 9100 t))
+               in
+               match
+                 Executor.run ~faults wrapped g ~tape
+                   ~max_rounds:(64 * (Graph.n g + 4))
+               with
+               | Ok o when problem.Problem.is_valid_output g o.Executor.outputs ->
+                 incr successes;
+                 rounds_sum := !rounds_sum + o.Executor.rounds
+               | Ok _ | Error _ -> ()
+             done;
+             (* The wrapper is transparent on a loss-free network: every trial
+                must succeed at loss 0 (the Monte-Carlo leader's tie
+                probability is ~n²/2²⁴, invisible at 20 fixed seeds). *)
+             assert (loss > 0.0 || !successes = trials);
+             let mean =
+               if !successes = 0 then nan
+               else float_of_int !rounds_sum /. float_of_int !successes
+             in
+             if loss = 0.0 then base_mean := mean;
+             Buffer.add_string buf
+               (Printf.sprintf "%-16s | %4.2f | %4d/%2d | %11.1f | %8.2fx\n" name
+                  loss !successes trials mean (mean /. !base_mean)))
+           losses;
+         Buffer.contents buf)
+       cases);
   print_endline
     "shape: the retransmission wrapper keeps the success rate at (or near)\n\
      100% across loss rates — each lost message only delays its inner\n\
@@ -544,7 +586,7 @@ let exp_r1 () =
      semantics silently feeds the receiver a null (see the fault-model\n\
      section of DESIGN.md), and the α-synchronizer outright deadlocks."
 
-let all =
+let all : (string * (string * (?pool:Pool.t -> unit -> unit))) list =
   [ "f1", ("Figure 1: depth-d local views", exp_f1);
     "f2", ("Figure 2: factor chain", exp_f2);
     "f3", ("Figure 3 / Theorem 1: A*", exp_f3);
@@ -560,11 +602,11 @@ let all =
     "r1", ("robustness: retransmission under message loss", exp_r1);
   ]
 
-let run_all () = List.iter (fun (_, (_, f)) -> f ()) all
+let run_all ?pool () = List.iter (fun (_, (_, f)) -> f ?pool ()) all
 
-let run id =
+let run ?pool id =
   match List.assoc_opt (String.lowercase_ascii id) all with
-  | Some (_, f) -> Ok (f ())
+  | Some (_, f) -> Ok (f ?pool ())
   | None ->
     Error
       (Printf.sprintf "unknown experiment %S (known: %s)" id

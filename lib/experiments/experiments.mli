@@ -5,13 +5,22 @@
 
     Ids: [f1] [f2] [f3] (the figures), [t2] [t3] (theorems), [lemmas],
     [a1] [a2] [a3] [a4] (ablations), [e1] [e2] (extensions), [r1]
-    (robustness under injected faults). *)
+    (robustness under injected faults).
+
+    Every experiment accepts [?pool] (a {!Anonet_parallel.Pool.t}).
+    Experiments whose rows are independent graph-family measurements fan
+    the rows out across the pool's domains, collecting each row's fully
+    formatted text and printing in input order — output is byte-identical
+    to a sequential run.  [a1]/[a2] instead thread the pool into the
+    minimal-simulation search itself (their rows report wall-clock time,
+    which fanning would distort).  With no pool (or a 1-domain pool)
+    everything runs sequentially, as before. *)
 
 (** Id-indexed experiments: [(id, (description, run))]. *)
-val all : (string * (string * (unit -> unit))) list
+val all : (string * (string * (?pool:Anonet_parallel.Pool.t -> unit -> unit))) list
 
 (** Run every experiment in order. *)
-val run_all : unit -> unit
+val run_all : ?pool:Anonet_parallel.Pool.t -> unit -> unit
 
 (** Run one experiment by id (case-insensitive). *)
-val run : string -> (unit, string) result
+val run : ?pool:Anonet_parallel.Pool.t -> string -> (unit, string) result

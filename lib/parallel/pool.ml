@@ -1,0 +1,193 @@
+(* A persistent pool of worker domains draining a shared index counter.
+
+   Each job is a self-contained record (body, size, claim/finish counters,
+   first-failure slot): workers grab the *current* job under the lock but
+   drain it through the job record only, so a worker that wakes up late —
+   after the caller already finished the job and moved on — finds the
+   stale record's counter exhausted and harmlessly loops back to sleep.
+   Completion is "every index finished", tracked in the job itself; the
+   caller owns the job and is always one of the drainers. *)
+
+type job =
+  | Job : {
+      body : int -> unit;
+      size : int;
+      next : int Atomic.t;  (** next unclaimed index *)
+      finished : int Atomic.t;  (** indices fully processed (run or skipped) *)
+      failure : exn option Atomic.t;  (** first exception, by wall clock *)
+    }
+      -> job
+
+type t = {
+  domains : int;
+  mutable workers : unit Domain.t list;
+  lock : Mutex.t;
+  wake : Condition.t;  (** new job posted, or shutdown *)
+  idle : Condition.t;  (** some job just finished its last index *)
+  mutable generation : int;  (** bumped per posted job *)
+  mutable job : job option;
+  mutable stopped : bool;
+}
+
+let domains t = t.domains
+
+(* Drain [j]: claim indices until exhausted.  After a failure is recorded,
+   remaining indices are claimed but their bodies skipped, so the job
+   still terminates promptly and deterministically reaches [finished =
+   size].  Whoever finishes the last index signals the caller. *)
+let drain t (Job j) =
+  let rec go () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.size then begin
+      (if Atomic.get j.failure = None then
+         try j.body i
+         with e -> ignore (Atomic.compare_and_set j.failure None (Some e)));
+      let f = 1 + Atomic.fetch_and_add j.finished 1 in
+      if f = j.size then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.lock
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker t ~seen =
+  Mutex.lock t.lock;
+  while (not t.stopped) && t.generation = seen do
+    Condition.wait t.wake t.lock
+  done;
+  let seen = t.generation in
+  let job = t.job in
+  let stopped = t.stopped in
+  Mutex.unlock t.lock;
+  if not stopped then begin
+    (match job with None -> () | Some j -> drain t j);
+    worker t ~seen
+  end
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d -> if d < 1 then invalid_arg "Pool.create: domains < 1" else d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      domains;
+      workers = [];
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      generation = 0;
+      job = None;
+      stopped = false;
+    }
+  in
+  if domains > 1 then
+    t.workers <-
+      List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t ~seen:0));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run t ~n body =
+  if n > 0 then begin
+    if t.domains = 1 then
+      (* Sequential fallback: in order, first exception propagates. *)
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let j =
+        Job
+          {
+            body;
+            size = n;
+            next = Atomic.make 0;
+            finished = Atomic.make 0;
+            failure = Atomic.make None;
+          }
+      in
+      Mutex.lock t.lock;
+      if t.stopped then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      t.job <- Some j;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.lock;
+      drain t j;
+      let (Job { finished; failure; size; _ }) = j in
+      Mutex.lock t.lock;
+      while Atomic.get finished < size do
+        Condition.wait t.idle t.lock
+      done;
+      t.job <- None;
+      Mutex.unlock t.lock;
+      match Atomic.get failure with Some e -> raise e | None -> ()
+    end
+  end
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run t ~n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let race t ~n task =
+  if n <= 0 then None
+  else if t.domains = 1 then begin
+    (* The literal sequential first-success loop: nothing past the winner
+       is ever started. *)
+    let stop () = false in
+    let rec go i =
+      if i >= n then None
+      else begin
+        match task ~stop i with Some v -> Some (i, v) | None -> go (i + 1)
+      end
+    in
+    go 0
+  end
+  else begin
+    let best = Atomic.make max_int in
+    let results = Array.make n None in
+    let body i =
+      (* Skip tasks that already lost; [best] only ever decreases, so a
+         skipped index is always above the final winner. *)
+      if Atomic.get best > i then begin
+        let stop () = Atomic.get best < i in
+        match task ~stop i with
+        | None -> ()
+        | Some v ->
+          results.(i) <- Some v;
+          let rec lower () =
+            let cur = Atomic.get best in
+            if i < cur && not (Atomic.compare_and_set best cur i) then lower ()
+          in
+          lower ()
+      end
+    in
+    run t ~n body;
+    match Atomic.get best with
+    | b when b = max_int -> None
+    | b -> (match results.(b) with Some v -> Some (b, v) | None -> assert false)
+  end

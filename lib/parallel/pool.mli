@@ -1,0 +1,69 @@
+(** A small work-distributing domain pool for the embarrassingly parallel
+    workloads of the derandomization: independent Las-Vegas attempts,
+    disjoint subtrees of the bit-assignment search, independent
+    graph-family experiment rows.
+
+    The pool owns [domains - 1] worker domains (the caller of {!map},
+    {!run} or {!race} is always the remaining worker, so a pool of size
+    [d] computes on [d] domains).  Work items are indexed [0 .. n-1] and
+    distributed dynamically — each participant repeatedly claims the next
+    unclaimed index — so uneven item costs balance automatically.  Results
+    are merged in {e index order}, never in completion order: every
+    combinator is deterministic given deterministic tasks.
+
+    Sequential fallback: a pool created with [~domains:1] (or without
+    [~domains] on a machine where [Domain.recommended_domain_count () = 1])
+    spawns no domains at all; every combinator then degenerates to a plain
+    in-order loop.  Callers can thread [?pool] unconditionally and let the
+    pool decide.
+
+    Pools are not reentrant: do not call {!run}, {!map} or {!race} from
+    inside a task of the same pool. *)
+
+type t
+
+(** [create ~domains ()] spawns [domains - 1] worker domains.  [domains]
+    defaults to [Domain.recommended_domain_count ()]; an explicit value is
+    honored even beyond the core count (useful for testing the parallel
+    paths and for oversubscription experiments).
+    @raise Invalid_argument if [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+(** Number of domains the pool computes on (workers + caller), [>= 1]. *)
+val domains : t -> int
+
+(** [shutdown t] joins the worker domains.  Idempotent.  Using the pool
+    after shutdown raises [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] runs [f] on a fresh pool and always shuts it
+    down, including on exceptions. *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+
+(** [run t ~n body] executes [body i] for every [i] in [0 .. n-1], in
+    parallel across the pool's domains.  Every index is executed exactly
+    once.  If some [body i] raises, the remaining unclaimed indices are
+    skipped (claimed but not run) and the first recorded exception is
+    re-raised in the caller once all participants have drained. *)
+val run : t -> n:int -> (int -> unit) -> unit
+
+(** [map t f arr] is [Array.map f arr] computed in parallel.  The result
+    array is in input order ([(map t f arr).(i) = f arr.(i)]) — the
+    deterministic reduction order downstream merges rely on. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [race t ~n task] races the speculative tasks [0 .. n-1] and returns
+    [Some (i, v)] for the {e lowest} index whose task returned [Some v],
+    or [None] when every task returned [None].
+
+    The guarantee is exactly the sequential first-success semantics: every
+    task with an index below the winner was run to completion and returned
+    [None].  Losers are cancelled via a shared atomic flag: a task whose
+    index already lost (some lower index succeeded) is skipped if not yet
+    started, and its [~stop] callback starts answering [true] so running
+    tasks can abandon work cooperatively ([stop] never answers [true]
+    for a task all of whose lower-indexed rivals may still fail).
+
+    With a sequential pool this is literally the first-success loop: tasks
+    run in index order and nothing after the winner is started. *)
+val race : t -> n:int -> (stop:(unit -> bool) -> int -> 'a option) -> (int * 'a) option

@@ -1,5 +1,6 @@
 module Graph = Anonet_graph.Graph
 module Prng = Anonet_graph.Prng
+module Pool = Anonet_parallel.Pool
 
 type report = {
   outcome : Executor.outcome;
@@ -8,63 +9,179 @@ type report = {
   rounds_spent : int;
 }
 
+(* Saturating addition: round budgets are clamped at [max_int / 2], so
+   totals across attempts can still approach [max_int]. *)
+let ( ++ ) a b = if a > max_int - b then max_int else a + b
+
+(* ---------- shared between the sequential and racing paths ----------
+   The racing path reconstructs the sequential run's reports and error
+   strings exactly, so both paths format through the same helpers. *)
+
+let describe_last = function
+  | None -> ""
+  | Some (f, seed_used, budget) ->
+    Format.asprintf " (last attempt: %a; budget %d; seed %d)"
+      Executor.pp_failure f budget seed_used
+
+let no_success_msg ~attempts ~spent ~last =
+  Printf.sprintf "Las_vegas.solve: no success in %d attempts (%d rounds spent)%s"
+    attempts spent (describe_last last)
+
+let giveup_msg ~attempts_done ~budget ~cap ~spent ~last =
+  Printf.sprintf
+    "Las_vegas.solve: giving up after %d attempts: next budget of %d rounds \
+     would exceed the %d-round cap (%d spent)%s"
+    attempts_done budget cap spent (describe_last last)
+
+let crash_msg f i seed_used =
+  Format.asprintf
+    "Las_vegas.solve: %a on attempt %d (seed %d) — fault plan leaves no node \
+     running"
+    Executor.pp_failure f i seed_used
+
+(* ---------- one attempt ---------- *)
+
+type attempt_outcome =
+  | Done of Executor.outcome
+  | Crashed of Executor.failure  (** [All_nodes_crashed]: retrying cannot help *)
+  | Out_of_rounds of Executor.failure
+
+let attempt algo g ~seed ~faults i ~budget =
+  (* Splitmix-style hash of (seed, attempt): attempts draw unrelated tapes
+     even for adjacent or arithmetically related seeds. *)
+  let seed_used = Prng.hash2 seed i in
+  let faults = Option.map Faults.make faults in
+  match
+    Executor.run ?faults algo g ~tape:(Tape.random ~seed:seed_used)
+      ~max_rounds:budget
+  with
+  | Ok outcome -> Done outcome
+  | Error (Executor.Tape_exhausted _) ->
+    (* Random tapes never exhaust. *)
+    assert false
+  | Error (Executor.All_nodes_crashed _ as f) -> Crashed f
+  | Error (Executor.Max_rounds_exceeded _ as f) -> Out_of_rounds f
+
+(* ---------- sequential ---------- *)
+
+let solve_sequential algo g ~seed ~budget_for ~attempts ~giveup ~faults =
+  let rec go i ~spent ~last_failure =
+    if i > attempts then
+      Error (no_success_msg ~attempts ~spent ~last:last_failure)
+    else begin
+      let budget = budget_for i in
+      match giveup with
+      | Some cap when spent ++ budget > cap && i > 1 ->
+        Error
+          (giveup_msg ~attempts_done:(i - 1) ~budget ~cap ~spent
+             ~last:last_failure)
+      | _ ->
+        let seed_used = Prng.hash2 seed i in
+        (match attempt algo g ~seed ~faults i ~budget with
+         | Done outcome ->
+           Ok
+             {
+               outcome;
+               attempts = i;
+               seed_used;
+               rounds_spent = spent ++ outcome.rounds;
+             }
+         | Crashed f ->
+           (* The fault plan is deterministic: retrying cannot help. *)
+           Error (crash_msg f i seed_used)
+         | Out_of_rounds f ->
+           go (i + 1) ~spent:(spent ++ budget)
+             ~last_failure:(Some (f, seed_used, budget)))
+    end
+  in
+  go 1 ~spent:0 ~last_failure:None
+
+(* ---------- racing ----------
+
+   Attempt outcomes are pure functions of (seed, attempt index, budget), so
+   the attempt the sequential loop would have stopped at — the lowest index
+   with a terminal (success or crash) outcome — is well defined without
+   running attempts in order.  [Pool.race] computes exactly that index,
+   running waves of speculative attempts concurrently and cancelling
+   attempts that already lost, and the report is reassembled from arithmetic
+   the sequential loop would have done: spent rounds are the (deterministic)
+   budgets of the failed lower attempts. *)
+
+let solve_racing pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
+  (* Rounds the sequential loop has spent before attempt [i]: every lower
+     attempt failed and burned its whole budget. *)
+  let spent_before i =
+    let rec go j acc = if j >= i then acc else go (j + 1) (acc ++ budget_for j) in
+    go 1 0
+  in
+  (* The attempts the sequential loop would ever start: the give-up cap
+     truncates the schedule at a point that depends only on the budgets. *)
+  let planned, giveup_at =
+    match giveup with
+    | None -> attempts, None
+    | Some cap ->
+      let rec scan i spent =
+        if i > attempts then attempts, None
+        else begin
+          let b = budget_for i in
+          if i > 1 && spent ++ b > cap then i - 1, Some (cap, b, spent)
+          else scan (i + 1) (spent ++ b)
+        end
+      in
+      scan 1 0
+  in
+  let task ~stop:_ idx =
+    let i = idx + 1 in
+    match attempt algo g ~seed ~faults i ~budget:(budget_for i) with
+    | Done _ | Crashed _ as terminal -> Some terminal
+    | Out_of_rounds _ -> None
+  in
+  match Pool.race pool ~n:planned task with
+  | Some (idx, Done outcome) ->
+    let i = idx + 1 in
+    Ok
+      {
+        outcome;
+        attempts = i;
+        seed_used = Prng.hash2 seed i;
+        rounds_spent = spent_before i ++ outcome.rounds;
+      }
+  | Some (idx, Crashed f) ->
+    let i = idx + 1 in
+    Error (crash_msg f i (Prng.hash2 seed i))
+  | Some (_, Out_of_rounds _) -> assert false
+  | None ->
+    (* Every planned attempt ran out of rounds — reconstruct the failure
+       the last attempt would have reported. *)
+    let last =
+      if planned = 0 then None
+      else begin
+        let b = budget_for planned in
+        Some (Executor.Max_rounds_exceeded b, Prng.hash2 seed planned, b)
+      end
+    in
+    (match giveup_at with
+     | Some (cap, budget, spent) ->
+       Error (giveup_msg ~attempts_done:planned ~budget ~cap ~spent ~last)
+     | None ->
+       Error (no_success_msg ~attempts ~spent:(spent_before (attempts + 1)) ~last))
+
 let solve algo g ~seed ?max_rounds ?(attempts = 20) ?(backoff = 2.0) ?giveup
-    ?faults () =
+    ?faults ?pool () =
   if backoff < 1.0 then invalid_arg "Las_vegas.solve: backoff < 1";
   let base_rounds =
     match max_rounds with Some r -> r | None -> 64 * (Graph.n g + 4)
   in
   let budget_for i =
     (* Exponential backoff: unlucky (or faulted) attempts escalate their
-       round budget instead of burning the same one [attempts] times. *)
-    int_of_float (float_of_int base_rounds *. (backoff ** float_of_int (i - 1)))
+       round budget instead of burning the same one [attempts] times.
+       Clamped at [max_int / 2]: [backoff ** (i-1)] overflows the integer
+       range for moderate attempt counts already, and an unclamped
+       [int_of_float] would wrap the budget negative. *)
+    let f = float_of_int base_rounds *. (backoff ** float_of_int (i - 1)) in
+    if f >= float_of_int (max_int / 2) then max_int / 2 else int_of_float f
   in
-  let rec go i ~spent ~last_failure =
-    let describe_last () =
-      match last_failure with
-      | None -> ""
-      | Some (f, seed_used, budget) ->
-        Format.asprintf " (last attempt: %a; budget %d; seed %d)"
-          Executor.pp_failure f budget seed_used
-    in
-    if i > attempts then
-      Error
-        (Printf.sprintf
-           "Las_vegas.solve: no success in %d attempts (%d rounds spent)%s"
-           attempts spent (describe_last ()))
-    else begin
-      let budget = budget_for i in
-      match giveup with
-      | Some cap when spent + budget > cap && i > 1 ->
-        Error
-          (Printf.sprintf
-             "Las_vegas.solve: giving up after %d attempts: next budget of %d \
-              rounds would exceed the %d-round cap (%d spent)%s"
-             (i - 1) budget cap spent (describe_last ()))
-      | _ ->
-        (* Splitmix-style hash of (seed, attempt): attempts draw unrelated
-           tapes even for adjacent or arithmetically related seeds. *)
-        let seed_used = Prng.hash2 seed i in
-        let faults = Option.map Faults.make faults in
-        (match
-           Executor.run ?faults algo g ~tape:(Tape.random ~seed:seed_used)
-             ~max_rounds:budget
-         with
-         | Ok outcome ->
-           Ok { outcome; attempts = i; seed_used; rounds_spent = spent + outcome.rounds }
-         | Error (Executor.Tape_exhausted _) ->
-           (* Random tapes never exhaust. *)
-           assert false
-         | Error (Executor.All_nodes_crashed _ as f) ->
-           (* The fault plan is deterministic: retrying cannot help. *)
-           Error
-             (Format.asprintf
-                "Las_vegas.solve: %a on attempt %d (seed %d) — fault plan \
-                 leaves no node running"
-                Executor.pp_failure f i seed_used)
-         | Error (Executor.Max_rounds_exceeded _ as f) ->
-           go (i + 1) ~spent:(spent + budget)
-             ~last_failure:(Some (f, seed_used, budget)))
-    end
-  in
-  go 1 ~spent:0 ~last_failure:None
+  match pool with
+  | Some p when Pool.domains p > 1 ->
+    solve_racing p algo g ~seed ~budget_for ~attempts ~giveup ~faults
+  | Some _ | None -> solve_sequential algo g ~seed ~budget_for ~attempts ~giveup ~faults

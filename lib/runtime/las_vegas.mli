@@ -11,7 +11,14 @@
     adjacent user seeds — and runs with an exponentially backed-off round
     budget [max_rounds * backoff^(i-1)]: unlucky or fault-injected runs
     escalate instead of burning the same fixed budget every time.  A
-    [giveup] cap bounds the total rounds spent across attempts. *)
+    [giveup] cap bounds the total rounds spent across attempts.
+
+    Because an attempt's outcome is a pure function of [(seed, i, budget)],
+    attempts can also be raced speculatively across a domain pool
+    ({!solve}'s [?pool]): the harness reports the lowest attempt index with
+    a terminal outcome, which is exactly the attempt the sequential loop
+    would have stopped at, so parallel and sequential runs return
+    identical reports and identical error strings. *)
 
 type report = {
   outcome : Executor.outcome;
@@ -32,6 +39,18 @@ type report = {
     the given plan (see {!Faults}); a plan that crash-stops all nodes fails
     immediately without retrying.  Error strings include the last attempt's
     failure, budget, and seed, so diagnosing does not require re-running.
+
+    Per-attempt budgets are clamped at [max_int / 2] — with a large
+    [backoff] the exponential escalation exceeds the integer range after a
+    few dozen attempts, and an unclamped conversion would wrap the budget
+    negative (and sail past a [giveup] cap).
+
+    [pool], when given (and sized above one domain), races waves of
+    speculative attempts across the pool's domains, cancelling attempts
+    that already lost via a shared atomic flag.  The result — report or
+    error string — is byte-identical to the sequential run's: the harness
+    selects the lowest attempt index with a terminal outcome and charges
+    the deterministic budgets of the failed attempts below it.
     @raise Invalid_argument if [backoff < 1]. *)
 val solve :
   Algorithm.t ->
@@ -42,5 +61,6 @@ val solve :
   ?backoff:float ->
   ?giveup:int ->
   ?faults:Faults.plan ->
+  ?pool:Anonet_parallel.Pool.t ->
   unit ->
   (report, string) result
