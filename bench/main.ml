@@ -31,8 +31,11 @@ open Anonet_views
 module Gran = Anonet_problems.Gran
 module Problem = Anonet_problems.Problem
 module Las_vegas = Anonet_runtime.Las_vegas
+module Run_ctx = Anonet_runtime.Run_ctx
 module Bundles = Anonet_algorithms.Bundles
 module Pool = Anonet_parallel.Pool
+module Obs = Anonet_obs.Obs
+module Metrics = Anonet_obs.Metrics
 open Anonet
 
 let header title =
@@ -179,10 +182,11 @@ let bench_tests () =
                Anonet_runtime.Executor.run wrapped (Gen.petersen ()) ~tape
                  ~max_rounds:2000));
         Test.make ~name:"retransmit-2hop-petersen-loss20"
-          (Staged.stage (fun () ->
-               Anonet_runtime.Executor.run wrapped (Gen.petersen ()) ~tape
-                 ~faults:(Faults.make (Faults.with_loss 0.2 ~seed:7))
-                 ~max_rounds:2000));
+          (Staged.stage
+             (let ctx = Run_ctx.make ~faults:(Faults.with_loss 0.2 ~seed:7) () in
+              fun () ->
+                Anonet_runtime.Executor.run ~ctx wrapped (Gen.petersen ()) ~tape
+                  ~max_rounds:2000));
       ]
   in
   Test.make_grouped ~name:"anonet"
@@ -302,6 +306,25 @@ let pool_scaling_rows () =
         [ 1; 2; 4 ])
     workloads
 
+(* A metrics snapshot of the instrumented pipeline — a Las-Vegas solve and
+   an A_infinity derandomization against a live registry — so BENCH.json
+   records the work performed (rounds, messages, attempts, search states)
+   next to the timings.  [Metrics.render_json] is a complete single-line
+   JSON object; it embeds verbatim as the "metrics" value. *)
+let metrics_snapshot_json () =
+  let registry = Metrics.create () in
+  let ctx = Run_ctx.make ~obs:(Obs.make ~metrics:registry ()) () in
+  (match
+     Las_vegas.solve ~ctx Anonet_algorithms.Rand_mis.algorithm (Gen.petersen ())
+       ~seed:5 ()
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  (match A_infinity.solve ~ctx ~gran:Bundles.mis (cycle_mod_colors 12 3) () with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  String.trim (Metrics.render_json (Metrics.snapshot registry))
+
 let run_bench_json path =
   header "Bechamel micro-benchmarks -> JSON telemetry";
   let results, _instances = analyze_benchmarks () in
@@ -315,6 +338,8 @@ let run_bench_json path =
   Buffer.add_string buf
     (Printf.sprintf "  \"domains_available\": %d,\n"
        (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metrics\": %s,\n" (metrics_snapshot_json ()));
   Buffer.add_string buf "  \"tests\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -343,7 +368,10 @@ let run_bench_json path =
   Printf.printf "wrote %s (%d tests, %d pool-scaling rows)\n" path
     (List.length tests) (List.length scaling)
 
-let run_harness () = Anonet_experiments.Experiments.run_all ()
+let run_harness () =
+  List.iter
+    (Anonet_experiments.Experiments.render stdout)
+    (Anonet_experiments.Experiments.run_all ())
 
 let () =
   match Array.to_list Sys.argv with

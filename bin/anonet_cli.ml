@@ -26,8 +26,13 @@ module Catalog = Anonet_problems.Catalog
 module Executor = Anonet_runtime.Executor
 module Faults = Anonet_runtime.Faults
 module Las_vegas = Anonet_runtime.Las_vegas
+module Run_ctx = Anonet_runtime.Run_ctx
+module Run_error = Anonet_runtime.Run_error
 module Bundles = Anonet_algorithms.Bundles
 module Pool = Anonet_parallel.Pool
+module Obs = Anonet_obs.Obs
+module Metrics = Anonet_obs.Metrics
+module Obs_events = Anonet_obs.Events
 
 (* ---------- graph spec parsing ---------- *)
 
@@ -128,11 +133,66 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* ---------- observability flags ---------- *)
+
+let metrics_arg =
+  let doc =
+    "Print a metrics trailer after the command: run counters (rounds, \
+     messages, Las-Vegas attempts, fault injections, search effort), \
+     gauges and timing histograms.  $(docv) is $(b,text) or $(b,json) \
+     (single-line, schema anonet-metrics/1 — extract with tail -n 1)."
+  in
+  Arg.(value
+       & opt (some (enum [ "text", `Text; "json", `Json ])) None
+       & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let events_arg =
+  let doc =
+    "Stream structured NDJSON events (round boundaries, fault injections, \
+     Las-Vegas attempt lifecycle, search progress, profiling spans) to \
+     $(docv), one JSON object per line."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+(* Builds the observability handle from the two flags and hands it to the
+   command body.  With neither flag this is exactly [Obs.null] — the
+   instrumented code paths keep their uninstrumented behavior and output.
+   The trailer/close runs on every way out, [exit 1] included (the
+   [at_exit] hook), so a failing run still reports its metrics. *)
+let with_obs metrics events f =
+  match metrics, events with
+  | None, None -> f Obs.null
+  | _ ->
+    let close_events, sink =
+      match events with
+      | None -> (fun () -> ()), None
+      | Some path ->
+        let oc = open_out path in
+        (fun () -> close_out oc), Some (Obs_events.ndjson oc)
+    in
+    let registry = Metrics.create () in
+    let obs = Obs.make ~metrics:registry ?events:sink () in
+    let finished = ref false in
+    let finish () =
+      if not !finished then begin
+        finished := true;
+        (match metrics with
+         | None -> ()
+         | Some `Text -> print_string (Metrics.render_text (Metrics.snapshot registry))
+         | Some `Json -> print_string (Metrics.render_json (Metrics.snapshot registry)));
+        close_events ()
+      end
+    in
+    at_exit finish;
+    let v = f obs in
+    finish ();
+    v
+
 (* The pool lives exactly as long as the command body: workers are joined
    on the way out even if the body raises. *)
-let with_jobs jobs f =
+let with_jobs ?obs jobs f =
   if jobs <= 1 then f None
-  else Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+  else Pool.with_pool ?obs ~domains:jobs (fun p -> f (Some p))
 
 let print_outputs outputs =
   Array.iteri
@@ -199,7 +259,7 @@ let factor_cmd =
     Term.(const run $ graph_arg $ coloring $ dot)
 
 let solve_cmd =
-  let run_solve problem spec seed trace faults_spec retransmit jobs =
+  let run_solve problem spec seed trace faults_spec retransmit jobs metrics events =
     let g = parse_graph spec in
     let bundle = parse_bundle problem in
     let plan =
@@ -218,17 +278,18 @@ let solve_cmd =
     (match plan with
      | None -> ()
      | Some p -> Printf.printf "fault plan: %s\n" (Faults.plan_to_string p));
+    with_obs metrics events @@ fun obs ->
     if trace then begin
-      let faults = Option.map Faults.make plan in
+      let ctx = Run_ctx.make ?faults:plan ~obs () in
       match
-        Anonet_runtime.Trace.record ?faults solver g
+        Anonet_runtime.Trace.record ~ctx solver g
           ~tape:(Anonet_runtime.Tape.random ~seed)
           ~max_rounds:(64 * (Graph.n g + 4))
       with
       | Error (t, f) ->
         print_string (Anonet_runtime.Trace.render t);
         Format.printf "failed: %a@." Executor.pp_failure f;
-        exit (Executor.exit_code f)
+        exit (Run_error.exit_code (Run_error.Sync f))
       | Ok (t, outcome) ->
         print_string (Anonet_runtime.Trace.render t);
         Printf.printf "valid: %b\n"
@@ -236,7 +297,9 @@ let solve_cmd =
     end
     else begin
       match
-        with_jobs jobs (fun pool -> Las_vegas.solve ?faults:plan ?pool solver g ~seed ())
+        with_jobs ~obs jobs (fun pool ->
+            let ctx = Run_ctx.make ?faults:plan ?pool ~obs () in
+            Las_vegas.solve ~ctx solver g ~seed ())
       with
       | Error m -> prerr_endline m; exit 1
       | Ok r ->
@@ -248,12 +311,12 @@ let solve_cmd =
         Printf.printf "valid: %b\n" (bundle.Gran.problem.Problem.is_valid_output g o)
     end
   in
-  let run problem spec seed trace faults_spec retransmit jobs =
+  let run problem spec seed trace faults_spec retransmit jobs metrics events =
     (* Fault injection can feed an algorithm messages its protocol never
        anticipated (a loss-induced null mid-phase, a corrupted payload);
        decoders are entitled to reject them.  Report that as the diagnosis
        it is, not as an internal error. *)
-    try run_solve problem spec seed trace faults_spec retransmit jobs
+    try run_solve problem spec seed trace faults_spec retransmit jobs metrics events
     with Invalid_argument m when faults_spec <> None ->
       Printf.eprintf
         "fault injection broke the algorithm's protocol: %s\n\
@@ -284,14 +347,15 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run the randomized anonymous algorithm (Las-Vegas).")
     Term.(const run $ problem_arg 0 $ Arg.(required & pos 1 (some string) None
                                            & info [] ~docv:"GRAPH") $ seed_arg $ trace
-          $ faults_spec $ retransmit $ jobs_arg)
+          $ faults_spec $ retransmit $ jobs_arg $ metrics_arg $ events_arg)
 
 let derandomize_cmd =
-  let run problem spec coloring method_ jobs =
+  let run problem spec coloring method_ jobs metrics events =
     let g = parse_graph spec in
     let bundle = parse_bundle problem in
     let colors = parse_coloring g coloring in
     let inst = Problem.attach_coloring g colors in
+    with_obs metrics events @@ fun obs ->
     match method_ with
     | "a-star" -> begin
         match Anonet.A_star.solve ~gran:bundle inst () with
@@ -305,8 +369,9 @@ let derandomize_cmd =
       end
     | "a-infinity" -> begin
         match
-          with_jobs jobs (fun pool ->
-              Anonet.A_infinity.solve ~gran:bundle inst ?pool ())
+          with_jobs ~obs jobs (fun pool ->
+              Anonet.A_infinity.solve ~ctx:(Run_ctx.make ?pool ~obs ())
+                ~gran:bundle inst ())
         with
         | Error m -> prerr_endline m; exit 1
         | Ok r ->
@@ -337,7 +402,7 @@ let derandomize_cmd =
        ~doc:"Solve the 2-hop colored variant deterministically (Theorems 1-2).")
     Term.(const run $ problem_arg 0
           $ Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH")
-          $ coloring $ method_ $ jobs_arg)
+          $ coloring $ method_ $ jobs_arg $ metrics_arg $ events_arg)
 
 let decouple_cmd =
   let run problem spec seed stage2 =
@@ -428,13 +493,17 @@ let stoneage_cmd =
           $ seed_arg $ palette)
 
 let experiments_cmd =
-  let run id jobs =
-    with_jobs jobs (fun pool ->
+  let run id jobs metrics events =
+    let module Experiments = Anonet_experiments.Experiments in
+    with_obs metrics events @@ fun obs ->
+    with_jobs ~obs jobs (fun pool ->
+        let ctx = Run_ctx.make ?pool ~obs () in
         match id with
-        | None -> Anonet_experiments.Experiments.run_all ?pool ()
+        | None ->
+          List.iter (Experiments.render stdout) (Experiments.run_all ~ctx ())
         | Some id -> begin
-            match Anonet_experiments.Experiments.run ?pool id with
-            | Ok () -> ()
+            match Experiments.run ~ctx id with
+            | Ok out -> Experiments.render stdout out
             | Error m -> prerr_endline m; exit 1
           end)
   in
@@ -448,7 +517,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's figures/theorem validations (EXPERIMENTS.md).")
-    Term.(const run $ id $ jobs_arg)
+    Term.(const run $ id $ jobs_arg $ metrics_arg $ events_arg)
 
 let main =
   let doc = "anonymous networks: randomization = 2-hop coloring (PODC 2014)" in

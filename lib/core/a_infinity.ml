@@ -3,6 +3,8 @@ module Label = Anonet_graph.Label
 module View_graph = Anonet_views.View_graph
 module Problem = Anonet_problems.Problem
 module Gran = Anonet_problems.Gran
+module Run_ctx = Anonet_runtime.Run_ctx
+module Obs = Anonet_obs.Obs
 
 type result = {
   outputs : Label.t array;
@@ -11,8 +13,9 @@ type result = {
   decider_confirmed : bool;
 }
 
-let solve ~gran g ?(order = Min_search.Round_major) ?(max_len = 64)
-    ?(decider_seed = 1) ?pool () =
+let solve ?(ctx = Run_ctx.default) ~gran g ?(order = Min_search.Round_major)
+    ?(max_len = 64) ?(decider_seed = 1) () =
+  Obs.span (Run_ctx.obs ctx) "a_infinity.solve" @@ fun () ->
   let colored = Problem.colored_variant gran.Gran.problem in
   if not (colored.Problem.is_instance g) then
     Error
@@ -27,8 +30,8 @@ let solve ~gran g ?(order = Min_search.Round_major) ?(max_len = 64)
     | Ok true ->
       let base = Bit_assignment.empty (Graph.n j) in
       (match
-         Min_search.minimal_successful ~solver:gran.Gran.solver j ~base ~order
-           ?pool ~len:(Min_search.At_most max_len) ()
+         Min_search.minimal_successful ~ctx ~solver:gran.Gran.solver j ~base
+           ~order ~len:(Min_search.At_most max_len) ()
        with
        (* The search's typed limits degrade to ordinary errors here: the
           caller learns the instance is out of reach instead of eating an
@@ -83,3 +86,6 @@ let solve ~gran g ?(order = Min_search.Round_major) ?(max_len = 64)
          in
          Ok { outputs; view_graph; found; decider_confirmed = true })
   end
+
+let solve_legacy ~gran g ?order ?max_len ?decider_seed ?pool () =
+  solve ~ctx:(Run_ctx.make ?pool ()) ~gran g ?order ?max_len ?decider_seed ()

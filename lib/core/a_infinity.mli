@@ -26,21 +26,34 @@ type result = {
           bundles, by the lifting lemma) *)
 }
 
-(** [solve ~gran g ()] derandomizes [gran.solver] on the [Π^c]-instance
-    [g] (labels [<i, c>] with [c] a 2-hop coloring).
+(** [solve ?ctx ~gran g ()] derandomizes [gran.solver] on the
+    [Π^c]-instance [g] (labels [<i, c>] with [c] a 2-hop coloring).
+
+    The context is forwarded to the minimal-simulation search: [ctx.pool]
+    shards it across a domain pool (identical results; see {!Min_search})
+    and [ctx.obs] instruments it, with the whole derandomization timed
+    under an [a_infinity.solve] span.
 
     @param order        total order for the minimal-simulation search
                         (default {!Min_search.Round_major})
     @param max_len      simulation length bound (default [64])
     @param decider_seed seed for the (randomized) decider run (default 1)
-    @param pool         shard the minimal-simulation search across a
-                        domain pool (identical results; see {!Min_search})
     @return [Error] if [g] is not an instance of [Π^c], if the decider
     rejects [J], if no successful simulation exists within [max_len], or
     if the search hits its state/branching limits
     ({!Min_search.Search_limit_exceeded} and
     {!Min_search.Branching_limit_exceeded} are caught and rendered). *)
 val solve :
+  ?ctx:Anonet_runtime.Run_ctx.t ->
+  gran:Anonet_problems.Gran.t ->
+  Anonet_graph.Graph.t ->
+  ?order:Min_search.order ->
+  ?max_len:int ->
+  ?decider_seed:int ->
+  unit ->
+  (result, string) Stdlib.result
+
+val solve_legacy :
   gran:Anonet_problems.Gran.t ->
   Anonet_graph.Graph.t ->
   ?order:Min_search.order ->
@@ -49,3 +62,4 @@ val solve :
   ?pool:Anonet_parallel.Pool.t ->
   unit ->
   (result, string) Stdlib.result
+[@@deprecated "use solve ?ctx — pass the pool via Run_ctx.make"]

@@ -1,7 +1,10 @@
 module Graph = Anonet_graph.Graph
 module Bits = Anonet_graph.Bits
 module Executor = Anonet_runtime.Executor
+module Run_ctx = Anonet_runtime.Run_ctx
 module Pool = Anonet_parallel.Pool
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
 
 type order =
   | Round_major
@@ -82,7 +85,9 @@ let round_vectors ~base ~r =
   in
   Seq.map vector (Seq.init (1 lsl f) Fun.id)
 
-let search_round_major ?pool ~solver g ~base ~max_states ~len_constraint =
+let search_round_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
+  let states_c = Obs.counter obs "search.states_explored" in
+  let frontier_g = Obs.gauge obs "search.frontier" in
   let max_base = Bit_assignment.max_length base in
   let hard_cap =
     match len_constraint with Exactly l -> l | At_most l -> l
@@ -139,6 +144,13 @@ let search_round_major ?pool ~solver g ~base ~max_states ~len_constraint =
     let r = !level in
     let f = List.length (free_nodes ~base ~r) in
     check_branching ~free_bits:f ~limit:round_branching_limit;
+    Obs.set frontier_g (List.length !frontier);
+    Obs.eventf obs "search.level" (fun () ->
+        [
+          ("level", Events.Int r);
+          ("frontier", Events.Int (List.length !frontier));
+          ("free_bits", Events.Int f);
+        ]);
     let seen = Hashtbl.create 256 in
     let next = ref [] in
     (* Successors in lexicographic prefix order: entries outer (the
@@ -162,6 +174,7 @@ let search_round_major ?pool ~solver g ~base ~max_states ~len_constraint =
        let steps = Array.length entries * nvec in
        if !explored + steps > max_states then raise Search_limit_exceeded;
        explored := !explored + steps;
+       Obs.incr ~by:steps states_c;
        let vectors = Array.of_seq (round_vectors ~base ~r) in
        let stepped =
          Pool.map p
@@ -182,6 +195,7 @@ let search_round_major ?pool ~solver g ~base ~max_states ~len_constraint =
            Seq.iter
              (fun bits ->
                incr explored;
+               Obs.incr states_c;
                if !explored > max_states then raise Search_limit_exceeded;
                let exec = Executor.Incremental.step entry.exec ~bits in
                absorb entry bits exec (Executor.Incremental.fingerprint exec))
@@ -196,7 +210,8 @@ let search_round_major ?pool ~solver g ~base ~max_states ~len_constraint =
 
 (* ---------- node-major exhaustive enumeration (the paper's order) ------ *)
 
-let search_node_major ?pool ~solver g ~base ~max_states ~len_constraint =
+let search_node_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
+  let states_c = Obs.counter obs "search.states_explored" in
   let max_base = Bit_assignment.max_length base in
   let lengths =
     match len_constraint with
@@ -211,12 +226,14 @@ let search_node_major ?pool ~solver g ~base ~max_states ~len_constraint =
     if sim.Simulation.successful then Some (assignment, sim) else None
   in
   let try_length_sequential len =
-    check_branching
-      ~free_bits:(Bit_assignment.free_bits base ~len)
-      ~limit:node_branching_limit;
+    let free_bits = Bit_assignment.free_bits base ~len in
+    check_branching ~free_bits ~limit:node_branching_limit;
+    Obs.eventf obs "search.length" (fun () ->
+        [ ("len", Events.Int len); ("free_bits", Events.Int free_bits) ]);
     Seq.find_map
       (fun assignment ->
         incr explored;
+        Obs.incr states_c;
         if !explored > max_states then raise Search_limit_exceeded;
         simulate assignment)
       (Bit_assignment.extensions base ~len)
@@ -232,6 +249,8 @@ let search_node_major ?pool ~solver g ~base ~max_states ~len_constraint =
   let try_length_racing p len =
     let f = Bit_assignment.free_bits base ~len in
     check_branching ~free_bits:f ~limit:node_branching_limit;
+    Obs.eventf obs "search.length" (fun () ->
+        [ ("len", Events.Int len); ("free_bits", Events.Int f) ]);
     let space = 1 lsl f in
     let allowed = max_states - !explored in
     if allowed <= 0 then raise Search_limit_exceeded;
@@ -239,6 +258,14 @@ let search_node_major ?pool ~solver g ~base ~max_states ~len_constraint =
     let bounds = chunk_bounds ~size:range ~domains:(Pool.domains p) in
     let task ~stop c =
       let lo, hi = bounds.(c) in
+      (* Worker-side claim event only; counters are posted by the caller in
+         the deterministic merge below. *)
+      Obs.eventf obs "search.block" (fun () ->
+          [
+            ("len", Events.Int len);
+            ("lo", Events.Int lo);
+            ("hi", Events.Int hi);
+          ]);
       let rec scan offset seq =
         if stop () then None
         else begin
@@ -255,11 +282,13 @@ let search_node_major ?pool ~solver g ~base ~max_states ~len_constraint =
     match Pool.race p ~n:(Array.length bounds) task with
     | Some (_, (code, found)) ->
       explored := !explored + code + 1;
+      Obs.incr ~by:(code + 1) states_c;
       Some found
     | None ->
       if range < space then raise Search_limit_exceeded
       else begin
         explored := !explored + space;
+        Obs.incr ~by:space states_c;
         None
       end
   in
@@ -273,8 +302,8 @@ let search_node_major ?pool ~solver g ~base ~max_states ~len_constraint =
   | Some (assignment, sim) ->
     Some { assignment; sim; states_explored = !explored }
 
-let minimal_successful ~solver g ~base ?(order = Round_major)
-    ?(max_states = 1_000_000) ?pool ~len () =
+let minimal_successful_with ~obs ~pool ~solver g ~base ?(order = Round_major)
+    ?(max_states = 1_000_000) ~len () =
   if Array.length base <> Graph.n g then
     invalid_arg "Min_search: assignment size differs from graph size";
   (* A one-domain pool computes nothing in parallel: take the sequential
@@ -284,6 +313,19 @@ let minimal_successful ~solver g ~base ?(order = Round_major)
   in
   match order with
   | Round_major ->
-    search_round_major ?pool ~solver g ~base ~max_states ~len_constraint:len
+    Obs.span obs "min_search.round_major" (fun () ->
+        search_round_major ?pool ~obs ~solver g ~base ~max_states
+          ~len_constraint:len)
   | Node_major ->
-    search_node_major ?pool ~solver g ~base ~max_states ~len_constraint:len
+    Obs.span obs "min_search.node_major" (fun () ->
+        search_node_major ?pool ~obs ~solver g ~base ~max_states
+          ~len_constraint:len)
+
+let minimal_successful ?(ctx = Run_ctx.default) ~solver g ~base ?order
+    ?max_states ~len () =
+  minimal_successful_with ~obs:(Run_ctx.obs ctx) ~pool:(Run_ctx.pool ctx)
+    ~solver g ~base ?order ?max_states ~len ()
+
+let minimal_successful_legacy ~solver g ~base ?order ?max_states ?pool ~len () =
+  minimal_successful_with ~obs:Obs.null ~pool ~solver g ~base ?order ?max_states
+    ~len ()

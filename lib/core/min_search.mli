@@ -61,20 +61,41 @@ exception Search_limit_exceeded
     stringly-typed assert. *)
 exception Branching_limit_exceeded of { free_bits : int; limit : int }
 
-(** [minimal_successful ~solver g ~base ~len ()] finds the smallest
+(** [minimal_successful ?ctx ~solver g ~base ~len ()] finds the smallest
     assignment extending [base] (per the chosen order) whose induced
     simulation on [g] is successful, or [None] if none exists within the
     length constraint.
 
+    From the context: [ctx.pool] shards the search across a domain pool
+    (see above) — the result is bit-for-bit identical to the sequential
+    search; [ctx.obs], when live, mirrors the search effort in the
+    [search.states_explored] counter (equal to the returned
+    [states_explored] within one call, in both execution modes), tracks the
+    breadth-first frontier in the [search.frontier] gauge, times the search
+    under a [min_search.round_major] / [min_search.node_major] span, and
+    emits ["search.level"] / ["search.length"] / ["search.block"] events.
+    [ctx.faults] and [ctx.scramble_seed] are not consulted: the search
+    semantics is the fault-free deterministic model (a stateful injector
+    cannot be shared by branching executions).
+
     @param max_states abort threshold for the breadth-first frontier
     (default [1_000_000]); raises {!Search_limit_exceeded} beyond it.
-    @param pool shard the search across a domain pool (see above); the
-    result is bit-for-bit identical to the sequential search.
     @raise Branching_limit_exceeded if one branching step exceeds the
     enumeration limits above.
     @raise Invalid_argument if some [base] string already exceeds an
     [Exactly] target. *)
 val minimal_successful :
+  ?ctx:Anonet_runtime.Run_ctx.t ->
+  solver:Anonet_runtime.Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  base:Bit_assignment.t ->
+  ?order:order ->
+  ?max_states:int ->
+  len:length_constraint ->
+  unit ->
+  found option
+
+val minimal_successful_legacy :
   solver:Anonet_runtime.Algorithm.t ->
   Anonet_graph.Graph.t ->
   base:Bit_assignment.t ->
@@ -84,3 +105,4 @@ val minimal_successful :
   len:length_constraint ->
   unit ->
   found option
+[@@deprecated "use minimal_successful ?ctx — pass the pool via Run_ctx.make"]

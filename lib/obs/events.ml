@@ -1,0 +1,84 @@
+(* Structured event sink.
+
+   An event is a name plus a flat list of typed fields.  The sink assigns a
+   monotone sequence number and a timestamp relative to sink creation, then
+   hands the rendered line to the emitter under a mutex so lines from racing
+   domains never interleave.  The null sink short-circuits before any of
+   that work happens. *)
+
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type kind = Null | Human of out_channel | Ndjson of out_channel
+
+type t = {
+  kind : kind;
+  lock : Mutex.t;
+  seq : int Atomic.t;
+  t0 : float;
+}
+
+let make kind =
+  { kind; lock = Mutex.create (); seq = Atomic.make 0; t0 = Unix.gettimeofday () }
+
+let null = make Null
+let human oc = make (Human oc)
+let ndjson oc = make (Ndjson oc)
+let live t = t.kind <> Null
+
+let value_to_json = function
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> Json.of_float f
+  | String s -> Json.escape_string s
+
+let value_to_human = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> s
+
+(* "ts", "seq" and "event" are reserved: the sink writes them first and a
+   field reusing one of those names would produce a duplicate JSON key. *)
+let ndjson_line ~ts ~seq name fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"ts\":%.6f,\"seq\":%d,\"event\":%s" ts seq (Json.escape_string name));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Json.escape_string k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (value_to_json v))
+    fields;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let human_line ~ts ~seq name fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "[%10.6f #%04d] %s" ts seq name);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (value_to_human v))
+    fields;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let emit t name fields =
+  match t.kind with
+  | Null -> ()
+  | Human oc | Ndjson oc ->
+      let seq = Atomic.fetch_and_add t.seq 1 in
+      let ts = Unix.gettimeofday () -. t.t0 in
+      let line =
+        match t.kind with
+        | Ndjson _ -> ndjson_line ~ts ~seq name fields
+        | _ -> human_line ~ts ~seq name fields
+      in
+      Mutex.lock t.lock;
+      output_string oc line;
+      Mutex.unlock t.lock
+
+let flush t =
+  match t.kind with Null -> () | Human oc | Ndjson oc -> flush oc

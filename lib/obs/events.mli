@@ -1,0 +1,29 @@
+(** Structured event sink with pluggable emitters.
+
+    An event is a name plus typed fields.  Emitted lines carry a timestamp
+    (seconds since sink creation), a monotone sequence number, and the event
+    name, then the fields in order.  Emission is mutex-serialised so lines
+    from concurrent domains never interleave; the {!null} sink skips all
+    work.
+
+    The field names ["ts"], ["seq"] and ["event"] are reserved by the sink. *)
+
+type value = Bool of bool | Int of int | Float of float | String of string
+
+type t
+
+val null : t
+(** Discards every event; {!live} is [false]. *)
+
+val human : out_channel -> t
+(** One readable [\[    ts #seq\] name k=v ...] line per event. *)
+
+val ndjson : out_channel -> t
+(** One JSON object per line:
+    [{"ts":<s>,"seq":<n>,"event":"<name>",<field>:<value>,...}]. *)
+
+val live : t -> bool
+(** [false] only for {!null}; guard expensive field construction with it. *)
+
+val emit : t -> string -> (string * value) list -> unit
+val flush : t -> unit

@@ -1,0 +1,9 @@
+(** Tiny JSON rendering helpers for the observability emitters. *)
+
+val escape_string : string -> string
+(** [escape_string s] is [s] as a quoted JSON string literal, with control
+    characters, quotes and backslashes escaped. *)
+
+val of_float : float -> string
+(** [of_float f] renders [f] as a JSON number, or [null] for NaN and the
+    infinities (which JSON cannot represent). *)

@@ -1,0 +1,214 @@
+(* Metrics registry with lock-free per-domain shards.
+
+   Registration (looking a metric up by name) takes a mutex, but that is the
+   cold path: instrumented code resolves its counters once up front and then
+   updates them with plain [Atomic.fetch_and_add] on a shard indexed by the
+   current domain.  Shards are padded out to a small power of two and merged
+   only when a snapshot is taken, so concurrent [--jobs] runs never contend
+   on a single cache line for the hot counters. *)
+
+let shard_count = 16
+
+let shard_index () = (Domain.self () :> int) land (shard_count - 1)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; cell : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  counts : int Atomic.t array; (* per shard *)
+  sums : int Atomic.t array; (* per shard *)
+  min_cell : int Atomic.t; (* CAS-merged across domains *)
+  max_cell : int Atomic.t;
+  buckets : int Atomic.t array; (* log2 buckets, fetch_and_add *)
+}
+
+type t = {
+  lock : Mutex.t;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let cells () = Array.init shard_count (fun _ -> Atomic.make 0)
+
+let find_or_add tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add tbl name m;
+      m
+
+let counter t name =
+  with_lock t (fun () ->
+      find_or_add t.counters name (fun () -> { c_name = name; cells = cells () }))
+
+let incr ?(by = 1) c =
+  ignore (Atomic.fetch_and_add c.cells.(shard_index ()) by)
+
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cells
+
+let gauge t name =
+  with_lock t (fun () ->
+      find_or_add t.gauges name (fun () -> { g_name = name; cell = Atomic.make 0 }))
+
+let set g v = Atomic.set g.cell v
+let gauge_value g = Atomic.get g.cell
+
+let bucket_count = 63
+
+(* Bucket [b] collects values whose bit width is [b]: 0 for v <= 0, else
+   1 + floor(log2 v).  Exponential buckets suit the round/latency shapes the
+   runtime produces (geometric Las-Vegas budgets, log-depth searches). *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x <> 0 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    if !b >= bucket_count then bucket_count - 1 else !b
+  end
+
+let histogram t name =
+  with_lock t (fun () ->
+      find_or_add t.histograms name (fun () ->
+          {
+            h_name = name;
+            counts = cells ();
+            sums = cells ();
+            min_cell = Atomic.make max_int;
+            max_cell = Atomic.make min_int;
+            buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+          }))
+
+let rec cas_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then cas_min cell v
+
+let rec cas_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then cas_max cell v
+
+let observe h v =
+  let s = shard_index () in
+  ignore (Atomic.fetch_and_add h.counts.(s) 1);
+  ignore (Atomic.fetch_and_add h.sums.(s) v);
+  cas_min h.min_cell v;
+  cas_max h.max_cell v;
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1)
+
+type histogram_stats = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * histogram_stats) list;
+}
+
+let merge_cells a = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 a
+
+let histogram_stats h =
+  let count = merge_cells h.counts in
+  let sum = merge_cells h.sums in
+  let min = if count = 0 then 0 else Atomic.get h.min_cell in
+  let max = if count = 0 then 0 else Atomic.get h.max_cell in
+  let buckets = ref [] in
+  for b = bucket_count - 1 downto 0 do
+    let n = Atomic.get h.buckets.(b) in
+    if n > 0 then buckets := (b, n) :: !buckets
+  done;
+  { count; sum; min; max; buckets = !buckets }
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun name m acc -> (name, value m) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot t =
+  with_lock t (fun () ->
+      {
+        counters = sorted_bindings t.counters counter_value;
+        gauges = sorted_bindings t.gauges gauge_value;
+        histograms = sorted_bindings t.histograms histogram_stats;
+      })
+
+let mean st = if st.count = 0 then 0. else float_of_int st.sum /. float_of_int st.count
+
+let render_text snap =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "stats:\n";
+  if snap.counters <> [] then begin
+    Buffer.add_string buf "  counters:\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "    %-34s %d\n" name v))
+      snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Buffer.add_string buf "  gauges:\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "    %-34s %d\n" name v))
+      snap.gauges
+  end;
+  if snap.histograms <> [] then begin
+    Buffer.add_string buf "  histograms:\n";
+    List.iter
+      (fun (name, st) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %-34s count=%d sum=%d min=%d max=%d mean=%.1f\n"
+             name st.count st.sum st.min st.max (mean st)))
+      snap.histograms
+  end;
+  Buffer.contents buf
+
+(* Single-line JSON so the CLI trailer can be extracted with [tail -n 1] and
+   fed straight to a JSON parser. *)
+let render_json snap =
+  let buf = Buffer.create 512 in
+  let obj fields render =
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Json.escape_string name);
+        Buffer.add_char buf ':';
+        render v)
+      fields;
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_string buf "{\"schema\":\"anonet-metrics/1\",\"counters\":";
+  obj snap.counters (fun v -> Buffer.add_string buf (string_of_int v));
+  Buffer.add_string buf ",\"gauges\":";
+  obj snap.gauges (fun v -> Buffer.add_string buf (string_of_int v));
+  Buffer.add_string buf ",\"histograms\":";
+  obj snap.histograms (fun st ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":["
+           st.count st.sum st.min st.max);
+      List.iteri
+        (fun i (b, n) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "[%d,%d]" b n))
+        st.buckets;
+      Buffer.add_string buf "]}");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

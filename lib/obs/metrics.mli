@@ -1,0 +1,67 @@
+(** Metrics registry with lock-free per-domain shards.
+
+    Looking a metric up by name takes a mutex (cold path, done once per run);
+    updating one is a single [Atomic.fetch_and_add] on a shard picked by the
+    current domain id, so concurrent [--jobs] runs do not contend.  Shards
+    are merged when {!snapshot} is taken.  Registration is idempotent: asking
+    for the same name twice returns the same metric. *)
+
+type t
+(** A registry of named counters, gauges and histograms. *)
+
+val create : unit -> t
+
+(** {1 Counters} — monotone sums, sharded per domain. *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+(** Merged value across all shards.  Only consistent once concurrent writers
+    have quiesced, like {!snapshot}. *)
+
+(** {1 Gauges} — last-write-wins instantaneous values. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — count/sum/min/max plus log2 buckets. *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one sample.  Bucket [b] collects samples of bit width [b]
+    (i.e. [2^(b-1) <= v < 2^b]); bucket 0 collects [v <= 0]. *)
+
+(** {1 Snapshots} *)
+
+type histogram_stats = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when [count = 0] *)
+  max : int;  (** 0 when [count = 0] *)
+  buckets : (int * int) list;  (** (log2 bucket, samples), non-empty only *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * histogram_stats) list;
+}
+(** All lists sorted by metric name. *)
+
+val snapshot : t -> snapshot
+
+val render_text : snapshot -> string
+(** Human-readable [stats:] block, used for the CLI [--metrics text]
+    trailer. *)
+
+val render_json : snapshot -> string
+(** Single-line JSON object (schema [anonet-metrics/1]) terminated by a
+    newline, so it can be extracted from mixed CLI output with [tail -n 1]. *)

@@ -8,6 +8,9 @@
    Completion is "every index finished", tracked in the job itself; the
    caller owns the job and is always one of the drainers. *)
 
+module Obs = Anonet_obs.Obs
+module Metrics = Anonet_obs.Metrics
+
 type job =
   | Job : {
       body : int -> unit;
@@ -15,6 +18,7 @@ type job =
       next : int Atomic.t;  (** next unclaimed index *)
       finished : int Atomic.t;  (** indices fully processed (run or skipped) *)
       failure : exn option Atomic.t;  (** first exception, by wall clock *)
+      posted_ns : int;  (** post time, 0 when the pool is uninstrumented *)
     }
       -> job
 
@@ -27,6 +31,11 @@ type t = {
   mutable generation : int;  (** bumped per posted job *)
   mutable job : job option;
   mutable stopped : bool;
+  (* Metric handles resolved at creation; [None] on an uninstrumented pool
+     keeps the claim loop at one branch per handle. *)
+  tasks_c : Metrics.counter option;
+  run_h : Metrics.histogram option;
+  wait_h : Metrics.histogram option;
 }
 
 let domains t = t.domains
@@ -35,13 +44,26 @@ let domains t = t.domains
    remaining indices are claimed but their bodies skipped, so the job
    still terminates promptly and deterministically reaches [finished =
    size].  Whoever finishes the last index signals the caller. *)
+let run_body t (Job j) i =
+  (match t.wait_h with
+   | None -> ()
+   | Some h -> Metrics.observe h (max 0 (Obs.now_ns () - j.posted_ns)));
+  (match t.tasks_c with None -> () | Some c -> Metrics.incr c);
+  match t.run_h with
+  | None ->
+    (try j.body i
+     with e -> ignore (Atomic.compare_and_set j.failure None (Some e)))
+  | Some h ->
+    let t0 = Obs.now_ns () in
+    (try j.body i
+     with e -> ignore (Atomic.compare_and_set j.failure None (Some e)));
+    Metrics.observe h (Obs.now_ns () - t0)
+
 let drain t (Job j) =
   let rec go () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.size then begin
-      (if Atomic.get j.failure = None then
-         try j.body i
-         with e -> ignore (Atomic.compare_and_set j.failure None (Some e)));
+      (if Atomic.get j.failure = None then run_body t (Job j) i);
       let f = 1 + Atomic.fetch_and_add j.finished 1 in
       if f = j.size then begin
         Mutex.lock t.lock;
@@ -67,7 +89,7 @@ let rec worker t ~seen =
     worker t ~seen
   end
 
-let create ?domains () =
+let create ?(obs = Obs.null) ?domains () =
   let domains =
     match domains with
     | Some d -> if d < 1 then invalid_arg "Pool.create: domains < 1" else d
@@ -83,6 +105,9 @@ let create ?domains () =
       generation = 0;
       job = None;
       stopped = false;
+      tasks_c = Obs.counter obs "pool.tasks";
+      run_h = Obs.histogram obs "pool.task.run_ns";
+      wait_h = Obs.histogram obs "pool.task.wait_ns";
     }
   in
   if domains > 1 then
@@ -101,16 +126,25 @@ let shutdown t =
     t.workers <- []
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?obs ?domains f =
+  let t = create ?obs ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let run t ~n body =
   if n > 0 then begin
     if t.domains = 1 then
-      (* Sequential fallback: in order, first exception propagates. *)
+      (* Sequential fallback: in order, first exception propagates.  Tasks
+         are still counted and timed (there is no queueing wait to speak
+         of, so [pool.task.wait_ns] stays untouched). *)
       for i = 0 to n - 1 do
-        body i
+        (match t.tasks_c with None -> () | Some c -> Metrics.incr c);
+        match t.run_h with
+        | None -> body i
+        | Some h ->
+          let t0 = Obs.now_ns () in
+          Fun.protect
+            ~finally:(fun () -> Metrics.observe h (Obs.now_ns () - t0))
+            (fun () -> body i)
       done
     else begin
       let j =
@@ -121,6 +155,7 @@ let run t ~n body =
             next = Atomic.make 0;
             finished = Atomic.make 0;
             failure = Atomic.make None;
+            posted_ns = (if Option.is_none t.wait_h then 0 else Obs.now_ns ());
           }
       in
       Mutex.lock t.lock;

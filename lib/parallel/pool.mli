@@ -26,8 +26,13 @@ type t
     defaults to [Domain.recommended_domain_count ()]; an explicit value is
     honored even beyond the core count (useful for testing the parallel
     paths and for oversubscription experiments).
+
+    [obs], when live, gives the pool a [pool.tasks] counter and
+    [pool.task.run_ns] / [pool.task.wait_ns] histograms (wait = time from
+    job post to claim, recorded only on the parallel path where queueing
+    exists).  An uninstrumented pool pays one branch per handle per task.
     @raise Invalid_argument if [domains < 1]. *)
-val create : ?domains:int -> unit -> t
+val create : ?obs:Anonet_obs.Obs.t -> ?domains:int -> unit -> t
 
 (** Number of domains the pool computes on (workers + caller), [>= 1]. *)
 val domains : t -> int
@@ -38,7 +43,7 @@ val shutdown : t -> unit
 
 (** [with_pool ~domains f] runs [f] on a fresh pool and always shuts it
     down, including on exceptions. *)
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Anonet_obs.Obs.t -> ?domains:int -> (t -> 'a) -> 'a
 
 (** [run t ~n body] executes [body i] for every [i] in [0 .. n-1], in
     parallel across the pool's domains.  Every index is executed exactly

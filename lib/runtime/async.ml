@@ -1,6 +1,8 @@
 module Graph = Anonet_graph.Graph
 module Label = Anonet_graph.Label
 module Prng = Anonet_graph.Prng
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
 
 type scheduler =
   | Fifo
@@ -51,8 +53,8 @@ module Timeline = Map.Make (Int)
 
 exception Tape_out of int
 
-let run (type s) ?faults (module A : Algorithm.S with type state = s) g ~tape
-    ~scheduler ~max_events =
+let run_mod (type s) ?faults ~obs (module A : Algorithm.S with type state = s) g
+    ~tape ~scheduler ~max_events =
   let n = Graph.n g in
   (* reverse.(v).(p) = (u, q): port p of v reaches u, arriving on u's q. *)
   let reverse =
@@ -175,6 +177,22 @@ let run (type s) ?faults (module A : Algorithm.S with type state = s) g ~tape
     end
   in
   let all_output () = Array.for_all Option.is_some outputs in
+  let finish result =
+    (* Counters are posted once, after the event loop: the totals equal the
+       outcome's [events]/[virtual_rounds] by construction, and the hot loop
+       stays untouched. *)
+    Obs.incr ~by:!events (Obs.counter obs "async.events");
+    Obs.set (Obs.gauge obs "async.virtual_rounds") !max_round;
+    (match faults with Some f -> Run_ctx.observe_faults obs f | None -> ());
+    Obs.eventf obs "async.done" (fun () ->
+        [
+          ("events", Events.Int !events);
+          ("virtual_rounds", Events.Int !max_round);
+          ("ok", Events.Bool (Result.is_ok result));
+        ]);
+    result
+  in
+  finish @@ Obs.span obs "async.run" @@ fun () ->
   try
     (* Initialize and run round 1 everywhere (empty inboxes). *)
     for v = 0 to n - 1 do
@@ -221,6 +239,13 @@ let run (type s) ?faults (module A : Algorithm.S with type state = s) g ~tape
   | Exit -> Error (Event_limit_exceeded max_events)
   | Tape_out round -> Error (Tape_exhausted { round })
 
-let run ?faults algo g ~tape ~scheduler ~max_events =
+let run ?(ctx = Run_ctx.default) algo g ~tape ~scheduler ~max_events =
   let (module A : Algorithm.S) = algo in
-  run ?faults (module A) g ~tape ~scheduler ~max_events
+  run_mod
+    ?faults:(Run_ctx.injector ctx)
+    ~obs:(Run_ctx.obs ctx)
+    (module A) g ~tape ~scheduler ~max_events
+
+let run_legacy ?faults algo g ~tape ~scheduler ~max_events =
+  let (module A : Algorithm.S) = algo in
+  run_mod ?faults ~obs:Obs.null (module A) g ~tape ~scheduler ~max_events

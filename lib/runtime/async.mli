@@ -45,11 +45,9 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
-(** [exit_code f] maps each failure variant to a distinct non-zero process
-    exit code, disjoint from {!Executor.exit_code}: [Event_limit_exceeded]
-    = 5, [Tape_exhausted] = 3 (same meaning as the synchronous one),
-    [Stalled] = 6. *)
 val exit_code : failure -> int
+[@@deprecated "use Run_error.exit_code (Run_error.Async f) — one numbering \
+               for both executors"]
 
 (** [sample_delay scheduler rng ~source] draws one delivery delay — the
     deterministic core of the adversary, exposed so tests can pin the
@@ -57,19 +55,36 @@ val exit_code : failure -> int
     [Skewed] pinning messages from [slow_node] to exactly [max_delay]. *)
 val sample_delay : scheduler -> Anonet_graph.Prng.t -> source:int -> int
 
-(** [run algo g ~tape ~scheduler ~max_events] executes the synchronous
+(** [run ?ctx algo g ~tape ~scheduler ~max_events] executes the synchronous
     algorithm [algo] on the asynchronous substrate through the
     α-synchronizer.
 
-    [faults], when given, filters every scheduled message through the
+    [ctx.faults], when set, filters every scheduled message through a fresh
     {!Faults} injector (loss, duplication, corruption, dead links — nulls
     included, they are real messages on the wire) and crash-stops failed
     nodes (the asynchronous substrate has no global clock, so the
     crash-recovery reading is not available here).  Because the
     α-synchronizer waits for {e every} neighbor's round-[r] message, a
     single lost message deadlocks its receiver: expect {!Stalled} under any
-    positive loss rate unless the algorithm is wrapped in {!Retransmit}. *)
+    positive loss rate unless the algorithm is wrapped in {!Retransmit}.
+
+    [ctx.obs], when live, posts the [async.events] counter and
+    [async.virtual_rounds] gauge (equal to the outcome's fields by
+    construction), the [faults.*] tallies, the [async.run] span, and one
+    ["async.done"] event.  [ctx.pool], [ctx.scramble_seed] and
+    [ctx.max_rounds_policy] are not consulted (the event budget is the
+    explicit [max_events]; the asynchronous wire has no port rounds to
+    scramble). *)
 val run :
+  ?ctx:Run_ctx.t ->
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  tape:Tape.t ->
+  scheduler:scheduler ->
+  max_events:int ->
+  (outcome, failure) result
+
+val run_legacy :
   ?faults:Faults.t ->
   Algorithm.t ->
   Anonet_graph.Graph.t ->
@@ -77,3 +92,6 @@ val run :
   scheduler:scheduler ->
   max_events:int ->
   (outcome, failure) result
+[@@deprecated "use run ?ctx — pass the fault plan via Run_ctx.make. (This \
+               shim takes an instantiated injector, for callers that \
+               inspect its event log after the run.)"]

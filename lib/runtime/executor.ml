@@ -1,5 +1,7 @@
 module Graph = Anonet_graph.Graph
 module Label = Anonet_graph.Label
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
 
 type failure =
   | Max_rounds_exceeded of int
@@ -38,6 +40,10 @@ module Incremental = struct
         outputs : Label.t option array;
         round : int;
         messages : int;
+        (* Context defaults captured at [start ?ctx]; explicit [step]
+           arguments override them.  [None] for pre-context callers. *)
+        d_scramble : (node:int -> degree:int -> round:int -> int array) option;
+        d_faults : Faults.t option;
       }
         -> t
 
@@ -47,7 +53,7 @@ module Incremental = struct
             let u = Graph.neighbor g v p in
             u, Graph.port_to g u v))
 
-  let start (module A : Algorithm.S) g =
+  let start ?(ctx = Run_ctx.default) (module A : Algorithm.S) g =
     let n = Graph.n g in
     let states =
       Array.init n (fun v ->
@@ -63,9 +69,13 @@ module Incremental = struct
         outputs = Array.init n (fun v -> A.output states.(v));
         round = 0;
         messages = 0;
+        d_scramble = Run_ctx.scramble ctx;
+        d_faults = Run_ctx.injector ctx;
       }
 
   let step ?scramble ?faults (Pack e) ~bits =
+    let scramble = match scramble with Some _ as s -> s | None -> e.d_scramble in
+    let faults = match faults with Some _ as f -> f | None -> e.d_faults in
     let module A = (val e.algo) in
     let g = e.graph in
     let n = Graph.n g in
@@ -167,44 +177,67 @@ module Incremental = struct
     Marshal.to_string (e.states, e.inboxes, e.outputs) []
 end
 
-let run ?scramble_seed ?faults algo g ~tape ~max_rounds =
+let run_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
   let n = Graph.n g in
-  let scramble =
-    Option.map
-      (fun seed ~node ~degree ~round ->
-        let rng =
-          Anonet_graph.Prng.create ((seed * 92_821) + (node * 613) + round)
+  let rounds_c = Obs.counter obs "executor.rounds" in
+  let msgs_c = Obs.counter obs "executor.messages" in
+  let result =
+    Obs.span obs "executor.run" (fun () ->
+        let rec loop exec =
+          if Incremental.all_output exec then begin
+            let outputs = Array.map Option.get (Incremental.outputs exec) in
+            Ok
+              {
+                outputs;
+                rounds = Incremental.round exec;
+                messages = Incremental.messages exec;
+              }
+          end
+          else begin
+            let round = Incremental.round exec + 1 in
+            if round > max_rounds then Error (Max_rounds_exceeded max_rounds)
+            else begin
+              match faults with
+              | Some f when Faults.doomed f ~round ~nodes:n ->
+                Error (All_nodes_crashed { round })
+              | _ ->
+                let exhausted = ref false in
+                let bits =
+                  Array.init n (fun v ->
+                      match Tape.bit tape ~node:v ~round with
+                      | Some b -> b
+                      | None ->
+                        exhausted := true;
+                        false)
+                in
+                if !exhausted then Error (Tape_exhausted { round })
+                else begin
+                  let exec' = Incremental.step exec ?scramble ?faults ~bits in
+                  Obs.incr rounds_c;
+                  Obs.incr ~by:(Incremental.messages exec' - Incremental.messages exec)
+                    msgs_c;
+                  Obs.eventf obs "round" (fun () ->
+                      [
+                        ("round", Events.Int round);
+                        ( "messages",
+                          Events.Int
+                            (Incremental.messages exec' - Incremental.messages exec) );
+                      ]);
+                  loop exec'
+                end
+            end
+          end
         in
-        let p = Array.init degree (fun i -> i) in
-        Anonet_graph.Prng.shuffle rng p;
-        p)
-      scramble_seed
+        loop (Incremental.start algo g))
   in
-  let rec loop exec =
-    if Incremental.all_output exec then begin
-      let outputs = Array.map Option.get (Incremental.outputs exec) in
-      Ok { outputs; rounds = Incremental.round exec; messages = Incremental.messages exec }
-    end
-    else begin
-      let round = Incremental.round exec + 1 in
-      if round > max_rounds then Error (Max_rounds_exceeded max_rounds)
-      else begin
-        match faults with
-        | Some f when Faults.doomed f ~round ~nodes:n ->
-          Error (All_nodes_crashed { round })
-        | _ ->
-          let exhausted = ref false in
-          let bits =
-            Array.init n (fun v ->
-                match Tape.bit tape ~node:v ~round with
-                | Some b -> b
-                | None ->
-                  exhausted := true;
-                  false)
-          in
-          if !exhausted then Error (Tape_exhausted { round })
-          else loop (Incremental.step exec ?scramble ?faults ~bits)
-      end
-    end
-  in
-  loop (Incremental.start algo g)
+  (match faults with Some f -> Run_ctx.observe_faults obs f | None -> ());
+  result
+
+let run ?(ctx = Run_ctx.default) algo g ~tape ~max_rounds =
+  run_with ~scramble:(Run_ctx.scramble ctx) ~faults:(Run_ctx.injector ctx)
+    ~obs:(Run_ctx.obs ctx) algo g ~tape ~max_rounds
+
+let run_legacy ?scramble_seed ?faults algo g ~tape ~max_rounds =
+  run_with
+    ~scramble:(Option.map Run_ctx.scramble_of_seed scramble_seed)
+    ~faults ~obs:Obs.null algo g ~tape ~max_rounds

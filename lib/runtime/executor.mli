@@ -22,11 +22,9 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
-(** [exit_code f] maps each failure variant to a distinct non-zero process
-    exit code, shared with the CLI: [Max_rounds_exceeded] = 2,
-    [Tape_exhausted] = 3, [All_nodes_crashed] = 4.  ({!Async.exit_code}
-    continues the numbering at 5.) *)
 val exit_code : failure -> int
+[@@deprecated "use Run_error.exit_code (Run_error.Sync f) — one numbering \
+               for both executors"]
 
 type outcome = {
   outputs : Anonet_graph.Label.t array;
@@ -34,26 +32,46 @@ type outcome = {
   messages : int;  (** total messages delivered *)
 }
 
-(** [run algo g ~tape ~max_rounds] executes to completion.
+(** [run ?ctx algo g ~tape ~max_rounds] executes to completion.
 
-    [scramble_seed], when given, delivers every node's incoming messages
-    in a fresh pseudo-random port order each round — modelling a network
-    {e without} consistent port numbering.  The paper remarks
-    (Section 1.3) that randomized anonymous algorithms do not need port
-    numbers: algorithms that treat their inbox as a multiset (the 2-hop
-    coloring, coloring, and MIS solvers here) are unaffected, while
-    port-dependent protocols (maximal matching, whose very output is a
-    port) genuinely need the ports — the test suite demonstrates both.
+    The context ({!Run_ctx.t}, default {!Run_ctx.default}) supplies the
+    cross-cutting configuration:
 
-    [faults], when given, subjects the run to the adversary of {!Faults}:
-    sent messages may be dropped, duplicated (the stale copy arrives one
-    round late on an otherwise-idle port), or corrupted; crashed nodes skip
-    their rounds entirely (state frozen, nothing sent, arriving messages
-    lost).  The injector is stateful — pass a fresh [Faults.make] per run.
+    - [ctx.scramble_seed], when set, delivers every node's incoming
+      messages in a fresh pseudo-random port order each round — modelling
+      a network {e without} consistent port numbering.  The paper remarks
+      (Section 1.3) that randomized anonymous algorithms do not need port
+      numbers: algorithms that treat their inbox as a multiset (the 2-hop
+      coloring, coloring, and MIS solvers here) are unaffected, while
+      port-dependent protocols (maximal matching, whose very output is a
+      port) genuinely need the ports — the test suite demonstrates both.
+    - [ctx.faults], when set, subjects the run to the adversary of
+      {!Faults}: sent messages may be dropped, duplicated (the stale copy
+      arrives one round late on an otherwise-idle port), or corrupted;
+      crashed nodes skip their rounds entirely (state frozen, nothing
+      sent, arriving messages lost).  A fresh injector is instantiated for
+      this run from the plan.
+    - [ctx.obs], when live, counts [executor.rounds] and
+      [executor.messages], tallies [faults.*] counters from the injector's
+      event log, times the run under the [executor.run] span, and emits
+      per-round ["round"] events.  With the null handle (the default) the
+      run's result is byte-identical and the overhead is a few branches
+      per round.
+
+    [ctx.pool] and [ctx.max_rounds_policy] are not consulted (the round
+    budget is the explicit [max_rounds]).
 
     @raise Invalid_argument if the algorithm revokes or changes an output
     (a model violation — a bug in the algorithm). *)
 val run :
+  ?ctx:Run_ctx.t ->
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  tape:Tape.t ->
+  max_rounds:int ->
+  (outcome, failure) result
+
+val run_legacy :
   ?scramble_seed:int ->
   ?faults:Faults.t ->
   Algorithm.t ->
@@ -61,18 +79,26 @@ val run :
   tape:Tape.t ->
   max_rounds:int ->
   (outcome, failure) result
+[@@deprecated "use run ?ctx — pass scramble_seed/faults via Run_ctx.make. \
+               (Unlike the ctx path, this shim takes an instantiated \
+               injector, which callers inspecting the event log after the \
+               run still need.)"]
 
 module Incremental : sig
   type t
 
-  (** [start algo g] is the execution before round 1. *)
-  val start : Algorithm.t -> Anonet_graph.Graph.t -> t
+  (** [start ?ctx algo g] is the execution before round 1.  The context's
+      scramble seed and fault plan (an injector is instantiated here) become
+      the defaults that every subsequent {!step} applies; the default
+      context supplies neither, preserving the plain executor. *)
+  val start : ?ctx:Run_ctx.t -> Algorithm.t -> Anonet_graph.Graph.t -> t
 
   (** [step t ~bits] advances one round; [bits.(v)] is node [v]'s bit.
       [scramble], if given, permutes each node's freshly delivered inbox:
       [scramble ~node ~degree ~round] must return a permutation of
       [0 .. degree-1] (see {!run}'s [scramble_seed]).  [faults], if given,
-      filters message delivery and node activation (see {!run}).
+      filters message delivery and node activation (see {!run}).  Explicit
+      arguments override the defaults captured by [start ?ctx].
       Persistent: [t] remains valid — but note a [Faults.t] is itself
       stateful, so branching searches should not inject faults.
       @raise Invalid_argument on wrong array length or output revocation. *)

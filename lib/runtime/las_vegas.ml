@@ -1,6 +1,8 @@
 module Graph = Anonet_graph.Graph
 module Prng = Anonet_graph.Prng
 module Pool = Anonet_parallel.Pool
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
 
 type report = {
   outcome : Executor.outcome;
@@ -46,25 +48,49 @@ type attempt_outcome =
   | Crashed of Executor.failure  (** [All_nodes_crashed]: retrying cannot help *)
   | Out_of_rounds of Executor.failure
 
-let attempt algo g ~seed ~faults i ~budget =
+let attempt_outcome_name = function
+  | Done _ -> "success"
+  | Crashed _ -> "crashed"
+  | Out_of_rounds _ -> "out_of_rounds"
+
+let attempt ~obs algo g ~seed ~faults i ~budget =
   (* Splitmix-style hash of (seed, attempt): attempts draw unrelated tapes
      even for adjacent or arithmetically related seeds. *)
   let seed_used = Prng.hash2 seed i in
-  let faults = Option.map Faults.make faults in
-  match
-    Executor.run ?faults algo g ~tape:(Tape.random ~seed:seed_used)
-      ~max_rounds:budget
-  with
-  | Ok outcome -> Done outcome
-  | Error (Executor.Tape_exhausted _) ->
-    (* Random tapes never exhaust. *)
-    assert false
-  | Error (Executor.All_nodes_crashed _ as f) -> Crashed f
-  | Error (Executor.Max_rounds_exceeded _ as f) -> Out_of_rounds f
+  Obs.eventf obs "attempt.start" (fun () ->
+      [
+        ("attempt", Events.Int i);
+        ("budget", Events.Int budget);
+        ("seed", Events.Int seed_used);
+      ]);
+  (* Each attempt gets its own context with a fresh injector (instantiated
+     inside [Executor.run]) and a *null* observability handle: a failed
+     speculative attempt must not pollute the run's counters, so attempts
+     surface only as events and the solve-level [lv.*] counters are posted
+     from the final report. *)
+  let ctx = Run_ctx.make ?faults () in
+  let outcome =
+    match
+      Executor.run ~ctx algo g ~tape:(Tape.random ~seed:seed_used)
+        ~max_rounds:budget
+    with
+    | Ok outcome -> Done outcome
+    | Error (Executor.Tape_exhausted _) ->
+      (* Random tapes never exhaust. *)
+      assert false
+    | Error (Executor.All_nodes_crashed _ as f) -> Crashed f
+    | Error (Executor.Max_rounds_exceeded _ as f) -> Out_of_rounds f
+  in
+  Obs.eventf obs "attempt.done" (fun () ->
+      [
+        ("attempt", Events.Int i);
+        ("outcome", Events.String (attempt_outcome_name outcome));
+      ]);
+  outcome
 
 (* ---------- sequential ---------- *)
 
-let solve_sequential algo g ~seed ~budget_for ~attempts ~giveup ~faults =
+let solve_sequential ~obs algo g ~seed ~budget_for ~attempts ~giveup ~faults =
   let rec go i ~spent ~last_failure =
     if i > attempts then
       Error (no_success_msg ~attempts ~spent ~last:last_failure)
@@ -77,7 +103,7 @@ let solve_sequential algo g ~seed ~budget_for ~attempts ~giveup ~faults =
              ~last:last_failure)
       | _ ->
         let seed_used = Prng.hash2 seed i in
-        (match attempt algo g ~seed ~faults i ~budget with
+        (match attempt ~obs algo g ~seed ~faults i ~budget with
          | Done outcome ->
            Ok
              {
@@ -107,7 +133,7 @@ let solve_sequential algo g ~seed ~budget_for ~attempts ~giveup ~faults =
    the sequential loop would have done: spent rounds are the (deterministic)
    budgets of the failed lower attempts. *)
 
-let solve_racing pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
+let solve_racing ~obs pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
   (* Rounds the sequential loop has spent before attempt [i]: every lower
      attempt failed and burned its whole budget. *)
   let spent_before i =
@@ -130,11 +156,21 @@ let solve_racing pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
       in
       scan 1 0
   in
-  let task ~stop:_ idx =
+  let task ~stop idx =
     let i = idx + 1 in
-    match attempt algo g ~seed ~faults i ~budget:(budget_for i) with
-    | Done _ | Crashed _ as terminal -> Some terminal
-    | Out_of_rounds _ -> None
+    (* A lower-indexed attempt already won: this attempt's outcome cannot
+       affect the (lowest-terminal-index) result, so skip the work.  Racing
+       and sequential results stay identical — only the wasted speculation
+       is cut short. *)
+    if stop () then begin
+      Obs.eventf obs "attempt.cancel" (fun () -> [ ("attempt", Events.Int i) ]);
+      None
+    end
+    else begin
+      match attempt ~obs algo g ~seed ~faults i ~budget:(budget_for i) with
+      | Done _ | Crashed _ as terminal -> Some terminal
+      | Out_of_rounds _ -> None
+    end
   in
   match Pool.race pool ~n:planned task with
   | Some (idx, Done outcome) ->
@@ -166,8 +202,8 @@ let solve_racing pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
      | None ->
        Error (no_success_msg ~attempts ~spent:(spent_before (attempts + 1)) ~last))
 
-let solve algo g ~seed ?max_rounds ?(attempts = 20) ?(backoff = 2.0) ?giveup
-    ?faults ?pool () =
+let solve_with ~obs ~faults ~pool algo g ~seed ?max_rounds ?(attempts = 20)
+    ?(backoff = 2.0) ?giveup () =
   if backoff < 1.0 then invalid_arg "Las_vegas.solve: backoff < 1";
   let base_rounds =
     match max_rounds with Some r -> r | None -> 64 * (Graph.n g + 4)
@@ -181,7 +217,49 @@ let solve algo g ~seed ?max_rounds ?(attempts = 20) ?(backoff = 2.0) ?giveup
     let f = float_of_int base_rounds *. (backoff ** float_of_int (i - 1)) in
     if f >= float_of_int (max_int / 2) then max_int / 2 else int_of_float f
   in
-  match pool with
-  | Some p when Pool.domains p > 1 ->
-    solve_racing p algo g ~seed ~budget_for ~attempts ~giveup ~faults
-  | Some _ | None -> solve_sequential algo g ~seed ~budget_for ~attempts ~giveup ~faults
+  let result =
+    Obs.span obs "las_vegas.solve" (fun () ->
+        match pool with
+        | Some p when Pool.domains p > 1 ->
+          solve_racing ~obs p algo g ~seed ~budget_for ~attempts ~giveup ~faults
+        | Some _ | None ->
+          solve_sequential ~obs algo g ~seed ~budget_for ~attempts ~giveup
+            ~faults)
+  in
+  (* The [lv.*] counters mirror the report exactly — the acceptance tests
+     compare them field by field — so they are posted from it rather than
+     accumulated along the way (speculative attempts would over-count). *)
+  (match result with
+   | Ok r ->
+     Obs.incr ~by:r.attempts (Obs.counter obs "lv.attempts");
+     Obs.incr ~by:r.rounds_spent (Obs.counter obs "lv.rounds_spent");
+     Obs.incr ~by:r.outcome.rounds (Obs.counter obs "lv.rounds");
+     Obs.incr ~by:r.outcome.messages (Obs.counter obs "lv.messages");
+     Obs.eventf obs "attempt.win" (fun () ->
+         [
+           ("attempt", Events.Int r.attempts);
+           ("rounds", Events.Int r.outcome.rounds);
+           ("seed", Events.Int r.seed_used);
+         ])
+   | Error msg ->
+     Obs.eventf obs "lv.fail" (fun () -> [ ("error", Events.String msg) ]));
+  result
+
+let solve ?(ctx = Run_ctx.default) algo g ~seed ?max_rounds ?attempts ?backoff
+    ?giveup () =
+  (* The context's policy supplies the base budget unless the caller pins
+     one explicitly; the default policy reproduces the historical
+     [64 * (n + 4)]. *)
+  let max_rounds =
+    match max_rounds with
+    | Some r -> r
+    | None -> Run_ctx.max_rounds ctx ~n:(Graph.n g)
+  in
+  solve_with ~obs:(Run_ctx.obs ctx) ~faults:(Run_ctx.faults ctx)
+    ~pool:(Run_ctx.pool ctx) algo g ~seed ~max_rounds ?attempts ?backoff
+    ?giveup ()
+
+let solve_legacy algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ?faults
+    ?pool () =
+  solve_with ~obs:Obs.null ~faults ~pool algo g ~seed ?max_rounds ?attempts
+    ?backoff ?giveup ()

@@ -28,31 +28,53 @@ type report = {
       (** total rounds consumed across all attempts, failed ones included *)
 }
 
-(** [solve algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ?faults ()]
+(** [solve ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ()]
     runs [algo] with random tapes derived from [seed], retrying up to
     [attempts] times (default 20).  Attempt [i] gets a budget of
-    [max_rounds * backoff^(i-1)] rounds ([max_rounds] defaults to
-    [64 * (n + 4)], [backoff] to [2.0]; pass [~backoff:1.0] for the old
+    [max_rounds * backoff^(i-1)] rounds ([max_rounds] defaults to the
+    context's {!Run_ctx.max_rounds_policy}, i.e. [64 * (n + 4)] for the
+    default context; [backoff] to [2.0]; pass [~backoff:1.0] for the old
     fixed-budget behavior).  When [giveup] is set, the harness stops as
     soon as the next attempt's budget would push the total rounds spent
-    past the cap.  [faults] subjects every attempt to a fresh injector for
-    the given plan (see {!Faults}); a plan that crash-stops all nodes fails
-    immediately without retrying.  Error strings include the last attempt's
-    failure, budget, and seed, so diagnosing does not require re-running.
+    past the cap.  Error strings include the last attempt's failure,
+    budget, and seed, so diagnosing does not require re-running.
 
     Per-attempt budgets are clamped at [max_int / 2] — with a large
     [backoff] the exponential escalation exceeds the integer range after a
     few dozen attempts, and an unclamped conversion would wrap the budget
     negative (and sail past a [giveup] cap).
 
-    [pool], when given (and sized above one domain), races waves of
-    speculative attempts across the pool's domains, cancelling attempts
-    that already lost via a shared atomic flag.  The result — report or
-    error string — is byte-identical to the sequential run's: the harness
-    selects the lowest attempt index with a terminal outcome and charges
-    the deterministic budgets of the failed attempts below it.
+    From the context: [ctx.faults] subjects every attempt to a fresh
+    injector for the plan (see {!Faults}); a plan that crash-stops all
+    nodes fails immediately without retrying.  [ctx.pool], when sized
+    above one domain, races waves of speculative attempts across the
+    pool's domains, cancelling attempts that already lost via a shared
+    atomic flag.  The result — report or error string — is byte-identical
+    to the sequential run's: the harness selects the lowest attempt index
+    with a terminal outcome and charges the deterministic budgets of the
+    failed attempts below it.
+
+    [ctx.obs] receives [attempt.start]/[attempt.done]/[attempt.cancel]/
+    [attempt.win] events, a [las_vegas.solve] span, and — posted from the
+    final report so they match it exactly in both sequential and racing
+    modes — the [lv.attempts], [lv.rounds_spent], [lv.rounds] and
+    [lv.messages] counters.  The executor runs inside attempts are {e not}
+    individually instrumented: speculative attempts must not pollute the
+    counters.
     @raise Invalid_argument if [backoff < 1]. *)
 val solve :
+  ?ctx:Run_ctx.t ->
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  seed:int ->
+  ?max_rounds:int ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?giveup:int ->
+  unit ->
+  (report, string) result
+
+val solve_legacy :
   Algorithm.t ->
   Anonet_graph.Graph.t ->
   seed:int ->
@@ -64,3 +86,4 @@ val solve :
   ?pool:Anonet_parallel.Pool.t ->
   unit ->
   (report, string) result
+[@@deprecated "use solve ?ctx — pass faults/pool via Run_ctx.make"]

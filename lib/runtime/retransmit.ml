@@ -1,4 +1,5 @@
 module Label = Anonet_graph.Label
+module Obs = Anonet_obs.Obs
 module IntMap = Map.Make (Int)
 
 (* Wire format, one message per port per outer round:
@@ -37,7 +38,11 @@ type port_state = {
 
 let fresh_port = { pending = []; got = IntMap.empty; recv_upto = 0 }
 
-let wrap (module A : Algorithm.S) : Algorithm.t =
+let wrap ?(obs = Obs.null) (module A : Algorithm.S) : Algorithm.t =
+  (* Handles resolved once at wrap time and shared by every node of the
+     wrapped run — counting only, never part of the protocol. *)
+  let resent_c = Obs.counter obs "retransmit.resent" in
+  let window_h = Obs.histogram obs "retransmit.window" in
   (module struct
     type state = {
       degree : int;
@@ -92,8 +97,8 @@ let wrap (module A : Algorithm.S) : Algorithm.t =
         s.inner_round = 0
         || Array.for_all (fun ps -> ps.recv_upto >= s.inner_round) ports
       in
-      let s =
-        if not can_execute then { s with ports }
+      let s, executed_now =
+        if not can_execute then { s with ports }, false
         else begin
           let inner_inbox =
             if s.inner_round = 0 then Array.make s.degree None
@@ -114,9 +119,22 @@ let wrap (module A : Algorithm.S) : Algorithm.t =
                 })
               ports
           in
-          { s with inner; inner_round = executed; ports }
+          { s with inner; inner_round = executed; ports }, true
         end
       in
+      (* A port's window beyond this round's freshly appended entry (one per
+         port iff the inner round executed) is being sent again. *)
+      (match resent_c with
+       | None -> ()
+       | Some c ->
+         let total =
+           Array.fold_left (fun acc ps -> acc + List.length ps.pending) 0 s.ports
+         in
+         let fresh = if executed_now then s.degree else 0 in
+         if total > fresh then Anonet_obs.Metrics.incr ~by:(total - fresh) c;
+         Array.iter
+           (fun ps -> Obs.observe window_h (List.length ps.pending))
+           s.ports);
       (* 3. Send the window + cumulative ack on every port, every round. *)
       let wire ps =
         Some

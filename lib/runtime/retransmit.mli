@@ -32,6 +32,12 @@
     nodes (a crash-stopped neighbor stalls its links forever, like any
     synchronous algorithm). *)
 
-(** [wrap algo] is the loss-tolerant version of [algo]; its outputs are
-    [algo]'s outputs and its name is ["retransmit(<name>)"]. *)
-val wrap : Algorithm.t -> Algorithm.t
+(** [wrap ?obs algo] is the loss-tolerant version of [algo]; its outputs
+    are [algo]'s outputs and its name is ["retransmit(<name>)"].
+
+    [obs], when live, counts [retransmit.resent] — window entries sent
+    {e again} (beyond the round's fresh sends), summed across all nodes of
+    the wrapped run — and observes the per-node window length each round in
+    the [retransmit.window] histogram.  Counting is passive: the wire
+    traffic is byte-identical with or without [obs]. *)
+val wrap : ?obs:Anonet_obs.Obs.t -> Algorithm.t -> Algorithm.t

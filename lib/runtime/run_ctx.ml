@@ -1,0 +1,96 @@
+module Graph = Anonet_graph.Graph
+module Prng = Anonet_graph.Prng
+module Pool = Anonet_parallel.Pool
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
+
+type max_rounds_policy =
+  | Scaled of { per_node : int; slack : int }
+  | Fixed of int
+
+type t = {
+  faults : Faults.plan option;
+  pool : Pool.t option;
+  obs : Obs.t;
+  scramble_seed : int option;
+  max_rounds_policy : max_rounds_policy;
+}
+
+let default_policy = Scaled { per_node = 64; slack = 4 }
+
+let default =
+  {
+    faults = None;
+    pool = None;
+    obs = Obs.null;
+    scramble_seed = None;
+    max_rounds_policy = default_policy;
+  }
+
+let make ?faults ?pool ?(obs = Obs.null) ?scramble_seed
+    ?(max_rounds_policy = default_policy) () =
+  { faults; pool; obs; scramble_seed; max_rounds_policy }
+
+let obs t = t.obs
+let pool t = t.pool
+let faults t = t.faults
+
+let parallel t =
+  match t.pool with Some p when Pool.domains p > 1 -> Some p | Some _ | None -> None
+
+let max_rounds t ~n =
+  match t.max_rounds_policy with
+  | Scaled { per_node; slack } -> per_node * (n + slack)
+  | Fixed r -> r
+
+let injector t = Option.map Faults.make t.faults
+
+(* The seed mixing must stay exactly as the original Executor.run derived
+   it: scrambled-run regression tests pin per-(node, round) permutations. *)
+let scramble_of_seed seed ~node ~degree ~round =
+  let rng = Prng.create ((seed * 92_821) + (node * 613) + round) in
+  let p = Array.init degree (fun i -> i) in
+  Prng.shuffle rng p;
+  p
+
+let scramble t = Option.map scramble_of_seed t.scramble_seed
+
+(* Shared by both executors: fold an injector's event log into counters and
+   (when a sink is attached) one "fault" event per injection. *)
+let observe_faults obs f =
+  if Obs.live obs then begin
+    let count name = Obs.counter obs ("faults." ^ name) in
+    let dropped = count "dropped"
+    and duplicated = count "duplicated"
+    and corrupted = count "corrupted"
+    and link_dead = count "link_dead"
+    and crashed = count "crashed"
+    and recovered = count "recovered" in
+    List.iter
+      (fun (e : Faults.event) ->
+        let kind, fields =
+          match e.kind with
+          | Faults.Dropped { src; dst } ->
+            Obs.incr dropped;
+            ("dropped", [ ("src", Events.Int src); ("dst", Events.Int dst) ])
+          | Faults.Duplicated { src; dst } ->
+            Obs.incr duplicated;
+            ("duplicated", [ ("src", Events.Int src); ("dst", Events.Int dst) ])
+          | Faults.Corrupted { src; dst } ->
+            Obs.incr corrupted;
+            ("corrupted", [ ("src", Events.Int src); ("dst", Events.Int dst) ])
+          | Faults.Link_dead { src; dst } ->
+            Obs.incr link_dead;
+            ("link_dead", [ ("src", Events.Int src); ("dst", Events.Int dst) ])
+          | Faults.Crashed node ->
+            Obs.incr crashed;
+            ("crashed", [ ("node", Events.Int node) ])
+          | Faults.Recovered node ->
+            Obs.incr recovered;
+            ("recovered", [ ("node", Events.Int node) ])
+        in
+        Obs.event obs "fault"
+          (("round", Events.Int e.round) :: ("kind", Events.String kind) :: fields))
+      (Faults.events f);
+    Obs.set (Obs.gauge obs "faults.spent") (Faults.spent f)
+  end

@@ -1,0 +1,33 @@
+type t = Sync of Executor.failure | Async of Async.failure
+
+(* One numbering for both executors.  The synchronous and asynchronous
+   tape exhaustions share a code on purpose: they mean the same thing (the
+   prescribed tape ended before every node output) on different substrates. *)
+let exit_code = function
+  | Sync (Executor.Max_rounds_exceeded _) -> 2
+  | Sync (Executor.Tape_exhausted _) | Async (Async.Tape_exhausted _) -> 3
+  | Sync (Executor.All_nodes_crashed _) -> 4
+  | Async (Async.Event_limit_exceeded _) -> 5
+  | Async (Async.Stalled _) -> 6
+
+let pp fmt = function
+  | Sync f -> Executor.pp_failure fmt f
+  | Async f -> Async.pp_failure fmt f
+
+let all =
+  [
+    Sync (Executor.Max_rounds_exceeded 0);
+    Sync (Executor.Tape_exhausted { round = 0 });
+    Sync (Executor.All_nodes_crashed { round = 0 });
+    Async (Async.Event_limit_exceeded 0);
+    Async (Async.Tape_exhausted { round = 0 });
+    Async (Async.Stalled { events = 0 });
+  ]
+
+let of_exit_code = function
+  | 2 -> Some (Sync (Executor.Max_rounds_exceeded 0))
+  | 3 -> Some (Sync (Executor.Tape_exhausted { round = 0 }))
+  | 4 -> Some (Sync (Executor.All_nodes_crashed { round = 0 }))
+  | 5 -> Some (Async (Async.Event_limit_exceeded 0))
+  | 6 -> Some (Async (Async.Stalled { events = 0 }))
+  | _ -> None

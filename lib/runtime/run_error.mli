@@ -1,0 +1,29 @@
+(** One failure type — and one process exit-code numbering — for both
+    executors.
+
+    Historically [Executor.exit_code] owned codes 2–4 and [Async.exit_code]
+    continued at 5, and the CLI pattern-matched two failure types to pick
+    one.  This module consolidates them; the per-executor [exit_code]
+    functions remain as deprecated aliases for one PR.
+
+    Codes: [Max_rounds_exceeded] = 2, [Tape_exhausted] = 3 (shared — the
+    synchronous and synchronizer-round variants mean the same thing),
+    [All_nodes_crashed] = 4, [Event_limit_exceeded] = 5, [Stalled] = 6.
+    Code 1 is the CLI's generic error; 0 is success. *)
+
+type t = Sync of Executor.failure | Async of Async.failure
+
+val exit_code : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Delegates to the executors' [pp_failure]. *)
+
+val all : t list
+(** One representative per failure variant (payloads zeroed) — exhaustive,
+    for round-trip tests over the numbering. *)
+
+val of_exit_code : int -> t option
+(** The canonical representative for a code ([None] for codes the runtime
+    never produces, including 0 and 1).  For every [e] in {!all},
+    [of_exit_code (exit_code e)] maps back to a value with the same
+    [exit_code]. *)

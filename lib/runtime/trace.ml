@@ -1,4 +1,5 @@
 module Graph = Anonet_graph.Graph
+module Obs = Anonet_obs.Obs
 
 type t = {
   n : int;
@@ -9,8 +10,10 @@ type t = {
   crashed : int -> round:int -> bool;  (* node crashed in the given round? *)
 }
 
-let record ?faults algo g ~tape ~max_rounds =
+let record_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
   let n = Graph.n g in
+  let rounds_c = Obs.counter obs "executor.rounds" in
+  let msgs_c = Obs.counter obs "executor.messages" in
   let output_rounds = Array.make n None in
   let note exec round =
     Array.iteri
@@ -64,17 +67,31 @@ let record ?faults algo g ~tape ~max_rounds =
         in
         if !exhausted then Error (finish_trace (), Executor.Tape_exhausted { round })
         else begin
-          let exec = Executor.Incremental.step exec ?faults ~bits in
+          let exec = Executor.Incremental.step exec ?scramble ?faults ~bits in
           note exec round;
           let total = Executor.Incremental.messages exec in
+          Obs.incr rounds_c;
+          Obs.incr ~by:(total - prev_messages) msgs_c;
           loop exec ((total - prev_messages) :: messages_acc) total
         end
       end
     end
   in
-  let exec = Executor.Incremental.start algo g in
-  note exec 0;
-  loop exec [] 0
+  let result =
+    Obs.span obs "trace.record" (fun () ->
+        let exec = Executor.Incremental.start algo g in
+        note exec 0;
+        loop exec [] 0)
+  in
+  (match faults with Some f -> Run_ctx.observe_faults obs f | None -> ());
+  result
+
+let record ?(ctx = Run_ctx.default) algo g ~tape ~max_rounds =
+  record_with ~scramble:(Run_ctx.scramble ctx) ~faults:(Run_ctx.injector ctx)
+    ~obs:(Run_ctx.obs ctx) algo g ~tape ~max_rounds
+
+let record_legacy ?faults algo g ~tape ~max_rounds =
+  record_with ~scramble:None ~faults ~obs:Obs.null algo g ~tape ~max_rounds
 
 let output_rounds t = Array.copy t.output_rounds
 

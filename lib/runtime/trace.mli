@@ -8,19 +8,33 @@
 
 type t
 
-(** [record algo g ~tape ~max_rounds] executes while recording.  On
+(** [record ?ctx algo g ~tape ~max_rounds] executes while recording.  On
     failure the partial trace is still returned alongside the failure.
 
-    [faults], when given, is threaded to {!Executor.Incremental.step};
-    the injector's event log and crash schedule are captured in the trace
-    and shown by {!render}. *)
+    [ctx.faults], when set, instantiates an injector threaded to
+    {!Executor.Incremental.step}; its event log and crash schedule are
+    captured in the trace and shown by {!render}.  [ctx.scramble_seed]
+    scrambles inbox port orders as in {!Executor.run}.  [ctx.obs] gets the
+    same [executor.rounds]/[executor.messages] counters and [faults.*]
+    tallies as a plain run, under a [trace.record] span. *)
 val record :
+  ?ctx:Run_ctx.t ->
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  tape:Tape.t ->
+  max_rounds:int ->
+  (t * Executor.outcome, t * Executor.failure) result
+
+val record_legacy :
   ?faults:Faults.t ->
   Algorithm.t ->
   Anonet_graph.Graph.t ->
   tape:Tape.t ->
   max_rounds:int ->
   (t * Executor.outcome, t * Executor.failure) result
+[@@deprecated "use record ?ctx — pass the fault plan via Run_ctx.make. \
+               (This shim takes an instantiated injector, for callers that \
+               inspect its event log after the run.)"]
 
 (** [output_rounds t] maps each node to the round at which it produced its
     output ([None] if it never did). *)

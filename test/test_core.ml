@@ -705,7 +705,7 @@ let test_port_scrambling_multiset_algorithms_survive () =
   List.iter
     (fun (name, algo, problem) ->
       match
-        Executor.run ~scramble_seed:7 algo g
+        Executor.run ~ctx:(Anonet_runtime.Run_ctx.make ~scramble_seed:7 ()) algo g
           ~tape:(Anonet_runtime.Tape.random ~seed:5) ~max_rounds:2000
       with
       | Error e -> Alcotest.failf "%s under scrambling: %a" name Executor.pp_failure e
@@ -725,7 +725,8 @@ let test_port_scrambling_breaks_matching () =
   let broken = ref false in
   for seed = 1 to 10 do
     match
-      Executor.run ~scramble_seed:seed Anonet_algorithms.Rand_matching.algorithm g
+      Executor.run ~ctx:(Anonet_runtime.Run_ctx.make ~scramble_seed:seed ())
+        Anonet_algorithms.Rand_matching.algorithm g
         ~tape:(Anonet_runtime.Tape.random ~seed) ~max_rounds:400
     with
     | Error _ -> broken := true

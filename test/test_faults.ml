@@ -8,6 +8,12 @@ open Anonet_runtime
 module Catalog = Anonet_problems.Catalog
 module Problem = Anonet_problems.Problem
 
+(* This file deliberately exercises the deprecated legacy entry points
+   ([Executor.run_legacy ~faults] and friends take an {e instantiated}
+   injector, which the event-log assertions below need) alongside the
+   [?ctx] path.  Keep both alive until the shims are dropped. *)
+[@@@alert "-deprecated"]
+
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
@@ -172,7 +178,7 @@ let test_sync_loss_silently_nulls () =
      inboxes, so gossip hears nothing at all. *)
   let g = labeled_path3 () in
   let faults = Faults.make (Faults.with_loss 1.0 ~seed:5) in
-  match Executor.run ~faults gossip g ~tape:Tape.zero ~max_rounds:5 with
+  match Executor.run_legacy ~faults gossip g ~tape:Tape.zero ~max_rounds:5 with
   | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok { outputs; messages; _ } ->
     check "everyone hears silence" true
@@ -183,7 +189,7 @@ let test_sync_dead_link () =
   let g = labeled_path3 () in
   let plan = { Faults.no_faults with Faults.dead_links = [ 1, 0 ] } in
   let faults = Faults.make plan in
-  match Executor.run ~faults gossip g ~tape:Tape.zero ~max_rounds:5 with
+  match Executor.run_legacy ~faults gossip g ~tape:Tape.zero ~max_rounds:5 with
   | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok { outputs; _ } ->
     check "node 0 cut off" true (Label.equal outputs.(0) (Label.List []));
@@ -240,7 +246,7 @@ let test_crash_recovery_resumes_with_state () =
     }
   in
   let faults = Faults.make plan in
-  match Executor.run ~faults bit_collector g ~tape ~max_rounds:10 with
+  match Executor.run_legacy ~faults bit_collector g ~tape ~max_rounds:10 with
   | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok { outputs; rounds; _ } ->
     check "recovered node reads rounds 4-6" true
@@ -259,7 +265,7 @@ let test_crash_stop_starves () =
     }
   in
   let faults = Faults.make plan in
-  match Executor.run ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:8 with
+  match Executor.run_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:8 with
   | Error (Executor.Max_rounds_exceeded 8) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected the run to starve"
 
@@ -275,7 +281,7 @@ let test_all_nodes_crashed () =
     }
   in
   let faults = Faults.make plan in
-  match Executor.run ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:50 with
+  match Executor.run_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:50 with
   | Error (Executor.All_nodes_crashed { round } as f) ->
     check "detected as soon as the last node is down" true (round <= 2);
     check_int "distinct exit code" 4 (Executor.exit_code f)
@@ -291,7 +297,7 @@ let test_crash_events_logged () =
   in
   let faults = Faults.make plan in
   (match
-     Executor.run ~faults bit_collector g ~tape:(Tape.random ~seed:3) ~max_rounds:10
+     Executor.run_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:3) ~max_rounds:10
    with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e);
@@ -305,7 +311,7 @@ let test_trace_shows_faults () =
   let g = Gen.cycle 5 in
   let faults = Faults.make (Faults.with_loss 0.3 ~seed:4) in
   let algo = Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm in
-  match Trace.record ~faults algo g ~tape:(Tape.random ~seed:8) ~max_rounds:2000 with
+  match Trace.record_legacy ~faults algo g ~tape:(Tape.random ~seed:8) ~max_rounds:2000 with
   | Error (_, e) -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok (t, _) ->
     check "events captured" true (Trace.fault_events t <> []);
@@ -332,7 +338,7 @@ let test_trace_detects_doom () =
     }
   in
   let faults = Faults.make plan in
-  match Trace.record ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:50 with
+  match Trace.record_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:50 with
   | Error (_, (Executor.All_nodes_crashed _ as f)) ->
     check_int "exit code 4" 4 (Executor.exit_code f)
   | Ok _ | Error _ -> Alcotest.fail "expected All_nodes_crashed from the recorder"
@@ -377,7 +383,7 @@ let test_retransmit_survives_loss () =
       for seed = 1 to 50 do
         let faults = Faults.make (Faults.with_loss 0.2 ~seed) in
         match
-          Executor.run ~faults algo g
+          Executor.run_legacy ~faults algo g
             ~tape:(Tape.random ~seed:(Prng.hash2 seed 77))
             ~max_rounds:(64 * (Graph.n g + 4))
         with
@@ -400,7 +406,7 @@ let test_retransmit_survives_duplication_and_corruption_free_loss () =
     let plan = { (Faults.with_loss 0.2 ~seed) with Faults.duplicate = 0.3 } in
     let faults = Faults.make plan in
     match
-      Executor.run ~faults algo g
+      Executor.run_legacy ~faults algo g
         ~tape:(Tape.random ~seed:(Prng.hash2 seed 78))
         ~max_rounds:2000
     with
@@ -420,7 +426,7 @@ let test_alpha_synchronizer_breaks_under_loss () =
   for seed = 1 to 5 do
     let faults = Faults.make (Faults.with_loss 0.2 ~seed) in
     match
-      Async.run ~faults Anonet_algorithms.Rand_two_hop.algorithm g
+      Async.run_legacy ~faults Anonet_algorithms.Rand_two_hop.algorithm g
         ~tape:(Tape.random ~seed:(Prng.hash2 seed 79))
         ~scheduler:Async.Fifo ~max_events:200_000
     with
@@ -440,7 +446,7 @@ let test_async_crash_stops_forever () =
   in
   let faults = Faults.make plan in
   match
-    Async.run ~faults Anonet_algorithms.Rand_two_hop.algorithm g
+    Async.run_legacy ~faults Anonet_algorithms.Rand_two_hop.algorithm g
       ~tape:(Tape.random ~seed:5) ~scheduler:Async.Fifo ~max_events:100_000
   with
   | Error (Async.Stalled _) -> ()  (* recovery is ignored: crash-stop reading *)
@@ -453,9 +459,9 @@ let test_las_vegas_with_faults () =
   let g = Gen.cycle 6 in
   let plan = Faults.with_loss 0.2 ~seed:21 in
   match
-    Las_vegas.solve
+    Las_vegas.solve ~ctx:(Run_ctx.make ~faults:plan ())
       (Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm)
-      g ~seed:5 ~faults:plan ()
+      g ~seed:5 ()
   with
   | Error m -> Alcotest.fail m
   | Ok r ->
@@ -475,7 +481,8 @@ let test_las_vegas_rejects_total_crash () =
     }
   in
   match
-    Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm g ~seed:1 ~faults:plan ()
+    Las_vegas.solve ~ctx:(Run_ctx.make ~faults:plan ())
+      Anonet_algorithms.Rand_mis.algorithm g ~seed:1 ()
   with
   | Ok _ -> Alcotest.fail "expected immediate failure"
   | Error m ->
@@ -513,6 +520,45 @@ let test_exit_codes_distinct () =
   let distinct l = List.length (List.sort_uniq Int.compare l) = List.length l in
   check "sync distinct" true (distinct sync_codes);
   check "async distinct" true (distinct async_codes)
+
+let test_run_error_consolidates () =
+  (* The consolidated numbering must agree with the legacy per-executor
+     mappings... *)
+  List.iter
+    (fun f ->
+      check_int "sync agrees" (Executor.exit_code f)
+        (Run_error.exit_code (Run_error.Sync f)))
+    [ Executor.Max_rounds_exceeded 9;
+      Executor.Tape_exhausted { round = 3 };
+      Executor.All_nodes_crashed { round = 2 };
+    ];
+  List.iter
+    (fun f ->
+      check_int "async agrees" (Async.exit_code f)
+        (Run_error.exit_code (Run_error.Async f)))
+    [ Async.Event_limit_exceeded 9;
+      Async.Tape_exhausted { round = 3 };
+      Async.Stalled { events = 5 };
+    ];
+  (* ...and round-trip: every representative maps to a code that
+     [of_exit_code] resolves back to the same code.  [Run_error.all]
+     covers every constructor of both failure types, so this is
+     exhaustive over the numbering. *)
+  List.iter
+    (fun e ->
+      let c = Run_error.exit_code e in
+      check "code in the reserved 2..6 band" true (c >= 2 && c <= 6);
+      match Run_error.of_exit_code c with
+      | None -> Alcotest.failf "code %d does not resolve" c
+      | Some e' -> check_int "round-trips" c (Run_error.exit_code e'))
+    Run_error.all;
+  (* the pretty-printer delegates to the per-executor ones *)
+  check "pp sync" true
+    (Format.asprintf "%a" Run_error.pp
+       (Run_error.Sync (Executor.Max_rounds_exceeded 9))
+    = Format.asprintf "%a" Executor.pp_failure (Executor.Max_rounds_exceeded 9));
+  check "unknown codes resolve to nothing" true
+    (Run_error.of_exit_code 0 = None && Run_error.of_exit_code 7 = None)
 
 let () =
   Alcotest.run "anonet_faults"
@@ -562,5 +608,9 @@ let () =
             test_las_vegas_rejects_total_crash;
         ] );
       ( "exit-codes",
-        [ Alcotest.test_case "distinct non-zero mapping" `Quick test_exit_codes_distinct ] );
+        [
+          Alcotest.test_case "distinct non-zero mapping" `Quick test_exit_codes_distinct;
+          Alcotest.test_case "Run_error consolidation round-trips" `Quick
+            test_run_error_consolidates;
+        ] );
     ]

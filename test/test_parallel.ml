@@ -13,6 +13,7 @@ module Las_vegas = Anonet_runtime.Las_vegas
 module Executor = Anonet_runtime.Executor
 module Faults = Anonet_runtime.Faults
 module Retransmit = Anonet_runtime.Retransmit
+module Run_ctx = Anonet_runtime.Run_ctx
 
 let check = Alcotest.(check bool)
 
@@ -177,7 +178,7 @@ let test_lv_equivalence_easy () =
   List.iter
     (fun (name, g) ->
       check_lv_equivalent name (fun pool ->
-          Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm g ~seed:7 ?pool ()))
+          Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm g ~seed:7 ~ctx:(Run_ctx.make ?pool ()) ()))
     equivalence_graphs
 
 let test_lv_equivalence_forced_retries () =
@@ -188,7 +189,7 @@ let test_lv_equivalence_forced_retries () =
     (fun (name, g) ->
       check_lv_equivalent (name ^ "/tight") (fun pool ->
           Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g ~seed:3
-            ~max_rounds:1 ~attempts:25 ?pool ()))
+            ~max_rounds:1 ~attempts:25 ~ctx:(Run_ctx.make ?pool ()) ()))
     equivalence_graphs
 
 let test_lv_equivalence_no_success_error () =
@@ -196,7 +197,7 @@ let test_lv_equivalence_no_success_error () =
      no-success error string must match the sequential one verbatim. *)
   check_lv_equivalent "no-success" (fun pool ->
       Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
-        ~seed:2 ~max_rounds:1 ~backoff:1.0 ~attempts:6 ?pool ())
+        ~seed:2 ~max_rounds:1 ~backoff:1.0 ~attempts:6 ~ctx:(Run_ctx.make ?pool ()) ())
 
 let test_lv_equivalence_giveup_error () =
   (* The give-up truncation point is budget arithmetic only; both paths
@@ -204,7 +205,7 @@ let test_lv_equivalence_giveup_error () =
      message. *)
   check_lv_equivalent "giveup" (fun pool ->
       Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
-        ~seed:2 ~max_rounds:2 ~giveup:20 ~attempts:10 ?pool ())
+        ~seed:2 ~max_rounds:2 ~giveup:20 ~attempts:10 ~ctx:(Run_ctx.make ?pool ()) ())
 
 let test_lv_equivalence_under_faults () =
   (* A lossy fault plan (fresh injector per attempt) behind the
@@ -214,8 +215,9 @@ let test_lv_equivalence_under_faults () =
   List.iter
     (fun (name, g) ->
       check_lv_equivalent (name ^ "/faults") (fun pool ->
-          Las_vegas.solve wrapped g ~seed:11 ~faults:(Faults.with_loss 0.15 ~seed:9)
-            ?pool ()))
+          Las_vegas.solve
+            ~ctx:(Run_ctx.make ~faults:(Faults.with_loss 0.15 ~seed:9) ?pool ())
+            wrapped g ~seed:11 ()))
     [ "cycle-6", Gen.cycle 6; "petersen", Gen.petersen () ]
 
 let test_lv_backoff_overflow_clamped () =
@@ -290,7 +292,7 @@ let test_search_equivalence_round_major () =
           Min_search.minimal_successful
             ~solver:Anonet_algorithms.Rand_mis.algorithm g
             ~base:(Bit_assignment.empty (Graph.n g))
-            ~order:Min_search.Round_major ?pool ~len:(Min_search.At_most 16) ()))
+            ~order:Min_search.Round_major ~ctx:(Run_ctx.make ?pool ()) ~len:(Min_search.At_most 16) ()))
     search_graphs
 
 let test_search_equivalence_node_major () =
@@ -300,7 +302,7 @@ let test_search_equivalence_node_major () =
           Min_search.minimal_successful
             ~solver:Anonet_algorithms.Rand_mis.algorithm g
             ~base:(Bit_assignment.empty (Graph.n g))
-            ~order:Min_search.Node_major ?pool ~len:(Min_search.At_most 4) ()))
+            ~order:Min_search.Node_major ~ctx:(Run_ctx.make ?pool ()) ~len:(Min_search.At_most 4) ()))
     search_graphs
 
 let test_search_equivalence_orders_agree () =
@@ -310,7 +312,7 @@ let test_search_equivalence_orders_agree () =
   let g = Gen.label_with_ints (Gen.cycle 4) in
   let run order pool =
     Min_search.minimal_successful ~solver:Anonet_algorithms.Rand_mis.algorithm g
-      ~base:(Bit_assignment.empty 4) ~order ?pool ~len:(Min_search.At_most 4) ()
+      ~base:(Bit_assignment.empty 4) ~order ~ctx:(Run_ctx.make ?pool ()) ~len:(Min_search.At_most 4) ()
   in
   match run Min_search.Round_major None, run Min_search.Node_major None with
   | Some rm, Some nm ->
@@ -333,7 +335,7 @@ let test_search_equivalence_search_limit () =
       Min_search.minimal_successful ~solver:Anonet_algorithms.Rand_mis.algorithm
         g
         ~base:(Bit_assignment.empty 6)
-        ~max_states:40 ?pool ~len:(Min_search.At_most 16) ()
+        ~max_states:40 ~ctx:(Run_ctx.make ?pool ()) ~len:(Min_search.At_most 16) ()
     with
     | _ -> Alcotest.fail "expected Search_limit_exceeded"
     | exception Min_search.Search_limit_exceeded -> ()
@@ -404,7 +406,7 @@ let test_branching_limit_parallel_agrees () =
          Min_search.minimal_successful
            ~solver:Anonet_algorithms.Rand_mis.algorithm g25
            ~base:(Bit_assignment.empty 25)
-           ~pool:p ~len:(Min_search.At_most 4) ()
+           ~ctx:(Run_ctx.make ~pool:p ()) ~len:(Min_search.At_most 4) ()
        with
        | _ -> Alcotest.fail "expected Branching_limit_exceeded"
        | exception Min_search.Branching_limit_exceeded { free_bits; limit } ->
@@ -415,7 +417,7 @@ let test_branching_limit_parallel_agrees () =
         Min_search.minimal_successful ~solver:Anonet_algorithms.Rand_mis.algorithm
           g31
           ~base:(Bit_assignment.empty 31)
-          ~order:Min_search.Node_major ~pool:p ~len:(Min_search.At_most 2) ()
+          ~order:Min_search.Node_major ~ctx:(Run_ctx.make ~pool:p ()) ~len:(Min_search.At_most 2) ()
       with
       | _ -> Alcotest.fail "expected Branching_limit_exceeded"
       | exception Min_search.Branching_limit_exceeded { free_bits; limit } ->
@@ -453,7 +455,7 @@ let qcheck_lv_equivalence =
       let g = Gen.random_connected ~seed n 0.35 in
       let solve pool =
         Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm g ~seed
-          ~max_rounds:4 ~attempts:15 ?pool ()
+          ~max_rounds:4 ~attempts:15 ~ctx:(Run_ctx.make ?pool ()) ()
       in
       let sequential = solve None in
       List.for_all
@@ -474,7 +476,7 @@ let qcheck_search_equivalence =
       let search order pool =
         Min_search.minimal_successful
           ~solver:Anonet_algorithms.Rand_mis.algorithm g
-          ~base:(Bit_assignment.empty 4) ~order ?pool ~len:(Min_search.At_most 6)
+          ~base:(Bit_assignment.empty 4) ~order ~ctx:(Run_ctx.make ?pool ()) ~len:(Min_search.At_most 6)
           ()
       in
       List.for_all
