@@ -164,6 +164,41 @@ let bench_tests () =
                  (Gen.petersen ()) ~seed:4 ~max_rounds:1_000_000));
       ]
   in
+  let views_intern =
+    (* The interning bugfix, measured directly: structural-vs-shared
+       traversal of the same view value.  [naive_size] replicates the
+       pre-interning [View.size] (walks the unfolded tree, ~5.6M vertices
+       for the hypercube at depth 12); the shared rows walk the in-memory
+       DAG (a few hundred nodes).  CI asserts the structural/shared ratio
+       stays >= 10x. *)
+    let hc4 = Gen.label_with_ints (Gen.hypercube 4) in
+    let v12 = View.of_graph hc4 ~root:0 ~depth:12 in
+    let rec naive_size (t : View.t) =
+      1 + List.fold_left (fun s c -> s + naive_size c) 0 t.View.children
+    in
+    let k8 = Gen.label_with_ints (Gen.complete 8) in
+    let k8v = Interned.of_graph k8 ~root:0 ~depth:16 in
+    let pet = Gen.label_with_ints (Gen.petersen ()) in
+    let c12i = cycle_mod_colors 12 3 in
+    let vg = View_graph.of_graph_exn c12i in
+    Test.make_grouped ~name:"views-intern"
+      [
+        Test.make ~name:"size-structural-hc4-d12"
+          (Staged.stage (fun () -> naive_size v12));
+        Test.make ~name:"size-shared-hc4-d12"
+          (Staged.stage (fun () -> View.size v12));
+        Test.make ~name:"of-graph-hc4-d12"
+          (Staged.stage (fun () -> View.of_graph hc4 ~root:0 ~depth:12));
+        Test.make ~name:"intern-of-graph-k8-d16"
+          (Staged.stage (fun () -> Interned.of_graph k8 ~root:0 ~depth:16));
+        Test.make ~name:"interned-size-k8-d16"
+          (Staged.stage (fun () -> Interned.size k8v));
+        Test.make ~name:"uc-classes-petersen-d8"
+          (Staged.stage (fun () -> Universal_cover.classes_at_depth pet 8));
+        Test.make ~name:"encode-canonical-c12"
+          (Staged.stage (fun () -> View_graph.encoding vg));
+      ]
+  in
   let faults =
     (* The retransmission wrapper's overhead: the loss-0 row against
        sync-2hop-petersen of the substrates group isolates the pure
@@ -190,7 +225,7 @@ let bench_tests () =
       ]
   in
   Test.make_grouped ~name:"anonet"
-    [ fig1; fig2; fig3; searches; pipeline; substrates; faults ]
+    [ fig1; fig2; fig3; searches; pipeline; substrates; views_intern; faults ]
 
 let analyze_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -313,7 +348,8 @@ let pool_scaling_rows () =
    JSON object; it embeds verbatim as the "metrics" value. *)
 let metrics_snapshot_json () =
   let registry = Metrics.create () in
-  let ctx = Run_ctx.make ~obs:(Obs.make ~metrics:registry ()) () in
+  let obs = Obs.make ~metrics:registry () in
+  let ctx = Run_ctx.make ~obs () in
   (match
      Las_vegas.solve ~ctx Anonet_algorithms.Rand_mis.algorithm (Gen.petersen ())
        ~seed:5 ()
@@ -323,6 +359,10 @@ let metrics_snapshot_json () =
   (match A_infinity.solve ~ctx ~gran:Bundles.mis (cycle_mod_colors 12 3) () with
   | Ok _ -> ()
   | Error m -> failwith m);
+  (* Process-lifetime cache totals (the cache.view and cache.encode
+     counter families) join the snapshot; published exactly once per
+     registry, right before it. *)
+  Interned.publish_metrics obs;
   String.trim (Metrics.render_json (Metrics.snapshot registry))
 
 let run_bench_json path =

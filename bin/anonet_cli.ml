@@ -178,8 +178,14 @@ let with_obs metrics events f =
         finished := true;
         (match metrics with
          | None -> ()
-         | Some `Text -> print_string (Metrics.render_text (Metrics.snapshot registry))
-         | Some `Json -> print_string (Metrics.render_json (Metrics.snapshot registry)));
+         | Some fmt ->
+           (* Fold the process-lifetime cache totals (the cache.view and
+              cache.encode families) into the registry — once, right before
+              the snapshot. *)
+           Anonet_views.Interned.publish_metrics obs;
+           (match fmt with
+            | `Text -> print_string (Metrics.render_text (Metrics.snapshot registry))
+            | `Json -> print_string (Metrics.render_json (Metrics.snapshot registry))));
         close_events ()
       end
     in

@@ -109,9 +109,7 @@ let accept_candidate ~phase:p ~knowledge:k ~is_instance (g, me, q) =
     | Ok vg ->
       let graph = vg.View_graph.graph in
       let me = vg.View_graph.map.(me) in
-      let encoding =
-        Encode.to_string graph ~order:(Array.init (Graph.n graph) (fun i -> i))
-      in
+      let encoding = Encode.canonical graph in
       Some { graph; me; quotient_depth = q; encoding }
   end
 

@@ -1,110 +1,15 @@
 module Label = Anonet_graph.Label
-module Graph = Anonet_graph.Graph
 
-type t = {
-  id : int;
-  mark : Label.t;
-  children : t list;
-}
-
-(* Hash-consing: the table maps (mark encoding, sorted child ids) to the
-   unique representative.  The tables live for the whole process — they
-   implement a pure function cache, so sharing them across simulated nodes
-   does not leak information between nodes. *)
-
-let table : (string * int list, t) Hashtbl.t = Hashtbl.create 4096
-
-let next_id = ref 0
-
-let compare_memo : (int * int, int) Hashtbl.t = Hashtbl.create 4096
-
-let equal a b = a.id = b.id
-
-let rec compare a b =
-  if a.id = b.id then 0
-  else begin
-    let key = a.id, b.id in
-    match Hashtbl.find_opt compare_memo key with
-    | Some c -> c
-    | None ->
-      let c =
-        let cm = Label.compare a.mark b.mark in
-        if cm <> 0 then cm else List.compare compare a.children b.children
-      in
-      Hashtbl.add compare_memo key c;
-      Hashtbl.add compare_memo (b.id, a.id) (-c);
-      c
-  end
-
-let intern mark children =
-  let key = Label.encode mark, List.map (fun c -> c.id) children in
-  match Hashtbl.find_opt table key with
-  | Some t -> t
-  | None ->
-    let t = { id = !next_id; mark; children } in
-    incr next_id;
-    Hashtbl.add table key t;
-    t
-
-let leaf mark = intern mark []
-
-let node mark children = intern mark (List.sort compare children)
-
-let depth_memo : (int, int) Hashtbl.t = Hashtbl.create 4096
-
-let rec depth t =
-  match Hashtbl.find_opt depth_memo t.id with
-  | Some d -> d
-  | None ->
-    let d =
-      match t.children with
-      | [] -> 1
-      | cs -> 1 + List.fold_left (fun m c -> max m (depth c)) 0 cs
-    in
-    Hashtbl.add depth_memo t.id d;
-    d
-
-let truncate_memo : (int * int, t) Hashtbl.t = Hashtbl.create 4096
-
-let rec truncate t ~depth =
-  if depth < 1 then invalid_arg "Knowledge.truncate: need depth >= 1";
-  let key = t.id, depth in
-  match Hashtbl.find_opt truncate_memo key with
-  | Some t' -> t'
-  | None ->
-    let t' =
-      if depth = 1 then leaf t.mark
-      else node t.mark (List.map (fun c -> truncate c ~depth:(depth - 1)) t.children)
-    in
-    Hashtbl.add truncate_memo key t';
-    t'
+(* Knowledge is the interned view subsystem plus DAG (de)serialization: the
+   former private hash-consing tables here were unsynchronized and raced
+   under the domain pool; [Anonet_views.Interned] provides the same
+   representatives from one mutex-guarded process-wide table, so knowledge
+   values built by different pool workers are physically equal. *)
+include Anonet_views.Interned
 
 let view_of_graph g ~root ~depth =
   if depth < 1 then invalid_arg "Knowledge.view_of_graph: need depth >= 1";
-  (* Build all views level by level; level d reuses level d-1. *)
-  let n = Graph.n g in
-  let current = ref (Array.init n (fun v -> leaf (Graph.label g v))) in
-  for _ = 2 to depth do
-    let prev = !current in
-    current :=
-      Array.init n (fun v ->
-          node (Graph.label g v)
-            (Array.to_list (Array.map (fun u -> prev.(u)) (Graph.neighbors g v))))
-  done;
-  !current.(root)
-
-let subtrees t =
-  let seen = Hashtbl.create 64 in
-  let acc = ref [] in
-  let rec visit t =
-    if not (Hashtbl.mem seen t.id) then begin
-      Hashtbl.add seen t.id ();
-      acc := t :: !acc;
-      List.iter visit t.children
-    end
-  in
-  visit t;
-  !acc
+  of_graph g ~root ~depth
 
 (* DAG serialization: entries listed children-first; each entry is
    (mark, indices of children among earlier entries); the root is the last

@@ -3,10 +3,14 @@
 
     A depth-[d] local view unfolds to a tree with up to [Δ^d] vertices, but
     it only has as many {e distinct} subtrees per level as the graph has
-    view-equivalence classes.  This module therefore hash-conses trees:
+    view-equivalence classes.  Knowledge values are therefore interned
+    (see {!Anonet_views.Interned}, whose representation this module shares):
     structurally equal trees are physically equal and carry the same [id],
-    so equality is O(1), ordering is memoized, and a depth-[p] view costs
-    O(n·p) memory instead of O(Δ^p).
+    so equality is O(1), ordering is memoized, [size]/[depth] are stored
+    per node, and a depth-[p] view costs O(n·p) memory instead of O(Δ^p).
+    The intern table is mutex-guarded and shared across domains, so building
+    knowledge inside [Anonet_parallel.Pool] tasks is safe — ids agree
+    between workers.
 
     Children are kept sorted under {!compare}, which canonicalizes the
     sibling multiset — the same convention as {!Anonet_views.View} (on
@@ -17,10 +21,12 @@
     exchanging knowledge costs messages polynomial in [n·p], not
     exponential. *)
 
-type t = private {
-  id : int;  (** hash-consing identity: equal trees have equal ids *)
+type t = Anonet_views.Interned.t = private {
+  id : int;  (** interning identity: equal trees have equal ids *)
   mark : Anonet_graph.Label.t;
   children : t list;  (** sorted under {!compare} *)
+  size : int;  (** unfolded-tree vertex count (saturating) *)
+  depth : int;  (** number of levels; a leaf has depth 1 *)
 }
 
 (** [leaf mark] is the depth-1 view with the given mark. *)
@@ -29,14 +35,14 @@ val leaf : Anonet_graph.Label.t -> t
 (** [node mark children] builds (and canonicalizes) an internal vertex. *)
 val node : Anonet_graph.Label.t -> t list -> t
 
-(** O(1): hash-consing makes structural and physical equality coincide. *)
+(** O(1): interning makes structural and physical equality coincide. *)
 val equal : t -> t -> bool
 
 (** Canonical total order (mark, then children lexicographically);
     memoized over ids. *)
 val compare : t -> t -> int
 
-(** [depth t] is the number of levels (a leaf has depth 1); memoized. *)
+(** [depth t] is the number of levels (a leaf has depth 1); O(1). *)
 val depth : t -> int
 
 (** [truncate t ~depth] prunes to the given depth (and re-canonicalizes);
@@ -44,7 +50,7 @@ val depth : t -> int
     @raise Invalid_argument if [depth < 1]. *)
 val truncate : t -> depth:int -> t
 
-(** [view_of_graph g ~root ~depth] is [L_depth(root, g)] as a hash-consed
+(** [view_of_graph g ~root ~depth] is [L_depth(root, g)] as an interned
     tree — the same object {!Anonet_views.View.of_graph} describes, but
     shared. *)
 val view_of_graph : Anonet_graph.Graph.t -> root:int -> depth:int -> t

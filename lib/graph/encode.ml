@@ -1,3 +1,10 @@
+(* Edges are encoded as ordered ordinal pairs; an explicit comparator keeps
+   the hot sort monomorphic (no polymorphic-compare dispatch) and total even
+   if the pair type ever grows non-comparable components. *)
+let compare_edge (a1, b1) (a2, b2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c else Int.compare b1 b2
+
 let to_string g ~order =
   let n = Graph.n g in
   if Array.length order <> n then invalid_arg "Encode.to_string: wrong order length";
@@ -19,7 +26,7 @@ let to_string g ~order =
         let a = position.(u) and b = position.(v) in
         min a b, max a b)
       (Graph.edges g)
-    |> List.sort compare
+    |> List.sort compare_edge
   in
   List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "e%d,%d;" a b)) edges;
   Buffer.contents buf
@@ -27,3 +34,54 @@ let to_string g ~order =
 let compare_sized (n1, s1) (n2, s2) =
   let c = Int.compare n1 n2 in
   if c <> 0 then c else String.compare s1 s2
+
+(* ---------- identity-keyed canonical-encoding cache ---------- *)
+
+(* The candidate order of Section 3.1 re-encodes the same graph values many
+   times ((size, encoding) comparisons in Candidates / A* / A∞).  Encoding is
+   a pure function of the graph, so a cache keyed by Graph.id — process
+   unique, never reused — can never go stale; the only policy needed is a
+   size cap.  When the table reaches [cache_cap] entries it is reset
+   wholesale (epoch invalidation): ids are never reused, so a reset only
+   costs recomputation, never correctness.  The mutex makes the cache safe
+   under the domain pool; the encoding itself is computed outside the lock,
+   so a race at worst duplicates work. *)
+let cache : (int, string) Hashtbl.t = Hashtbl.create 256
+
+let cache_mutex = Mutex.create ()
+
+let cache_cap = 16_384
+
+let cache_hits = Atomic.make 0
+
+let cache_misses = Atomic.make 0
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
+let cache_stats () =
+  Mutex.lock cache_mutex;
+  let entries = Hashtbl.length cache in
+  Mutex.unlock cache_mutex;
+  { hits = Atomic.get cache_hits; misses = Atomic.get cache_misses; entries }
+
+let canonical g =
+  let key = Graph.id g in
+  Mutex.lock cache_mutex;
+  let cached = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_mutex;
+  match cached with
+  | Some s ->
+    Atomic.incr cache_hits;
+    s
+  | None ->
+    Atomic.incr cache_misses;
+    let s = to_string g ~order:(Array.init (Graph.n g) (fun i -> i)) in
+    Mutex.lock cache_mutex;
+    if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
+    Hashtbl.replace cache key s;
+    Mutex.unlock cache_mutex;
+    s

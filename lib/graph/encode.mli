@@ -15,3 +15,23 @@ val to_string : Graph.t -> order:int array -> string
 (** [compare_sized (n1, s1) (n2, s2)] is the paper's order on encoded
     graphs: first by node count, then lexicographically by encoding. *)
 val compare_sized : int * string -> int * string -> int
+
+(** [canonical g] is [to_string g ~order:identity], memoized by {!Graph.id}.
+    This is the encoding the [(size, encoding)] candidate order of
+    Section 3.1 consumes; the cache makes repeated candidate comparisons of
+    the same graph value O(1) after the first.  Domain-safe (mutex-guarded);
+    entries are invalidation-free because ids are process-unique and never
+    reused — the table is merely reset wholesale when it exceeds its size
+    cap. *)
+val canonical : Graph.t -> string
+
+type cache_stats = {
+  hits : int;  (** [canonical] calls answered from the cache *)
+  misses : int;  (** [canonical] calls that encoded *)
+  entries : int;  (** current table size *)
+}
+
+(** Process-lifetime totals for the {!canonical} cache (reported as
+    [cache.encode.*] in the metrics registry, see
+    {!Anonet_views.Interned.publish_metrics}). *)
+val cache_stats : unit -> cache_stats

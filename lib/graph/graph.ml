@@ -1,8 +1,18 @@
 type t = {
+  id : int; (* process-unique identity token, see [id] in the interface *)
   n : int;
   adj : int array array; (* adj.(v).(port) = neighbor of v at that port *)
   labels : Label.t array;
 }
+
+(* Every construction — including the functional updates below — allocates a
+   fresh id: derived graphs carry different labels/ports, so an identity
+   keyed cache must never see them share a key. *)
+let id_counter = Atomic.make 0
+
+let fresh_id () = Atomic.fetch_and_add id_counter 1
+
+let id g = g.id
 
 let validate_edges ~n edges =
   let seen = Hashtbl.create (List.length edges) in
@@ -32,7 +42,7 @@ let create ~n ~edges ~labels =
   let adj =
     Array.map (fun nbrs -> Array.of_list (List.sort Int.compare nbrs)) buckets
   in
-  { n; adj; labels = Array.copy labels }
+  { id = fresh_id (); n; adj; labels = Array.copy labels }
 
 let unlabeled ~n ~edges = create ~n ~edges ~labels:(Array.make n Label.Unit)
 
@@ -71,19 +81,19 @@ let edges g =
 let num_edges g =
   Array.fold_left (fun acc a -> acc + Array.length a) 0 g.adj / 2
 
-let relabel g f = { g with labels = Array.init g.n f }
+let relabel g f = { g with id = fresh_id (); labels = Array.init g.n f }
 
 let with_labels g labels =
   if Array.length labels <> g.n then
     invalid_arg "Graph.with_labels: wrong label array length";
-  { g with labels = Array.copy labels }
+  { g with id = fresh_id (); labels = Array.copy labels }
 
-let map_labels g f = { g with labels = Array.map f g.labels }
+let map_labels g f = { g with id = fresh_id (); labels = Array.map f g.labels }
 
 let zip_labels g extra =
   if Array.length extra <> g.n then
     invalid_arg "Graph.zip_labels: wrong array length";
-  { g with labels = Array.mapi (fun v l -> Label.Pair (l, extra.(v))) g.labels }
+  { g with id = fresh_id (); labels = Array.mapi (fun v l -> Label.Pair (l, extra.(v))) g.labels }
 
 let permute_ports g perms =
   if Array.length perms <> g.n then
@@ -102,7 +112,7 @@ let permute_ports g perms =
       p;
     Array.init d (fun j -> g.adj.(v).(p.(j)))
   in
-  { g with adj = Array.init g.n permute }
+  { g with id = fresh_id (); adj = Array.init g.n permute }
 
 let fold_nodes g ~init ~f =
   let acc = ref init in

@@ -1,0 +1,199 @@
+module Graph = Anonet_graph.Graph
+module Label = Anonet_graph.Label
+module Encode = Anonet_graph.Encode
+module Obs = Anonet_obs.Obs
+
+type t = {
+  id : int;
+  mark : Label.t;
+  children : t list;
+  size : int;
+  depth : int;
+}
+
+let equal a b = a.id = b.id
+
+let hash t = t.id
+
+let id t = t.id
+
+let mark t = t.mark
+
+let children t = t.children
+
+let size t = t.size
+
+let depth t = t.depth
+
+(* Unfolded-tree sizes grow like Δ^depth; saturate instead of wrapping so the
+   stored count stays a valid sort key at any depth. *)
+let sat_add a b =
+  let s = a + b in
+  if s < 0 then max_int else s
+
+(* ---------- the intern table ---------- *)
+
+(* One process-wide table guarded by one mutex.  A single shared table (as
+   opposed to per-domain tables) is what makes ids meaningful across
+   domains: views built by different pool workers for the same structure are
+   physically equal, so results merged in the main domain compare in O(1).
+   Interning is a pure function cache, so the sharing leaks nothing between
+   simulated nodes.  The table only grows; ids are never reused. *)
+
+module Key = struct
+  type t = Label.t * int list (* root mark, sorted child ids *)
+
+  let equal (m1, c1) (m2, c2) = List.equal Int.equal c1 c2 && Label.equal m1 m2
+
+  let hash (m, cs) =
+    List.fold_left (fun h i -> (h * 31) + i + 1) (Label.hash m) cs land max_int
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+let table : t Tbl.t = Tbl.create 4096
+
+let table_mutex = Mutex.create ()
+
+let next_id = ref 0
+
+let intern_hits = Atomic.make 0
+
+let intern_misses = Atomic.make 0
+
+(* [children] must already be in canonical order; [node] sorts, [truncate]
+   and [of_graph] go through [node]. *)
+let intern mark children =
+  let key = mark, List.map (fun c -> c.id) children in
+  Mutex.lock table_mutex;
+  let t =
+    match Tbl.find_opt table key with
+    | Some t ->
+      Atomic.incr intern_hits;
+      t
+    | None ->
+      Atomic.incr intern_misses;
+      let size = List.fold_left (fun s c -> sat_add s c.size) 1 children in
+      let depth = 1 + List.fold_left (fun m c -> max m c.depth) 0 children in
+      let t = { id = !next_id; mark; children; size; depth } in
+      incr next_id;
+      Tbl.add table key t;
+      t
+  in
+  Mutex.unlock table_mutex;
+  t
+
+(* ---------- canonical order ---------- *)
+
+(* Structural compare decided over ids: each distinct (id, id) pair is
+   resolved once per domain and memoized.  The memo is domain-local
+   (Domain.DLS) so the hot comparison path never takes a lock; the answers
+   are pure, so recomputing one per domain is only a constant-factor cost. *)
+
+let compare_memo_key =
+  Domain.DLS.new_key (fun () : (int * int, int) Hashtbl.t -> Hashtbl.create 4096)
+
+let rec compare_memoized memo a b =
+  if a.id = b.id then 0
+  else begin
+    match Hashtbl.find_opt memo (a.id, b.id) with
+    | Some c -> c
+    | None ->
+      let c =
+        let cm = Label.compare a.mark b.mark in
+        if cm <> 0 then cm
+        else List.compare (compare_memoized memo) a.children b.children
+      in
+      Hashtbl.add memo (a.id, b.id) c;
+      Hashtbl.add memo (b.id, a.id) (-c);
+      c
+  end
+
+let compare a b =
+  if a.id = b.id then 0
+  else compare_memoized (Domain.DLS.get compare_memo_key) a b
+
+let leaf mark = intern mark []
+
+let node mark children = intern mark (List.sort compare children)
+
+(* ---------- construction and truncation ---------- *)
+
+let of_graph g ~root ~depth =
+  if depth < 1 then invalid_arg "Interned.of_graph: need depth >= 1";
+  (* Level by level: level d reuses every level-(d-1) node, so the whole
+     construction interns O(n * depth) nodes regardless of how large the
+     unfolded trees are. *)
+  let n = Graph.n g in
+  let current = ref (Array.init n (fun v -> leaf (Graph.label g v))) in
+  for _ = 2 to depth do
+    let prev = !current in
+    current :=
+      Array.init n (fun v ->
+          node (Graph.label g v)
+            (Array.to_list (Array.map (fun u -> prev.(u)) (Graph.neighbors g v))))
+  done;
+  !current.(root)
+
+let truncate_memo_key =
+  Domain.DLS.new_key (fun () : (int * int, t) Hashtbl.t -> Hashtbl.create 4096)
+
+let truncate t ~depth =
+  if depth < 1 then invalid_arg "Interned.truncate: need depth >= 1";
+  let memo = Domain.DLS.get truncate_memo_key in
+  let rec go t d =
+    if d >= t.depth then t
+    else begin
+      match Hashtbl.find_opt memo (t.id, d) with
+      | Some t' -> t'
+      | None ->
+        let t' =
+          if d = 1 then leaf t.mark
+          (* [node] re-sorts: truncation can reorder siblings that only
+             differed below the cut. *)
+          else node t.mark (List.map (fun c -> go c (d - 1)) t.children)
+        in
+        Hashtbl.add memo (t.id, d) t';
+        t'
+    end
+  in
+  go t depth
+
+let subtrees t =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec visit t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      acc := t :: !acc;
+      List.iter visit t.children
+    end
+  in
+  visit t;
+  !acc
+
+(* ---------- statistics ---------- *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  nodes : int;
+}
+
+let stats () =
+  Mutex.lock table_mutex;
+  let nodes = Tbl.length table in
+  Mutex.unlock table_mutex;
+  { hits = Atomic.get intern_hits; misses = Atomic.get intern_misses; nodes }
+
+let publish_metrics obs =
+  if Obs.live obs then begin
+    let s = stats () in
+    Obs.incr ~by:s.hits (Obs.counter obs "cache.view.hits");
+    Obs.incr ~by:s.misses (Obs.counter obs "cache.view.misses");
+    Obs.set (Obs.gauge obs "cache.view.nodes") s.nodes;
+    let e = Encode.cache_stats () in
+    Obs.incr ~by:e.Encode.hits (Obs.counter obs "cache.encode.hits");
+    Obs.incr ~by:e.Encode.misses (Obs.counter obs "cache.encode.misses");
+    Obs.set (Obs.gauge obs "cache.encode.entries") e.Encode.entries
+  end

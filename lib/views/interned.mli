@@ -1,0 +1,108 @@
+(** Hash-consed (interned) local-view trees.
+
+    A depth-[d] view of a dense graph unfolds to a tree with up to [Δ^d]
+    vertices, but has at most [n] {e distinct} subtrees per level (one per
+    view-equivalence class, Section 2.1).  This module interns view nodes in
+    a process-wide hash-cons table: structurally equal trees are physically
+    equal and carry the same integer [id], so
+
+    - {!equal} and {!hash} are O(1) (id comparison),
+    - {!compare} is the canonical structural order of {!View.compare},
+      memoized over id pairs (amortized O(1) on repeated comparisons),
+    - {!size} and {!depth} are O(1) (stored per node at construction),
+
+    and every algorithm that walks views — sorting truncations, counting
+    tree vertices, the [(size, encoding)] candidate order — runs in the size
+    of the shared DAG instead of the unfolded tree.
+
+    {2 Domain safety}
+
+    The intern table is a single mutex-guarded process-wide table (interning
+    is a pure function cache, so sharing it across simulated nodes and
+    domains leaks no information between them).  Construction under
+    [Anonet_parallel.Pool] is safe: two domains interning the same structure
+    race only for who inserts first; both receive the unique representative.
+    The {!compare} and {!truncate} memo tables are {e per-domain}
+    ([Domain.DLS]), so the hot read paths never contend on a lock.  Nodes
+    themselves are immutable and freely shared across domains.
+
+    Invalidation: none.  Interned nodes are pure values; the tables only
+    grow (they implement function caches keyed by ids that are never
+    reused), and live for the process.  See DESIGN.md, "View interning &
+    encoding cache". *)
+
+type t = private {
+  id : int;  (** interning identity: equal trees have equal ids *)
+  mark : Anonet_graph.Label.t;
+  children : t list;  (** sorted under {!compare}; interned *)
+  size : int;
+      (** number of vertices of the {e unfolded} tree (saturating at
+          [max_int] for astronomically deep views) *)
+  depth : int;  (** number of levels; a leaf has depth 1 *)
+}
+
+(** [leaf mark] is the depth-1 view with the given mark. *)
+val leaf : Anonet_graph.Label.t -> t
+
+(** [node mark children] interns an internal vertex, canonicalizing the
+    sibling order under {!compare}. *)
+val node : Anonet_graph.Label.t -> t list -> t
+
+(** O(1): interning makes structural and physical equality coincide. *)
+val equal : t -> t -> bool
+
+(** The canonical total order of {!View.compare} — root marks first, then
+    child lists lexicographically — decided via ids and a per-domain memo
+    table.  [compare a b = 0] iff [a == b]. *)
+val compare : t -> t -> int
+
+(** [hash t] is [t.id] — a perfect hash for interned values. *)
+val hash : t -> int
+
+val id : t -> int
+
+val mark : t -> Anonet_graph.Label.t
+
+val children : t -> t list
+
+(** [size t] is the vertex count of the unfolded tree, O(1). *)
+val size : t -> int
+
+(** [depth t] is the number of levels, O(1). *)
+val depth : t -> int
+
+(** [of_graph g ~root ~depth] is [L_depth(root, g)] interned — the same
+    object {!View.of_graph} describes, built level by level in
+    O(n·depth·Δ) interning steps.
+    @raise Invalid_argument if [depth < 1]. *)
+val of_graph : Anonet_graph.Graph.t -> root:int -> depth:int -> t
+
+(** [truncate t ~depth] prunes to the given depth (memoized per domain);
+    [t] itself when [depth >= depth t].
+    @raise Invalid_argument if [depth < 1]. *)
+val truncate : t -> depth:int -> t
+
+(** [subtrees t] lists every distinct subtree occurring in [t] (including
+    [t] itself), each once. *)
+val subtrees : t -> t list
+
+(** {2 Cache statistics} *)
+
+type stats = {
+  hits : int;  (** interning requests answered by an existing node *)
+  misses : int;  (** interning requests that allocated a new node *)
+  nodes : int;  (** current intern-table population *)
+}
+
+(** Process-lifetime totals for the intern table. *)
+val stats : unit -> stats
+
+(** [publish_metrics obs] records the interning totals ({!stats}) and the
+    canonical-encoding cache totals ({!Anonet_graph.Encode.cache_stats}) in
+    [obs]'s metrics registry: counters [cache.view.hits], [cache.view.misses],
+    [cache.encode.hits], [cache.encode.misses] and gauges [cache.view.nodes],
+    [cache.encode.entries].  The counters carry process-lifetime totals —
+    call this once per registry, just before taking its snapshot (the CLI
+    metrics trailer and [bench-json] do exactly that).  A no-op on
+    {!Anonet_obs.Obs.null}. *)
+val publish_metrics : Anonet_obs.Obs.t -> unit

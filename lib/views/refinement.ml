@@ -8,17 +8,20 @@ type result = {
   history : int array list;
 }
 
-(* Assign canonical class numbers: sort the distinct keys, number them in
-   order, and map each node to its key's number. *)
-let number_by_sorted_keys keys =
+(* Assign canonical class numbers: sort the distinct keys under the given
+   (explicit, monomorphic) order, number them in order, and map each node to
+   its key's number. *)
+let number_by_sorted_keys ~compare keys =
   let distinct = List.sort_uniq compare (Array.to_list keys) in
   let table = Hashtbl.create (List.length distinct) in
   List.iteri (fun i k -> Hashtbl.replace table k i) distinct;
   Array.map (fun k -> Hashtbl.find table k) keys
 
 let initial g =
-  number_by_sorted_keys
-    (Array.init (Graph.n g) (fun v -> [ Label.encode (Graph.label g v) ]))
+  (* Numbering encoded labels under String.compare coincides with the former
+     numbering of singleton encoding lists under polymorphic compare. *)
+  number_by_sorted_keys ~compare:String.compare
+    (Array.init (Graph.n g) (fun v -> Label.encode (Graph.label g v)))
 
 let refine_once g classes =
   let signature v =
@@ -29,7 +32,8 @@ let refine_once g classes =
     classes.(v) :: nbr
   in
   (* Prefixing the old class makes the new partition refine the old one. *)
-  number_by_sorted_keys (Array.init (Graph.n g) signature)
+  number_by_sorted_keys ~compare:(List.compare Int.compare)
+    (Array.init (Graph.n g) signature)
 
 let count_classes classes =
   1 + Array.fold_left max (-1) classes

@@ -1,52 +1,46 @@
 module Graph = Anonet_graph.Graph
 
-let truncation g ~root ~depth =
-  if depth < 1 then invalid_arg "Universal_cover.truncation: need depth >= 1";
-  (* Memoize the non-backtracking subtrees on (node, parent, depth). *)
+(* Non-backtracking subtrees interned on (node, parent, depth).  The memo is
+   shared across every root of one builder, so [classes_at_depth] builds all
+   n truncations in O(n * depth * Δ) interning steps total. *)
+let truncation_builder g =
   let memo = Hashtbl.create 64 in
   let rec subtree v ~parent d =
     match Hashtbl.find_opt memo (v, parent, d) with
     | Some t -> t
     | None ->
       let t =
-        if d = 1 then { View.mark = Graph.label g v; children = [] }
-        else begin
-          let children =
-            Array.to_list (Graph.neighbors g v)
-            |> List.filter (fun u -> u <> parent)
-            |> List.map (fun u -> subtree u ~parent:v (d - 1))
-            |> List.sort View.compare
-          in
-          { View.mark = Graph.label g v; children }
-        end
+        if d = 1 then Interned.leaf (Graph.label g v)
+        else
+          Array.to_list (Graph.neighbors g v)
+          |> List.filter (fun u -> u <> parent)
+          |> List.map (fun u -> subtree u ~parent:v (d - 1))
+          |> Interned.node (Graph.label g v)
       in
       Hashtbl.add memo (v, parent, d) t;
       t
   in
-  if depth = 1 then { View.mark = Graph.label g root; children = [] }
-  else begin
-    let children =
+  fun ~root ~depth ->
+    if depth < 1 then invalid_arg "Universal_cover.truncation: need depth >= 1";
+    if depth = 1 then Interned.leaf (Graph.label g root)
+    else
       Array.to_list (Graph.neighbors g root)
       |> List.map (fun u -> subtree u ~parent:root (depth - 1))
-      |> List.sort View.compare
-    in
-    { View.mark = Graph.label g root; children }
-  end
+      |> Interned.node (Graph.label g root)
+
+let truncation g ~root ~depth = View.of_interned (truncation_builder g ~root ~depth)
 
 let classes_at_depth g d =
+  let build = truncation_builder g in
   let n = Graph.n g in
-  let trees = Array.init n (fun v -> truncation g ~root:v ~depth:d) in
-  let distinct =
-    List.sort_uniq View.compare (Array.to_list trees)
-  in
-  let index t =
-    let rec find i = function
-      | [] -> assert false
-      | x :: rest -> if View.compare x t = 0 then i else find (i + 1) rest
-    in
-    find 0 distinct
-  in
-  Array.map index trees
+  let trees = Array.init n (fun v -> build ~root:v ~depth:d) in
+  let distinct = List.sort_uniq Interned.compare (Array.to_list trees) in
+  (* Interning makes each tree physically equal to its representative in
+     [distinct], so a table keyed by interned id replaces the former linear
+     scan per node. *)
+  let index : (int, int) Hashtbl.t = Hashtbl.create (List.length distinct) in
+  List.iteri (fun i t -> Hashtbl.replace index (Interned.id t) i) distinct;
+  Array.map (fun t -> Hashtbl.find index (Interned.id t)) trees
 
 let stable_depth g =
   let target = (Refinement.run g).Refinement.classes in

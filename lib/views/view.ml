@@ -7,50 +7,100 @@ type t = {
 }
 
 let rec compare a b =
-  let c = Label.compare a.mark b.mark in
-  if c <> 0 then c else List.compare compare a.children b.children
+  if a == b then 0
+  else begin
+    let c = Label.compare a.mark b.mark in
+    if c <> 0 then c else List.compare compare a.children b.children
+  end
 
 let equal a b = compare a b = 0
 
-let of_graph g ~root ~depth =
-  if depth < 1 then invalid_arg "View.of_graph: need depth >= 1";
-  (* Memoize on (node, depth): subtrees are shared across the whole
-     construction, so the result is a DAG in memory even when the unfolded
-     tree is exponential. *)
-  let memo = Hashtbl.create 64 in
-  let rec build v d =
-    match Hashtbl.find_opt memo (v, d) with
+(* Views built by [of_graph] / [truncate] share subtrees: the value in
+   memory is a DAG even when the unfolded tree is exponential.  The
+   traversals below therefore memoize on {e physical} identity, so they run
+   in the size of the DAG.  (Hashtbl.hash traverses a bounded prefix of the
+   value, which is a legitimate — if weak — hash for physical equality;
+   collisions are resolved by [==].) *)
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+let sat_add a b =
+  let s = a + b in
+  if s < 0 then max_int else s
+
+(* ---------- conversions to/from the interned representation ---------- *)
+
+let intern t =
+  let memo = Phys.create 64 in
+  let rec go t =
+    match Phys.find_opt memo t with
+    | Some i -> i
+    | None ->
+      (* [node] re-canonicalizes the sibling order, so [intern] is total on
+         arbitrary (even unsorted) trees. *)
+      let i = Interned.node t.mark (List.map go t.children) in
+      Phys.add memo t i;
+      i
+  in
+  go t
+
+let of_interned i =
+  (* Memoize on interned ids so the structural value reproduces the DAG
+     sharing of the interned one — crucial for [size]/[depth]/[compare] on
+     the result. *)
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go i =
+    match Hashtbl.find_opt memo (Interned.id i) with
     | Some t -> t
     | None ->
-      let t =
-        if d = 1 then { mark = Graph.label g v; children = [] }
-        else begin
-          let children =
-            Array.to_list (Array.map (fun u -> build u (d - 1)) (Graph.neighbors g v))
-            |> List.sort compare
-          in
-          { mark = Graph.label g v; children }
-        end
-      in
-      Hashtbl.add memo (v, d) t;
+      (* Interned children are sorted under [Interned.compare], which
+         realizes the same total order as [compare]. *)
+      let t = { mark = Interned.mark i; children = List.map go (Interned.children i) } in
+      Hashtbl.add memo (Interned.id i) t;
       t
   in
-  build root depth
+  go i
 
-let rec depth t =
-  match t.children with
-  | [] -> 1
-  | cs -> 1 + List.fold_left (fun m c -> max m (depth c)) 0 cs
+let of_graph g ~root ~depth =
+  if depth < 1 then invalid_arg "View.of_graph: need depth >= 1";
+  of_interned (Interned.of_graph g ~root ~depth)
 
-let rec size t = 1 + List.fold_left (fun s c -> s + size c) 0 t.children
+let depth t =
+  let memo = Phys.create 64 in
+  let rec go t =
+    match Phys.find_opt memo t with
+    | Some d -> d
+    | None ->
+      let d =
+        match t.children with
+        | [] -> 1
+        | cs -> 1 + List.fold_left (fun m c -> max m (go c)) 0 cs
+      in
+      Phys.add memo t d;
+      d
+  in
+  go t
 
-let rec truncate t ~depth =
+let size t =
+  let memo = Phys.create 64 in
+  let rec go t =
+    match Phys.find_opt memo t with
+    | Some s -> s
+    | None ->
+      let s = List.fold_left (fun s c -> sat_add s (go c)) 1 t.children in
+      Phys.add memo t s;
+      s
+  in
+  go t
+
+let truncate t ~depth =
   if depth < 1 then invalid_arg "View.truncate: need depth >= 1";
-  if depth = 1 then { t with children = [] }
-  else begin
-    let children = List.map (fun c -> truncate c ~depth:(depth - 1)) t.children in
-    { t with children = List.sort compare children }
-  end
+  of_interned (Interned.truncate (intern t) ~depth)
 
 let disjoint_union g1 g2 =
   let n1 = Graph.n g1 and n2 = Graph.n g2 in

@@ -29,11 +29,24 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
-(** [depth v] is the number of levels ([L_d] has depth [d]). *)
+(** [depth v] is the number of levels ([L_d] has depth [d]).  Memoized on
+    physical identity, so it costs O(|shared DAG|), not O(|unfolded tree|). *)
 val depth : t -> int
 
-(** [size v] is the number of tree vertices. *)
+(** [size v] is the number of vertices of the unfolded tree (saturating at
+    [max_int]).  Memoized on physical identity: O(|shared DAG|) even when
+    the count itself is astronomical. *)
 val size : t -> int
+
+(** [intern v] is the hash-consed form of [v] (see {!Interned}); total on
+    arbitrary trees — sibling order is re-canonicalized if needed. *)
+val intern : t -> Interned.t
+
+(** [of_interned i] converts back to a structural tree, reproducing the
+    interned DAG's sharing, so [intern] and [of_interned] round-trip without
+    unfolding.  [compare (of_interned a) (of_interned b)] agrees with
+    [Interned.compare a b]. *)
+val of_interned : Interned.t -> t
 
 (** [truncate v ~depth] prunes [v] to the given depth — the depth-n
     truncating function [f_n] of Section 3 applied to explicit trees.

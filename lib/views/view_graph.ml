@@ -70,5 +70,4 @@ let of_graph_exn g =
   | Ok t -> t
   | Error msg -> invalid_arg ("View_graph.of_graph_exn: " ^ msg)
 
-let encoding t =
-  Encode.to_string t.graph ~order:(Array.init (Graph.n t.graph) (fun i -> i))
+let encoding t = Encode.canonical t.graph

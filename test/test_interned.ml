@@ -1,0 +1,342 @@
+(* Tests for the view-interning subsystem (Interned), the sharing-aware
+   View traversals, the canonical-encoding cache, and their agreement with
+   naive structural references — including under the domain pool. *)
+
+open Anonet_graph
+open Anonet_views
+module Pool = Anonet_parallel.Pool
+module Knowledge = Anonet.Knowledge
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+(* ---------- naive structural references (the pre-interning algorithms) ---------- *)
+
+(* The old View.of_graph: memoized on (node, depth), children sorted by
+   structural compare.  Kept here as the reference the interned fast path
+   must reproduce byte for byte. *)
+let naive_of_graph g ~root ~depth =
+  let memo = Hashtbl.create 64 in
+  let rec build v d =
+    match Hashtbl.find_opt memo (v, d) with
+    | Some t -> t
+    | None ->
+      let t =
+        if d = 1 then { View.mark = Graph.label g v; children = [] }
+        else begin
+          let children =
+            Array.to_list (Array.map (fun u -> build u (d - 1)) (Graph.neighbors g v))
+            |> List.sort View.compare
+          in
+          { View.mark = Graph.label g v; children }
+        end
+      in
+      Hashtbl.add memo (v, d) t;
+      t
+  in
+  build root depth
+
+let rec naive_truncate (t : View.t) ~depth =
+  if depth = 1 then { t with View.children = [] }
+  else begin
+    let children = List.map (fun c -> naive_truncate c ~depth:(depth - 1)) t.View.children in
+    { t with View.children = List.sort View.compare children }
+  end
+
+(* The old Universal_cover.classes_at_depth: structural trees, sort_uniq,
+   linear find per node. *)
+let naive_uc_classes g d =
+  let truncation ~root =
+    let memo = Hashtbl.create 64 in
+    let rec subtree v ~parent d =
+      match Hashtbl.find_opt memo (v, parent, d) with
+      | Some t -> t
+      | None ->
+        let t =
+          if d = 1 then { View.mark = Graph.label g v; children = [] }
+          else begin
+            let children =
+              Array.to_list (Graph.neighbors g v)
+              |> List.filter (fun u -> u <> parent)
+              |> List.map (fun u -> subtree u ~parent:v (d - 1))
+              |> List.sort View.compare
+            in
+            { View.mark = Graph.label g v; children }
+          end
+        in
+        Hashtbl.add memo (v, parent, d) t;
+        t
+    in
+    if d = 1 then { View.mark = Graph.label g root; children = [] }
+    else begin
+      let children =
+        Array.to_list (Graph.neighbors g root)
+        |> List.map (fun u -> subtree u ~parent:root (d - 1))
+        |> List.sort View.compare
+      in
+      { View.mark = Graph.label g root; children }
+    end
+  in
+  let n = Graph.n g in
+  let trees = Array.init n (fun v -> truncation ~root:v) in
+  let distinct = List.sort_uniq View.compare (Array.to_list trees) in
+  let index t =
+    let rec find i = function
+      | [] -> assert false
+      | x :: rest -> if View.compare x t = 0 then i else find (i + 1) rest
+    in
+    find 0 distinct
+  in
+  Array.map index trees
+
+let sign c = Stdlib.compare c 0
+
+(* ---------- interning basics ---------- *)
+
+let test_intern_identity () =
+  let a = Interned.node (Label.Int 1) [ Interned.leaf (Label.Int 2) ] in
+  let b = Interned.node (Label.Int 1) [ Interned.leaf (Label.Int 2) ] in
+  check "same id" true (Interned.id a = Interned.id b);
+  check "physically equal" true (a == b);
+  check "equal" true (Interned.equal a b);
+  check_int "compare 0" 0 (Interned.compare a b);
+  let c1 = Interned.leaf (Label.Int 1) and c2 = Interned.leaf (Label.Int 2) in
+  check "sorted children" true
+    (Interned.equal (Interned.node Label.Unit [ c1; c2 ])
+       (Interned.node Label.Unit [ c2; c1 ]))
+
+let test_intern_size_depth () =
+  let g = Gen.c6_figure1 () in
+  let i = Interned.of_graph g ~root:0 ~depth:3 in
+  check_int "size 1+2+4" 7 (Interned.size i);
+  check_int "depth" 3 (Interned.depth i);
+  check_int "leaf size" 1 (Interned.size (Interned.leaf Label.Unit));
+  check_int "leaf depth" 1 (Interned.depth (Interned.leaf Label.Unit))
+
+let test_intern_stats_move () =
+  let before = Interned.stats () in
+  (* A fresh structure (unique marks) must miss; re-interning it must hit. *)
+  let mk () =
+    Interned.node (Label.Str "stats-probe")
+      [ Interned.leaf (Label.Int 123456); Interned.leaf (Label.Int 654321) ]
+  in
+  let a = mk () in
+  let b = mk () in
+  check "re-intern is the same node" true (a == b);
+  let after = Interned.stats () in
+  check "misses advanced" true (after.Interned.misses > before.Interned.misses);
+  check "hits advanced" true (after.Interned.hits > before.Interned.hits);
+  check "nodes grew" true (after.Interned.nodes > before.Interned.nodes)
+
+let test_knowledge_shares_table () =
+  (* Knowledge is the same interned representation: values built through
+     either API are physically identical. *)
+  let g = Gen.label_with_ints (Gen.petersen ()) in
+  let k = Knowledge.view_of_graph g ~root:3 ~depth:5 in
+  let i = Interned.of_graph g ~root:3 ~depth:5 in
+  check_int "same id across APIs" k.Knowledge.id (Interned.id i)
+
+(* ---------- View fast path vs naive reference ---------- *)
+
+let test_of_graph_matches_naive () =
+  List.iter
+    (fun g ->
+      for d = 1 to 6 do
+        let fast = View.of_graph g ~root:0 ~depth:d in
+        let naive = naive_of_graph g ~root:0 ~depth:d in
+        check "of_graph = naive (structural)" true (View.equal fast naive);
+        check_string "of_graph = naive (bytes)" (View.to_string naive)
+          (View.to_string fast)
+      done)
+    [ Gen.path 5; Gen.c6_figure1 (); Gen.label_with_ints (Gen.petersen ());
+      Gen.grid 3 3; Gen.star 4 ]
+
+let test_truncate_matches_naive () =
+  let g = Gen.label_with_ints (Gen.petersen ()) in
+  let v = View.of_graph g ~root:0 ~depth:7 in
+  for d = 1 to 7 do
+    check_string "truncate = naive truncate"
+      (View.to_string (naive_truncate v ~depth:d))
+      (View.to_string (View.truncate v ~depth:d))
+  done
+
+let test_size_k8_depth16_closed_form () =
+  (* Satellite regression: before interning this walked the unfolded tree
+     (~5.5e12 vertices) and never finished; now it is O(|DAG|). *)
+  let k8 = Gen.label_with_ints (Gen.complete 8) in
+  let v = View.of_graph k8 ~root:0 ~depth:16 in
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  (* Every node of K8 has degree 7: size = 1 + 7 + ... + 7^15. *)
+  check_int "closed form (7^16 - 1) / 6" ((pow 7 16 - 1) / 6) (View.size v);
+  check_int "depth 16" 16 (View.depth v);
+  check_int "interned size agrees" ((pow 7 16 - 1) / 6)
+    (Interned.size (Interned.of_graph k8 ~root:0 ~depth:16))
+
+(* ---------- Universal_cover on the existing families ---------- *)
+
+let test_uc_classes_match_naive () =
+  List.iter
+    (fun g ->
+      for d = 1 to 6 do
+        let fast = Universal_cover.classes_at_depth g d in
+        let naive = naive_uc_classes g d in
+        check "UC classes = naive" true (fast = naive)
+      done)
+    [ Gen.path 5; Gen.c6_figure1 (); Gen.petersen (); Gen.grid 3 3;
+      Gen.star 4; Gen.random_connected ~seed:8 8 0.3 ]
+
+(* ---------- encoding cache ---------- *)
+
+let test_encode_canonical () =
+  let g = Gen.label_with_ints (Gen.petersen ()) in
+  let direct = Encode.to_string g ~order:(Array.init (Graph.n g) (fun i -> i)) in
+  check_string "canonical = to_string(identity)" direct (Encode.canonical g);
+  let before = Encode.cache_stats () in
+  check_string "canonical again" direct (Encode.canonical g);
+  let after = Encode.cache_stats () in
+  check "second call is a cache hit" true (after.Encode.hits > before.Encode.hits);
+  (* A functional update gets a fresh id, hence a fresh cache entry. *)
+  let g' = Graph.map_labels g (fun l -> l) in
+  check "fresh id after update" false (Graph.id g = Graph.id g');
+  check_string "updated graph encodes identically (same structure)" direct
+    (Encode.canonical g')
+
+(* ---------- domain-pool safety ---------- *)
+
+let test_parallel_interning_matches_sequential () =
+  let g = Gen.label_with_ints (Gen.petersen ()) in
+  let n = Graph.n g in
+  let roots = Array.init (4 * n) (fun i -> i mod n) in
+  let seq = Array.map (fun v -> Interned.of_graph g ~root:v ~depth:8) roots in
+  let seq_strings = Array.map (fun i -> View.to_string (View.of_interned i)) seq in
+  Pool.with_pool ~domains:4 (fun p ->
+      let par = Pool.map p (fun v -> Interned.of_graph g ~root:v ~depth:8) roots in
+      Array.iteri
+        (fun i t ->
+          check "same id as sequential" true (Interned.id t = Interned.id seq.(i));
+          check "physically equal across domains" true (t == seq.(i));
+          check_string "byte-identical rendering" seq_strings.(i)
+            (View.to_string (View.of_interned t)))
+        par)
+
+let test_parallel_uc_classes_match_sequential () =
+  let graphs =
+    [| Gen.path 5; Gen.c6_figure1 (); Gen.petersen (); Gen.grid 3 3;
+       Gen.random_connected ~seed:21 9 0.3; Gen.star 4; Gen.cycle 7;
+       Gen.label_with_ints (Gen.petersen ()) |]
+  in
+  let seq = Array.map (fun g -> Universal_cover.classes_at_depth g 6) graphs in
+  Pool.with_pool ~domains:4 (fun p ->
+      let par = Pool.map p (fun g -> Universal_cover.classes_at_depth g 6) graphs in
+      Array.iteri (fun i c -> check "pool classes = sequential" true (c = seq.(i))) par)
+
+(* ---------- qcheck properties ---------- *)
+
+let arb_seeded =
+  QCheck.make
+    ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%f" s n p)
+    QCheck.Gen.(triple (int_bound 10_000) (int_range 2 10) (float_bound_inclusive 0.5))
+
+let prop_interned_compare_agrees =
+  QCheck.Test.make ~name:"Interned.compare = View.compare (sign)" ~count:80
+    arb_seeded (fun (seed, n, p) ->
+      let g = Gen.label_with_ints (Gen.random_connected ~seed n p) in
+      let d = 1 + (seed mod 5) in
+      let u = seed mod Graph.n g and v = (seed / 7) mod Graph.n g in
+      let iu = Interned.of_graph g ~root:u ~depth:d in
+      let iv = Interned.of_graph g ~root:v ~depth:d in
+      let nu = naive_of_graph g ~root:u ~depth:d in
+      let nv = naive_of_graph g ~root:v ~depth:d in
+      sign (Interned.compare iu iv) = sign (View.compare nu nv)
+      && sign (Interned.compare iv iu) = sign (View.compare nv nu))
+
+let prop_roundtrip_identity =
+  QCheck.Test.make ~name:"View -> Interned -> View round-trip" ~count:80
+    arb_seeded (fun (seed, n, p) ->
+      let g = Gen.label_with_ints (Gen.random_connected ~seed n p) in
+      let d = 1 + (seed mod 6) in
+      let t = naive_of_graph g ~root:(seed mod Graph.n g) ~depth:d in
+      let t' = View.of_interned (View.intern t) in
+      View.equal t t' && String.equal (View.to_string t) (View.to_string t'))
+
+let prop_intern_of_graph_consistent =
+  QCheck.Test.make ~name:"intern (naive of_graph) = Interned.of_graph" ~count:80
+    arb_seeded (fun (seed, n, p) ->
+      let g = Gen.label_with_ints (Gen.random_connected ~seed n p) in
+      let d = 1 + (seed mod 5) in
+      let root = seed mod Graph.n g in
+      Interned.equal
+        (View.intern (naive_of_graph g ~root ~depth:d))
+        (Interned.of_graph g ~root ~depth:d))
+
+let prop_truncate_coherent =
+  QCheck.Test.make ~name:"Interned.truncate = of_graph at lower depth" ~count:60
+    arb_seeded (fun (seed, n, p) ->
+      let g = Gen.label_with_ints (Gen.random_connected ~seed n p) in
+      let deep = Interned.of_graph g ~root:(seed mod Graph.n g) ~depth:7 in
+      let d = 1 + (seed mod 7) in
+      Interned.equal
+        (Interned.truncate deep ~depth:d)
+        (Interned.of_graph g ~root:(seed mod Graph.n g) ~depth:(min d 7)))
+
+let prop_parallel_byte_identical =
+  QCheck.Test.make ~name:"4-domain interning byte-identical to sequential" ~count:15
+    arb_seeded (fun (seed, n, p) ->
+      let g = Gen.label_with_ints (Gen.random_connected ~seed n p) in
+      let gn = Graph.n g in
+      let roots = Array.init gn (fun v -> v) in
+      let seq =
+        Array.map
+          (fun v -> View.to_string (View.of_interned (Interned.of_graph g ~root:v ~depth:6)))
+          roots
+      in
+      Pool.with_pool ~domains:4 (fun pool ->
+          let par =
+            Pool.map pool
+              (fun v -> View.to_string (View.of_interned (Interned.of_graph g ~root:v ~depth:6)))
+              roots
+          in
+          Array.for_all2 String.equal seq par))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_interned_compare_agrees; prop_roundtrip_identity;
+      prop_intern_of_graph_consistent; prop_truncate_coherent;
+      prop_parallel_byte_identical ]
+
+let () =
+  Alcotest.run "anonet_interned"
+    [
+      ( "intern",
+        [
+          Alcotest.test_case "identity & canonicalization" `Quick test_intern_identity;
+          Alcotest.test_case "memoized size/depth" `Quick test_intern_size_depth;
+          Alcotest.test_case "stats counters" `Quick test_intern_stats_move;
+          Alcotest.test_case "knowledge shares the table" `Quick
+            test_knowledge_shares_table;
+        ] );
+      ( "view-fast-path",
+        [
+          Alcotest.test_case "of_graph = naive" `Quick test_of_graph_matches_naive;
+          Alcotest.test_case "truncate = naive" `Quick test_truncate_matches_naive;
+          Alcotest.test_case "K8 depth-16 size closed form" `Quick
+            test_size_k8_depth16_closed_form;
+        ] );
+      ( "universal-cover",
+        [ Alcotest.test_case "classes = naive on families" `Quick
+            test_uc_classes_match_naive ] );
+      ( "encode-cache",
+        [ Alcotest.test_case "canonical = to_string, hits counted" `Quick
+            test_encode_canonical ] );
+      ( "pool",
+        [
+          Alcotest.test_case "4-domain interning = sequential" `Quick
+            test_parallel_interning_matches_sequential;
+          Alcotest.test_case "4-domain UC classes = sequential" `Quick
+            test_parallel_uc_classes_match_sequential;
+        ] );
+      "properties", qcheck_tests;
+    ]
