@@ -224,8 +224,48 @@ let bench_tests () =
                   ~max_rounds:2000));
       ]
   in
+  let a_star_phases =
+    (* The incremental phase engine, measured end to end: each pair runs
+       the same derandomization warm (cross-phase search/simulation cache
+       on, the default) and cold (cache off — every phase restarts its
+       Update-Bits BFS from level 0).  CI asserts warm/cold >= 2x on the
+       2hop-c6 pair, the deepest phase schedule of the family.  The
+       instances are the C6/C12 cycle family of Figures 1-2; Petersen
+       with unique colors is prime, so its generic Update-Bits search
+       branches on all 10 nodes per round and blows the state budget
+       long before the first successful extension — the inherent
+       exponential the ablate-bits group already measures. *)
+    let solve ?incremental gran inst () =
+      match A_star.solve ~gran inst ?incremental () with
+      | Ok _ -> ()
+      | Error m -> failwith m
+    in
+    Test.make_grouped ~name:"a-star-phases"
+      [
+        Test.make ~name:"warm-mis-c6" (Staged.stage (solve Bundles.mis c6i));
+        Test.make ~name:"cold-mis-c6"
+          (Staged.stage (solve ~incremental:false Bundles.mis c6i));
+        Test.make ~name:"warm-2hop-c6"
+          (Staged.stage (solve Bundles.two_hop_coloring c6i));
+        Test.make ~name:"cold-2hop-c6"
+          (Staged.stage (solve ~incremental:false Bundles.two_hop_coloring c6i));
+        Test.make ~name:"warm-mis-c12" (Staged.stage (solve Bundles.mis c12i));
+        Test.make ~name:"cold-mis-c12"
+          (Staged.stage (solve ~incremental:false Bundles.mis c12i));
+      ]
+  in
   Test.make_grouped ~name:"anonet"
-    [ fig1; fig2; fig3; searches; pipeline; substrates; views_intern; faults ]
+    [
+      fig1;
+      fig2;
+      fig3;
+      searches;
+      pipeline;
+      substrates;
+      views_intern;
+      faults;
+      a_star_phases;
+    ]
 
 let analyze_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -341,10 +381,11 @@ let pool_scaling_rows () =
         [ 1; 2; 4 ])
     workloads
 
-(* A metrics snapshot of the instrumented pipeline — a Las-Vegas solve and
-   an A_infinity derandomization against a live registry — so BENCH.json
-   records the work performed (rounds, messages, attempts, search states)
-   next to the timings.  [Metrics.render_json] is a complete single-line
+(* A metrics snapshot of the instrumented pipeline — a Las-Vegas solve,
+   an A_infinity derandomization and a warm A* derandomization against a
+   live registry — so BENCH.json records the work performed (rounds,
+   messages, attempts, search states, phase-cache traffic) next to the
+   timings.  [Metrics.render_json] is a complete single-line
    JSON object; it embeds verbatim as the "metrics" value. *)
 let metrics_snapshot_json () =
   let registry = Metrics.create () in
@@ -357,6 +398,11 @@ let metrics_snapshot_json () =
   | Ok _ -> ()
   | Error m -> failwith m);
   (match A_infinity.solve ~ctx ~gran:Bundles.mis (cycle_mod_colors 12 3) () with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  (* An A* derandomization with the warm phase engine, so the snapshot
+     carries the cache.search counter family next to search.* . *)
+  (match A_star.solve ~ctx ~gran:Bundles.mis (c6_instance ()) () with
   | Ok _ -> ()
   | Error m -> failwith m);
   (* Process-lifetime cache totals (the cache.view and cache.encode

@@ -364,7 +364,11 @@ let derandomize_cmd =
     with_obs metrics events @@ fun obs ->
     match method_ with
     | "a-star" -> begin
-        match Anonet.A_star.solve ~gran:bundle inst () with
+        match
+          with_jobs ~obs jobs (fun pool ->
+              Anonet.A_star.solve ~ctx:(Run_ctx.make ?pool ~obs ())
+                ~gran:bundle inst ())
+        with
         | Error m -> prerr_endline m; exit 1
         | Ok outcome ->
           Printf.printf "A* solved %s^c deterministically in %d rounds:\n" problem

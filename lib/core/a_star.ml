@@ -3,7 +3,10 @@ module Label = Anonet_graph.Label
 module Bits = Anonet_graph.Bits
 module Algorithm = Anonet_runtime.Algorithm
 module Executor = Anonet_runtime.Executor
+module Run_ctx = Anonet_runtime.Run_ctx
 module Tape = Anonet_runtime.Tape
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
 module Problem = Anonet_problems.Problem
 module Gran = Anonet_problems.Gran
 
@@ -18,8 +21,9 @@ type computation = {
   new_b : Bits.t option;  (* from Update-Bits, if some extension succeeds *)
 }
 
-let make ~gran ?(order = Min_search.Round_major) ?(max_search_states = 1_000_000)
-    () : Algorithm.t =
+let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
+    ?(max_search_states = 1_000_000) ?(incremental = true)
+    ?(search_cache_cap = 32) () : Algorithm.t =
   (module struct
     let name = "a-star:" ^ gran.Gran.problem.Anonet_problems.Problem.name
 
@@ -44,7 +48,97 @@ let make ~gran ?(order = Min_search.Round_major) ?(max_search_states = 1_000_000
     let solver_input candidate_graph =
       Graph.map_labels candidate_graph (fun l -> Label.fst (Label.fst l))
 
+    let obs = Run_ctx.obs ctx
+
     let memo : (int * int, computation) Hashtbl.t = Hashtbl.create 256
+
+    (* ---- incremental phase engine -------------------------------------
+       When Update-Graph selects the same candidate as a previous phase —
+       the steady state once Lemma 6–7 stabilization kicks in — the phase
+       simulation (Update-Output) is identical work and the exactly-p bit
+       search (Update-Bits) is a one-level extension of the previous
+       phase's frontier (the prefix property behind Lemma 9).  Cache
+       both, keyed by the candidate's canonical encoding: [Graph.id]s are
+       freshened at every construction and candidates are rebuilt each
+       phase, but the encoding pins the whole candidate — [n], the edge
+       set, and the [<<i, c>, b>] labels, hence the base assignment too.
+       One candidate entry serves every node class that selects it. *)
+    type search_entry = {
+      sim : Simulation.result;  (* Update-Output on the candidate *)
+      search : Min_search.Resumable.t option;  (* Round_major only *)
+      mutable stamp : int;  (* LRU clock tick of the last use *)
+    }
+
+    let search_cache : (string, search_entry) Hashtbl.t = Hashtbl.create 16
+
+    let cache_clock = ref 0
+
+    let cache_hits_c = Obs.counter obs "cache.search.hits"
+
+    let cache_misses_c = Obs.counter obs "cache.search.misses"
+
+    let cache_evictions_c = Obs.counter obs "cache.search.evictions"
+
+    let cache_resumed_c = Obs.counter obs "cache.search.resumed_levels"
+
+    let touch e =
+      incr cache_clock;
+      e.stamp <- !cache_clock
+
+    let evict_lru () =
+      let victim =
+        Hashtbl.fold
+          (fun key e acc ->
+            match acc with
+            | Some (_, stamp) when stamp <= e.stamp -> acc
+            | _ -> Some (key, e.stamp))
+          search_cache None
+      in
+      match victim with
+      | Some (key, _) ->
+        Hashtbl.remove search_cache key;
+        Obs.incr cache_evictions_c
+      | None -> ()
+
+    let fresh_entry j assignment =
+      let sim = Simulation.run ~obs ~solver:gran.Gran.solver j ~bits:assignment in
+      let search =
+        match order with
+        | Min_search.Round_major ->
+          Some
+            (Min_search.Resumable.create ~ctx ~max_states:max_search_states
+               ~solver:gran.Gran.solver j ~base:assignment ())
+        | Min_search.Node_major -> None
+      in
+      { sim; search; stamp = 0 }
+
+    (* A handle whose frontier already advanced beyond [phase] (the same
+       algorithm value re-run from phase 1) cannot serve a shallower
+       target: evict and rebuild. *)
+    let lookup encoding j assignment ~phase =
+      match Hashtbl.find_opt search_cache encoding with
+      | Some e
+        when (match e.search with
+              | Some h -> Min_search.Resumable.level h <= phase
+              | None -> true) ->
+        Obs.incr cache_hits_c;
+        (match e.search with
+         | Some h -> Obs.incr ~by:(Min_search.Resumable.level h) cache_resumed_c
+         | None -> ());
+        touch e;
+        e
+      | stale ->
+        (match stale with
+         | Some _ ->
+           Hashtbl.remove search_cache encoding;
+           Obs.incr cache_evictions_c
+         | None -> ());
+        Obs.incr cache_misses_c;
+        if Hashtbl.length search_cache >= search_cache_cap then evict_lru ();
+        let e = fresh_entry j assignment in
+        touch e;
+        Hashtbl.replace search_cache encoding e;
+        e
 
     let compute knowledge ~phase =
       let key = knowledge.Knowledge.id, phase in
@@ -61,8 +155,30 @@ let make ~gran ?(order = Min_search.Round_major) ?(max_search_states = 1_000_000
             let j = solver_input selected.Candidates.graph in
             let assignment = Candidates.assignment_of selected.Candidates.graph in
             let me = selected.Candidates.me in
-            (* Update-Output *)
-            let sim = Simulation.run ~solver:gran.Gran.solver j ~bits:assignment in
+            (* Update-Output and Update-Bits, warm (cached per candidate)
+               or cold — value-identical either way. *)
+            let sim, found =
+              if incremental then begin
+                let entry =
+                  lookup selected.Candidates.encoding j assignment ~phase
+                in
+                let found =
+                  match entry.search with
+                  | Some handle -> Min_search.Resumable.extend handle ~len:phase
+                  | None ->
+                    Min_search.minimal_successful ~ctx ~solver:gran.Gran.solver
+                      j ~base:assignment ~order ~max_states:max_search_states
+                      ~len:(Min_search.Exactly phase) ()
+                in
+                entry.sim, found
+              end
+              else
+                ( Simulation.run ~obs ~solver:gran.Gran.solver j
+                    ~bits:assignment,
+                  Min_search.minimal_successful ~ctx ~solver:gran.Gran.solver j
+                    ~base:assignment ~order ~max_states:max_search_states
+                    ~len:(Min_search.Exactly phase) () )
+            in
             let new_output =
               if sim.Simulation.successful then sim.Simulation.outputs.(me)
               else None
@@ -80,16 +196,21 @@ let make ~gran ?(order = Min_search.Round_major) ?(max_search_states = 1_000_000
               | (Anonet_problems.Gran.Port_output | Anonet_problems.Gran.Label_output), _
                 -> None
             in
-            (* Update-Bits *)
             let new_b =
-              match
-                Min_search.minimal_successful ~solver:gran.Gran.solver j
-                  ~base:assignment ~order ~max_states:max_search_states
-                  ~len:(Min_search.Exactly phase) ()
-              with
+              match found with
               | Some found -> Some found.Min_search.assignment.(me)
               | None -> None
             in
+            Obs.eventf obs "a_star.update_bits" (fun () ->
+                [
+                  ("phase", Events.Int phase);
+                  ("candidate_nodes", Events.Int (Graph.n selected.Candidates.graph));
+                  ( "found",
+                    Events.String
+                      (match new_b with
+                       | None -> "-"
+                       | Some b -> Bits.to_string b) );
+                ]);
             { new_output; partner_color; new_b }
         in
         Hashtbl.add memo key c;
@@ -172,12 +293,14 @@ let make ~gran ?(order = Min_search.Round_major) ?(max_search_states = 1_000_000
       end
   end)
 
-let solve ~gran g ?(order = Min_search.Round_major) ?max_rounds () =
+let solve ?(ctx = Run_ctx.default) ~gran g ?(order = Min_search.Round_major)
+    ?max_rounds ?incremental ?search_cache_cap () =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 4 * (n + 4) * (n + 4)
   in
-  let algo = make ~gran ~order () in
-  match Executor.run algo g ~tape:Tape.zero ~max_rounds with
-  | Ok outcome -> Ok outcome
-  | Error failure -> Error (Format.asprintf "%a" Executor.pp_failure failure)
+  let algo = make ~ctx ~gran ~order ?incremental ?search_cache_cap () in
+  Obs.span (Run_ctx.obs ctx) "a_star.solve" (fun () ->
+      match Executor.run ~ctx algo g ~tape:Tape.zero ~max_rounds with
+      | Ok outcome -> Ok outcome
+      | Error failure -> Error (Format.asprintf "%a" Executor.pp_failure failure))

@@ -27,34 +27,70 @@
     instance (Lemma 9) — hence valid.
 
     Nodes with equal views perform equal computations, so the node-local
-    work is memoized on the hash-consed view identity. *)
+    work is memoized on the hash-consed view identity.
 
-(** [make ~gran ()] builds [A*] for the given GRAN bundle.  The resulting
-    algorithm expects [Π^c]-style instances (labels [<i, c>] with [c] a
-    2-hop coloring); on other inputs no candidate ever passes validation
-    and the algorithm never produces outputs.
+    {b Incremental phase engine.}  Once candidate selection stabilizes
+    (Lemmas 6–7), consecutive phases repeat two expensive computations on
+    the {e same} selected candidate: the Update-Output simulation, and
+    the Update-Bits search — whose exactly-[p+1] breadth-first tree is a
+    one-level extension of the exactly-[p] tree (the prefix property
+    behind Lemma 9).  [A*] therefore keeps a bounded LRU cache of
+    {!Min_search.Resumable} handles and simulation results, keyed by the
+    selected candidate's canonical encoding (which pins the graph, its
+    [<<i, c>, b>] labels, and hence the base assignment).  A phase whose
+    selection is unchanged extends the warm frontier by one level instead
+    of re-exploring [p] levels; a changed selection misses (evicting the
+    least recently used entry at capacity) and starts cold.  Warm results
+    are value-identical to cold ones, phase for phase — the test suite
+    asserts this directly.  Cache traffic is published on the context's
+    registry as [cache.search.hits] / [cache.search.misses] /
+    [cache.search.evictions] / [cache.search.resumed_levels] (the BFS
+    levels skipped by warm starts). *)
+
+(** [make ?ctx ~gran ()] builds [A*] for the given GRAN bundle.  The
+    resulting algorithm expects [Π^c]-style instances (labels [<i, c>]
+    with [c] a 2-hop coloring); on other inputs no candidate ever passes
+    validation and the algorithm never produces outputs.
+
+    [ctx] is captured by the algorithm's phase computations: its pool
+    parallelizes the Update-Bits searches (byte-identical results, as
+    {!Min_search} guarantees) and its observability handle receives the
+    [search.*], [sim.*] and [cache.search.*] metrics and the
+    [a_star.update_bits] events.
 
     @param order search order for Update-Bits (default
     {!Min_search.Round_major}).
     @param max_search_states per-search frontier bound (default
-    [1_000_000]). *)
+    [1_000_000]); for warm searches the bound is cumulative over a
+    handle's lifetime.
+    @param incremental enable the cross-phase cache (default [true]; the
+    cold path is kept for ablation and for the equivalence tests).
+    @param search_cache_cap bound on live cache entries (default [32]). *)
 val make :
+  ?ctx:Anonet_runtime.Run_ctx.t ->
   gran:Anonet_problems.Gran.t ->
   ?order:Min_search.order ->
   ?max_search_states:int ->
+  ?incremental:bool ->
+  ?search_cache_cap:int ->
   unit ->
   Anonet_runtime.Algorithm.t
 
-(** [solve ~gran g ()] runs [A*] on the [Π^c]-instance [g] to completion
-    under the synchronous executor (with a constant-zero tape: [A*] is
-    deterministic and ignores its random bits).
+(** [solve ?ctx ~gran g ()] runs [A*] on the [Π^c]-instance [g] to
+    completion under the synchronous executor (with a constant-zero tape:
+    [A*] is deterministic and ignores its random bits), timed under an
+    [a_star.solve] span.  [ctx] is threaded both into the executor and
+    into the phase computations (see {!make}).
 
     @param max_rounds round budget (default [4 * (n + 4)^2], generous for
     the quadratic phase schedule). *)
 val solve :
+  ?ctx:Anonet_runtime.Run_ctx.t ->
   gran:Anonet_problems.Gran.t ->
   Anonet_graph.Graph.t ->
   ?order:Min_search.order ->
   ?max_rounds:int ->
+  ?incremental:bool ->
+  ?search_cache_cap:int ->
   unit ->
   (Anonet_runtime.Executor.outcome, string) result

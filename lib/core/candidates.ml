@@ -30,12 +30,16 @@ let quotient k ~q =
       List.sort_uniq Knowledge.compare
         (List.map (fun sub -> Knowledge.truncate sub ~depth:q) witnesses)
     in
-    let class_index tree =
-      let rec find i = function
-        | [] -> None
-        | t :: rest -> if Knowledge.equal t tree then Some i else find (i + 1) rest
-      in
-      find 0 class_trees
+    (* Interned ids make the class lookup O(1): equal trees have equal
+       ids, so the id-keyed table is exactly the former linear
+       [Knowledge.equal] scan.  [quotient] runs once per depth per phase
+       and looks up every witness and every witness child. *)
+    let index = Hashtbl.create 16 in
+    List.iteri
+      (fun i (t : Knowledge.t) -> Hashtbl.replace index t.Knowledge.id i)
+      class_trees;
+    let class_index (tree : Knowledge.t) =
+      Hashtbl.find_opt index tree.Knowledge.id
     in
     let k_classes = List.length class_trees in
     let exception Reject in

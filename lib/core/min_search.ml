@@ -4,6 +4,7 @@ module Executor = Anonet_runtime.Executor
 module Run_ctx = Anonet_runtime.Run_ctx
 module Pool = Anonet_parallel.Pool
 module Obs = Anonet_obs.Obs
+module Metrics = Anonet_obs.Metrics
 module Events = Anonet_obs.Events
 
 type order =
@@ -71,10 +72,10 @@ let free_nodes ~base ~r =
   List.filter (fun v -> Bits.length base.(v) < r) (List.init n (fun v -> v))
 
 (* Enumerate the bit vectors for round [r] (1-based) in node-major
-   lexicographic order, honoring prescribed base bits. *)
-let round_vectors ~base ~r =
+   lexicographic order, honoring prescribed base bits.  [free] must be
+   [free_nodes ~base ~r] — passed in so callers can hoist it per level. *)
+let round_vectors ~base ~free ~r =
   let n = Array.length base in
-  let free = free_nodes ~base ~r in
   let f = List.length free in
   let vector code =
     let bits = Array.init n (fun v ->
@@ -85,9 +86,116 @@ let round_vectors ~base ~r =
   in
   Seq.map vector (Seq.init (1 lsl f) Fun.id)
 
+(* The round-major BFS state, shared by the one-shot search and the
+   resumable handle.  [level] counts fully expanded levels; [explored]
+   is cumulative across every level expanded so far. *)
+type bfs = {
+  base : Bit_assignment.t;
+  max_states : int;
+  obs : Obs.t;
+  pool : Pool.t option;
+  states_c : Metrics.counter option;
+  frontier_g : Metrics.gauge option;
+  mutable frontier : entry list;
+  mutable level : int;
+  mutable explored : int;
+}
+
+let bfs_start ~obs ~pool ~solver g ~base ~max_states ~consider =
+  let start = { rev_rounds = []; exec = Executor.Incremental.start solver g } in
+  {
+    base;
+    max_states;
+    obs;
+    pool;
+    states_c = Obs.counter obs "search.states_explored";
+    frontier_g = Obs.gauge obs "search.frontier";
+    frontier = (if consider start 0 then [] else [ start ]);
+    level = 0;
+    explored = 0;
+  }
+
+(* Expand the frontier by one BFS level.  [consider entry level] must
+   return [true] iff the entry has all-output (recording it as a success
+   candidate as a side effect); such entries are pruned — their
+   descendants cannot beat the entry's own completion. *)
+let expand_level t ~consider =
+  let r = t.level + 1 in
+  (* Per-level constants, hoisted out of the per-entry loop: the free-node
+     set and the vector table are the same for every frontier entry. *)
+  let free = free_nodes ~base:t.base ~r in
+  let f = List.length free in
+  check_branching ~free_bits:f ~limit:round_branching_limit;
+  Obs.set t.frontier_g (List.length t.frontier);
+  Obs.eventf t.obs "search.level" (fun () ->
+      [
+        ("level", Events.Int r);
+        ("frontier", Events.Int (List.length t.frontier));
+        ("free_bits", Events.Int f);
+      ]);
+  let vectors = Array.of_seq (round_vectors ~base:t.base ~free ~r) in
+  let nvec = Array.length vectors in
+  let seen = Hashtbl.create 256 in
+  let next = ref [] in
+  (* Successors in lexicographic prefix order: entries outer (the
+     frontier is sorted), this round's vectors inner.  The first
+     occurrence of an execution state is its lexicographically smallest
+     prefix, so deduplication must scan in exactly this order. *)
+  let absorb entry bits exec fp =
+    if not (Hashtbl.mem seen fp) then begin
+      Hashtbl.add seen fp ();
+      let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
+      if not (consider entry r) then next := entry :: !next
+    end
+  in
+  (match t.pool with
+   | Some p ->
+     (* Shard the frontier expansion by entry chunks: stepping and
+        fingerprinting (the expensive part) runs on all domains; the
+        order-sensitive dedup/merge is sequential, in index order. *)
+     let entries = Array.of_list t.frontier in
+     let steps = Array.length entries * nvec in
+     let remaining = t.max_states - t.explored in
+     if steps > remaining then begin
+       (* Match the sequential accounting exactly: it counts the remaining
+          budget plus the one overshooting step before raising, so the
+          [search.states_explored] counter at raise time is the same at
+          any [--jobs]. *)
+       t.explored <- t.explored + remaining + 1;
+       Obs.incr ~by:(remaining + 1) t.states_c;
+       raise Search_limit_exceeded
+     end;
+     t.explored <- t.explored + steps;
+     Obs.incr ~by:steps t.states_c;
+     let stepped =
+       Pool.map p
+         (fun (lo, hi) ->
+           Array.init ((hi - lo) * nvec) (fun k ->
+               let entry = entries.(lo + (k / nvec)) in
+               let bits = vectors.(k mod nvec) in
+               let exec = Executor.Incremental.step entry.exec ~bits in
+               entry, bits, exec, Executor.Incremental.fingerprint exec))
+         (chunk_bounds ~size:(Array.length entries) ~domains:(Pool.domains p))
+     in
+     Array.iter
+       (Array.iter (fun (entry, bits, exec, fp) -> absorb entry bits exec fp))
+       stepped
+   | None ->
+     List.iter
+       (fun entry ->
+         Array.iter
+           (fun bits ->
+             t.explored <- t.explored + 1;
+             Obs.incr t.states_c;
+             if t.explored > t.max_states then raise Search_limit_exceeded;
+             let exec = Executor.Incremental.step entry.exec ~bits in
+             absorb entry bits exec (Executor.Incremental.fingerprint exec))
+           vectors)
+       t.frontier);
+  t.level <- r;
+  t.frontier <- List.rev !next
+
 let search_round_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
-  let states_c = Obs.counter obs "search.states_explored" in
-  let frontier_g = Obs.gauge obs "search.frontier" in
   let max_base = Bit_assignment.max_length base in
   let hard_cap =
     match len_constraint with Exactly l -> l | At_most l -> l
@@ -96,7 +204,6 @@ let search_round_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
    | Exactly l when max_base > l ->
      invalid_arg "Min_search: base longer than exact target"
    | Exactly _ | At_most _ -> ());
-  let explored = ref 0 in
   let best : (Bit_assignment.t * Simulation.result) option ref = ref None in
   let candidate_len level =
     match len_constraint with
@@ -136,77 +243,14 @@ let search_round_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
     | Some (a, _), At_most _ -> min hard_cap (Bit_assignment.max_length a)
     | _, _ -> hard_cap
   in
-  let start = { rev_rounds = []; exec = Executor.Incremental.start solver g } in
-  let frontier = ref (if consider start 0 then [] else [ start ]) in
-  let level = ref 0 in
-  while !frontier <> [] && !level < cap () do
-    incr level;
-    let r = !level in
-    let f = List.length (free_nodes ~base ~r) in
-    check_branching ~free_bits:f ~limit:round_branching_limit;
-    Obs.set frontier_g (List.length !frontier);
-    Obs.eventf obs "search.level" (fun () ->
-        [
-          ("level", Events.Int r);
-          ("frontier", Events.Int (List.length !frontier));
-          ("free_bits", Events.Int f);
-        ]);
-    let seen = Hashtbl.create 256 in
-    let next = ref [] in
-    (* Successors in lexicographic prefix order: entries outer (the
-       frontier is sorted), this round's vectors inner.  The first
-       occurrence of an execution state is its lexicographically smallest
-       prefix, so deduplication must scan in exactly this order. *)
-    let absorb entry bits exec fp =
-      if not (Hashtbl.mem seen fp) then begin
-        Hashtbl.add seen fp ();
-        let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
-        if not (consider entry r) then next := entry :: !next
-      end
-    in
-    (match pool with
-     | Some p ->
-       (* Shard the frontier expansion by entry chunks: stepping and
-          fingerprinting (the expensive part) runs on all domains; the
-          order-sensitive dedup/merge is sequential, in index order. *)
-       let entries = Array.of_list !frontier in
-       let nvec = 1 lsl f in
-       let steps = Array.length entries * nvec in
-       if !explored + steps > max_states then raise Search_limit_exceeded;
-       explored := !explored + steps;
-       Obs.incr ~by:steps states_c;
-       let vectors = Array.of_seq (round_vectors ~base ~r) in
-       let stepped =
-         Pool.map p
-           (fun (lo, hi) ->
-             Array.init ((hi - lo) * nvec) (fun k ->
-                 let entry = entries.(lo + (k / nvec)) in
-                 let bits = vectors.(k mod nvec) in
-                 let exec = Executor.Incremental.step entry.exec ~bits in
-                 entry, bits, exec, Executor.Incremental.fingerprint exec))
-           (chunk_bounds ~size:(Array.length entries) ~domains:(Pool.domains p))
-       in
-       Array.iter
-         (Array.iter (fun (entry, bits, exec, fp) -> absorb entry bits exec fp))
-         stepped
-     | None ->
-       List.iter
-         (fun entry ->
-           Seq.iter
-             (fun bits ->
-               incr explored;
-               Obs.incr states_c;
-               if !explored > max_states then raise Search_limit_exceeded;
-               let exec = Executor.Incremental.step entry.exec ~bits in
-               absorb entry bits exec (Executor.Incremental.fingerprint exec))
-             (round_vectors ~base ~r))
-         !frontier);
-    frontier := List.rev !next
+  let t = bfs_start ~obs ~pool ~solver g ~base ~max_states ~consider in
+  while t.frontier <> [] && t.level < cap () do
+    expand_level t ~consider
   done;
   match !best with
   | None -> None
   | Some (assignment, sim) ->
-    Some { assignment; sim; states_explored = !explored }
+    Some { assignment; sim; states_explored = t.explored }
 
 (* ---------- node-major exhaustive enumeration (the paper's order) ------ *)
 
@@ -329,3 +373,98 @@ let minimal_successful ?(ctx = Run_ctx.default) ~solver g ~base ?order
 let minimal_successful_legacy ~solver g ~base ?order ?max_states ?pool ~len () =
   minimal_successful_with ~obs:Obs.null ~pool ~solver g ~base ?order ?max_states
     ~len ()
+
+(* ---------- resumable round-major search (incremental phase engine) ---- *)
+
+module Resumable = struct
+  (* A recorded success: the chosen prefix, the level it completed at,
+     and the outputs it produced.  Its completion to any length [L >=
+     max (found_level, max_length base)] appends only unprescribed zero
+     bits, so round-major comparisons between successes are independent
+     of the completion length — which is what lets one running best
+     serve every future [extend] target. *)
+  type success = {
+    rev_rounds : bool array list;
+    found_level : int;
+    outputs : Anonet_graph.Label.t option array;
+  }
+
+  type t = {
+    bfs : bfs;
+    best : success option ref;
+    consider : entry -> int -> bool;
+  }
+
+  let compare_success ~base a b =
+    let len =
+      max (Bit_assignment.max_length base) (max a.found_level b.found_level)
+    in
+    Bit_assignment.compare_round_major
+      (complete ~base ~rev_rounds:a.rev_rounds ~level:a.found_level ~len)
+      (complete ~base ~rev_rounds:b.rev_rounds ~level:b.found_level ~len)
+
+  let create ?(ctx = Run_ctx.default) ?(max_states = 1_000_000) ~solver g ~base
+      () =
+    if Array.length base <> Graph.n g then
+      invalid_arg "Min_search: assignment size differs from graph size";
+    let best = ref None in
+    let consider entry level =
+      if Executor.Incremental.all_output entry.exec then begin
+        let s =
+          {
+            rev_rounds = entry.rev_rounds;
+            found_level = level;
+            outputs = Executor.Incremental.outputs entry.exec;
+          }
+        in
+        (match !best with
+         | None -> best := Some s
+         | Some cur -> if compare_success ~base s cur < 0 then best := Some s);
+        true
+      end
+      else false
+    in
+    let pool =
+      match Run_ctx.pool ctx with
+      | Some p when Pool.domains p > 1 -> Some p
+      | _ -> None
+    in
+    let bfs =
+      bfs_start ~obs:(Run_ctx.obs ctx) ~pool ~solver g ~base ~max_states
+        ~consider
+    in
+    { bfs; best; consider }
+
+  let level t = t.bfs.level
+
+  let states_explored t = t.bfs.explored
+
+  let extend t ~len =
+    let bfs = t.bfs in
+    if len < bfs.level then
+      invalid_arg "Min_search.Resumable.extend: target below explored level";
+    if Bit_assignment.max_length bfs.base > len then
+      invalid_arg "Min_search: base longer than exact target";
+    Obs.span bfs.obs "min_search.extend" (fun () ->
+        while bfs.frontier <> [] && bfs.level < len do
+          expand_level bfs ~consider:t.consider
+        done;
+        match !(t.best) with
+        | None -> None
+        | Some s ->
+          let assignment =
+            complete ~base:bfs.base ~rev_rounds:s.rev_rounds
+              ~level:s.found_level ~len
+          in
+          Some
+            {
+              assignment;
+              sim =
+                {
+                  Simulation.successful = true;
+                  outputs = Array.copy s.outputs;
+                  rounds_run = s.found_level;
+                };
+              states_explored = bfs.explored;
+            })
+end

@@ -106,3 +106,62 @@ val minimal_successful_legacy :
   unit ->
   found option
 [@@deprecated "use minimal_successful ?ctx — pass the pool via Run_ctx.make"]
+
+(** A warm-startable round-major search.
+
+    For an [Exactly l] constraint, the breadth-first exploration —
+    stepping, state dedup, all-output pruning, and the round-major
+    tiebreak between successes — does not depend on [l]; only the
+    completion of the winning prefix does.  A [Resumable.t] therefore
+    owns the BFS frontier (entries, their {!Anonet_runtime.Executor.Incremental}
+    states, the running best success) and extends it level by level on
+    demand: [extend t ~len:l] returns exactly what
+    [minimal_successful ~len:(Exactly l)] would on a cold start — the
+    same [assignment], the same [sim], and the same {e cumulative}
+    [states_explored] — while expanding only the levels not yet
+    explored.  This is the engine behind [A*]'s incremental Update-Bits:
+    phase [p+1]'s search over an unchanged selected candidate is the
+    one-level extension of phase [p]'s (the prefix property of Lemma 9).
+
+    The handle retains incremental executor states across calls; they
+    are persistent values (see {!Anonet_runtime.Executor.Incremental}),
+    so retention is safe but holds memory proportional to the frontier.
+    A handle that raised {!Search_limit_exceeded} or
+    {!Branching_limit_exceeded} is dead: its budget accounting has
+    already recorded the aborted level and further [extend]s are
+    unspecified. *)
+module Resumable : sig
+  type t
+
+  (** [create ?ctx ?max_states ~solver g ~base ()] opens a search at
+      level 0.  [ctx] supplies the pool (sequential ≡ parallel
+      byte-identity, as for {!minimal_successful}) and the observability
+      handle; [max_states] bounds the {e cumulative} states explored
+      over the handle's lifetime (default [1_000_000]). *)
+  val create :
+    ?ctx:Anonet_runtime.Run_ctx.t ->
+    ?max_states:int ->
+    solver:Anonet_runtime.Algorithm.t ->
+    Anonet_graph.Graph.t ->
+    base:Bit_assignment.t ->
+    unit ->
+    t
+
+  (** Fully expanded BFS levels so far. *)
+  val level : t -> int
+
+  (** Cumulative states explored over the handle's lifetime; after
+      [extend t ~len] it equals the [states_explored] a cold
+      [minimal_successful ~len:(Exactly len)] would report. *)
+  val states_explored : t -> int
+
+  (** [extend t ~len] advances the frontier to level [len] (a no-op if
+      already there) and returns the minimal successful [len]-extension,
+      exactly as the cold [Exactly len] search would.  Timed under a
+      [min_search.extend] span.
+      @raise Invalid_argument if [len < level t], or if some [base]
+      string is longer than [len].
+      @raise Search_limit_exceeded / Branching_limit_exceeded as the
+      cold search would; the handle is dead afterwards. *)
+  val extend : t -> len:int -> found option
+end

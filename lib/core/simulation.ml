@@ -1,6 +1,7 @@
 module Graph = Anonet_graph.Graph
 module Bits = Anonet_graph.Bits
 module Executor = Anonet_runtime.Executor
+module Obs = Anonet_obs.Obs
 
 type result = {
   successful : bool;
@@ -8,7 +9,7 @@ type result = {
   rounds_run : int;
 }
 
-let run ~solver g ~bits =
+let run ?(obs = Obs.null) ~solver g ~bits =
   let n = Graph.n g in
   if Array.length bits <> n then invalid_arg "Simulation.run: wrong assignment size";
   let l = Bit_assignment.min_length bits in
@@ -37,7 +38,10 @@ let run ~solver g ~bits =
       loop (Executor.Incremental.step exec ~bits:round_bits) (r + 1)
     end
   in
-  loop (Executor.Incremental.start solver g) 1
+  let result = loop (Executor.Incremental.start solver g) 1 in
+  Obs.incr (Obs.counter obs "sim.runs");
+  Obs.incr ~by:result.rounds_run (Obs.counter obs "sim.rounds");
+  result
 
 let outputs_exn r =
   if not r.successful then invalid_arg "Simulation.outputs_exn: not successful";

@@ -15,10 +15,12 @@ type result = {
           length if some node never did *)
 }
 
-(** [run ~solver g ~bits] simulates.  Stops early once every node has
-    output (continuing cannot change anything observable: outputs are
-    irrevocable). *)
+(** [run ?obs ~solver g ~bits] simulates.  Stops early once every node
+    has output (continuing cannot change anything observable: outputs are
+    irrevocable).  A live [obs] counts each call in [sim.runs] and the
+    rounds executed in [sim.rounds] (default {!Anonet_obs.Obs.null}). *)
 val run :
+  ?obs:Anonet_obs.Obs.t ->
   solver:Anonet_runtime.Algorithm.t ->
   Anonet_graph.Graph.t ->
   bits:Bit_assignment.t ->

@@ -85,6 +85,15 @@ val run_legacy :
                run still need.)"]
 
 module Incremental : sig
+  (** Values of type [t] are persistent: {!step} copies what it changes
+      and never mutates its argument, so a [t] may be retained, branched
+      from, and stepped again arbitrarily later.  This retention contract
+      is load-bearing for [Min_search.Resumable]-style incremental
+      searches, which park whole BFS frontiers of executions between
+      [A*] phases and resume them; the one caveat is stateful injection
+      ([ctx.faults] captured by {!start}, or per-{!step} [faults]), which
+      makes replays of a retained state diverge — branching or resuming
+      searches must run fault-free. *)
   type t
 
   (** [start ?ctx algo g] is the execution before round 1.  The context's

@@ -23,16 +23,33 @@ let initial g =
   number_by_sorted_keys ~compare:String.compare
     (Array.init (Graph.n g) (fun v -> Label.encode (Graph.label g v)))
 
-let refine_once g classes =
-  let signature v =
-    let nbr =
-      Array.to_list (Array.map (fun u -> classes.(u)) (Graph.neighbors g v))
-      |> List.sort Int.compare
-    in
-    classes.(v) :: nbr
+(* Element-wise with shorter-prefix-first ties: exactly the order
+   [List.compare Int.compare] induced on the former list signatures, so
+   class numbering is unchanged. *)
+let compare_int_arrays (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la then if i >= lb then 0 else -1
+    else if i >= lb then 1
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
   in
-  (* Prefixing the old class makes the new partition refine the old one. *)
-  number_by_sorted_keys ~compare:(List.compare Int.compare)
+  go 0
+
+let refine_once g classes =
+  (* Flat sorted-int-array signatures (old class first, then the sorted
+     neighbor classes): this path runs once per quotient depth per phase
+     in candidate construction, so the per-element list cells added up. *)
+  let signature v =
+    let nbr = Array.map (fun u -> classes.(u)) (Graph.neighbors g v) in
+    Array.sort Int.compare nbr;
+    let s = Array.make (Array.length nbr + 1) classes.(v) in
+    (* Prefixing the old class makes the new partition refine the old one. *)
+    Array.blit nbr 0 s 1 (Array.length nbr);
+    s
+  in
+  number_by_sorted_keys ~compare:compare_int_arrays
     (Array.init (Graph.n g) signature)
 
 let count_classes classes =
@@ -42,19 +59,31 @@ let run g =
   if Graph.n g = 0 then
     { classes = [||]; num_classes = 0; stable_view_depth = 1; history = [] }
   else begin
+    let n = Graph.n g in
     let rec go classes history rounds =
-      let next = refine_once g classes in
-      if next = classes then
+      (* A discrete partition is a fixpoint: every signature leads with
+         its node's unique class, so renumbering reproduces [classes]
+         exactly — skip the confirming refinement round. *)
+      if count_classes classes = n then
         {
           classes;
-          num_classes = count_classes classes;
-          (* Partition after round r equals depth-(r+1) views; it was
-             already stable at round [rounds], i.e. at view depth
-             [rounds + 1]. *)
+          num_classes = n;
           stable_view_depth = rounds + 1;
           history = List.rev history;
         }
-      else go next (next :: history) (rounds + 1)
+      else
+        let next = refine_once g classes in
+        if next = classes then
+          {
+            classes;
+            num_classes = count_classes classes;
+            (* Partition after round r equals depth-(r+1) views; it was
+               already stable at round [rounds], i.e. at view depth
+               [rounds + 1]. *)
+            stable_view_depth = rounds + 1;
+            history = List.rev history;
+          }
+        else go next (next :: history) (rounds + 1)
     in
     let c0 = initial g in
     go c0 [ c0 ] 0
@@ -62,5 +91,10 @@ let run g =
 
 let classes_at_depth g d =
   if d < 1 then invalid_arg "Refinement.classes_at_depth: need depth >= 1";
-  let rec go classes r = if r = 0 then classes else go (refine_once g classes) (r - 1) in
+  let n = Graph.n g in
+  let rec go classes r =
+    (* Discrete partitions are fixpoints of [refine_once]: stop early. *)
+    if r = 0 || count_classes classes = n then classes
+    else go (refine_once g classes) (r - 1)
+  in
   go (initial g) (d - 1)
