@@ -411,16 +411,39 @@ let metrics_snapshot_json () =
   Interned.publish_metrics obs;
   String.trim (Metrics.render_json (Metrics.snapshot registry))
 
-let run_bench_json path =
+(* The commit the snapshot describes, for the bench/history trajectory.
+   Best-effort: outside a git checkout (a release tarball) the field is
+   "unknown" and the history step simply isn't used. *)
+let git_short_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic, line with
+    | Unix.WEXITED 0, sha when sha <> "" -> sha
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let run_bench_json ?history path =
   header "Bechamel micro-benchmarks -> JSON telemetry";
   let results, _instances = analyze_benchmarks () in
   let tests = ols_rows results in
   Printf.printf "measured %d tests; timing pool scaling (domains 1/2/4)...\n%!"
     (List.length tests);
   let scaling = pool_scaling_rows () in
+  let sha = git_short_sha () in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"anonet-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"anonet-bench/2\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"commit\": \"%s\",\n" (json_escape sha));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"generated_at\": \"%s\",\n" (iso8601_now ()));
   Buffer.add_string buf
     (Printf.sprintf "  \"domains_available\": %d,\n"
        (Domain.recommended_domain_count ()));
@@ -448,11 +471,24 @@ let run_bench_json path =
     scaling;
   Buffer.add_string buf "  ]\n";
   Buffer.add_string buf "}\n";
+  let contents = Buffer.contents buf in
   let oc = open_out path in
-  output_string oc (Buffer.contents buf);
+  output_string oc contents;
   close_out oc;
   Printf.printf "wrote %s (%d tests, %d pool-scaling rows)\n" path
-    (List.length tests) (List.length scaling)
+    (List.length tests) (List.length scaling);
+  (* Append the snapshot to the persistent bench trajectory: one
+     BENCH_<shortsha>.json per commit, so successive PRs accumulate a
+     comparable series that the CI regression gate diffs against. *)
+  match history with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let hpath = Filename.concat dir (Printf.sprintf "BENCH_%s.json" sha) in
+    let oc = open_out hpath in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "appended history snapshot %s\n" hpath
 
 let run_harness () =
   List.iter
@@ -463,9 +499,11 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: "harness" :: _ -> run_harness ()
   | _ :: "bench" :: _ -> run_benchmarks ()
+  | _ :: "bench-json" :: path :: "--history" :: dir :: _ ->
+    run_bench_json ~history:dir path
   | _ :: "bench-json" :: path :: _ -> run_bench_json path
   | _ :: "bench-json" :: [] ->
-    prerr_endline "usage: main.exe bench-json PATH";
+    prerr_endline "usage: main.exe bench-json PATH [--history DIR]";
     exit 2
   | _ ->
     run_harness ();

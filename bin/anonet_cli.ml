@@ -25,6 +25,7 @@ module Gran = Anonet_problems.Gran
 module Catalog = Anonet_problems.Catalog
 module Executor = Anonet_runtime.Executor
 module Faults = Anonet_runtime.Faults
+module Adversary = Anonet_runtime.Adversary
 module Las_vegas = Anonet_runtime.Las_vegas
 module Run_ctx = Anonet_runtime.Run_ctx
 module Run_error = Anonet_runtime.Run_error
@@ -265,7 +266,8 @@ let factor_cmd =
     Term.(const run $ graph_arg $ coloring $ dot)
 
 let solve_cmd =
-  let run_solve problem spec seed trace faults_spec retransmit jobs metrics events =
+  let run_solve problem spec seed trace faults_spec adversary_spec divergence
+      retransmit jobs metrics events =
     let g = parse_graph spec in
     let bundle = parse_bundle problem in
     let plan =
@@ -277,16 +279,28 @@ let solve_cmd =
           | Error m -> prerr_endline ("bad --faults spec: " ^ m); exit 1
         end
     in
-    let solver =
-      if retransmit then Anonet_runtime.Retransmit.wrap bundle.Gran.solver
-      else bundle.Gran.solver
+    let adversary =
+      match adversary_spec with
+      | None -> None
+      | Some s -> begin
+          match Adversary.plan_of_string s with
+          | Ok p -> Some p
+          | Error m -> prerr_endline ("bad --adversary spec: " ^ m); exit 1
+        end
     in
     (match plan with
      | None -> ()
      | Some p -> Printf.printf "fault plan: %s\n" (Faults.plan_to_string p));
+    (match adversary with
+     | None -> ()
+     | Some p -> Printf.printf "adversary plan: %s\n" (Adversary.plan_to_string p));
     with_obs metrics events @@ fun obs ->
+    let solver =
+      if retransmit then Anonet_runtime.Retransmit.wrap ~obs bundle.Gran.solver
+      else bundle.Gran.solver
+    in
     if trace then begin
-      let ctx = Run_ctx.make ?faults:plan ~obs () in
+      let ctx = Run_ctx.make ?faults:plan ?adversary ~obs () in
       match
         Anonet_runtime.Trace.record ~ctx solver g
           ~tape:(Anonet_runtime.Tape.random ~seed)
@@ -304,10 +318,12 @@ let solve_cmd =
     else begin
       match
         with_jobs ~obs jobs (fun pool ->
-            let ctx = Run_ctx.make ?faults:plan ?pool ~obs () in
-            Las_vegas.solve ~ctx solver g ~seed ())
+            let ctx = Run_ctx.make ?faults:plan ?adversary ?pool ~obs () in
+            Las_vegas.solve_detailed ~ctx solver g ~seed ?divergence ())
       with
-      | Error m -> prerr_endline m; exit 1
+      | Error f ->
+        prerr_endline f.Las_vegas.message;
+        exit (Run_error.exit_code (Run_error.Las_vegas f))
       | Ok r ->
         let o = r.Las_vegas.outcome.Executor.outputs in
         Printf.printf "solved %s in %d rounds (%d messages, attempt %d):\n" problem
@@ -317,13 +333,16 @@ let solve_cmd =
         Printf.printf "valid: %b\n" (bundle.Gran.problem.Problem.is_valid_output g o)
     end
   in
-  let run problem spec seed trace faults_spec retransmit jobs metrics events =
+  let run problem spec seed trace faults_spec adversary_spec divergence
+      retransmit jobs metrics events =
     (* Fault injection can feed an algorithm messages its protocol never
        anticipated (a loss-induced null mid-phase, a corrupted payload);
        decoders are entitled to reject them.  Report that as the diagnosis
        it is, not as an internal error. *)
-    try run_solve problem spec seed trace faults_spec retransmit jobs metrics events
-    with Invalid_argument m when faults_spec <> None ->
+    try
+      run_solve problem spec seed trace faults_spec adversary_spec divergence
+        retransmit jobs metrics events
+    with Invalid_argument m when faults_spec <> None || adversary_spec <> None ->
       Printf.eprintf
         "fault injection broke the algorithm's protocol: %s\n\
          (expected for unwrapped algorithms on a faulty network — try \
@@ -343,17 +362,37 @@ let solve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
+  let adversary_spec =
+    let doc =
+      "Layer an adaptive adversary over the fault injector, e.g. \
+       'byzantine=0+2,strength=0.5,seed=7', 'sniper=2,budget=40' or \
+       'eavesdropper=3,strength=0.8'.  Exactly one strategy item \
+       (byzantine=V1+V2..., sniper=K, eavesdropper=K); optional strength \
+       (tamper probability, default 1), seed, budget.  See README."
+    in
+    Arg.(value & opt (some string) None & info [ "adversary" ] ~docv:"SPEC" ~doc)
+  in
+  let divergence =
+    let doc =
+      "Declare divergence (exit code 9) instead of retrying once an \
+       attempt's escalated budget reaches $(docv) times the base round \
+       budget and still fails — catches adversaries that systematically \
+       prevent stabilization."
+    in
+    Arg.(value & opt (some float) None & info [ "divergence" ] ~docv:"FACTOR" ~doc)
+  in
   let retransmit =
     Arg.(value & flag
          & info [ "retransmit" ]
              ~doc:"Wrap the algorithm in the retransmission/ack protocol \
-                   (loss-tolerant; see DESIGN.md).")
+                   (loss- and corruption-tolerant; see DESIGN.md).")
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the randomized anonymous algorithm (Las-Vegas).")
     Term.(const run $ problem_arg 0 $ Arg.(required & pos 1 (some string) None
                                            & info [] ~docv:"GRAPH") $ seed_arg $ trace
-          $ faults_spec $ retransmit $ jobs_arg $ metrics_arg $ events_arg)
+          $ faults_spec $ adversary_spec $ divergence $ retransmit $ jobs_arg
+          $ metrics_arg $ events_arg)
 
 let derandomize_cmd =
   let run problem spec coloring method_ jobs metrics events =
@@ -519,8 +558,8 @@ let experiments_cmd =
   in
   let id =
     let doc =
-      "Experiment id (f1, f2, f3, t2, t3, lemmas, a1, a2, a3, a4, e1, e2, r1); \
-       all when omitted."
+      "Experiment id (f1, f2, f3, t2, t3, lemmas, a1, a2, a3, a4, e1, e2, r1, \
+       r2); all when omitted."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in

@@ -10,7 +10,8 @@
 
     Ids: [f1] [f2] [f3] (the figures), [t2] [t3] (theorems), [lemmas],
     [a1] [a2] [a3] [a4] (ablations), [e1] [e2] (extensions), [r1]
-    (robustness under injected faults).
+    (robustness under injected faults), [r2] (degradation curves under an
+    adaptive adversary).
 
     From the context: [ctx.pool] fans independent graph-family rows out
     across the pool's domains (results are merged in input order — the

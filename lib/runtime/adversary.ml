@@ -1,0 +1,305 @@
+module Label = Anonet_graph.Label
+module Prng = Anonet_graph.Prng
+
+type strategy =
+  | Byzantine of int list
+  | Link_sniper of int
+  | Eavesdropper of int
+
+type plan = {
+  seed : int;
+  strength : float;
+  strategy : strategy;
+  budget : int option;
+}
+
+let byzantine nodes ~strength ~seed =
+  { seed; strength; strategy = Byzantine nodes; budget = None }
+
+let sniper k ~strength ~seed =
+  { seed; strength; strategy = Link_sniper k; budget = None }
+
+let eavesdropper k ~strength ~seed =
+  { seed; strength; strategy = Eavesdropper k; budget = None }
+
+type event_kind =
+  | Substituted of { src : int; dst : int }
+  | Corrupted of { src : int; dst : int }
+  | Targeted of { src : int; dst : int }
+
+type event = {
+  round : int;
+  kind : event_kind;
+}
+
+let pp_event fmt { round; kind } =
+  let msg verb src dst =
+    Format.fprintf fmt "round %3d: %s %d -> %d" round verb src dst
+  in
+  match kind with
+  | Substituted { src; dst } -> msg "substitute" src dst
+  | Corrupted { src; dst } -> msg "corrupt" src dst
+  | Targeted { src; dst } -> msg "target" src dst
+
+(* Per-link observation tables all key on the directed link (src, dst).
+   [distinct] bounds its per-link payload set: entropy scoring only needs
+   "more diverse than the other links", not an exact cardinality, and the
+   cap keeps a long chatty run from accumulating unbounded encodings. *)
+let distinct_cap = 256
+
+type t = {
+  plan : plan;
+  rng : Prng.t;
+  byz : (int, unit) Hashtbl.t;
+  last_seen : (int * int, Label.t) Hashtbl.t;  (* link -> last honest payload *)
+  recent : (int * int, int) Hashtbl.t;  (* traffic since the last boundary *)
+  distinct : (int * int, (string, unit) Hashtbl.t) Hashtbl.t;
+  targets : (int * int, unit) Hashtbl.t;  (* links targeted this round *)
+  mutable cur_round : int;
+  mutable observed : int;
+  mutable spent : int;
+  mutable events : event list;  (* reversed *)
+}
+
+let record t round kind = t.events <- { round; kind } :: t.events
+
+let charge t =
+  match t.plan.budget with
+  | None ->
+    t.spent <- t.spent + 1;
+    true
+  | Some k ->
+    if t.spent >= k then false
+    else begin
+      t.spent <- t.spent + 1;
+      true
+    end
+
+let make plan =
+  if not (plan.strength >= 0.0 && plan.strength <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Adversary.make: strength=%g outside [0,1]" plan.strength);
+  (match plan.budget with
+   | Some k when k < 0 -> invalid_arg "Adversary.make: negative budget"
+   | _ -> ());
+  let byz = Hashtbl.create 4 in
+  (match plan.strategy with
+   | Byzantine nodes ->
+     List.iter
+       (fun v ->
+         if v < 0 then invalid_arg "Adversary.make: negative Byzantine node";
+         Hashtbl.replace byz v ())
+       nodes
+   | Link_sniper k | Eavesdropper k ->
+     if k < 0 then invalid_arg "Adversary.make: negative link count");
+  {
+    plan;
+    rng = Prng.create (Prng.hash2 plan.seed 0xADF0E);
+    byz;
+    last_seen = Hashtbl.create 16;
+    recent = Hashtbl.create 16;
+    distinct = Hashtbl.create 16;
+    targets = Hashtbl.create 4;
+    cur_round = 0;
+    observed = 0;
+    spent = 0;
+    events = [];
+  }
+
+let plan t = t.plan
+let spent t = t.spent
+let observed t = t.observed
+
+let events t =
+  List.stable_sort (fun a b -> compare a.round b.round) (List.rev t.events)
+
+let hit t = t.plan.strength > 0.0 && Prng.float t.rng < t.plan.strength
+
+(* Round boundary: re-pick the target links from the observations so far.
+   Scores are per-link scalars, fully ordered by (score desc, link asc), so
+   the selection is independent of hash-table iteration order. *)
+let adapt t ~round =
+  t.cur_round <- round;
+  let pick k score =
+    let scored =
+      Hashtbl.fold
+        (fun key _ acc ->
+          let s = score key in
+          if s > 0 then (key, s) :: acc else acc)
+        t.last_seen []
+    in
+    let sorted =
+      List.sort
+        (fun (k1, a) (k2, b) -> if a <> b then compare b a else compare k1 k2)
+        scored
+    in
+    Hashtbl.reset t.targets;
+    List.iteri
+      (fun i ((src, dst), _) ->
+        if i < k then begin
+          Hashtbl.replace t.targets (src, dst) ();
+          record t round (Targeted { src; dst })
+        end)
+      sorted
+  in
+  (match t.plan.strategy with
+   | Byzantine _ -> ()
+   | Link_sniper k ->
+     pick k (fun key -> Option.value ~default:0 (Hashtbl.find_opt t.recent key))
+   | Eavesdropper k ->
+     pick k (fun key ->
+         match Hashtbl.find_opt t.distinct key with
+         | Some set -> Hashtbl.length set
+         | None -> 0));
+  Hashtbl.reset t.recent
+
+(* A Byzantine sender's crafted payload: replay an earlier (different)
+   message seen on the same link when the coin says so — a well-formed lie —
+   otherwise perturb the honest payload structurally. *)
+let craft t ~src ~dst payload =
+  match Hashtbl.find_opt t.last_seen (src, dst) with
+  | Some prev when not (Label.equal prev payload) && Prng.bool t.rng -> prev
+  | _ -> Faults.corrupt_label t.rng payload
+
+let observe t ~src ~dst payload =
+  t.observed <- t.observed + 1;
+  let key = (src, dst) in
+  (match t.plan.strategy with
+   | Eavesdropper _ ->
+     let set =
+       match Hashtbl.find_opt t.distinct key with
+       | Some s -> s
+       | None ->
+         let s = Hashtbl.create 8 in
+         Hashtbl.add t.distinct key s;
+         s
+     in
+     if Hashtbl.length set < distinct_cap then
+       Hashtbl.replace set (Label.encode payload) ()
+   | Byzantine _ | Link_sniper _ -> ());
+  Hashtbl.replace t.recent key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.recent key));
+  Hashtbl.replace t.last_seen key payload
+
+let tamper t ~src ~dst ~round payload =
+  if round > t.cur_round then adapt t ~round;
+  let substituted =
+    match t.plan.strategy with
+    | Byzantine _ when Hashtbl.mem t.byz src ->
+      if hit t && charge t then begin
+        let crafted = craft t ~src ~dst payload in
+        record t round (Substituted { src; dst });
+        Some crafted
+      end
+      else None
+    | (Link_sniper _ | Eavesdropper _) when Hashtbl.mem t.targets (src, dst) ->
+      if hit t && charge t then begin
+        record t round (Corrupted { src; dst });
+        Some (Faults.corrupt_label t.rng payload)
+      end
+      else None
+    | Byzantine _ | Link_sniper _ | Eavesdropper _ -> None
+  in
+  (* The observation tables record the honest payload: the adversary knows
+     what it substituted and learns nothing from its own lies. *)
+  observe t ~src ~dst payload;
+  match substituted with Some p -> p | None -> payload
+
+(* ---------- the adversary-spec grammar ---------- *)
+
+let plan_to_string p =
+  let b = Buffer.create 48 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        if Buffer.length b > 0 then Buffer.add_char b ',';
+        Buffer.add_string b s)
+      fmt
+  in
+  (match p.strategy with
+   | Byzantine nodes ->
+     add "byzantine=%s" (String.concat "+" (List.map string_of_int nodes))
+   | Link_sniper k -> add "sniper=%d" k
+   | Eavesdropper k -> add "eavesdropper=%d" k);
+  add "strength=%g" p.strength;
+  add "seed=%d" p.seed;
+  (match p.budget with Some k -> add "budget=%d" k | None -> ());
+  Buffer.contents b
+
+let plan_of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_item acc item =
+    match acc with
+    | Error _ as e -> e
+    | Ok (strategy, partial) ->
+      let key, value =
+        match String.index_opt item '=' with
+        | Some i ->
+          ( String.sub item 0 i,
+            String.sub item (i + 1) (String.length item - i - 1) )
+        | None -> item, ""
+      in
+      let int_v () =
+        match int_of_string_opt value with
+        | Some n -> Ok n
+        | None -> fail "adversary: %s=%S is not an integer" key value
+      in
+      let link_count () =
+        Result.bind (int_v ()) (fun k ->
+            if k < 0 then fail "adversary: %s=%d is negative" key k else Ok k)
+      in
+      let one strat =
+        match strategy with
+        | None -> Ok (Some strat, partial)
+        | Some _ -> fail "adversary: more than one strategy item"
+      in
+      let ( let* ) = Result.bind in
+      match key with
+      | "byzantine" ->
+        let* nodes =
+          List.fold_left
+            (fun acc part ->
+              let* acc = acc in
+              match int_of_string_opt part with
+              | Some v when v >= 0 -> Ok (acc @ [ v ])
+              | _ -> fail "adversary: byzantine node %S" part)
+            (Ok [])
+            (String.split_on_char '+' value)
+        in
+        one (Byzantine nodes)
+      | "sniper" ->
+        let* k = link_count () in
+        one (Link_sniper k)
+      | "eavesdropper" ->
+        let* k = link_count () in
+        one (Eavesdropper k)
+      | "strength" -> begin
+          match float_of_string_opt value with
+          | Some p when p >= 0.0 && p <= 1.0 ->
+            Ok (strategy, { partial with strength = p })
+          | _ -> fail "adversary: strength=%S is not a probability in [0,1]" value
+        end
+      | "seed" ->
+        let* n = int_v () in
+        Ok (strategy, { partial with seed = n })
+      | "budget" ->
+        let* n = int_v () in
+        if n < 0 then fail "adversary: budget=%d is negative" n
+        else Ok (strategy, { partial with budget = Some n })
+      | _ -> fail "adversary: unknown item %S" item
+  in
+  if String.trim s = "" then Error "adversary: empty spec"
+  else begin
+    let start =
+      { seed = 0; strength = 1.0; strategy = Byzantine []; budget = None }
+    in
+    match
+      List.fold_left parse_item
+        (Ok (None, start))
+        (List.map String.trim (String.split_on_char ',' s))
+    with
+    | Error _ as e -> e
+    | Ok (None, _) ->
+      Error "adversary: missing strategy item (byzantine=, sniper= or eavesdropper=)"
+    | Ok (Some strategy, partial) -> Ok { partial with strategy }
+  end

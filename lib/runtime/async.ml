@@ -53,8 +53,8 @@ module Timeline = Map.Make (Int)
 
 exception Tape_out of int
 
-let run_mod (type s) ?faults ~obs (module A : Algorithm.S with type state = s) g
-    ~tape ~scheduler ~max_events =
+let run_mod (type s) ?faults ?adversary ~obs
+    (module A : Algorithm.S with type state = s) g ~tape ~scheduler ~max_events =
   let n = Graph.n g in
   (* reverse.(v).(p) = (u, q): port p of v reaches u, arriving on u's q. *)
   let reverse =
@@ -86,18 +86,32 @@ let run_mod (type s) ?faults ~obs (module A : Algorithm.S with type state = s) g
   in
   (* The wire is where faults live: every scheduled message passes through
      the injector — including the synchronizer's explicit nulls, which are
-     real messages and can be lost (stalling the receiver forever). *)
+     real messages and can be lost (stalling the receiver forever).  The
+     adversary taps what the fault layer lets through; the synchronizer's
+     nulls carry no payload to tamper with, but the adversary still cannot
+     see dropped messages.  Duplicates are tampered once — both copies are
+     the same wire message. *)
+  let adversary_tap ~source ~target ~round payload =
+    match adversary, payload with
+    | Some a, Some l -> Some (Adversary.tamper a ~src:source ~dst:target ~round l)
+    | _ -> payload
+  in
   let schedule msg ~source =
+    let tap payload =
+      adversary_tap ~source ~target:msg.target ~round:msg.round payload
+    in
     match faults with
-    | None -> schedule_raw msg ~source
+    | None -> schedule_raw { msg with payload = tap msg.payload } ~source
     | Some f ->
       (match
          Faults.on_send_async f ~src:source ~dst:msg.target ~round:msg.round
            msg.payload
        with
        | Faults.Async_drop -> ()
-       | Faults.Async_deliver payload -> schedule_raw { msg with payload } ~source
+       | Faults.Async_deliver payload ->
+         schedule_raw { msg with payload = tap payload } ~source
        | Faults.Async_duplicate payload ->
+         let payload = tap payload in
          schedule_raw { msg with payload } ~source;
          schedule_raw { msg with payload } ~source)
   in
@@ -184,6 +198,9 @@ let run_mod (type s) ?faults ~obs (module A : Algorithm.S with type state = s) g
     Obs.incr ~by:!events (Obs.counter obs "async.events");
     Obs.set (Obs.gauge obs "async.virtual_rounds") !max_round;
     (match faults with Some f -> Run_ctx.observe_faults obs f | None -> ());
+    (match adversary with
+     | Some a -> Run_ctx.observe_adversary obs a
+     | None -> ());
     Obs.eventf obs "async.done" (fun () ->
         [
           ("events", Events.Int !events);
@@ -243,6 +260,7 @@ let run ?(ctx = Run_ctx.default) algo g ~tape ~scheduler ~max_events =
   let (module A : Algorithm.S) = algo in
   run_mod
     ?faults:(Run_ctx.injector ctx)
+    ?adversary:(Run_ctx.adversary_instance ctx)
     ~obs:(Run_ctx.obs ctx)
     (module A) g ~tape ~scheduler ~max_events
 

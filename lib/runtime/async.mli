@@ -68,6 +68,11 @@ val sample_delay : scheduler -> Anonet_graph.Prng.t -> source:int -> int
     single lost message deadlocks its receiver: expect {!Stalled} under any
     positive loss rate unless the algorithm is wrapped in {!Retransmit}.
 
+    [ctx.adversary], when set, taps every payload the fault layer lets
+    through with a fresh {!Adversary} instance ({!Adversary.tamper} keyed
+    by the message's synchronizer round); the synchronizer's explicit nulls
+    carry no payload and pass untouched.
+
     [ctx.obs], when live, posts the [async.events] counter and
     [async.virtual_rounds] gauge (equal to the outcome's fields by
     construction), the [faults.*] tallies, the [async.run] span, and one

@@ -44,6 +44,7 @@ module Incremental = struct
            arguments override them.  [None] for pre-context callers. *)
         d_scramble : (node:int -> degree:int -> round:int -> int array) option;
         d_faults : Faults.t option;
+        d_adversary : Adversary.t option;
       }
         -> t
 
@@ -71,11 +72,15 @@ module Incremental = struct
         messages = 0;
         d_scramble = Run_ctx.scramble ctx;
         d_faults = Run_ctx.injector ctx;
+        d_adversary = Run_ctx.adversary_instance ctx;
       }
 
-  let step ?scramble ?faults (Pack e) ~bits =
+  let step ?scramble ?faults ?adversary (Pack e) ~bits =
     let scramble = match scramble with Some _ as s -> s | None -> e.d_scramble in
     let faults = match faults with Some _ as f -> f | None -> e.d_faults in
+    let adversary =
+      match adversary with Some _ as a -> a | None -> e.d_adversary
+    in
     let module A = (val e.algo) in
     let g = e.graph in
     let n = Graph.n g in
@@ -113,8 +118,16 @@ module Incremental = struct
               in
               (match delivered with
                | None -> ()
-               | Some _ ->
-                 next_inboxes.(u).(q) <- delivered;
+               | Some d ->
+                 (* The adversary taps the wire after the fault layer: it
+                    observes (and may tamper with) what actually crosses —
+                    dropped messages are invisible to it. *)
+                 let d =
+                   match adversary with
+                   | None -> d
+                   | Some a -> Adversary.tamper a ~src:v ~dst:u ~round d
+                 in
+                 next_inboxes.(u).(q) <- Some d;
                  incr messages))
           sends;
         (match outputs.(v), A.output state' with
@@ -177,7 +190,7 @@ module Incremental = struct
     Marshal.to_string (e.states, e.inboxes, e.outputs) []
 end
 
-let run_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
+let run_with ~scramble ~faults ~adversary ~obs algo g ~tape ~max_rounds =
   let n = Graph.n g in
   let rounds_c = Obs.counter obs "executor.rounds" in
   let msgs_c = Obs.counter obs "executor.messages" in
@@ -212,7 +225,9 @@ let run_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
                 in
                 if !exhausted then Error (Tape_exhausted { round })
                 else begin
-                  let exec' = Incremental.step exec ?scramble ?faults ~bits in
+                  let exec' =
+                    Incremental.step exec ?scramble ?faults ?adversary ~bits
+                  in
                   Obs.incr rounds_c;
                   Obs.incr ~by:(Incremental.messages exec' - Incremental.messages exec)
                     msgs_c;
@@ -231,13 +246,15 @@ let run_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
         loop (Incremental.start algo g))
   in
   (match faults with Some f -> Run_ctx.observe_faults obs f | None -> ());
+  (match adversary with Some a -> Run_ctx.observe_adversary obs a | None -> ());
   result
 
 let run ?(ctx = Run_ctx.default) algo g ~tape ~max_rounds =
   run_with ~scramble:(Run_ctx.scramble ctx) ~faults:(Run_ctx.injector ctx)
-    ~obs:(Run_ctx.obs ctx) algo g ~tape ~max_rounds
+    ~adversary:(Run_ctx.adversary_instance ctx) ~obs:(Run_ctx.obs ctx) algo g
+    ~tape ~max_rounds
 
 let run_legacy ?scramble_seed ?faults algo g ~tape ~max_rounds =
   run_with
     ~scramble:(Option.map Run_ctx.scramble_of_seed scramble_seed)
-    ~faults ~obs:Obs.null algo g ~tape ~max_rounds
+    ~faults ~adversary:None ~obs:Obs.null algo g ~tape ~max_rounds

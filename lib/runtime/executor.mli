@@ -51,6 +51,12 @@ type outcome = {
       crashed nodes skip their rounds entirely (state frozen, nothing
       sent, arriving messages lost).  A fresh injector is instantiated for
       this run from the plan.
+    - [ctx.adversary], when set, layers the adaptive adversary of
+      {!Adversary} on top: every payload the fault layer delivers passes
+      through {!Adversary.tamper}, which may substitute or corrupt it
+      (Byzantine senders, targeted links) based on the traffic observed in
+      earlier rounds.  A fresh adversary is instantiated per run, so equal
+      plans give byte-identical adversarial runs.
     - [ctx.obs], when live, counts [executor.rounds] and
       [executor.messages], tallies [faults.*] counters from the injector's
       event log, times the run under the [executor.run] span, and emits
@@ -97,23 +103,27 @@ module Incremental : sig
   type t
 
   (** [start ?ctx algo g] is the execution before round 1.  The context's
-      scramble seed and fault plan (an injector is instantiated here) become
-      the defaults that every subsequent {!step} applies; the default
-      context supplies neither, preserving the plain executor. *)
+      scramble seed, fault plan and adversary plan (an injector/adversary is
+      instantiated here) become the defaults that every subsequent {!step}
+      applies; the default context supplies none of them, preserving the
+      plain executor. *)
   val start : ?ctx:Run_ctx.t -> Algorithm.t -> Anonet_graph.Graph.t -> t
 
   (** [step t ~bits] advances one round; [bits.(v)] is node [v]'s bit.
       [scramble], if given, permutes each node's freshly delivered inbox:
       [scramble ~node ~degree ~round] must return a permutation of
       [0 .. degree-1] (see {!run}'s [scramble_seed]).  [faults], if given,
-      filters message delivery and node activation (see {!run}).  Explicit
+      filters message delivery and node activation (see {!run});
+      [adversary] taps delivered payloads after it (see {!run}).  Explicit
       arguments override the defaults captured by [start ?ctx].
-      Persistent: [t] remains valid — but note a [Faults.t] is itself
-      stateful, so branching searches should not inject faults.
+      Persistent: [t] remains valid — but note a [Faults.t] (and an
+      [Adversary.t]) is itself stateful, so branching searches should not
+      inject faults or adversaries.
       @raise Invalid_argument on wrong array length or output revocation. *)
   val step :
     ?scramble:(node:int -> degree:int -> round:int -> int array) ->
     ?faults:Faults.t ->
+    ?adversary:Adversary.t ->
     t ->
     bits:bool array ->
     t

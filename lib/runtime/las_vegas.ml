@@ -11,6 +11,20 @@ type report = {
   rounds_spent : int;
 }
 
+type failure_reason = No_success | Gave_up | Diverged | Network_dead
+
+type failure = { reason : failure_reason; message : string }
+
+let fail reason message = { reason; message }
+
+let failure_reason_name = function
+  | No_success -> "no_success"
+  | Gave_up -> "gave_up"
+  | Diverged -> "diverged"
+  | Network_dead -> "network_dead"
+
+let pp_failure fmt f = Format.pp_print_string fmt f.message
+
 (* Saturating addition: round budgets are clamped at [max_int / 2], so
    totals across attempts can still approach [max_int]. *)
 let ( ++ ) a b = if a > max_int - b then max_int else a + b
@@ -41,6 +55,12 @@ let crash_msg f i seed_used =
      running"
     Executor.pp_failure f i seed_used
 
+let diverged_msg ~attempt ~budget ~threshold ~spent ~seed_used =
+  Printf.sprintf
+    "Las_vegas.solve: divergence detected on attempt %d: no output within %d \
+     rounds (threshold %d; %d rounds spent; seed %d)"
+    attempt budget threshold spent seed_used
+
 (* ---------- one attempt ---------- *)
 
 type attempt_outcome =
@@ -53,7 +73,7 @@ let attempt_outcome_name = function
   | Crashed _ -> "crashed"
   | Out_of_rounds _ -> "out_of_rounds"
 
-let attempt ~obs algo g ~seed ~faults i ~budget =
+let attempt ~obs algo g ~seed ~faults ~adversary i ~budget =
   (* Splitmix-style hash of (seed, attempt): attempts draw unrelated tapes
      even for adjacent or arithmetically related seeds. *)
   let seed_used = Prng.hash2 seed i in
@@ -68,7 +88,7 @@ let attempt ~obs algo g ~seed ~faults i ~budget =
      speculative attempt must not pollute the run's counters, so attempts
      surface only as events and the solve-level [lv.*] counters are posted
      from the final report. *)
-  let ctx = Run_ctx.make ?faults () in
+  let ctx = Run_ctx.make ?faults ?adversary () in
   let outcome =
     match
       Executor.run ~ctx algo g ~tape:(Tape.random ~seed:seed_used)
@@ -90,20 +110,22 @@ let attempt ~obs algo g ~seed ~faults i ~budget =
 
 (* ---------- sequential ---------- *)
 
-let solve_sequential ~obs algo g ~seed ~budget_for ~attempts ~giveup ~faults =
+let solve_sequential ~obs algo g ~seed ~budget_for ~attempts ~giveup ~threshold
+    ~faults ~adversary =
   let rec go i ~spent ~last_failure =
     if i > attempts then
-      Error (no_success_msg ~attempts ~spent ~last:last_failure)
+      Error (fail No_success (no_success_msg ~attempts ~spent ~last:last_failure))
     else begin
       let budget = budget_for i in
       match giveup with
       | Some cap when spent ++ budget > cap && i > 1 ->
         Error
-          (giveup_msg ~attempts_done:(i - 1) ~budget ~cap ~spent
-             ~last:last_failure)
+          (fail Gave_up
+             (giveup_msg ~attempts_done:(i - 1) ~budget ~cap ~spent
+                ~last:last_failure))
       | _ ->
         let seed_used = Prng.hash2 seed i in
-        (match attempt ~obs algo g ~seed ~faults i ~budget with
+        (match attempt ~obs algo g ~seed ~faults ~adversary i ~budget with
          | Done outcome ->
            Ok
              {
@@ -114,7 +136,16 @@ let solve_sequential ~obs algo g ~seed ~budget_for ~attempts ~giveup ~faults =
              }
          | Crashed f ->
            (* The fault plan is deterministic: retrying cannot help. *)
-           Error (crash_msg f i seed_used)
+           Error (fail Network_dead (crash_msg f i seed_used))
+         | Out_of_rounds _ when budget >= threshold ->
+           (* An attempt this generous failing is divergence, not bad luck:
+              the run is systematically prevented from stabilizing (e.g. an
+              unbounded adversary re-corrupting every round).  Terminal —
+              escalating the budget further cannot help. *)
+           Error
+             (fail Diverged
+                (diverged_msg ~attempt:i ~budget ~threshold
+                   ~spent:(spent ++ budget) ~seed_used))
          | Out_of_rounds f ->
            go (i + 1) ~spent:(spent ++ budget)
              ~last_failure:(Some (f, seed_used, budget)))
@@ -133,7 +164,8 @@ let solve_sequential ~obs algo g ~seed ~budget_for ~attempts ~giveup ~faults =
    the sequential loop would have done: spent rounds are the (deterministic)
    budgets of the failed lower attempts. *)
 
-let solve_racing ~obs pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
+let solve_racing ~obs pool algo g ~seed ~budget_for ~attempts ~giveup ~threshold
+    ~faults ~adversary =
   (* Rounds the sequential loop has spent before attempt [i]: every lower
      attempt failed and burned its whole budget. *)
   let spent_before i =
@@ -167,8 +199,13 @@ let solve_racing ~obs pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
       None
     end
     else begin
-      match attempt ~obs algo g ~seed ~faults i ~budget:(budget_for i) with
+      match attempt ~obs algo g ~seed ~faults ~adversary i ~budget:(budget_for i) with
       | Done _ | Crashed _ as terminal -> Some terminal
+      | Out_of_rounds _ as t when budget_for i >= threshold ->
+        (* Divergence is terminal, and budgets grow monotonically with the
+           attempt index, so the lowest terminal index is still exactly
+           where the sequential loop stops. *)
+        Some t
       | Out_of_rounds _ -> None
     end
   in
@@ -184,8 +221,14 @@ let solve_racing ~obs pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
       }
   | Some (idx, Crashed f) ->
     let i = idx + 1 in
-    Error (crash_msg f i (Prng.hash2 seed i))
-  | Some (_, Out_of_rounds _) -> assert false
+    Error (fail Network_dead (crash_msg f i (Prng.hash2 seed i)))
+  | Some (idx, Out_of_rounds _) ->
+    let i = idx + 1 in
+    let budget = budget_for i in
+    Error
+      (fail Diverged
+         (diverged_msg ~attempt:i ~budget ~threshold
+            ~spent:(spent_before i ++ budget) ~seed_used:(Prng.hash2 seed i)))
   | None ->
     (* Every planned attempt ran out of rounds — reconstruct the failure
        the last attempt would have reported. *)
@@ -198,33 +241,49 @@ let solve_racing ~obs pool algo g ~seed ~budget_for ~attempts ~giveup ~faults =
     in
     (match giveup_at with
      | Some (cap, budget, spent) ->
-       Error (giveup_msg ~attempts_done:planned ~budget ~cap ~spent ~last)
+       Error
+         (fail Gave_up (giveup_msg ~attempts_done:planned ~budget ~cap ~spent ~last))
      | None ->
-       Error (no_success_msg ~attempts ~spent:(spent_before (attempts + 1)) ~last))
+       Error
+         (fail No_success
+            (no_success_msg ~attempts ~spent:(spent_before (attempts + 1)) ~last)))
 
-let solve_with ~obs ~faults ~pool algo g ~seed ?max_rounds ?(attempts = 20)
-    ?(backoff = 2.0) ?giveup () =
+let solve_with ~obs ~faults ~adversary ~pool algo g ~seed ?max_rounds
+    ?(attempts = 20) ?(backoff = 2.0) ?giveup ?divergence () =
   if backoff < 1.0 then invalid_arg "Las_vegas.solve: backoff < 1";
+  (match divergence with
+   | Some d when d <= 0.0 -> invalid_arg "Las_vegas.solve: divergence <= 0"
+   | _ -> ());
   let base_rounds =
     match max_rounds with Some r -> r | None -> 64 * (Graph.n g + 4)
   in
+  let clamp f = if f >= float_of_int (max_int / 2) then max_int / 2 else int_of_float f in
   let budget_for i =
     (* Exponential backoff: unlucky (or faulted) attempts escalate their
        round budget instead of burning the same one [attempts] times.
        Clamped at [max_int / 2]: [backoff ** (i-1)] overflows the integer
        range for moderate attempt counts already, and an unclamped
        [int_of_float] would wrap the budget negative. *)
-    let f = float_of_int base_rounds *. (backoff ** float_of_int (i - 1)) in
-    if f >= float_of_int (max_int / 2) then max_int / 2 else int_of_float f
+    clamp (float_of_int base_rounds *. (backoff ** float_of_int (i - 1)))
+  in
+  (* Divergence threshold: an attempt whose budget reached
+     [divergence * base_rounds] and still ran out of rounds is declared
+     diverged rather than retried.  [max_int] (never reached — budgets are
+     clamped below it) disables the check. *)
+  let threshold =
+    match divergence with
+    | None -> max_int
+    | Some d -> clamp (d *. float_of_int base_rounds)
   in
   let result =
     Obs.span obs "las_vegas.solve" (fun () ->
         match pool with
         | Some p when Pool.domains p > 1 ->
-          solve_racing ~obs p algo g ~seed ~budget_for ~attempts ~giveup ~faults
+          solve_racing ~obs p algo g ~seed ~budget_for ~attempts ~giveup
+            ~threshold ~faults ~adversary
         | Some _ | None ->
           solve_sequential ~obs algo g ~seed ~budget_for ~attempts ~giveup
-            ~faults)
+            ~threshold ~faults ~adversary)
   in
   (* The [lv.*] counters mirror the report exactly — the acceptance tests
      compare them field by field — so they are posted from it rather than
@@ -241,12 +300,16 @@ let solve_with ~obs ~faults ~pool algo g ~seed ?max_rounds ?(attempts = 20)
            ("rounds", Events.Int r.outcome.rounds);
            ("seed", Events.Int r.seed_used);
          ])
-   | Error msg ->
-     Obs.eventf obs "lv.fail" (fun () -> [ ("error", Events.String msg) ]));
+   | Error f ->
+     Obs.eventf obs "lv.fail" (fun () ->
+         [
+           ("error", Events.String f.message);
+           ("reason", Events.String (failure_reason_name f.reason));
+         ]));
   result
 
-let solve ?(ctx = Run_ctx.default) algo g ~seed ?max_rounds ?attempts ?backoff
-    ?giveup () =
+let solve_detailed ?(ctx = Run_ctx.default) algo g ~seed ?max_rounds ?attempts
+    ?backoff ?giveup ?divergence () =
   (* The context's policy supplies the base budget unless the caller pins
      one explicitly; the default policy reproduces the historical
      [64 * (n + 4)]. *)
@@ -256,10 +319,19 @@ let solve ?(ctx = Run_ctx.default) algo g ~seed ?max_rounds ?attempts ?backoff
     | None -> Run_ctx.max_rounds ctx ~n:(Graph.n g)
   in
   solve_with ~obs:(Run_ctx.obs ctx) ~faults:(Run_ctx.faults ctx)
-    ~pool:(Run_ctx.pool ctx) algo g ~seed ~max_rounds ?attempts ?backoff
-    ?giveup ()
+    ~adversary:(Run_ctx.adversary ctx) ~pool:(Run_ctx.pool ctx) algo g ~seed
+    ~max_rounds ?attempts ?backoff ?giveup ?divergence ()
+
+let solve ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ?divergence
+    () =
+  Result.map_error
+    (fun f -> f.message)
+    (solve_detailed ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup
+       ?divergence ())
 
 let solve_legacy algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ?faults
     ?pool () =
-  solve_with ~obs:Obs.null ~faults ~pool algo g ~seed ?max_rounds ?attempts
-    ?backoff ?giveup ()
+  Result.map_error
+    (fun f -> f.message)
+    (solve_with ~obs:Obs.null ~faults ~adversary:None ~pool algo g ~seed
+       ?max_rounds ?attempts ?backoff ?giveup ())

@@ -28,6 +28,28 @@ type report = {
       (** total rounds consumed across all attempts, failed ones included *)
 }
 
+(** Why a solve gave up — structured, so callers (the CLI, {!Run_error})
+    can react without parsing the message. *)
+type failure_reason =
+  | No_success  (** every attempt ran out of rounds *)
+  | Gave_up  (** the [giveup] cap stopped the escalation *)
+  | Diverged
+      (** divergence detected: an attempt with a budget at or above the
+          [divergence] threshold still failed to stabilize — escalating
+          further cannot help (see {!solve_detailed}) *)
+  | Network_dead
+      (** the fault plan crash-stops every node; retrying cannot help *)
+
+type failure = {
+  reason : failure_reason;
+  message : string;
+      (** the exact string {!solve} returns — byte-identical between the
+          sequential and racing paths *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+(** Prints [message]. *)
+
 (** [solve ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ()]
     runs [algo] with random tapes derived from [seed], retrying up to
     [attempts] times (default 20).  Attempt [i] gets a budget of
@@ -44,9 +66,20 @@ type report = {
     few dozen attempts, and an unclamped conversion would wrap the budget
     negative (and sail past a [giveup] cap).
 
+    When [divergence] is set, an attempt whose budget has escalated to at
+    least [divergence *. max_rounds] and that {e still} runs out of rounds
+    is declared diverged ({!Diverged}) instead of retried: past that point
+    the failure is systematic — typically an adversary or fault plan
+    re-corrupting the run every round — and escalating further cannot
+    help.  Divergence is terminal in both the sequential and racing paths;
+    because budgets grow monotonically, the racing path still stops at
+    exactly the attempt the sequential loop would have.
+
     From the context: [ctx.faults] subjects every attempt to a fresh
     injector for the plan (see {!Faults}); a plan that crash-stops all
-    nodes fails immediately without retrying.  [ctx.pool], when sized
+    nodes fails immediately without retrying.  [ctx.adversary] likewise
+    subjects every attempt to a fresh {!Adversary} instance — attempts
+    stay pure functions of [(seed, i, budget)].  [ctx.pool], when sized
     above one domain, races waves of speculative attempts across the
     pool's domains, cancelling attempts that already lost via a shared
     atomic flag.  The result — report or error string — is byte-identical
@@ -61,7 +94,7 @@ type report = {
     [lv.messages] counters.  The executor runs inside attempts are {e not}
     individually instrumented: speculative attempts must not pollute the
     counters.
-    @raise Invalid_argument if [backoff < 1]. *)
+    @raise Invalid_argument if [backoff < 1] or [divergence <= 0]. *)
 val solve :
   ?ctx:Run_ctx.t ->
   Algorithm.t ->
@@ -71,8 +104,27 @@ val solve :
   ?attempts:int ->
   ?backoff:float ->
   ?giveup:int ->
+  ?divergence:float ->
   unit ->
   (report, string) result
+
+(** [solve_detailed] is {!solve} with a structured failure instead of a
+    bare string; [solve] is [solve_detailed] with the failure mapped to
+    its [message].  Use this when the caller needs to distinguish giving
+    up from divergence from a dead network — e.g. to pick an exit code via
+    {!Run_error.exit_code}. *)
+val solve_detailed :
+  ?ctx:Run_ctx.t ->
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  seed:int ->
+  ?max_rounds:int ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?giveup:int ->
+  ?divergence:float ->
+  unit ->
+  (report, failure) result
 
 val solve_legacy :
   Algorithm.t ->

@@ -3,12 +3,34 @@ module Obs = Anonet_obs.Obs
 module IntMap = Map.Make (Int)
 
 (* Wire format, one message per port per outer round:
-     Pair (Int cumulative_ack,
-           List [Pair (Int inner_round, List payload_opt); ...])
+     Pair (Int checksum,
+           Pair (Int cumulative_ack,
+                 List [Pair (Int inner_round, List payload_opt); ...]))
    where payload_opt is [] for an explicit null (the inner algorithm sent
    nothing on that port that round) and [l] for a real payload [l].  The
    list carries the whole unacknowledged window — retransmission is simply
-   "send the window again". *)
+   "send the window again".
+
+   [checksum] is an FNV-1a hash of the body's canonical encoding: a frame
+   whose checksum does not match its body is dropped whole, and since the
+   window is resent every outer round anyway, the next clean copy recovers
+   it — corruption degrades into loss, which the protocol already survives.
+   Defense in depth against checksum collisions (and adversaries that
+   recompute it): receivers also validate the round tags and the ack
+   against the plausible window [0 .. outer_round] — an honest peer can
+   never be ahead of the receiver's own outer round, so a corrupted tag or
+   ack outside that window is rejected without ever being "taken at face
+   value" (the pre-checksum protocol let a single flipped ack bit discard
+   unacknowledged window entries and stall the link forever). *)
+
+exception Reject
+
+let checksum body =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x0100_0193 land 0x3FFF_FFFF)
+    (Label.encode body);
+  !h
 
 let encode_payload = function
   | None -> Label.List []
@@ -17,17 +39,29 @@ let encode_payload = function
 let decode_payload = function
   | Label.List [] -> None
   | Label.List [ l ] -> Some l
-  | _ -> invalid_arg "retransmit: malformed payload"
+  | _ -> raise Reject
 
-let decode_wire = function
-  | Label.Pair (Label.Int ack, Label.List items) ->
-    ( ack,
-      List.map
-        (function
-          | Label.Pair (Label.Int r, p) -> r, decode_payload p
-          | _ -> invalid_arg "retransmit: malformed window entry")
-        items )
-  | _ -> invalid_arg "retransmit: malformed message"
+(* [decode_wire ~outer msg] is [Some (ack, window)] for an intact,
+   plausible frame received at outer round [outer], [None] otherwise. *)
+let decode_wire ~outer = function
+  | Label.Pair (Label.Int sum, body) when sum = checksum body -> begin
+      match body with
+      | Label.Pair (Label.Int ack, Label.List items)
+        when ack >= 0 && ack <= outer -> begin
+          try
+            Some
+              ( ack,
+                List.map
+                  (function
+                    | Label.Pair (Label.Int r, p) when r >= 1 && r <= outer ->
+                      r, decode_payload p
+                    | _ -> raise Reject)
+                  items )
+          with Reject -> None
+        end
+      | _ -> None
+    end
+  | _ -> None
 
 type port_state = {
   pending : (int * Label.t option) list;
@@ -42,12 +76,14 @@ let wrap ?(obs = Obs.null) (module A : Algorithm.S) : Algorithm.t =
   (* Handles resolved once at wrap time and shared by every node of the
      wrapped run — counting only, never part of the protocol. *)
   let resent_c = Obs.counter obs "retransmit.resent" in
+  let rejected_c = Obs.counter obs "retransmit.rejected" in
   let window_h = Obs.histogram obs "retransmit.window" in
   (module struct
     type state = {
       degree : int;
       inner : A.state;
       inner_round : int;  (* inner rounds executed so far *)
+      outer_round : int;  (* outer rounds executed so far *)
       ports : port_state array;  (* treated as immutable: copied on update *)
     }
 
@@ -58,32 +94,44 @@ let wrap ?(obs = Obs.null) (module A : Algorithm.S) : Algorithm.t =
         degree;
         inner = A.init ~input ~degree;
         inner_round = 0;
+        outer_round = 0;
         ports = Array.init degree (fun _ -> fresh_port);
       }
 
     let output s = A.output s.inner
 
-    let absorb port_state msg =
-      let ack, items = decode_wire msg in
-      let pending =
-        List.filter (fun (r, _) -> r > ack) port_state.pending
-      in
-      let got =
-        List.fold_left
-          (fun got (r, payload) ->
-            if r > port_state.recv_upto && not (IntMap.mem r got) then
-              IntMap.add r payload got
-            else got)
-          port_state.got items
-      in
-      let rec catch_up upto = if IntMap.mem (upto + 1) got then catch_up (upto + 1) else upto in
-      { pending; got; recv_upto = catch_up port_state.recv_upto }
+    (* Rejected (corrupted or implausible) frames leave the port state
+       untouched: the peer resends its window every round, so the next
+       intact copy carries everything this one did. *)
+    let absorb ~outer port_state msg =
+      match decode_wire ~outer msg with
+      | None ->
+        Obs.incr rejected_c;
+        port_state
+      | Some (ack, items) ->
+        let pending =
+          List.filter (fun (r, _) -> r > ack) port_state.pending
+        in
+        let got =
+          List.fold_left
+            (fun got (r, payload) ->
+              if r > port_state.recv_upto && not (IntMap.mem r got) then
+                IntMap.add r payload got
+              else got)
+            port_state.got items
+        in
+        let rec catch_up upto = if IntMap.mem (upto + 1) got then catch_up (upto + 1) else upto in
+        { pending; got; recv_upto = catch_up port_state.recv_upto }
 
     let round s ~bit ~inbox =
+      let s = { s with outer_round = s.outer_round + 1 } in
       (* 1. Absorb this outer round's wire traffic. *)
       let ports =
         Array.mapi
-          (fun p ps -> match inbox.(p) with None -> ps | Some m -> absorb ps m)
+          (fun p ps ->
+            match inbox.(p) with
+            | None -> ps
+            | Some m -> absorb ~outer:s.outer_round ps m)
           s.ports
       in
       (* 2. Execute at most one inner round, when its inbox is complete:
@@ -137,14 +185,16 @@ let wrap ?(obs = Obs.null) (module A : Algorithm.S) : Algorithm.t =
            s.ports);
       (* 3. Send the window + cumulative ack on every port, every round. *)
       let wire ps =
-        Some
-          (Label.Pair
-             ( Label.Int ps.recv_upto,
-               Label.List
-                 (List.map
-                    (fun (r, payload) ->
-                      Label.Pair (Label.Int r, encode_payload payload))
-                    ps.pending) ))
+        let body =
+          Label.Pair
+            ( Label.Int ps.recv_upto,
+              Label.List
+                (List.map
+                   (fun (r, payload) ->
+                     Label.Pair (Label.Int r, encode_payload payload))
+                   ps.pending) )
+        in
+        Some (Label.Pair (Label.Int (checksum body), body))
       in
       s, Array.map wire s.ports
   end)

@@ -27,17 +27,30 @@
     loss rate [p < 1] every inner round eventually completes with
     probability 1.
 
-    What it does {e not} recover from: corruption (there are no checksums;
-    a corrupted round tag or payload is taken at face value) and crashed
-    nodes (a crash-stopped neighbor stalls its links forever, like any
-    synchronous algorithm). *)
+    Corruption is recovered from as well: every frame carries a checksum
+    of its body, and receivers additionally validate the round tags and
+    the cumulative ack against the plausible window (an honest peer can
+    never be ahead of the receiver's own outer round).  A frame failing
+    either check is dropped whole — never "taken at face value" — and
+    since the window is resent every outer round, the next intact copy
+    recovers it: corruption degrades into loss, which the protocol already
+    survives.  Under any corruption rate [p < 1] every inner round still
+    eventually completes with probability 1.
+
+    What it does {e not} recover from: crashed nodes (a crash-stopped
+    neighbor stalls its links forever, like any synchronous algorithm) and
+    a Byzantine peer that speaks the protocol — a well-formed frame with a
+    valid checksum and plausible tags is trusted; see {!Adversary} for
+    exercising that case. *)
 
 (** [wrap ?obs algo] is the loss-tolerant version of [algo]; its outputs
     are [algo]'s outputs and its name is ["retransmit(<name>)"].
 
     [obs], when live, counts [retransmit.resent] — window entries sent
     {e again} (beyond the round's fresh sends), summed across all nodes of
-    the wrapped run — and observes the per-node window length each round in
-    the [retransmit.window] histogram.  Counting is passive: the wire
-    traffic is byte-identical with or without [obs]. *)
+    the wrapped run — counts [retransmit.rejected] — frames dropped for a
+    checksum mismatch or an implausible round tag or ack — and observes the
+    per-node window length each round in the [retransmit.window] histogram.
+    Counting is passive: the wire traffic is byte-identical with or without
+    [obs]. *)
 val wrap : ?obs:Anonet_obs.Obs.t -> Algorithm.t -> Algorithm.t

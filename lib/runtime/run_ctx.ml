@@ -10,6 +10,7 @@ type max_rounds_policy =
 
 type t = {
   faults : Faults.plan option;
+  adversary : Adversary.plan option;
   pool : Pool.t option;
   obs : Obs.t;
   scramble_seed : int option;
@@ -21,19 +22,21 @@ let default_policy = Scaled { per_node = 64; slack = 4 }
 let default =
   {
     faults = None;
+    adversary = None;
     pool = None;
     obs = Obs.null;
     scramble_seed = None;
     max_rounds_policy = default_policy;
   }
 
-let make ?faults ?pool ?(obs = Obs.null) ?scramble_seed
+let make ?faults ?adversary ?pool ?(obs = Obs.null) ?scramble_seed
     ?(max_rounds_policy = default_policy) () =
-  { faults; pool; obs; scramble_seed; max_rounds_policy }
+  { faults; adversary; pool; obs; scramble_seed; max_rounds_policy }
 
 let obs t = t.obs
 let pool t = t.pool
 let faults t = t.faults
+let adversary t = t.adversary
 
 let parallel t =
   match t.pool with Some p when Pool.domains p > 1 -> Some p | Some _ | None -> None
@@ -44,6 +47,7 @@ let max_rounds t ~n =
   | Fixed r -> r
 
 let injector t = Option.map Faults.make t.faults
+let adversary_instance t = Option.map Adversary.make t.adversary
 
 (* The seed mixing must stay exactly as the original Executor.run derived
    it: scrambled-run regression tests pin per-(node, round) permutations. *)
@@ -93,4 +97,33 @@ let observe_faults obs f =
           (("round", Events.Int e.round) :: ("kind", Events.String kind) :: fields))
       (Faults.events f);
     Obs.set (Obs.gauge obs "faults.spent") (Faults.spent f)
+  end
+
+(* Same shape for a finished adversary: its action log becomes adversary.*
+   counters plus one "adversary" event per action. *)
+let observe_adversary obs a =
+  if Obs.live obs then begin
+    let count name = Obs.counter obs ("adversary." ^ name) in
+    let substituted = count "substituted"
+    and corrupted = count "corrupted"
+    and targeted = count "targeted" in
+    List.iter
+      (fun (e : Adversary.event) ->
+        let kind, fields =
+          match e.kind with
+          | Adversary.Substituted { src; dst } ->
+            Obs.incr substituted;
+            ("substituted", [ ("src", Events.Int src); ("dst", Events.Int dst) ])
+          | Adversary.Corrupted { src; dst } ->
+            Obs.incr corrupted;
+            ("corrupted", [ ("src", Events.Int src); ("dst", Events.Int dst) ])
+          | Adversary.Targeted { src; dst } ->
+            Obs.incr targeted;
+            ("targeted", [ ("src", Events.Int src); ("dst", Events.Int dst) ])
+        in
+        Obs.event obs "adversary"
+          (("round", Events.Int e.round) :: ("kind", Events.String kind) :: fields))
+      (Adversary.events a);
+    Obs.set (Obs.gauge obs "adversary.spent") (Adversary.spent a);
+    Obs.set (Obs.gauge obs "adversary.observed") (Adversary.observed a)
   end

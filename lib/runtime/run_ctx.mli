@@ -23,6 +23,8 @@ type max_rounds_policy =
 
 type t = {
   faults : Faults.plan option;  (** fault plan applied to (each) run *)
+  adversary : Adversary.plan option;
+      (** adaptive adversary layered on top of the faults (see {!Adversary}) *)
   pool : Anonet_parallel.Pool.t option;  (** domain pool for parallel paths *)
   obs : Anonet_obs.Obs.t;  (** metrics + event sink; [Obs.null] = off *)
   scramble_seed : int option;
@@ -36,6 +38,7 @@ val default : t
 
 val make :
   ?faults:Faults.plan ->
+  ?adversary:Adversary.plan ->
   ?pool:Anonet_parallel.Pool.t ->
   ?obs:Anonet_obs.Obs.t ->
   ?scramble_seed:int ->
@@ -46,6 +49,7 @@ val make :
 val obs : t -> Anonet_obs.Obs.t
 val pool : t -> Anonet_parallel.Pool.t option
 val faults : t -> Faults.plan option
+val adversary : t -> Adversary.plan option
 
 val parallel : t -> Anonet_parallel.Pool.t option
 (** The pool, but only when it actually runs more than one domain — the
@@ -58,6 +62,10 @@ val max_rounds : t -> n:int -> int
 val injector : t -> Faults.t option
 (** A {e fresh} stateful injector for the context's fault plan.  Injectors
     must not be shared between runs; call this once per run. *)
+
+val adversary_instance : t -> Adversary.t option
+(** A {e fresh} stateful adversary for the context's adversary plan; same
+    one-per-run contract as {!injector}. *)
 
 val scramble_of_seed :
   int -> node:int -> degree:int -> round:int -> int array
@@ -72,3 +80,9 @@ val observe_faults : Anonet_obs.Obs.t -> Faults.t -> unit
     one [faults.<kind>] counter increment and one ["fault"] event per
     injection, plus the [faults.spent] gauge.  Used by both executors after
     a run; a no-op on a null handle. *)
+
+val observe_adversary : Anonet_obs.Obs.t -> Adversary.t -> unit
+(** The adversary counterpart of {!observe_faults}: one
+    [adversary.<kind>] counter increment and one ["adversary"] event per
+    action (substituted / corrupted / targeted), plus the
+    [adversary.spent] and [adversary.observed] gauges. *)

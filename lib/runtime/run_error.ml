@@ -1,18 +1,31 @@
-type t = Sync of Executor.failure | Async of Async.failure
+type t =
+  | Sync of Executor.failure
+  | Async of Async.failure
+  | Las_vegas of Las_vegas.failure
 
-(* One numbering for both executors.  The synchronous and asynchronous
-   tape exhaustions share a code on purpose: they mean the same thing (the
-   prescribed tape ended before every node output) on different substrates. *)
+(* One numbering for both executors and the Las-Vegas harness.  The
+   synchronous and asynchronous tape exhaustions share a code on purpose:
+   they mean the same thing (the prescribed tape ended before every node
+   output) on different substrates.  Likewise [Las_vegas Network_dead]
+   shares 4 with [All_nodes_crashed]: both mean the fault plan leaves no
+   node running. *)
 let exit_code = function
   | Sync (Executor.Max_rounds_exceeded _) -> 2
   | Sync (Executor.Tape_exhausted _) | Async (Async.Tape_exhausted _) -> 3
-  | Sync (Executor.All_nodes_crashed _) -> 4
+  | Sync (Executor.All_nodes_crashed _)
+  | Las_vegas { Las_vegas.reason = Las_vegas.Network_dead; _ } -> 4
   | Async (Async.Event_limit_exceeded _) -> 5
   | Async (Async.Stalled _) -> 6
+  | Las_vegas { Las_vegas.reason = Las_vegas.No_success; _ } -> 7
+  | Las_vegas { Las_vegas.reason = Las_vegas.Gave_up; _ } -> 8
+  | Las_vegas { Las_vegas.reason = Las_vegas.Diverged; _ } -> 9
 
 let pp fmt = function
   | Sync f -> Executor.pp_failure fmt f
   | Async f -> Async.pp_failure fmt f
+  | Las_vegas f -> Las_vegas.pp_failure fmt f
+
+let lv reason message = { Las_vegas.reason; message }
 
 let all =
   [
@@ -22,6 +35,10 @@ let all =
     Async (Async.Event_limit_exceeded 0);
     Async (Async.Tape_exhausted { round = 0 });
     Async (Async.Stalled { events = 0 });
+    Las_vegas (lv Las_vegas.No_success "no success within the attempt budget");
+    Las_vegas (lv Las_vegas.Gave_up "gave up at the round cap");
+    Las_vegas (lv Las_vegas.Diverged "divergence detected");
+    Las_vegas (lv Las_vegas.Network_dead "fault plan leaves no node running");
   ]
 
 let of_exit_code = function
@@ -30,4 +47,8 @@ let of_exit_code = function
   | 4 -> Some (Sync (Executor.All_nodes_crashed { round = 0 }))
   | 5 -> Some (Async (Async.Event_limit_exceeded 0))
   | 6 -> Some (Async (Async.Stalled { events = 0 }))
+  | 7 ->
+    Some (Las_vegas (lv Las_vegas.No_success "no success within the attempt budget"))
+  | 8 -> Some (Las_vegas (lv Las_vegas.Gave_up "gave up at the round cap"))
+  | 9 -> Some (Las_vegas (lv Las_vegas.Diverged "divergence detected"))
   | _ -> None

@@ -1,5 +1,5 @@
 (** One failure type — and one process exit-code numbering — for both
-    executors.
+    executors and the Las-Vegas harness.
 
     Historically [Executor.exit_code] owned codes 2–4 and [Async.exit_code]
     continued at 5, and the CLI pattern-matched two failure types to pick
@@ -8,15 +8,21 @@
 
     Codes: [Max_rounds_exceeded] = 2, [Tape_exhausted] = 3 (shared — the
     synchronous and synchronizer-round variants mean the same thing),
-    [All_nodes_crashed] = 4, [Event_limit_exceeded] = 5, [Stalled] = 6.
-    Code 1 is the CLI's generic error; 0 is success. *)
+    [All_nodes_crashed] = 4 (shared with [Las_vegas Network_dead]: both
+    mean the fault plan leaves no node running), [Event_limit_exceeded] =
+    5, [Stalled] = 6, [Las_vegas No_success] = 7, [Las_vegas Gave_up] = 8,
+    [Las_vegas Diverged] = 9.  Code 1 is the CLI's generic error; 0 is
+    success. *)
 
-type t = Sync of Executor.failure | Async of Async.failure
+type t =
+  | Sync of Executor.failure
+  | Async of Async.failure
+  | Las_vegas of Las_vegas.failure
 
 val exit_code : t -> int
 
 val pp : Format.formatter -> t -> unit
-(** Delegates to the executors' [pp_failure]. *)
+(** Delegates to the executors' and harness's [pp_failure]. *)
 
 val all : t list
 (** One representative per failure variant (payloads zeroed) — exhaustive,

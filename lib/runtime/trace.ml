@@ -7,10 +7,11 @@ type t = {
   messages_by_round : int list;  (* reversed while recording *)
   rounds : int;
   fault_events : Faults.event list;
+  adversary_events : Adversary.event list;
   crashed : int -> round:int -> bool;  (* node crashed in the given round? *)
 }
 
-let record_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
+let record_with ~scramble ~faults ~adversary ~obs algo g ~tape ~max_rounds =
   let n = Graph.n g in
   let rounds_c = Obs.counter obs "executor.rounds" in
   let msgs_c = Obs.counter obs "executor.messages" in
@@ -30,6 +31,8 @@ let record_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
         rounds = Executor.Incremental.round exec;
         fault_events =
           (match faults with None -> [] | Some f -> Faults.events f);
+        adversary_events =
+          (match adversary with None -> [] | Some a -> Adversary.events a);
         crashed =
           (match faults with
            | None -> fun _ ~round:_ -> false
@@ -67,7 +70,9 @@ let record_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
         in
         if !exhausted then Error (finish_trace (), Executor.Tape_exhausted { round })
         else begin
-          let exec = Executor.Incremental.step exec ?scramble ?faults ~bits in
+          let exec =
+            Executor.Incremental.step exec ?scramble ?faults ?adversary ~bits
+          in
           note exec round;
           let total = Executor.Incremental.messages exec in
           Obs.incr rounds_c;
@@ -84,14 +89,17 @@ let record_with ~scramble ~faults ~obs algo g ~tape ~max_rounds =
         loop exec [] 0)
   in
   (match faults with Some f -> Run_ctx.observe_faults obs f | None -> ());
+  (match adversary with Some a -> Run_ctx.observe_adversary obs a | None -> ());
   result
 
 let record ?(ctx = Run_ctx.default) algo g ~tape ~max_rounds =
   record_with ~scramble:(Run_ctx.scramble ctx) ~faults:(Run_ctx.injector ctx)
-    ~obs:(Run_ctx.obs ctx) algo g ~tape ~max_rounds
+    ~adversary:(Run_ctx.adversary_instance ctx) ~obs:(Run_ctx.obs ctx) algo g
+    ~tape ~max_rounds
 
 let record_legacy ?faults algo g ~tape ~max_rounds =
-  record_with ~scramble:None ~faults ~obs:Obs.null algo g ~tape ~max_rounds
+  record_with ~scramble:None ~faults ~adversary:None ~obs:Obs.null algo g ~tape
+    ~max_rounds
 
 let output_rounds t = Array.copy t.output_rounds
 
@@ -100,6 +108,8 @@ let messages_by_round t = t.messages_by_round
 let rounds t = t.rounds
 
 let fault_events t = t.fault_events
+
+let adversary_events t = t.adversary_events
 
 let render t =
   let buf = Buffer.create 256 in
@@ -140,5 +150,14 @@ let render t =
       (fun e ->
         Buffer.add_string buf (Format.asprintf "  %a\n" Faults.pp_event e))
       t.fault_events
+  end;
+  if t.adversary_events <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "adversary events (%d):\n"
+         (List.length t.adversary_events));
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Format.asprintf "  %a\n" Adversary.pp_event e))
+      t.adversary_events
   end;
   Buffer.contents buf

@@ -51,6 +51,10 @@ val rounds : t -> int
     (empty when the run was recorded without [?faults]). *)
 val fault_events : t -> Faults.event list
 
+(** [adversary_events t] is the adversary's action log, in round order
+    (empty when the run was recorded without [ctx.adversary]). *)
+val adversary_events : t -> Adversary.event list
+
 (** [render t] draws an ASCII timeline: one row per node, one column per
     round; ['.'] while undecided, ['#'] from the output round on, ['x']
     while crashed.  Fault events, if any, are listed below the grid. *)

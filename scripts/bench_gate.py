@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH.json against the newest
+snapshot in bench/history/ and fail on a >20% slowdown in any group.
+
+Usage: bench_gate.py FRESH_JSON HISTORY_DIR [--threshold 1.20] [--strict]
+
+Snapshots are the files `main.exe bench-json PATH --history DIR` writes
+(schema anonet-bench/1 or /2).  Comparison rules:
+
+- The baseline is the history entry with the newest `generated_at`
+  (file mtime for schema-1 entries, which lack the field).
+- Only tests present in BOTH snapshots are compared: a new group lands
+  with no baseline and simply starts its own trajectory.
+- Tests aggregate into groups by the middle component of their
+  "anonet/<group>/<test>" name; the gate fails iff some group's
+  geometric-mean ratio fresh/baseline exceeds the threshold.
+- Cross-host comparisons are meaningless, so when `domains_available`
+  differs between the two snapshots the gate warns and passes (use
+  --strict to fail instead).
+- No history at all passes: the first snapshot seeds the trajectory.
+"""
+
+import json
+import math
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def generated_at(path, doc):
+    # Schema 1 has no timestamp; file mtime orders those entries.
+    return doc.get("generated_at") or "0000" + format(os.path.getmtime(path), "020.6f")
+
+
+def newest_history(history_dir):
+    entries = []
+    if not os.path.isdir(history_dir):
+        return None
+    for name in os.listdir(history_dir):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(history_dir, name)
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench-gate: skipping unreadable {path}: {e}")
+            continue
+        entries.append((generated_at(path, doc), path, doc))
+    if not entries:
+        return None
+    entries.sort()
+    return entries[-1][1], entries[-1][2]
+
+
+def tests_by_name(doc):
+    return {
+        t["name"]: t["ns_per_run"]
+        for t in doc.get("tests", [])
+        if isinstance(t.get("ns_per_run"), (int, float)) and t["ns_per_run"] > 0
+    }
+
+
+def group_of(name):
+    parts = name.split("/")
+    return parts[1] if len(parts) >= 3 else parts[0]
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    strict = "--strict" in sys.argv
+    threshold = 1.20
+    if "--threshold" in sys.argv:
+        threshold = float(sys.argv[sys.argv.index("--threshold") + 1])
+        args = [a for a in args if a != str(threshold)]
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+    fresh_path, history_dir = args[0], args[1]
+
+    fresh = load(fresh_path)
+    base = newest_history(history_dir)
+    if base is None:
+        print(f"bench-gate: no history in {history_dir}; seeding trajectory, pass")
+        return 0
+    base_path, base_doc = base
+    print(f"bench-gate: baseline {base_path} (commit {base_doc.get('commit', '?')})")
+
+    if fresh.get("domains_available") != base_doc.get("domains_available"):
+        msg = (
+            f"bench-gate: host mismatch (domains_available "
+            f"{base_doc.get('domains_available')} -> {fresh.get('domains_available')}); "
+            "timings are not comparable"
+        )
+        if strict:
+            print(msg + " [--strict: FAIL]")
+            return 1
+        print(msg + "; skipping comparison, pass")
+        return 0
+
+    base_tests = tests_by_name(base_doc)
+    fresh_tests = tests_by_name(fresh)
+    shared = sorted(set(base_tests) & set(fresh_tests))
+    if not shared:
+        print("bench-gate: no shared tests with the baseline; pass")
+        return 0
+
+    groups = {}
+    for name in shared:
+        groups.setdefault(group_of(name), []).append(
+            (name, fresh_tests[name] / base_tests[name])
+        )
+
+    failed = []
+    for group in sorted(groups):
+        ratios = groups[group]
+        gmean = math.exp(sum(math.log(r) for _, r in ratios) / len(ratios))
+        status = "ok" if gmean <= threshold else "REGRESSION"
+        print(f"  {group:24s} gmean x{gmean:.3f} over {len(ratios)} tests  [{status}]")
+        if gmean > threshold:
+            failed.append(group)
+            for name, r in sorted(ratios, key=lambda p: -p[1]):
+                print(f"    {name}: x{r:.3f}")
+
+    if failed:
+        print(
+            f"bench-gate: FAIL — group(s) {', '.join(failed)} slowed by more than "
+            f"{(threshold - 1) * 100:.0f}% vs {os.path.basename(base_path)}"
+        )
+        return 1
+    print(f"bench-gate: pass ({len(shared)} shared tests, {len(groups)} groups)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,10 +35,18 @@ let gossip : Algorithm.t =
       let s = { s with round_no = s.round_no + 1 } in
       if s.round_no = 1 then s, Algorithm.broadcast ~degree:s.degree s.input
       else begin
-        let received =
-          List.sort Label.compare (List.filter_map Fun.id (Array.to_list inbox))
+        (* Set-once: outputs are irrevocable, and under crash-recovery a
+           node can keep executing rounds after deciding. *)
+        let s =
+          if s.out <> None then s
+          else
+            let received =
+              List.sort Label.compare
+                (List.filter_map Fun.id (Array.to_list inbox))
+            in
+            { s with out = Some (Label.List received) }
         in
-        { s with out = Some (Label.List received) }, Algorithm.silence ~degree:s.degree
+        s, Algorithm.silence ~degree:s.degree
       end
 
     let output s = s.out
@@ -418,6 +426,99 @@ let test_retransmit_survives_duplication_and_corruption_free_loss () =
         (Catalog.two_hop_coloring.Problem.is_valid_output g outputs)
   done
 
+(* Regression for the documented gap the checksummed wire closed: with
+   corrupt > 0 the old wrapper took perturbed frames at face value (a
+   flipped ack bit could discard window entries and stall the link); the
+   checksum + plausibility window turns corruption into loss, which the
+   every-round resend absorbs. *)
+let test_retransmit_survives_corruption () =
+  let g = Gen.cycle 6 in
+  let algo = Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm in
+  for seed = 1 to 10 do
+    let plan = { (Faults.with_loss 0.1 ~seed) with Faults.corrupt = 0.3 } in
+    match
+      Executor.run
+        ~ctx:(Run_ctx.make ~faults:plan ())
+        algo g
+        ~tape:(Tape.random ~seed:(Prng.hash2 seed 80))
+        ~max_rounds:4000
+    with
+    | Error e -> Alcotest.failf "seed %d: %a" seed Executor.pp_failure e
+    | Ok { outputs; _ } ->
+      check
+        (Printf.sprintf "seed %d: valid under 30%% corruption" seed)
+        true
+        (Catalog.two_hop_coloring.Problem.is_valid_output g outputs)
+  done
+
+(* budget=0 plans — faulty and adversarial alike — must be byte-identical
+   to the reliable network on BOTH executors, not merely injector-level
+   no-ops: the executors' control flow (stale-duplicate drains, tamper
+   taps) must not perturb a run whose budget never lets a fault land. *)
+let test_budget_zero_executors_identical () =
+  let g = Gen.cycle 5 in
+  let algo = Anonet_algorithms.Rand_two_hop.algorithm in
+  let heavy =
+    { (Faults.with_loss 0.5 ~seed:9) with Faults.duplicate = 0.3; corrupt = 0.3 }
+  in
+  let ctx =
+    Run_ctx.make
+      ~faults:{ heavy with Faults.budget = Some 0 }
+      ~adversary:
+        { (Adversary.eavesdropper 2 ~strength:1.0 ~seed:5) with
+          Adversary.budget = Some 0 }
+      ()
+  in
+  let tape = Tape.random ~seed:7 in
+  (match
+     ( Executor.run algo g ~tape ~max_rounds:2000,
+       Executor.run ~ctx algo g ~tape ~max_rounds:2000 )
+   with
+  | Ok plain, Ok gated ->
+    check "sync: identical outcome records" true (plain = gated)
+  | (Error e, _ | _, Error e) ->
+    Alcotest.failf "sync should finish: %a" Executor.pp_failure e);
+  match
+    ( Async.run algo g ~tape ~scheduler:Async.Fifo ~max_events:200_000,
+      Async.run ~ctx algo g ~tape ~scheduler:Async.Fifo ~max_events:200_000 )
+  with
+  | Ok plain, Ok gated ->
+    check "async: identical outcome records" true (plain = gated)
+  | (Error e, _ | _, Error e) ->
+    Alcotest.failf "async should finish: %a" Async.pp_failure e
+
+(* Crash-recovery loses the outage's messages: state survives the nap,
+   mail does not.  On a 2-path with node 0 napping through rounds 1-3,
+   node 1's round-1 broadcast arrives while 0 is down (lost), and by the
+   time 0 re-runs its own schedule node 1 has gone silent — BOTH end up
+   gossiping the empty multiset, where the healthy run exchanges labels. *)
+let test_crash_recovery_loses_outage_messages () =
+  let g = Graph.relabel (Gen.path 2) (fun v -> Label.Int (10 * (v + 1))) in
+  let healthy =
+    match Executor.run gossip g ~tape:Tape.zero ~max_rounds:10 with
+    | Ok { outputs; _ } -> outputs
+    | Error e -> Alcotest.failf "healthy run: %a" Executor.pp_failure e
+  in
+  check "healthy nodes hear each other" true
+    (Label.equal healthy.(0) (Label.List [ Label.Int 20 ])
+    && Label.equal healthy.(1) (Label.List [ Label.Int 10 ]));
+  let plan =
+    {
+      Faults.no_faults with
+      Faults.crashes = [ { Faults.node = 0; from_round = 1; until_round = Some 4 } ];
+    }
+  in
+  match
+    Executor.run ~ctx:(Run_ctx.make ~faults:plan ()) gossip g ~tape:Tape.zero
+      ~max_rounds:10
+  with
+  | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e
+  | Ok { outputs; _ } ->
+    check "node 1 heard nothing (0 was down in round 1)" true
+      (Label.equal outputs.(1) (Label.List []));
+    check "node 0 heard nothing (1's broadcast died during the outage)" true
+      (Label.equal outputs.(0) (Label.List []))
+
 let test_alpha_synchronizer_breaks_under_loss () =
   (* The flip side, and the reason the wrapper exists: the α-synchronizer
      without retransmission does NOT terminate under the same 20% loss —
@@ -540,14 +641,27 @@ let test_run_error_consolidates () =
       Async.Tape_exhausted { round = 3 };
       Async.Stalled { events = 5 };
     ];
+  (* ...give the Las-Vegas harness's structured failures the documented
+     codes (Network_dead shares 4 with All_nodes_crashed: both mean the
+     fault plan leaves no node running)... *)
+  List.iter
+    (fun (reason, code) ->
+      check_int "las-vegas code" code
+        (Run_error.exit_code
+           (Run_error.Las_vegas { Las_vegas.reason; message = "m" })))
+    [ Las_vegas.No_success, 7;
+      Las_vegas.Gave_up, 8;
+      Las_vegas.Diverged, 9;
+      Las_vegas.Network_dead, 4;
+    ];
   (* ...and round-trip: every representative maps to a code that
      [of_exit_code] resolves back to the same code.  [Run_error.all]
-     covers every constructor of both failure types, so this is
+     covers every constructor of all three failure types, so this is
      exhaustive over the numbering. *)
   List.iter
     (fun e ->
       let c = Run_error.exit_code e in
-      check "code in the reserved 2..6 band" true (c >= 2 && c <= 6);
+      check "code in the reserved 2..9 band" true (c >= 2 && c <= 9);
       match Run_error.of_exit_code c with
       | None -> Alcotest.failf "code %d does not resolve" c
       | Some e' -> check_int "round-trips" c (Run_error.exit_code e'))
@@ -558,7 +672,9 @@ let test_run_error_consolidates () =
        (Run_error.Sync (Executor.Max_rounds_exceeded 9))
     = Format.asprintf "%a" Executor.pp_failure (Executor.Max_rounds_exceeded 9));
   check "unknown codes resolve to nothing" true
-    (Run_error.of_exit_code 0 = None && Run_error.of_exit_code 7 = None)
+    (Run_error.of_exit_code 0 = None
+    && Run_error.of_exit_code 1 = None
+    && Run_error.of_exit_code 10 = None)
 
 let () =
   Alcotest.run "anonet_faults"
@@ -582,6 +698,10 @@ let () =
           Alcotest.test_case "dead link" `Quick test_sync_dead_link;
           Alcotest.test_case "stale duplicate queue" `Quick test_sync_stale_duplicate_queued;
           Alcotest.test_case "crash-recovery naps" `Quick test_crash_recovery_resumes_with_state;
+          Alcotest.test_case "crash-recovery loses outage mail" `Quick
+            test_crash_recovery_loses_outage_messages;
+          Alcotest.test_case "budget 0 = reliable on both executors" `Quick
+            test_budget_zero_executors_identical;
           Alcotest.test_case "crash-stop starves" `Quick test_crash_stop_starves;
           Alcotest.test_case "all nodes crashed" `Quick test_all_nodes_crashed;
           Alcotest.test_case "crash events logged" `Quick test_crash_events_logged;
@@ -596,6 +716,8 @@ let () =
             test_retransmit_survives_loss;
           Alcotest.test_case "survives loss + duplication" `Quick
             test_retransmit_survives_duplication_and_corruption_free_loss;
+          Alcotest.test_case "survives 30% corruption (10 seeds)" `Quick
+            test_retransmit_survives_corruption;
           Alcotest.test_case "α-synchronizer breaks without it" `Quick
             test_alpha_synchronizer_breaks_under_loss;
           Alcotest.test_case "async crashes are crash-stop" `Quick
