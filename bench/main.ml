@@ -381,6 +381,62 @@ let pool_scaling_rows () =
         [ 1; 2; 4 ])
     workloads
 
+(* Allocation telemetry: GC word deltas per run of the hot workloads, the
+   direct measure the flat-memory representations optimize.  [minor_words]
+   counts all allocation (the flat hot paths' target metric);
+   [major_words] counts what survives or is allocated large.  Measured
+   over [iters] runs after one warm-up so per-process caches (layouts,
+   interned views, candidate memos) don't pollute the per-run figure. *)
+let alloc_rows () =
+  let k5 = Gen.label_with_ints (Gen.cycle 5) in
+  let k4 = Gen.label_with_ints (Gen.cycle 4) in
+  let min_search g () =
+    ignore
+      (Min_search.minimal_successful ~solver:Anonet_algorithms.Rand_mis.algorithm
+         g
+         ~base:(Bit_assignment.empty (Graph.n g))
+         ~len:(Min_search.At_most 16) ())
+  in
+  let c6i = c6_instance () in
+  let workloads =
+    [ "ablate-bits", "min-search-mis-k4", 20, min_search k4;
+      "ablate-bits", "min-search-mis-k5", 5, min_search k5;
+      ( "a-star-phases", "warm-mis-c6", 20,
+        fun () ->
+          match A_star.solve ~gran:Bundles.mis c6i () with
+          | Ok _ -> ()
+          | Error m -> failwith m );
+      ( "a-star-phases", "cold-mis-c6", 20,
+        fun () ->
+          match A_star.solve ~gran:Bundles.mis c6i ~incremental:false () with
+          | Ok _ -> ()
+          | Error m -> failwith m );
+      ( "decouple", "direct-rand-mis-petersen", 20,
+        fun () ->
+          ignore
+            (Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm (Gen.petersen ())
+               ~seed:5 ()) );
+    ]
+  in
+  List.map
+    (fun (group, name, iters, task) ->
+      task () (* warm up: layouts, interned arenas, candidate memos *);
+      (* [Gc.minor_words] reads the exact per-domain allocation counter;
+         [quick_stat.minor_words] is only refreshed at GC slices, so a
+         workload too small to trigger a minor collection would read 0. *)
+      let m0 = Gc.minor_words () in
+      let s0 = Gc.quick_stat () in
+      for _ = 1 to iters do
+        task ()
+      done;
+      let m1 = Gc.minor_words () in
+      let s1 = Gc.quick_stat () in
+      let per d = d /. float_of_int iters in
+      ( group, name,
+        per (m1 -. m0),
+        per (s1.Gc.major_words -. s0.Gc.major_words) ))
+    workloads
+
 (* A metrics snapshot of the instrumented pipeline — a Las-Vegas solve,
    an A_infinity derandomization and a warm A* derandomization against a
    live registry — so BENCH.json records the work performed (rounds,
@@ -436,10 +492,12 @@ let run_bench_json ?history path =
   Printf.printf "measured %d tests; timing pool scaling (domains 1/2/4)...\n%!"
     (List.length tests);
   let scaling = pool_scaling_rows () in
+  Printf.printf "measuring GC allocation deltas...\n%!";
+  let allocs = alloc_rows () in
   let sha = git_short_sha () in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"anonet-bench/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"anonet-bench/3\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"commit\": \"%s\",\n" (json_escape sha));
   Buffer.add_string buf
@@ -469,6 +527,18 @@ let run_bench_json ?history path =
            (json_float speedup)
            (if i = List.length scaling - 1 then "" else ",")))
     scaling;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"allocs\": [\n";
+  List.iteri
+    (fun i (group, name, minor, major) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"group\": \"%s\", \"workload\": \"%s\", \
+            \"minor_words_per_run\": %s, \"major_words_per_run\": %s }%s\n"
+           (json_escape group) (json_escape name) (json_float minor)
+           (json_float major)
+           (if i = List.length allocs - 1 then "" else ",")))
+    allocs;
   Buffer.add_string buf "  ]\n";
   Buffer.add_string buf "}\n";
   let contents = Buffer.contents buf in

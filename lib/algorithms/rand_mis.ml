@@ -68,3 +68,67 @@ let algorithm : Algorithm.t =
 
     let output = output
   end)
+
+(* Flat companion: one word per node, one word per message slot.
+
+   State word: bits 0-1 = status (0 undecided / 1 in / 2 out), bits 2-3 =
+   my_coin (0 none / 1 Some false / 2 Some true).  [degree] is constant
+   and [out] is determined by [status], so the word is an injective
+   encoding of the boxed state — the flat dedup key distinguishes exactly
+   the states the boxed Marshal fingerprint does.
+
+   Message word: [1 + (status lsl 1 lor coin)] (so nonzero; a zero slot
+   means no message, which never happens here — every node broadcasts
+   every round). *)
+let flat_out_true = Some (Label.Bool true)
+let flat_out_false = Some (Label.Bool false)
+
+let flat_instance : Algorithm.Flat.instance =
+  {
+    state_words = 1;
+    msg_words = 1;
+    init = (fun ~node:_ ~input:_ ~degree:_ ~state:_ ~off:_ -> ());
+    (* all-zero span = Undecided, no coin yet *)
+    round =
+      (fun ~node:_ ~bit ~degree ~state ~off ~inbox ~ioff ~send ~soff ->
+        let w = Array.unsafe_get state off in
+        let status = w land 3 and coin = (w lsr 2) land 3 in
+        let status =
+          if status <> 0 then status
+          else begin
+            let received = ref 0 in
+            let neighbor_joined = ref false in
+            let undecided_heads = ref false in
+            for p = 0 to degree - 1 do
+              let m = Array.unsafe_get inbox (ioff + p) in
+              if m <> 0 then begin
+                incr received;
+                let m = m - 1 in
+                let mstatus = m lsr 1 in
+                if mstatus = 1 then neighbor_joined := true
+                else if mstatus = 0 && m land 1 = 1 then undecided_heads := true
+              end
+            done;
+            if !neighbor_joined then 2
+            else if coin = 2 && (not !undecided_heads) && !received = degree
+            then 1
+            else 0
+          end
+        in
+        Array.unsafe_set state off
+          (status lor ((if bit then 2 else 1) lsl 2));
+        Array.unsafe_set send soff
+          (1 + ((status lsl 1) lor (if bit then 1 else 0)));
+        true);
+    output =
+      (fun ~state ~off ->
+        match Array.unsafe_get state off land 3 with
+        | 1 -> flat_out_true
+        | 2 -> flat_out_false
+        | _ -> None);
+    has_output = (fun ~state ~off -> Array.unsafe_get state off land 3 <> 0);
+  }
+
+let () =
+  Algorithm.register_flat algorithm
+    { Algorithm.Flat.plan = (fun _g -> Some flat_instance) }

@@ -82,3 +82,127 @@ let algorithm : Algorithm.t =
 
     let output = output
   end)
+
+(* Flat companion.
+
+   A candidate bitstring packs into one word as [(1 lsl len) lor value]
+   (value big-endian): the sentinel bit makes the encoding injective
+   across lengths, appending a bit is [code * 2 + bit], and the numeric
+   order coincides with [Bits.compare] (length-major, then
+   lexicographic) — so sorting relay words numerically reproduces the
+   boxed sorted multiset exactly.  The empty candidate is code 1; code 0
+   doubles as "no message" in inbox slots and "no announcement stored"
+   in the heard words.
+
+   State span (2 + max-degree words): word 0 = step (bits 0-1) lor
+   final flag (bit 2); word 1 = candidate code; words 2.. = heard
+   announcement codes, port-indexed, zeroed outside the Relay->Decide
+   window — mirroring the boxed [heard = [||]] so the two
+   representations deduplicate identically.  Message span (1 +
+   max-degree words): an announce is [cand-code, 0...]; a relay is
+   [count, sorted codes..., 0...].  Receivers know which to expect from
+   their own step; Decide rounds are silent on both paths. *)
+
+let code_overflow_bit = 1 lsl 59
+
+let decode_code code =
+  let len = ref 0 in
+  while code lsr !len > 1 do incr len done;
+  Bits.of_int ~width:!len (code - (1 lsl !len))
+
+let flat_plan g =
+  let maxdeg = ref 0 in
+  for v = 0 to Anonet_graph.Graph.n g - 1 do
+    maxdeg := max !maxdeg (Anonet_graph.Graph.degree g v)
+  done;
+  let maxdeg = !maxdeg in
+  let sw = 2 + maxdeg in
+  let mw = 1 + maxdeg in
+  Some
+    {
+      Algorithm.Flat.state_words = sw;
+      msg_words = mw;
+      init =
+        (fun ~node:_ ~input:_ ~degree:_ ~state ~off ->
+          Array.unsafe_set state (off + 1) 1 (* empty candidate *));
+      round =
+        (fun ~node:_ ~bit ~degree ~state ~off ~inbox ~ioff ~send ~soff ->
+          let w0 = Array.unsafe_get state off in
+          match w0 land 3 with
+          | 0 ->
+            (* Announce: broadcast the candidate code. *)
+            Array.unsafe_set state off (w0 lor 1);
+            Array.unsafe_set send soff (Array.unsafe_get state (off + 1));
+            for k = 1 to mw - 1 do
+              Array.unsafe_set send (soff + k) 0
+            done;
+            true
+          | 1 ->
+            (* Relay: store announcements, broadcast their sorted multiset. *)
+            for p = 0 to degree - 1 do
+              Array.unsafe_set state (off + 2 + p)
+                (Array.unsafe_get inbox (ioff + (p * mw)))
+            done;
+            Array.unsafe_set state off ((w0 land lnot 3) lor 2);
+            Array.unsafe_set send soff degree;
+            for p = 0 to degree - 1 do
+              (* insertion sort as we copy: degree is tiny *)
+              let c = Array.unsafe_get state (off + 2 + p) in
+              let j = ref (soff + 1 + p) in
+              while
+                !j > soff + 1 && Array.unsafe_get send (!j - 1) > c
+              do
+                Array.unsafe_set send !j (Array.unsafe_get send (!j - 1));
+                decr j
+              done;
+              Array.unsafe_set send !j c
+            done;
+            for k = degree + 1 to mw - 1 do
+              Array.unsafe_set send (soff + k) 0
+            done;
+            true
+          | _ ->
+            (* Decide: detect conflicts, then return to Announce silently. *)
+            let final = w0 land 4 <> 0 in
+            let final =
+              if final then true
+              else begin
+                let cand = Array.unsafe_get state (off + 1) in
+                let conflict = ref false in
+                for p = 0 to degree - 1 do
+                  if Array.unsafe_get state (off + 2 + p) = cand then
+                    conflict := true
+                done;
+                for p = 0 to degree - 1 do
+                  let base = ioff + (p * mw) in
+                  let cnt = Array.unsafe_get inbox base in
+                  let occ = ref 0 in
+                  for j = 1 to cnt do
+                    if Array.unsafe_get inbox (base + j) = cand then incr occ
+                  done;
+                  if !occ >= 2 then conflict := true
+                done;
+                if !conflict then begin
+                  if cand land code_overflow_bit <> 0 then
+                    invalid_arg "rand-2hop: flat candidate overflow";
+                  Array.unsafe_set state (off + 1)
+                    ((cand * 2) + if bit then 1 else 0);
+                  false
+                end
+                else true
+              end
+            in
+            for p = 0 to degree - 1 do
+              Array.unsafe_set state (off + 2 + p) 0
+            done;
+            Array.unsafe_set state off (if final then 4 else 0);
+            false);
+      output =
+        (fun ~state ~off ->
+          if Array.unsafe_get state off land 4 <> 0 then
+            Some (Label.Bits (decode_code (Array.unsafe_get state (off + 1))))
+          else None);
+      has_output = (fun ~state ~off -> Array.unsafe_get state off land 4 <> 0);
+    }
+
+let () = Algorithm.register_flat algorithm { Algorithm.Flat.plan = flat_plan }

@@ -21,6 +21,59 @@ type computation = {
   new_b : Bits.t option;  (* from Update-Bits, if some extension succeeds *)
 }
 
+(* ---- process-wide candidate memo ------------------------------------
+   [Candidates.from_knowledge] is a pure function of (gathered view,
+   phase, problem): the quotient construction, the C1-C3 checks and the
+   canonical encodings depend on nothing else.  Interned view ids are
+   process-unique and never reused, so (view id, phase) keys a process-wide
+   memo per problem — repeated solves over the same instance family (warm
+   restarts, node classes sharing a view, benchmark sweeps) skip quotient
+   construction entirely.  Tables are found by the problem value's physical
+   identity (problems are top-level bundle constants) and capped with the
+   same LRU-quartile policy as the encoding cache. *)
+type cand_entry = {
+  cands : Candidates.t list;
+  mutable cstamp : int;  (* LRU clock tick of the last use; under [clock] *)
+}
+
+type cand_table = {
+  cand_lock : Mutex.t;
+  cand_tbl : (int * int, cand_entry) Hashtbl.t;  (* view id, phase *)
+  mutable cand_clock : int;
+}
+
+let cand_cap = 8192
+
+let cand_tables : (Problem.t * cand_table) list Atomic.t = Atomic.make []
+
+let rec cand_table_for problem =
+  let tables = Atomic.get cand_tables in
+  match List.find_opt (fun (p, _) -> p == problem) tables with
+  | Some (_, t) -> t
+  | None ->
+    let t =
+      { cand_lock = Mutex.create (); cand_tbl = Hashtbl.create 256; cand_clock = 0 }
+    in
+    if Atomic.compare_and_set cand_tables tables ((problem, t) :: tables) then t
+    else cand_table_for problem
+
+(* Must hold [cand_lock]. *)
+let cand_evict_locked t =
+  let m = Hashtbl.length t.cand_tbl in
+  if m > 0 then begin
+    let arr = Array.make m ((0, 0), 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun key e ->
+        arr.(!i) <- key, e.cstamp;
+        incr i)
+      t.cand_tbl;
+    Array.sort (fun (_, a) (_, b) -> Int.compare a b) arr;
+    for j = 0 to max 1 (m / 4) - 1 do
+      Hashtbl.remove t.cand_tbl (fst arr.(j))
+    done
+  end
+
 let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
     ?(max_search_states = 1_000_000) ?(incremental = true)
     ?(search_cache_cap = 32) () : Algorithm.t =
@@ -51,6 +104,11 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
     let obs = Run_ctx.obs ctx
 
     let memo : (int * int, computation) Hashtbl.t = Hashtbl.create 256
+
+    (* One scratch for every Update-Output simulation this solver ever
+       runs: candidates are simulated in bursts each phase, and the batch
+       reuses the flat executor's arenas across all of them. *)
+    let batch = Simulation.Batch.create ()
 
     (* ---- incremental phase engine -------------------------------------
        When Update-Graph selects the same candidate as a previous phase —
@@ -101,7 +159,9 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
       | None -> ()
 
     let fresh_entry j assignment =
-      let sim = Simulation.run ~obs ~solver:gran.Gran.solver j ~bits:assignment in
+      let sim =
+        Simulation.run ~obs ~batch ~solver:gran.Gran.solver j ~bits:assignment
+      in
       let search =
         match order with
         | Min_search.Round_major ->
@@ -140,16 +200,44 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
         Hashtbl.replace search_cache encoding e;
         e
 
+    let cand_table = cand_table_for gran.Gran.problem
+
+    let candidates knowledge ~phase =
+      let key = Knowledge.id knowledge, phase in
+      let t = cand_table in
+      Mutex.lock t.cand_lock;
+      let hit =
+        match Hashtbl.find_opt t.cand_tbl key with
+        | Some e ->
+          t.cand_clock <- t.cand_clock + 1;
+          e.cstamp <- t.cand_clock;
+          Some e.cands
+        | None -> None
+      in
+      Mutex.unlock t.cand_lock;
+      match hit with
+      | Some cands -> cands
+      | None ->
+        let cands =
+          Candidates.from_knowledge knowledge ~phase
+            ~is_instance:is_instance_colored
+        in
+        Mutex.lock t.cand_lock;
+        if not (Hashtbl.mem t.cand_tbl key) then begin
+          if Hashtbl.length t.cand_tbl >= cand_cap then cand_evict_locked t;
+          t.cand_clock <- t.cand_clock + 1;
+          Hashtbl.replace t.cand_tbl key { cands; cstamp = t.cand_clock }
+        end;
+        Mutex.unlock t.cand_lock;
+        cands
+
     let compute knowledge ~phase =
-      let key = knowledge.Knowledge.id, phase in
+      let key = Knowledge.id knowledge, phase in
       match Hashtbl.find_opt memo key with
       | Some c -> c
       | None ->
         let c =
-          match
-            Candidates.from_knowledge knowledge ~phase
-              ~is_instance:is_instance_colored
-          with
+          match candidates knowledge ~phase with
           | [] -> { new_output = None; partner_color = None; new_b = None }
           | selected :: _ ->
             let j = solver_input selected.Candidates.graph in
@@ -173,7 +261,7 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
                 entry.sim, found
               end
               else
-                ( Simulation.run ~obs ~solver:gran.Gran.solver j
+                ( Simulation.run ~obs ~batch ~solver:gran.Gran.solver j
                     ~bits:assignment,
                   Min_search.minimal_successful ~ctx ~solver:gran.Gran.solver j
                     ~base:assignment ~order ~max_states:max_search_states
@@ -245,7 +333,7 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
       in
       let knowledge =
         if s.round_in_phase = 1 then Knowledge.leaf (frozen_label s)
-        else Knowledge.node s.knowledge.Knowledge.mark (Array.to_list children)
+        else Knowledge.node (Knowledge.mark s.knowledge) (Array.to_list children)
       in
       (* The first exchange round carries the neighbors' frozen labels in
          port order: harvest the 2-hop colors once. *)
@@ -256,7 +344,7 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
             port_colors =
               Some
                 (Array.map
-                   (fun (c : Knowledge.t) -> Label.snd (Label.fst c.Knowledge.mark))
+                   (fun (c : Knowledge.t) -> Label.snd (Label.fst (Knowledge.mark c)))
                    children);
           }
         else s

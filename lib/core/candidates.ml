@@ -36,10 +36,10 @@ let quotient k ~q =
        and looks up every witness and every witness child. *)
     let index = Hashtbl.create 16 in
     List.iteri
-      (fun i (t : Knowledge.t) -> Hashtbl.replace index t.Knowledge.id i)
+      (fun i (t : Knowledge.t) -> Hashtbl.replace index (Knowledge.id t) i)
       class_trees;
     let class_index (tree : Knowledge.t) =
-      Hashtbl.find_opt index tree.Knowledge.id
+      Hashtbl.find_opt index (Knowledge.id tree)
     in
     let k_classes = List.length class_trees in
     let exception Reject in
@@ -58,7 +58,7 @@ let quotient k ~q =
                 match class_index (Knowledge.truncate child ~depth:q) with
                 | Some c' -> c'
                 | None -> raise Reject (* neighbor class has no witness *))
-              (match sub with { Knowledge.children; _ } -> children)
+              (Knowledge.children sub)
           in
           let nbrs = List.sort Int.compare nbrs in
           (* simple graph: no loops, no parallel edges *)
@@ -85,7 +85,7 @@ let quotient k ~q =
                  adjacency.(c)))
       in
       let labels =
-        Array.of_list (List.map (fun t -> t.Knowledge.mark) class_trees)
+        Array.of_list (List.map Knowledge.mark class_trees)
       in
       let g = Graph.create ~n:k_classes ~edges ~labels in
       if not (Props.is_connected g) then None
@@ -130,8 +130,8 @@ let from_knowledge k ~phase ~is_instance =
   let depth_k = Knowledge.depth k in
   (* The single-node case: a degree-0 root has the whole graph in view. *)
   let singleton =
-    if k.Knowledge.children = [] then
-      [ Graph.create ~n:1 ~edges:[] ~labels:[| k.Knowledge.mark |], 0, 0 ]
+    if Knowledge.children k = [] then
+      [ Graph.create ~n:1 ~edges:[] ~labels:[| Knowledge.mark k |], 0, 0 ]
     else []
   in
   let quotients =

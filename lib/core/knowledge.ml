@@ -3,8 +3,8 @@ module Label = Anonet_graph.Label
 (* Knowledge is the interned view subsystem plus DAG (de)serialization: the
    former private hash-consing tables here were unsynchronized and raced
    under the domain pool; [Anonet_views.Interned] provides the same
-   representatives from one mutex-guarded process-wide table, so knowledge
-   values built by different pool workers are physically equal. *)
+   representatives from one sharded process-wide arena, so knowledge values
+   built by different pool workers carry the same handle. *)
 include Anonet_views.Interned
 
 let view_of_graph g ~root ~depth =
@@ -14,25 +14,43 @@ let view_of_graph g ~root ~depth =
 (* DAG serialization: entries listed children-first; each entry is
    (mark, indices of children among earlier entries); the root is the last
    entry. *)
-let to_label t =
+let build_label t =
   let index : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let entries = ref [] in
   let count = ref 0 in
   let rec visit t =
-    if not (Hashtbl.mem index t.id) then begin
-      List.iter visit t.children;
-      Hashtbl.add index t.id !count;
+    if not (Hashtbl.mem index (id t)) then begin
+      let children = children t in
+      List.iter visit children;
+      Hashtbl.add index (id t) !count;
       incr count;
       let child_ixs =
-        List.map (fun c -> Label.Int (Hashtbl.find index c.id)) t.children
+        List.map (fun c -> Label.Int (Hashtbl.find index (id c))) children
       in
-      entries := Label.Pair (t.mark, Label.List child_ixs) :: !entries
+      entries := Label.Pair (mark t, Label.List child_ixs) :: !entries
     end
   in
   visit t;
   Label.List (List.rev !entries)
 
-let of_label l =
+(* Serialization is a pure function of the interned id, and A* broadcasts
+   the same gathered view to every neighbor each exchange round — memoizing
+   per domain means one DAG walk (and one label value) per distinct view
+   instead of one per (node, round).  The shared label value also feeds the
+   identity-keyed [of_label] cache on the receiving side. *)
+let to_label_memo_key =
+  Domain.DLS.new_key (fun () : (int, Label.t) Hashtbl.t -> Hashtbl.create 1024)
+
+let to_label t =
+  let memo = Domain.DLS.get to_label_memo_key in
+  match Hashtbl.find_opt memo (id t) with
+  | Some l -> l
+  | None ->
+    let l = build_label t in
+    Hashtbl.add memo (id t) l;
+    l
+
+let decode_label l =
   match l with
   | Label.List [] -> invalid_arg "Knowledge.of_label: empty"
   | Label.List entries ->
@@ -57,3 +75,43 @@ let of_label l =
      | Some t -> t
      | None -> invalid_arg "Knowledge.of_label: empty")
   | _ -> invalid_arg "Knowledge.of_label: not a list"
+
+(* Identity-keyed decode cache: the memoized [to_label] hands every receiver
+   the same physical label value, so equality here is pointer equality with
+   a structural hash (stable across GC moves; physically equal values are
+   structurally equal, so they land in the same bucket).  Distinct-but-equal
+   labels merely miss and decode — interning still yields the same tree. *)
+module Label_key = struct
+  type t = Label.t
+
+  let equal = ( == )
+
+  (* Serialized DAGs list entries children-first, so their heads (the leaf
+     marks) are poor discriminators; the root entry — the last — and the
+     entry count are.  One spine walk, no deep traversal. *)
+  let hash (l : Label.t) =
+    match l with
+    | Label.List (e0 :: rest) ->
+      let rec last_len n last = function
+        | [] -> n, last
+        | [ e ] -> n + 1, e
+        | _ :: tl -> last_len (n + 1) last tl
+      in
+      let len, last = last_len 1 e0 rest in
+      (Hashtbl.hash last * 31) + len
+    | l -> Hashtbl.hash l
+end
+
+module Label_tbl = Hashtbl.Make (Label_key)
+
+let of_label_cache_key =
+  Domain.DLS.new_key (fun () : t Label_tbl.t -> Label_tbl.create 1024)
+
+let of_label l =
+  let cache = Domain.DLS.get of_label_cache_key in
+  match Label_tbl.find_opt cache l with
+  | Some t -> t
+  | None ->
+    let t = decode_label l in
+    Label_tbl.add cache l t;
+    t

@@ -5,12 +5,12 @@
     it only has as many {e distinct} subtrees per level as the graph has
     view-equivalence classes.  Knowledge values are therefore interned
     (see {!Anonet_views.Interned}, whose representation this module shares):
-    structurally equal trees are physically equal and carry the same [id],
-    so equality is O(1), ordering is memoized, [size]/[depth] are stored
-    per node, and a depth-[p] view costs O(n·p) memory instead of O(Δ^p).
-    The intern table is mutex-guarded and shared across domains, so building
-    knowledge inside [Anonet_parallel.Pool] tasks is safe — ids agree
-    between workers.
+    structurally equal trees carry the same arena handle and [id], so
+    equality is O(1), ordering is memoized, [size]/[depth] are stored per
+    node, and a depth-[p] view costs O(n·p) memory instead of O(Δ^p).
+    The intern arena is sharded and lock-guarded, shared across domains, so
+    building knowledge inside [Anonet_parallel.Pool] tasks is safe — ids
+    agree between workers.
 
     Children are kept sorted under {!compare}, which canonicalizes the
     sibling multiset — the same convention as {!Anonet_views.View} (on
@@ -21,13 +21,25 @@
     exchanging knowledge costs messages polynomial in [n·p], not
     exponential. *)
 
-type t = Anonet_views.Interned.t = private {
-  id : int;  (** interning identity: equal trees have equal ids *)
-  mark : Anonet_graph.Label.t;
-  children : t list;  (** sorted under {!compare} *)
-  size : int;  (** unfolded-tree vertex count (saturating) *)
-  depth : int;  (** number of levels; a leaf has depth 1 *)
-}
+type t = Anonet_views.Interned.t
+(** An arena handle; marks, sizes, depths and child lists live in the
+    interning arena's flat columns.  Use the accessors ({!id}, {!mark},
+    {!children}, {!size}, {!depth}). *)
+
+(** [id t] is the interning identity: equal trees have equal ids. *)
+val id : t -> int
+
+(** [mark t] is the root mark. *)
+val mark : t -> Anonet_graph.Label.t
+
+(** [children t] lists the sub-views, sorted under {!compare}. *)
+val children : t -> t list
+
+(** [size t] is the unfolded-tree vertex count (saturating); O(1). *)
+val size : t -> int
+
+(** [hash t] is [t]'s handle — a perfect hash for interned values. *)
+val hash : t -> int
 
 (** [leaf mark] is the depth-1 view with the given mark. *)
 val leaf : Anonet_graph.Label.t -> t
@@ -60,6 +72,13 @@ val view_of_graph : Anonet_graph.Graph.t -> root:int -> depth:int -> t
 val subtrees : t -> t list
 
 (** [to_label t] serializes as a minimal-DAG label; [of_label] inverts it.
+
+    Both directions are cached per domain: [to_label] memoizes on the
+    interned id (so re-broadcasting the same knowledge re-uses one label
+    value, physically), and [of_label] keeps an identity-keyed cache —
+    receivers that are handed the {e same} label value (the common case
+    under the memoized [to_label]) skip the decode entirely.  Both caches
+    are pure function caches; results are identical with or without them.
     @raise Invalid_argument on malformed input. *)
 val to_label : t -> Anonet_graph.Label.t
 

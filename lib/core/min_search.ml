@@ -1,5 +1,6 @@
 module Graph = Anonet_graph.Graph
 module Bits = Anonet_graph.Bits
+module Bitvec = Anonet_graph.Bitvec
 module Executor = Anonet_runtime.Executor
 module Run_ctx = Anonet_runtime.Run_ctx
 module Pool = Anonet_parallel.Pool
@@ -36,6 +37,11 @@ let node_branching_limit = 30
 let check_branching ~free_bits ~limit =
   if free_bits > limit then raise (Branching_limit_exceeded { free_bits; limit })
 
+(* Dedup on execution-state keys (see [Executor.Incremental.dedup_key]):
+   for flat-representation states a key aliases the state's own arenas —
+   no Marshal round-trip, which used to be ~45% of per-state search cost. *)
+module KeyTbl = Hashtbl.Make (Executor.Incremental.Key)
+
 (* Split [0 .. size-1] into at most [4 * domains] contiguous chunks —
    enough slack for dynamic balancing without drowning in merge work. *)
 let chunk_bounds ~size ~domains =
@@ -45,10 +51,12 @@ let chunk_bounds ~size ~domains =
 (* ---------- round-major breadth-first search with state dedup ---------- *)
 
 (* A frontier entry: the per-round bit vectors chosen so far (most recent
-   first) and the execution they induce.  Entries are kept in lexicographic
-   order of their prefixes. *)
+   first, packed — one bit per node per round) and the execution they
+   induce.  Entries are kept in lexicographic order of their prefixes.
+   The vectors are shared, not copied: every entry of a level aliases the
+   level's preallocated vector table. *)
 type entry = {
-  rev_rounds : bool array list;
+  rev_rounds : Bitvec.t list;
   exec : Executor.Incremental.t;
 }
 
@@ -59,7 +67,7 @@ let complete ~base ~rev_rounds ~level ~len =
   let rounds = Array.of_list (List.rev rev_rounds) in
   Array.init n (fun v ->
       let bit r =
-        if r < level then rounds.(r).(v)
+        if r < level then Bitvec.get rounds.(r) v
         else if r < Bits.length base.(v) then Bits.get base.(v) r
         else false
       in
@@ -77,11 +85,16 @@ let free_nodes ~base ~r =
 let round_vectors ~base ~free ~r =
   let n = Array.length base in
   let f = List.length free in
+  let prescribed = Bitvec.create n in
+  for v = 0 to n - 1 do
+    if Bits.length base.(v) >= r then
+      Bitvec.unsafe_set prescribed v (Bits.get base.(v) (r - 1))
+  done;
   let vector code =
-    let bits = Array.init n (fun v ->
-        if Bits.length base.(v) >= r then Bits.get base.(v) (r - 1) else false)
-    in
-    List.iteri (fun pos v -> bits.(v) <- code lsr (f - 1 - pos) land 1 = 1) free;
+    let bits = Bitvec.copy prescribed in
+    List.iteri
+      (fun pos v -> Bitvec.unsafe_set bits v (code lsr (f - 1 - pos) land 1 = 1))
+      free;
     bits
   in
   Seq.map vector (Seq.init (1 lsl f) Fun.id)
@@ -135,15 +148,17 @@ let expand_level t ~consider =
       ]);
   let vectors = Array.of_seq (round_vectors ~base:t.base ~free ~r) in
   let nvec = Array.length vectors in
-  let seen = Hashtbl.create 256 in
+  let seen =
+    KeyTbl.create (max 16 (min 4096 (List.length t.frontier * nvec)))
+  in
   let next = ref [] in
   (* Successors in lexicographic prefix order: entries outer (the
      frontier is sorted), this round's vectors inner.  The first
      occurrence of an execution state is its lexicographically smallest
      prefix, so deduplication must scan in exactly this order. *)
   let absorb entry bits exec fp =
-    if not (Hashtbl.mem seen fp) then begin
-      Hashtbl.add seen fp ();
+    if not (KeyTbl.mem seen fp) then begin
+      KeyTbl.add seen fp ();
       let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
       if not (consider entry r) then next := entry :: !next
     end
@@ -173,14 +188,20 @@ let expand_level t ~consider =
            Array.init ((hi - lo) * nvec) (fun k ->
                let entry = entries.(lo + (k / nvec)) in
                let bits = vectors.(k mod nvec) in
-               let exec = Executor.Incremental.step entry.exec ~bits in
-               entry, bits, exec, Executor.Incremental.fingerprint exec))
+               let exec = Executor.Incremental.step_vec entry.exec ~bits in
+               entry, bits, exec, Executor.Incremental.dedup_key exec))
          (chunk_bounds ~size:(Array.length entries) ~domains:(Pool.domains p))
      in
      Array.iter
        (Array.iter (fun (entry, bits, exec, fp) -> absorb entry bits exec fp))
        stepped
    | None ->
+     (* Probe/commit stepping: write the child into the per-domain probe
+        buffer, test the seen-set against the transient key, and only
+        materialize (allocate) the child when it is genuinely new —
+        duplicates, the common case on symmetric graphs, cost nothing.
+        Dedup semantics (and hence the explored count and first-occurrence
+        order) are identical to the pooled path's step-then-absorb. *)
      List.iter
        (fun entry ->
          Array.iter
@@ -188,8 +209,14 @@ let expand_level t ~consider =
              t.explored <- t.explored + 1;
              Obs.incr t.states_c;
              if t.explored > t.max_states then raise Search_limit_exceeded;
-             let exec = Executor.Incremental.step entry.exec ~bits in
-             absorb entry bits exec (Executor.Incremental.fingerprint exec))
+             let probe = Executor.Incremental.probe_vec entry.exec ~bits in
+             if not (KeyTbl.mem seen (Executor.Incremental.probe_key probe))
+             then begin
+               let exec, fp = Executor.Incremental.probe_commit probe in
+               KeyTbl.add seen fp ();
+               let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
+               if not (consider entry r) then next := entry :: !next
+             end)
            vectors)
        t.frontier);
   t.level <- r;
@@ -384,7 +411,7 @@ module Resumable = struct
      of the completion length — which is what lets one running best
      serve every future [extend] target. *)
   type success = {
-    rev_rounds : bool array list;
+    rev_rounds : Bitvec.t list;
     found_level : int;
     outputs : Anonet_graph.Label.t option array;
   }

@@ -9,36 +9,63 @@ type result = {
   rounds_run : int;
 }
 
-let run ?(obs = Obs.null) ~solver g ~bits =
+module Batch = struct
+  type t = Executor.Scratch.t
+
+  let create () = Executor.Scratch.create ()
+end
+
+(* Simulations that are not explicitly batched still deserve the in-place
+   flat path: one scratch per domain (never shared, never locked) backs
+   every [run] without a [?batch] argument. *)
+let default_batch_key = Domain.DLS.new_key (fun () -> Executor.Scratch.create ())
+
+let run ?(obs = Obs.null) ?batch ~solver g ~bits =
   let n = Graph.n g in
   if Array.length bits <> n then invalid_arg "Simulation.run: wrong assignment size";
   let l = Bit_assignment.min_length bits in
-  (* One bit buffer for the whole run: [step] consumes the bits before
-     returning and never retains the array, so reusing it across rounds is
-     safe and spares an allocation per round (visible in the ablate-bits
-     bench group, where millions of short simulations run back to back). *)
-  let round_bits = Array.make n false in
-  let rec loop exec r =
-    if Executor.Incremental.all_output exec then
-      {
-        successful = true;
-        outputs = Executor.Incremental.outputs exec;
-        rounds_run = Executor.Incremental.round exec;
-      }
-    else if r > l then
-      {
-        successful = false;
-        outputs = Executor.Incremental.outputs exec;
-        rounds_run = Executor.Incremental.round exec;
-      }
-    else begin
-      for v = 0 to n - 1 do
-        round_bits.(v) <- Bits.get bits.(v) (r - 1)
-      done;
-      loop (Executor.Incremental.step exec ~bits:round_bits) (r + 1)
-    end
+  let scratch =
+    match batch with Some b -> b | None -> Domain.DLS.get default_batch_key
   in
-  let result = loop (Executor.Incremental.start solver g) 1 in
+  let result =
+    match
+      (* Flat fast path: the whole run executes in place over the scratch
+         arenas — zero allocation per round — when the solver has a flat
+         companion.  Byte-identical to the loop below (test_flat.ml). *)
+      Executor.simulate_flat ~scratch solver g
+        ~bit:(fun ~node ~round -> Bits.get bits.(node) (round - 1))
+        ~len:l
+    with
+    | Some (outputs, rounds_run, successful) -> { successful; outputs; rounds_run }
+    | None ->
+      (* One bit buffer for the whole run: [step] consumes the bits before
+         returning and never retains the array, so reusing it across rounds
+         is safe and spares an allocation per round (visible in the
+         ablate-bits bench group, where millions of short simulations run
+         back to back). *)
+      let round_bits = Array.make n false in
+      let rec loop exec r =
+        if Executor.Incremental.all_output exec then
+          {
+            successful = true;
+            outputs = Executor.Incremental.outputs exec;
+            rounds_run = Executor.Incremental.round exec;
+          }
+        else if r > l then
+          {
+            successful = false;
+            outputs = Executor.Incremental.outputs exec;
+            rounds_run = Executor.Incremental.round exec;
+          }
+        else begin
+          for v = 0 to n - 1 do
+            round_bits.(v) <- Bits.get bits.(v) (r - 1)
+          done;
+          loop (Executor.Incremental.step exec ~bits:round_bits) (r + 1)
+        end
+      in
+      loop (Executor.Incremental.start solver g) 1
+  in
   Obs.incr (Obs.counter obs "sim.runs");
   Obs.incr ~by:result.rounds_run (Obs.counter obs "sim.rounds");
   result

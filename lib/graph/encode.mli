@@ -21,14 +21,16 @@ val compare_sized : int * string -> int * string -> int
     Section 3.1 consumes; the cache makes repeated candidate comparisons of
     the same graph value O(1) after the first.  Domain-safe (mutex-guarded);
     entries are invalidation-free because ids are process-unique and never
-    reused — the table is merely reset wholesale when it exceeds its size
-    cap. *)
+    reused — at the size cap the least-recently-used quartile is evicted in
+    one amortized scan (counted in {!cache_stats}[.evictions]), so the hot
+    working set stays resident. *)
 val canonical : Graph.t -> string
 
 type cache_stats = {
   hits : int;  (** [canonical] calls answered from the cache *)
   misses : int;  (** [canonical] calls that encoded *)
   entries : int;  (** current table size *)
+  evictions : int;  (** entries dropped at the size cap (LRU-quartile victims) *)
 }
 
 (** Process-lifetime totals for the {!canonical} cache (reported as

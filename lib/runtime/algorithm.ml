@@ -44,3 +44,88 @@ let broadcast ~degree msg = Array.make degree (Some msg)
 
 (** [silence ~degree] sends nothing on any port. *)
 let silence ~degree : Anonet_graph.Label.t option array = Array.make degree None
+
+(** Flat-machine companions: an unboxed rendering of the same algorithm.
+
+    A flat instance stores every node's state as [state_words] consecutive
+    ints in one shared arena and every in-flight message as [msg_words]
+    consecutive ints in one shared inbox arena (one slot per directed
+    edge; a slot whose first word is [0] carries no message).  [round]
+    mutates the node's state span in place and, when it returns [true],
+    broadcasts the [msg_words]-span it wrote into the send buffer on
+    every port.  Algorithms register a flat companion with
+    {!register_flat}; the executor switches to the flat representation
+    whenever one is available, the run is free of faults/adversary/
+    scramble hooks (those operate on boxed [Label.t] payloads), and
+    {!Flat.plan} accepts the graph.
+
+    The contract mirrors the boxed path bit for bit: a flat companion
+    must be an {e injective} encoding of the boxed states and messages —
+    equal flat arenas if and only if the boxed execution states are
+    structurally equal — and must keep outputs irrevocable (the flat
+    path trusts it instead of re-checking every round).  The qcheck
+    equivalence suite ([test/test_flat.ml]) holds registered companions
+    to exactly this: byte-identical outputs, rounds, message counts and
+    search results against the boxed path on fixed and random graphs. *)
+module Flat = struct
+  type instance = {
+    state_words : int;  (** ints per node in the state arena *)
+    msg_words : int;  (** ints per directed-edge slot; word 0 = 0 when empty *)
+    init :
+      node:int ->
+      input:Anonet_graph.Label.t ->
+      degree:int ->
+      state:int array ->
+      off:int ->
+      unit;
+        (** fill the node's span (pre-zeroed) with the initial state *)
+    round :
+      node:int ->
+      bit:bool ->
+      degree:int ->
+      state:int array ->
+      off:int ->
+      inbox:int array ->
+      ioff:int ->
+      send:int array ->
+      soff:int ->
+      bool;
+        (** one synchronous round: read inbox slots [ioff + p*msg_words]
+            for ports [p < degree], mutate the state span at [off], and
+            either write a message into the send span at [soff] and
+            return [true] (broadcast) or return [false] (silence).  A
+            [true] return must leave {e every} word of the send span
+            deterministic — unused trailing words zeroed — because the
+            routed inbox arena doubles as a search dedup key. *)
+    output : state:int array -> off:int -> Anonet_graph.Label.t option;
+    has_output : state:int array -> off:int -> bool;
+        (** allocation-free [output <> None] *)
+  }
+
+  type t = {
+    plan : Anonet_graph.Graph.t -> instance option;
+        (** size the arenas for this graph, or decline ([None]) when the
+            flat encoding cannot represent the run (e.g. packed fields
+            would overflow) — the executor then stays on the boxed path *)
+  }
+end
+
+(* Flat companions are registered against the algorithm's first-class
+   module value (physical identity): wrappers such as Retransmit.wrap
+   produce fresh module values and therefore — correctly — stay boxed.
+   The list is tiny (a handful of library algorithms) and read-mostly;
+   registration CASes so concurrent domain start-up is safe. *)
+let flat_registry : (t * Flat.t) list Atomic.t = Atomic.make []
+
+let register_flat algo flat =
+  let rec add () =
+    let old = Atomic.get flat_registry in
+    if not (Atomic.compare_and_set flat_registry old ((algo, flat) :: old)) then
+      add ()
+  in
+  add ()
+
+let find_flat (algo : t) =
+  List.find_map
+    (fun (a, f) -> if a == algo then Some f else None)
+    (Atomic.get flat_registry)

@@ -9,7 +9,18 @@
     {!Incremental} exposes a persistent (copy-on-step) execution state so
     that searches over bit assignments can branch cheaply — the
     derandomization's minimal-simulation search explores a tree of
-    executions and backtracks without re-simulating shared prefixes. *)
+    executions and backtracks without re-simulating shared prefixes.
+
+    Two interchangeable representations back an execution.  The {e boxed}
+    one holds each node's state as an OCaml value and messages as
+    [Label.t option]s; it supports the full model (faults, adversaries,
+    port scrambles).  The {e flat} one — used automatically whenever the
+    algorithm registered an {!Algorithm.Flat} companion and the run is
+    free of injection hooks — packs all node states into one int array and
+    all in-flight messages into one inbox arena, making a step two array
+    allocations and a state key an alias instead of a Marshal round-trip.
+    The two are observably identical (outputs, rounds, message counts,
+    search results); the qcheck suite in [test/test_flat.ml] enforces it. *)
 
 type failure =
   | Max_rounds_exceeded of int
@@ -102,12 +113,20 @@ module Incremental : sig
       searches must run fault-free. *)
   type t
 
-  (** [start ?ctx algo g] is the execution before round 1.  The context's
-      scramble seed, fault plan and adversary plan (an injector/adversary is
-      instantiated here) become the defaults that every subsequent {!step}
-      applies; the default context supplies none of them, preserving the
-      plain executor. *)
-  val start : ?ctx:Run_ctx.t -> Algorithm.t -> Anonet_graph.Graph.t -> t
+  (** [start ?ctx ?use_flat algo g] is the execution before round 1.  The
+      context's scramble seed, fault plan and adversary plan (an
+      injector/adversary is instantiated here) become the defaults that
+      every subsequent {!step} applies; the default context supplies none
+      of them, preserving the plain executor.
+
+      The flat representation is chosen when [use_flat] (default [true]),
+      the algorithm has a registered {!Algorithm.Flat} companion whose
+      plan accepts [g], {e and} the context supplies no scramble, faults
+      or adversary — injection hooks are defined over boxed payloads.
+      Pass [~use_flat:false] to pin the boxed path (the equivalence tests
+      do; so does {!Trace.record}, which replays boxed inboxes). *)
+  val start :
+    ?ctx:Run_ctx.t -> ?use_flat:bool -> Algorithm.t -> Anonet_graph.Graph.t -> t
 
   (** [step t ~bits] advances one round; [bits.(v)] is node [v]'s bit.
       [scramble], if given, permutes each node's freshly delivered inbox:
@@ -119,7 +138,10 @@ module Incremental : sig
       Persistent: [t] remains valid — but note a [Faults.t] (and an
       [Adversary.t]) is itself stateful, so branching searches should not
       inject faults or adversaries.
-      @raise Invalid_argument on wrong array length or output revocation. *)
+      @raise Invalid_argument on wrong array length or output revocation,
+      or if injection arguments are passed to a flat-representation state
+      (start boxed — [~use_flat:false] or a ctx carrying the hooks —
+      when a run needs them). *)
   val step :
     ?scramble:(node:int -> degree:int -> round:int -> int array) ->
     ?faults:Faults.t ->
@@ -127,6 +149,13 @@ module Incremental : sig
     t ->
     bits:bool array ->
     t
+
+  (** [step_vec t ~bits] is [step] taking the round's bits as a packed
+      {!Anonet_graph.Bitvec.t} — the search loops fill one preallocated
+      vector per round instead of boxing a [bool array] per branch.
+      Applies the defaults captured at [start] (no per-call overrides).
+      @raise Invalid_argument on wrong vector length. *)
+  val step_vec : t -> bits:Anonet_graph.Bitvec.t -> t
 
   val outputs : t -> Anonet_graph.Label.t option array
 
@@ -138,11 +167,78 @@ module Incremental : sig
 
   val messages : t -> int
 
+  (** Whether [t] uses the flat representation (observably equivalent;
+      exposed for tests and diagnostics). *)
+  val is_flat : t -> bool
+
   (** [fingerprint t] is a digest of the whole execution state (node
       states, in-flight messages, outputs).  Equal fingerprints imply
       structurally equal states — two executions with equal fingerprints
       behave identically under equal future inputs — so searches over bit
       assignments can deduplicate branches.  (Unequal fingerprints do not
-      imply unequal states; missing a duplicate only costs time.) *)
+      imply unequal states; missing a duplicate only costs time.
+      Fingerprints are only comparable between states of the same
+      representation — searches never mix the two.) *)
   val fingerprint : t -> string
+
+  (** A dedup key with the same contract as {!fingerprint} (equal keys
+      imply structurally equal states) but cheaper to build: for flat
+      states it aliases the state's own immutable arenas instead of
+      marshaling them to a string.  Hash with {!module-Key}. *)
+  type key
+
+  val dedup_key : t -> key
+
+  module Key : Hashtbl.HashedType with type t = key
+
+  (** Probe/commit stepping for dedup-heavy searches.  [probe_vec t ~bits]
+      performs the round of {!step_vec} but, for flat states, writes the
+      child arena into a reusable per-domain buffer instead of a fresh
+      allocation; {!probe_key} then gives a dedup key for a seen-set
+      membership test, and {!probe_commit} materializes the stable child
+      state (plus a stable key safe to retain) only when the caller
+      decides to keep it.  A probe — and its [probe_key] — is invalidated
+      by the next [probe_vec] call on the same domain, so check membership
+      before probing again and never store a probe key in a table.
+      Duplicate children (the common case on symmetric graphs) thus cost
+      no allocation at all.  For boxed states a probe is simply the fully
+      stepped state. *)
+  type probe
+
+  val probe_vec : t -> bits:Anonet_graph.Bitvec.t -> probe
+
+  (** Transient key aliasing the per-domain probe buffer — valid for
+      membership tests only, until the next [probe_vec] on this domain. *)
+  val probe_key : probe -> key
+
+  (** The stable child state and a stable (retainable) dedup key for it. *)
+  val probe_commit : probe -> t * key
 end
+
+(** Reusable whole-run scratch for {!simulate_flat}: owns the state arena,
+    a double-buffered pair of inbox arenas and the send buffer, and
+    memoizes the flat layout of the last (algorithm, graph) pair — batched
+    candidate searches simulate the same graph millions of times.  Not
+    thread-safe; use one per domain (see [Simulation]'s per-domain
+    default).  Buffers only grow, so one scratch serves mixed workloads. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
+(** [simulate_flat ~scratch algo g ~bit ~len] runs a complete fault-free
+    simulation in place over [scratch], mutating arenas instead of
+    allocating per round: [bit ~node ~round] feeds node bits (rounds are
+    1-based), the run stops as soon as every node has output or after
+    [len] rounds.  Returns [Some (outputs, rounds_run, successful)] —
+    exactly the boxed loop's result — or [None] when the algorithm has no
+    flat companion (or its plan declines [g]); callers fall back to the
+    persistent path. *)
+val simulate_flat :
+  scratch:Scratch.t ->
+  Algorithm.t ->
+  Anonet_graph.Graph.t ->
+  bit:(node:int -> round:int -> bool) ->
+  len:int ->
+  (Anonet_graph.Label.t option array * int * bool) option

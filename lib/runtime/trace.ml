@@ -82,9 +82,15 @@ let record_with ~scramble ~faults ~adversary ~obs algo g ~tape ~max_rounds =
       end
     end
   in
+  (* The per-step injection arguments below only type-check against the
+     boxed representation; a hook-free recording may use the flat one
+     (traces read just outputs/rounds/messages, which both provide). *)
+  let use_flat =
+    Option.is_none scramble && Option.is_none faults && Option.is_none adversary
+  in
   let result =
     Obs.span obs "trace.record" (fun () ->
-        let exec = Executor.Incremental.start algo g in
+        let exec = Executor.Incremental.start ~use_flat algo g in
         note exec 0;
         loop exec [] 0)
   in

@@ -3,27 +3,21 @@ module Label = Anonet_graph.Label
 module Encode = Anonet_graph.Encode
 module Obs = Anonet_obs.Obs
 
-type t = {
-  id : int;
-  mark : Label.t;
-  children : t list;
-  size : int;
-  depth : int;
-}
+(* A view node is an integer handle [slot lsl shard_bits lor shard]; all node
+   attributes (mark, size, depth, children) live in flat per-shard column
+   arrays instead of per-node records.  Two wins over the former record
+   representation: no box per view node (the whole store is a handful of
+   arrays the GC scans as units), and the intern table splits into
+   [shard_count] independently locked shards, so concurrent interning by
+   pool workers contends only when two structures hash to the same shard. *)
 
-let equal a b = a.id = b.id
+type t = int
 
-let hash t = t.id
+let equal (a : t) (b : t) = Int.equal a b
 
-let id t = t.id
+let hash (t : t) = t
 
-let mark t = t.mark
-
-let children t = t.children
-
-let size t = t.size
-
-let depth t = t.depth
+let id (t : t) = t
 
 (* Unfolded-tree sizes grow like Δ^depth; saturate instead of wrapping so the
    stored count stays a valid sort key at any depth. *)
@@ -31,17 +25,26 @@ let sat_add a b =
   let s = a + b in
   if s < 0 then max_int else s
 
-(* ---------- the intern table ---------- *)
+(* ---------- the sharded intern arena ---------- *)
 
-(* One process-wide table guarded by one mutex.  A single shared table (as
-   opposed to per-domain tables) is what makes ids meaningful across
-   domains: views built by different pool workers for the same structure are
-   physically equal, so results merged in the main domain compare in O(1).
-   Interning is a pure function cache, so the sharing leaks nothing between
-   simulated nodes.  The table only grows; ids are never reused. *)
+(* The shard of a node is chosen by its intern key's hash, so the id space
+   stays process-global: equal structures land in the same shard and receive
+   the same handle no matter which domain interns them first.  Each shard's
+   column arrays are published through an [Atomic.t] snapshot — writers
+   mutate under the shard lock and swap in a grown copy when full, readers
+   take the current snapshot without locking.  A handle only escapes after
+   its columns are fully written under the lock, and handles travel between
+   domains through synchronized channels (pool queues), so a reader's
+   snapshot always covers every handle it can name. *)
+
+let shard_bits = 4
+
+let shard_count = 1 lsl shard_bits
+
+let shard_mask = shard_count - 1
 
 module Key = struct
-  type t = Label.t * int list (* root mark, sorted child ids *)
+  type t = Label.t * int list (* root mark, child ids in canonical order *)
 
   let equal (m1, c1) (m2, c2) = List.equal Int.equal c1 c2 && Label.equal m1 m2
 
@@ -51,36 +54,114 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-let table : t Tbl.t = Tbl.create 4096
+type store = {
+  marks : Label.t array;
+  sizes : int array;
+  depths : int array;
+  coff : int array;  (* [coff.(slot) .. coff.(slot+1)) delimits [cids] *)
+  cids : int array;  (* flat concatenation of child handles *)
+}
 
-let table_mutex = Mutex.create ()
+type shard = {
+  index : int;
+  lock : Mutex.t;
+  tbl : int Tbl.t;  (* intern key -> handle *)
+  mutable count : int;  (* slots in use; guarded by [lock] *)
+  mutable cfill : int;  (* [cids] words in use; guarded by [lock] *)
+  store : store Atomic.t;
+}
 
-let next_id = ref 0
+let empty_store cap ccap =
+  {
+    marks = Array.make cap Label.Unit;
+    sizes = Array.make cap 0;
+    depths = Array.make cap 0;
+    coff = Array.make (cap + 1) 0;
+    cids = Array.make ccap 0;
+  }
+
+let shards =
+  Array.init shard_count (fun index ->
+      {
+        index;
+        lock = Mutex.create ();
+        tbl = Tbl.create 512;
+        count = 0;
+        cfill = 0;
+        store = Atomic.make (empty_store 256 1024);
+      })
+
+let store_of (t : t) = Atomic.get shards.(t land shard_mask).store
+
+let slot (t : t) = t lsr shard_bits
+
+let mark t = (store_of t).marks.(slot t)
+
+let size t = (store_of t).sizes.(slot t)
+
+let depth t = (store_of t).depths.(slot t)
+
+let children t =
+  let s = store_of t in
+  let i = slot t in
+  let a = s.coff.(i) in
+  List.init (s.coff.(i + 1) - a) (fun j -> s.cids.(a + j))
 
 let intern_hits = Atomic.make 0
 
 let intern_misses = Atomic.make 0
 
-(* [children] must already be in canonical order; [node] sorts, [truncate]
-   and [of_graph] go through [node]. *)
-let intern mark children =
-  let key = mark, List.map (fun c -> c.id) children in
-  Mutex.lock table_mutex;
+(* Guarded by [sh.lock]. *)
+let grow_locked sh ~slots ~words =
+  let st = Atomic.get sh.store in
+  let cap = Array.length st.marks in
+  let ccap = Array.length st.cids in
+  if slots > cap || words > ccap then begin
+    let rec fit c need = if c >= need then c else fit (2 * c) need in
+    let st' = empty_store (fit cap slots) (fit ccap words) in
+    Array.blit st.marks 0 st'.marks 0 sh.count;
+    Array.blit st.sizes 0 st'.sizes 0 sh.count;
+    Array.blit st.depths 0 st'.depths 0 sh.count;
+    Array.blit st.coff 0 st'.coff 0 (sh.count + 1);
+    Array.blit st.cids 0 st'.cids 0 sh.cfill;
+    Atomic.set sh.store st'
+  end
+
+(* [child_ids] must already be in canonical sibling order; [node] sorts,
+   [truncate] and [of_graph] go through [node]. *)
+let intern mark child_ids =
+  let key = mark, child_ids in
+  let sh = shards.(Key.hash key land shard_mask) in
+  Mutex.lock sh.lock;
   let t =
-    match Tbl.find_opt table key with
+    match Tbl.find_opt sh.tbl key with
     | Some t ->
       Atomic.incr intern_hits;
       t
     | None ->
       Atomic.incr intern_misses;
-      let size = List.fold_left (fun s c -> sat_add s c.size) 1 children in
-      let depth = 1 + List.fold_left (fun m c -> max m c.depth) 0 children in
-      let t = { id = !next_id; mark; children; size; depth } in
-      incr next_id;
-      Tbl.add table key t;
+      let nc = List.length child_ids in
+      grow_locked sh ~slots:(sh.count + 1) ~words:(sh.cfill + nc);
+      let st = Atomic.get sh.store in
+      let i = sh.count in
+      st.marks.(i) <- mark;
+      st.sizes.(i) <- List.fold_left (fun s c -> sat_add s (size c)) 1 child_ids;
+      st.depths.(i) <- 1 + List.fold_left (fun m c -> max m (depth c)) 0 child_ids;
+      st.coff.(i) <- sh.cfill;
+      let j = ref sh.cfill in
+      List.iter
+        (fun c ->
+          st.cids.(!j) <- c;
+          incr j)
+        child_ids;
+      st.coff.(i + 1) <- !j;
+      sh.cfill <- !j;
+      sh.count <- i + 1;
+      let t = (i lsl shard_bits) lor sh.index in
+      Tbl.add sh.tbl key t;
       t
   in
-  Mutex.unlock table_mutex;
+  Mutex.unlock sh.lock;
   t
 
 (* ---------- canonical order ---------- *)
@@ -88,30 +169,43 @@ let intern mark children =
 (* Structural compare decided over ids: each distinct (id, id) pair is
    resolved once per domain and memoized.  The memo is domain-local
    (Domain.DLS) so the hot comparison path never takes a lock; the answers
-   are pure, so recomputing one per domain is only a constant-factor cost. *)
+   are pure, so recomputing one per domain is only a constant-factor cost.
+   The child walk runs directly over the flat [cids] columns — no sibling
+   lists are materialized. *)
 
 let compare_memo_key =
   Domain.DLS.new_key (fun () : (int * int, int) Hashtbl.t -> Hashtbl.create 4096)
 
-let rec compare_memoized memo a b =
-  if a.id = b.id then 0
+let rec compare_memoized memo (a : t) (b : t) =
+  if a = b then 0
   else begin
-    match Hashtbl.find_opt memo (a.id, b.id) with
+    match Hashtbl.find_opt memo (a, b) with
     | Some c -> c
     | None ->
       let c =
-        let cm = Label.compare a.mark b.mark in
+        let cm = Label.compare (mark a) (mark b) in
         if cm <> 0 then cm
-        else List.compare (compare_memoized memo) a.children b.children
+        else begin
+          let sa = store_of a and sb = store_of b in
+          let ia = slot a and ib = slot b in
+          let a1 = sa.coff.(ia + 1) and b1 = sb.coff.(ib + 1) in
+          let rec go i j =
+            if i >= a1 then if j >= b1 then 0 else -1
+            else if j >= b1 then 1
+            else
+              let c = compare_memoized memo sa.cids.(i) sb.cids.(j) in
+              if c <> 0 then c else go (i + 1) (j + 1)
+          in
+          go sa.coff.(ia) sb.coff.(ib)
+        end
       in
-      Hashtbl.add memo (a.id, b.id) c;
-      Hashtbl.add memo (b.id, a.id) (-c);
+      Hashtbl.add memo (a, b) c;
+      Hashtbl.add memo (b, a) (-c);
       c
   end
 
 let compare a b =
-  if a.id = b.id then 0
-  else compare_memoized (Domain.DLS.get compare_memo_key) a b
+  if a = b then 0 else compare_memoized (Domain.DLS.get compare_memo_key) a b
 
 let leaf mark = intern mark []
 
@@ -138,35 +232,39 @@ let of_graph g ~root ~depth =
 let truncate_memo_key =
   Domain.DLS.new_key (fun () : (int * int, t) Hashtbl.t -> Hashtbl.create 4096)
 
-let truncate t ~depth =
-  if depth < 1 then invalid_arg "Interned.truncate: need depth >= 1";
+let truncate t ~depth:d0 =
+  if d0 < 1 then invalid_arg "Interned.truncate: need depth >= 1";
   let memo = Domain.DLS.get truncate_memo_key in
   let rec go t d =
-    if d >= t.depth then t
+    if d >= depth t then t
     else begin
-      match Hashtbl.find_opt memo (t.id, d) with
+      match Hashtbl.find_opt memo (t, d) with
       | Some t' -> t'
       | None ->
         let t' =
-          if d = 1 then leaf t.mark
-          (* [node] re-sorts: truncation can reorder siblings that only
-             differed below the cut. *)
-          else node t.mark (List.map (fun c -> go c (d - 1)) t.children)
+          if d = 1 then leaf (mark t)
+            (* [node] re-sorts: truncation can reorder siblings that only
+               differed below the cut. *)
+          else node (mark t) (List.map (fun c -> go c (d - 1)) (children t))
         in
-        Hashtbl.add memo (t.id, d) t';
+        Hashtbl.add memo (t, d) t';
         t'
     end
   in
-  go t depth
+  go t d0
 
 let subtrees t =
   let seen = Hashtbl.create 64 in
   let acc = ref [] in
   let rec visit t =
-    if not (Hashtbl.mem seen t.id) then begin
-      Hashtbl.add seen t.id ();
+    if not (Hashtbl.mem seen t) then begin
+      Hashtbl.add seen t ();
       acc := t :: !acc;
-      List.iter visit t.children
+      let s = store_of t in
+      let i = slot t in
+      for j = s.coff.(i) to s.coff.(i + 1) - 1 do
+        visit s.cids.(j)
+      done
     end
   in
   visit t;
@@ -181,10 +279,14 @@ type stats = {
 }
 
 let stats () =
-  Mutex.lock table_mutex;
-  let nodes = Tbl.length table in
-  Mutex.unlock table_mutex;
-  { hits = Atomic.get intern_hits; misses = Atomic.get intern_misses; nodes }
+  let nodes = ref 0 in
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.lock;
+      nodes := !nodes + sh.count;
+      Mutex.unlock sh.lock)
+    shards;
+  { hits = Atomic.get intern_hits; misses = Atomic.get intern_misses; nodes = !nodes }
 
 let publish_metrics obs =
   if Obs.live obs then begin
@@ -195,5 +297,6 @@ let publish_metrics obs =
     let e = Encode.cache_stats () in
     Obs.incr ~by:e.Encode.hits (Obs.counter obs "cache.encode.hits");
     Obs.incr ~by:e.Encode.misses (Obs.counter obs "cache.encode.misses");
+    Obs.incr ~by:e.Encode.evictions (Obs.counter obs "cache.encode.evictions");
     Obs.set (Obs.gauge obs "cache.encode.entries") e.Encode.entries
   end

@@ -1,45 +1,50 @@
-(** Hash-consed (interned) local-view trees.
+(** Hash-consed (interned) local-view trees, stored in a flat arena.
 
     A depth-[d] view of a dense graph unfolds to a tree with up to [Δ^d]
     vertices, but has at most [n] {e distinct} subtrees per level (one per
     view-equivalence class, Section 2.1).  This module interns view nodes in
-    a process-wide hash-cons table: structurally equal trees are physically
-    equal and carry the same integer [id], so
+    a process-wide hash-cons arena: structurally equal trees receive the
+    same integer handle, so
 
-    - {!equal} and {!hash} are O(1) (id comparison),
+    - {!equal} and {!hash} are O(1) (handle comparison),
     - {!compare} is the canonical structural order of {!View.compare},
-      memoized over id pairs (amortized O(1) on repeated comparisons),
+      memoized over handle pairs (amortized O(1) on repeated comparisons),
     - {!size} and {!depth} are O(1) (stored per node at construction),
 
     and every algorithm that walks views — sorting truncations, counting
     tree vertices, the [(size, encoding)] candidate order — runs in the size
     of the shared DAG instead of the unfolded tree.
 
+    {2 Representation}
+
+    A value of type {!t} is the node's arena handle; marks, sizes, depths
+    and child lists live in flat per-shard column arrays (marks, sizes,
+    depths, child offsets into one concatenated child-handle array).  There
+    is no box per view node: the store is a handful of arrays the GC scans
+    as units, and the child walks of {!compare}/{!subtrees} run directly
+    over the flat columns.
+
     {2 Domain safety}
 
-    The intern table is a single mutex-guarded process-wide table (interning
-    is a pure function cache, so sharing it across simulated nodes and
-    domains leaks no information between them).  Construction under
-    [Anonet_parallel.Pool] is safe: two domains interning the same structure
-    race only for who inserts first; both receive the unique representative.
-    The {!compare} and {!truncate} memo tables are {e per-domain}
-    ([Domain.DLS]), so the hot read paths never contend on a lock.  Nodes
-    themselves are immutable and freely shared across domains.
+    The intern table is split into key-hash shards, each guarded by its own
+    mutex (interning is a pure function cache, so sharing it across
+    simulated nodes and domains leaks no information between them).
+    Handles are process-global — equal structures hash to the same shard
+    and receive the same handle no matter which domain interns them first —
+    so construction under [Anonet_parallel.Pool] is safe: two domains
+    interning the same structure race only for who inserts first; both
+    receive the unique representative.  Reads (accessors, {!compare},
+    {!truncate}) never take a lock: each shard publishes its column arrays
+    through an [Atomic.t] snapshot, and the {!compare}/{!truncate} memo
+    tables are {e per-domain} ([Domain.DLS]).
 
-    Invalidation: none.  Interned nodes are pure values; the tables only
-    grow (they implement function caches keyed by ids that are never
-    reused), and live for the process.  See DESIGN.md, "View interning &
-    encoding cache". *)
+    Invalidation: none.  Interned nodes are pure values; the arena only
+    grows (it implements a function cache keyed by handles that are never
+    reused), and lives for the process.  See DESIGN.md, "Memory layout &
+    scratch arenas". *)
 
-type t = private {
-  id : int;  (** interning identity: equal trees have equal ids *)
-  mark : Anonet_graph.Label.t;
-  children : t list;  (** sorted under {!compare}; interned *)
-  size : int;
-      (** number of vertices of the {e unfolded} tree (saturating at
-          [max_int] for astronomically deep views) *)
-  depth : int;  (** number of levels; a leaf has depth 1 *)
-}
+type t
+(** An arena handle.  Equal trees have equal handles. *)
 
 (** [leaf mark] is the depth-1 view with the given mark. *)
 val leaf : Anonet_graph.Label.t -> t
@@ -48,27 +53,31 @@ val leaf : Anonet_graph.Label.t -> t
     sibling order under {!compare}. *)
 val node : Anonet_graph.Label.t -> t list -> t
 
-(** O(1): interning makes structural and physical equality coincide. *)
+(** O(1): interning makes structural equality a handle comparison. *)
 val equal : t -> t -> bool
 
 (** The canonical total order of {!View.compare} — root marks first, then
-    child lists lexicographically — decided via ids and a per-domain memo
-    table.  [compare a b = 0] iff [a == b]. *)
+    child lists lexicographically — decided via handles and a per-domain
+    memo table.  [compare a b = 0] iff [equal a b]. *)
 val compare : t -> t -> int
 
-(** [hash t] is [t.id] — a perfect hash for interned values. *)
+(** [hash t] is [t]'s handle — a perfect hash for interned values. *)
 val hash : t -> int
 
+(** [id t] is the interning identity: equal trees have equal ids. *)
 val id : t -> int
 
+(** [mark t] is the root mark. *)
 val mark : t -> Anonet_graph.Label.t
 
+(** [children t] lists the sub-views, sorted under {!compare}. *)
 val children : t -> t list
 
-(** [size t] is the vertex count of the unfolded tree, O(1). *)
+(** [size t] is the vertex count of the unfolded tree, O(1) (saturating at
+    [max_int] for astronomically deep views). *)
 val size : t -> int
 
-(** [depth t] is the number of levels, O(1). *)
+(** [depth t] is the number of levels (a leaf has depth 1), O(1). *)
 val depth : t -> int
 
 (** [of_graph g ~root ~depth] is [L_depth(root, g)] interned — the same
@@ -91,18 +100,18 @@ val subtrees : t -> t list
 type stats = {
   hits : int;  (** interning requests answered by an existing node *)
   misses : int;  (** interning requests that allocated a new node *)
-  nodes : int;  (** current intern-table population *)
+  nodes : int;  (** current intern-arena population *)
 }
 
-(** Process-lifetime totals for the intern table. *)
+(** Process-lifetime totals for the intern arena. *)
 val stats : unit -> stats
 
 (** [publish_metrics obs] records the interning totals ({!stats}) and the
     canonical-encoding cache totals ({!Anonet_graph.Encode.cache_stats}) in
     [obs]'s metrics registry: counters [cache.view.hits], [cache.view.misses],
-    [cache.encode.hits], [cache.encode.misses] and gauges [cache.view.nodes],
-    [cache.encode.entries].  The counters carry process-lifetime totals —
-    call this once per registry, just before taking its snapshot (the CLI
-    metrics trailer and [bench-json] do exactly that).  A no-op on
-    {!Anonet_obs.Obs.null}. *)
+    [cache.encode.hits], [cache.encode.misses], [cache.encode.evictions] and
+    gauges [cache.view.nodes], [cache.encode.entries].  The counters carry
+    process-lifetime totals — call this once per registry, just before
+    taking its snapshot (the CLI metrics trailer and [bench-json] do exactly
+    that).  A no-op on {!Anonet_obs.Obs.null}. *)
 val publish_metrics : Anonet_obs.Obs.t -> unit

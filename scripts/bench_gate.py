@@ -5,7 +5,10 @@ snapshot in bench/history/ and fail on a >20% slowdown in any group.
 Usage: bench_gate.py FRESH_JSON HISTORY_DIR [--threshold 1.20] [--strict]
 
 Snapshots are the files `main.exe bench-json PATH --history DIR` writes
-(schema anonet-bench/1 or /2).  Comparison rules:
+(schema anonet-bench/1, /2 or /3).  Schema 3 adds an "allocs" array of
+per-workload GC word deltas (minor_words_per_run / major_words_per_run);
+the gate compares wall-clock only and ignores keys it does not know, so
+mixed-schema histories remain comparable.  Comparison rules:
 
 - The baseline is the history entry with the newest `generated_at`
   (file mtime for schema-1 entries, which lack the field).

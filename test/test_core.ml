@@ -27,7 +27,7 @@ let prime_instance g = colored_instance g (Array.init (Graph.n g) (fun v -> Labe
 let test_knowledge_hashcons () =
   let a = Knowledge.node (Label.Int 1) [ Knowledge.leaf (Label.Int 2) ] in
   let b = Knowledge.node (Label.Int 1) [ Knowledge.leaf (Label.Int 2) ] in
-  check "same id" true (a.Knowledge.id = b.Knowledge.id);
+  check "same id" true (Knowledge.id a = Knowledge.id b);
   check "equal" true (Knowledge.equal a b);
   (* children are canonicalized *)
   let c1 = Knowledge.leaf (Label.Int 1) and c2 = Knowledge.leaf (Label.Int 2) in
@@ -43,8 +43,8 @@ let test_knowledge_view_matches_view_module () =
     (* Compare shapes via a common rendering: mark sequence of a canonical
        preorder walk. *)
     let rec flat_k (t : Knowledge.t) =
-      Label.encode t.Knowledge.mark
-      :: List.concat_map flat_k t.Knowledge.children
+      Label.encode (Knowledge.mark t)
+      :: List.concat_map flat_k (Knowledge.children t)
     in
     let rec flat_v (t : Anonet_views.View.t) =
       Label.encode t.Anonet_views.View.mark
@@ -59,7 +59,7 @@ let test_knowledge_label_roundtrip () =
   let k = Knowledge.view_of_graph (Gen.label_with_ints g) ~root:3 ~depth:5 in
   let k' = Knowledge.of_label (Knowledge.to_label k) in
   check "roundtrip" true (Knowledge.equal k k');
-  check_int "same id (hash-consed)" k.Knowledge.id k'.Knowledge.id
+  check_int "same id (hash-consed)" (Knowledge.id k) (Knowledge.id k')
 
 let test_knowledge_truncate_depth () =
   let g = Gen.c6_figure1 () in
@@ -545,7 +545,7 @@ let test_literal_candidates_cross_check () =
   let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
   let alphabet =
     List.sort_uniq Label.compare
-      (List.map (fun (t : Knowledge.t) -> t.Knowledge.mark) (Knowledge.subtrees k))
+      (List.map Knowledge.mark (Knowledge.subtrees k))
   in
   let quotient_based = Candidates.from_knowledge k ~phase:p ~is_instance in
   let literal = Candidates.literal_candidates k ~phase:p ~alphabet ~is_instance in
@@ -575,7 +575,7 @@ let test_literal_candidates_small_phase () =
   let is_instance = (Problem.colored_variant Catalog.mis).Problem.is_instance in
   let alphabet =
     List.sort_uniq Label.compare
-      (List.map (fun (t : Knowledge.t) -> t.Knowledge.mark) (Knowledge.subtrees k))
+      (List.map Knowledge.mark (Knowledge.subtrees k))
   in
   let quotient_based = Candidates.from_knowledge k ~phase:p ~is_instance in
   let literal = Candidates.literal_candidates k ~phase:p ~alphabet ~is_instance in

@@ -137,7 +137,7 @@ let test_knowledge_shares_table () =
   let g = Gen.label_with_ints (Gen.petersen ()) in
   let k = Knowledge.view_of_graph g ~root:3 ~depth:5 in
   let i = Interned.of_graph g ~root:3 ~depth:5 in
-  check_int "same id across APIs" k.Knowledge.id (Interned.id i)
+  check_int "same id across APIs" (Knowledge.id k) (Interned.id i)
 
 (* ---------- View fast path vs naive reference ---------- *)
 
