@@ -448,7 +448,7 @@ let metrics_snapshot_json () =
   let obs = Obs.make ~metrics:registry () in
   let ctx = Run_ctx.make ~obs () in
   (match
-     Las_vegas.solve ~ctx Anonet_algorithms.Rand_mis.algorithm (Gen.petersen ())
+     Las_vegas.solve_msg ~ctx Anonet_algorithms.Rand_mis.algorithm (Gen.petersen ())
        ~seed:5 ()
    with
   | Ok _ -> ()

@@ -11,6 +11,12 @@
      norris       report the view stabilization depth (Theorem 3)
      stoneage     run an algorithm in the weak FSM model of [19]
      experiments  regenerate the figures/theorem validations
+     serve        run jobs for remote clients over the wire protocol
+     client       submit a job file to a running server
+
+   solve, derandomize and experiments execute through Anonet_net.Runner —
+   the same engine `anonet serve` runs jobs through — so a job submitted
+   over a socket is byte-identical to the local subcommand.
 
    Graphs are described by compact specs, e.g.:
      cycle:6  path:5  complete:4  star:5  wheel:6  grid:3x4  torus:3x3
@@ -34,82 +40,15 @@ module Pool = Anonet_parallel.Pool
 module Obs = Anonet_obs.Obs
 module Metrics = Anonet_obs.Metrics
 module Obs_events = Anonet_obs.Events
+module Job = Anonet_net.Job
+module Runner = Anonet_net.Runner
+module Client = Anonet_net.Client
 
-(* ---------- graph spec parsing ---------- *)
+(* ---------- spec parsing (shared with the wire layer) ---------- *)
 
-let parse_ints s = List.map int_of_string (String.split_on_char ',' s)
-
-let parse_graph spec =
-  let fail () = failwith (Printf.sprintf "unknown graph spec %S" spec) in
-  match String.split_on_char ':' spec with
-  | [ "file"; path ] -> Graph_io.load path
-  | [ "petersen" ] -> Gen.petersen ()
-  | [ "cycle"; n ] -> Gen.cycle (int_of_string n)
-  | [ "path"; n ] -> Gen.path (int_of_string n)
-  | [ "complete"; n ] -> Gen.complete (int_of_string n)
-  | [ "star"; n ] -> Gen.star (int_of_string n)
-  | [ "wheel"; n ] -> Gen.wheel (int_of_string n)
-  | [ "hypercube"; d ] -> Gen.hypercube (int_of_string d)
-  | [ "bintree"; d ] -> Gen.binary_tree (int_of_string d)
-  | [ "grid"; wh ] | [ "torus"; wh ] -> begin
-      match String.split_on_char 'x' wh with
-      | [ w; h ] ->
-        let w = int_of_string w and h = int_of_string h in
-        if String.length spec > 0 && spec.[0] = 'g' then Gen.grid w h
-        else Gen.torus w h
-      | _ -> fail ()
-    end
-  | [ "random"; args ] -> begin
-      match String.split_on_char ',' args with
-      | [ n; p; seed ] ->
-        Gen.random_connected ~seed:(int_of_string seed) (int_of_string n)
-          (float_of_string p)
-      | _ -> fail ()
-    end
-  | [ "hamiltonian"; args ] -> begin
-      match String.split_on_char ',' args with
-      | [ n; p; seed ] ->
-        Gen.random_hamiltonian ~seed:(int_of_string seed) (int_of_string n)
-          (float_of_string p)
-      | _ -> fail ()
-    end
-  | [ "regular"; args ] -> begin
-      match parse_ints args with
-      | [ n; d; seed ] -> Gen.random_regular ~seed n d
-      | _ -> fail ()
-    end
-  | _ -> fail ()
-
-(* ---------- coloring specs ---------- *)
-
-let parse_coloring g spec =
-  let n = Graph.n g in
-  match String.split_on_char ':' spec with
-  | [ "unique" ] -> Array.init n (fun v -> Label.Int v)
-  | [ "mod"; k ] ->
-    let k = int_of_string k in
-    let c = Array.init n (fun v -> Label.Int (v mod k)) in
-    if not (Props.is_k_hop_coloring g 2 (fun v -> c.(v))) then
-      failwith (Printf.sprintf "mod:%d is not a 2-hop coloring of this graph" k);
-    c
-  | [ "random"; seed ] -> begin
-      match
-        Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g
-          ~seed:(int_of_string seed) ()
-      with
-      | Ok r -> r.Las_vegas.outcome.Executor.outputs
-      | Error m -> failwith m
-    end
-  | _ -> failwith (Printf.sprintf "unknown coloring spec %S" spec)
-
-(* ---------- problem bundles ---------- *)
-
-let parse_bundle = function
-  | "mis" -> Bundles.mis
-  | "coloring" -> Bundles.coloring
-  | "2hop" | "two-hop" -> Bundles.two_hop_coloring
-  | "matching" -> Bundles.maximal_matching
-  | p -> failwith (Printf.sprintf "unknown problem %S (mis|coloring|2hop|matching)" p)
+let parse_graph = Runner.graph_of_spec
+let parse_coloring = Runner.coloring_of_spec
+let parse_bundle = Runner.bundle_of_spec
 
 (* ---------- common args ---------- *)
 
@@ -195,12 +134,6 @@ let with_obs metrics events f =
     finish ();
     v
 
-(* The pool lives exactly as long as the command body: workers are joined
-   on the way out even if the body raises. *)
-let with_jobs ?obs jobs f =
-  if jobs <= 1 then f None
-  else Pool.with_pool ?obs ~domains:jobs (fun p -> f (Some p))
-
 let print_outputs outputs =
   Array.iteri
     (fun v o -> Printf.printf "  node %2d: %s\n" v (Label.to_string o))
@@ -268,38 +201,40 @@ let factor_cmd =
 let solve_cmd =
   let run_solve problem spec seed trace faults_spec adversary_spec divergence
       retransmit jobs metrics events =
-    let g = parse_graph spec in
-    let bundle = parse_bundle problem in
-    let plan =
-      match faults_spec with
-      | None -> None
-      | Some s -> begin
-          match Faults.plan_of_string s with
-          | Ok p -> Some p
-          | Error m -> prerr_endline ("bad --faults spec: " ^ m); exit 1
-        end
-    in
-    let adversary =
-      match adversary_spec with
-      | None -> None
-      | Some s -> begin
-          match Adversary.plan_of_string s with
-          | Ok p -> Some p
-          | Error m -> prerr_endline ("bad --adversary spec: " ^ m); exit 1
-        end
-    in
-    (match plan with
-     | None -> ()
-     | Some p -> Printf.printf "fault plan: %s\n" (Faults.plan_to_string p));
-    (match adversary with
-     | None -> ()
-     | Some p -> Printf.printf "adversary plan: %s\n" (Adversary.plan_to_string p));
-    with_obs metrics events @@ fun obs ->
-    let solver =
-      if retransmit then Anonet_runtime.Retransmit.wrap ~obs bundle.Gran.solver
-      else bundle.Gran.solver
-    in
     if trace then begin
+      (* the round-by-round timeline is a local diagnostic: it records and
+         renders in-process and has no job-spec equivalent *)
+      let g = parse_graph spec in
+      let bundle = parse_bundle problem in
+      let plan =
+        match faults_spec with
+        | None -> None
+        | Some s -> begin
+            match Faults.plan_of_string s with
+            | Ok p -> Some p
+            | Error m -> prerr_endline ("bad --faults spec: " ^ m); exit 1
+          end
+      in
+      let adversary =
+        match adversary_spec with
+        | None -> None
+        | Some s -> begin
+            match Adversary.plan_of_string s with
+            | Ok p -> Some p
+            | Error m -> prerr_endline ("bad --adversary spec: " ^ m); exit 1
+          end
+      in
+      (match plan with
+       | None -> ()
+       | Some p -> Printf.printf "fault plan: %s\n" (Faults.plan_to_string p));
+      (match adversary with
+       | None -> ()
+       | Some p -> Printf.printf "adversary plan: %s\n" (Adversary.plan_to_string p));
+      with_obs metrics events @@ fun obs ->
+      let solver =
+        if retransmit then Anonet_runtime.Retransmit.wrap ~obs bundle.Gran.solver
+        else bundle.Gran.solver
+      in
       let ctx = Run_ctx.make ?faults:plan ?adversary ~obs () in
       match
         Anonet_runtime.Trace.record ~ctx solver g
@@ -316,21 +251,26 @@ let solve_cmd =
           (bundle.Gran.problem.Problem.is_valid_output g outcome.Executor.outputs)
     end
     else begin
-      match
-        with_jobs ~obs jobs (fun pool ->
-            let ctx = Run_ctx.make ?faults:plan ?adversary ?pool ~obs () in
-            Las_vegas.solve_detailed ~ctx solver g ~seed ?divergence ())
-      with
-      | Error f ->
-        prerr_endline f.Las_vegas.message;
-        exit (Run_error.exit_code (Run_error.Las_vegas f))
-      | Ok r ->
-        let o = r.Las_vegas.outcome.Executor.outputs in
-        Printf.printf "solved %s in %d rounds (%d messages, attempt %d):\n" problem
-          r.Las_vegas.outcome.Executor.rounds r.Las_vegas.outcome.Executor.messages
-          r.Las_vegas.attempts;
-        print_outputs o;
-        Printf.printf "valid: %b\n" (bundle.Gran.problem.Problem.is_valid_output g o)
+      (* everything else goes through the wire layer's runner: `anonet
+         serve` executes the same job record, so socket and CLI runs are
+         byte-identical by construction *)
+      let pairs =
+        [ "problem", problem; "graph", spec; "seed", string_of_int seed;
+          "jobs", string_of_int jobs ]
+        @ (match faults_spec with None -> [] | Some s -> [ "faults", s ])
+        @ (match adversary_spec with None -> [] | Some s -> [ "adversary", s ])
+        @ (match divergence with
+          | None -> []
+          | Some d -> [ "divergence", string_of_float d ])
+        @ (if retransmit then [ "retransmit", "true" ] else [])
+      in
+      with_obs metrics events @@ fun obs ->
+      let outcome = Runner.execute ~obs { Job.kind = Job.Solve; pairs } in
+      print_string outcome.Runner.out;
+      if outcome.Runner.code <> 0 then begin
+        prerr_endline outcome.Runner.err;
+        exit outcome.Runner.code
+      end
     end
   in
   let run problem spec seed trace faults_spec adversary_spec divergence
@@ -396,47 +336,17 @@ let solve_cmd =
 
 let derandomize_cmd =
   let run problem spec coloring method_ jobs metrics events =
-    let g = parse_graph spec in
-    let bundle = parse_bundle problem in
-    let colors = parse_coloring g coloring in
-    let inst = Problem.attach_coloring g colors in
+    let pairs =
+      [ "problem", problem; "graph", spec; "colors", coloring;
+        "method", method_; "jobs", string_of_int jobs ]
+    in
     with_obs metrics events @@ fun obs ->
-    match method_ with
-    | "a-star" -> begin
-        match
-          with_jobs ~obs jobs (fun pool ->
-              Anonet.A_star.solve ~ctx:(Run_ctx.make ?pool ~obs ())
-                ~gran:bundle inst ())
-        with
-        | Error m -> prerr_endline m; exit 1
-        | Ok outcome ->
-          Printf.printf "A* solved %s^c deterministically in %d rounds:\n" problem
-            outcome.Executor.rounds;
-          print_outputs outcome.Executor.outputs;
-          Printf.printf "valid: %b\n"
-            (bundle.Gran.problem.Problem.is_valid_output g outcome.Executor.outputs)
-      end
-    | "a-infinity" -> begin
-        match
-          with_jobs ~obs jobs (fun pool ->
-              Anonet.A_infinity.solve ~ctx:(Run_ctx.make ?pool ~obs ())
-                ~gran:bundle inst ())
-        with
-        | Error m -> prerr_endline m; exit 1
-        | Ok r ->
-          Printf.printf
-            "A_infinity solved %s^c (view graph: %d nodes; simulation: %d rounds; \
-             search: %d states):\n"
-            problem
-            (Graph.n r.Anonet.A_infinity.view_graph.Anonet_views.View_graph.graph)
-            (Anonet.Bit_assignment.max_length
-               r.Anonet.A_infinity.found.Anonet.Min_search.assignment)
-            r.Anonet.A_infinity.found.Anonet.Min_search.states_explored;
-          print_outputs r.Anonet.A_infinity.outputs;
-          Printf.printf "valid: %b\n"
-            (bundle.Gran.problem.Problem.is_valid_output g r.Anonet.A_infinity.outputs)
-      end
-    | m -> failwith (Printf.sprintf "unknown method %S (a-star|a-infinity)" m)
+    let outcome = Runner.execute ~obs { Job.kind = Job.Derandomize; pairs } in
+    print_string outcome.Runner.out;
+    if outcome.Runner.code <> 0 then begin
+      prerr_endline outcome.Runner.err;
+      exit outcome.Runner.code
+    end
   in
   let coloring =
     Arg.(value & opt string "random:1"
@@ -543,18 +453,17 @@ let stoneage_cmd =
 
 let experiments_cmd =
   let run id jobs metrics events =
-    let module Experiments = Anonet_experiments.Experiments in
+    let pairs =
+      ("jobs", string_of_int jobs)
+      :: (match id with None -> [] | Some id -> [ "id", id ])
+    in
     with_obs metrics events @@ fun obs ->
-    with_jobs ~obs jobs (fun pool ->
-        let ctx = Run_ctx.make ?pool ~obs () in
-        match id with
-        | None ->
-          List.iter (Experiments.render stdout) (Experiments.run_all ~ctx ())
-        | Some id -> begin
-            match Experiments.run ~ctx id with
-            | Ok out -> Experiments.render stdout out
-            | Error m -> prerr_endline m; exit 1
-          end)
+    let outcome = Runner.execute ~obs { Job.kind = Job.Experiment; pairs } in
+    print_string outcome.Runner.out;
+    if outcome.Runner.code <> 0 then begin
+      prerr_endline outcome.Runner.err;
+      exit outcome.Runner.code
+    end
   in
   let id =
     let doc =
@@ -568,10 +477,101 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's figures/theorem validations (EXPERIMENTS.md).")
     Term.(const run $ id $ jobs_arg $ metrics_arg $ events_arg)
 
+let serve_cmd =
+  let run listen jobs max_queue metrics events =
+    match Anonet_net.Addr.of_string listen with
+    | Error m -> prerr_endline m; exit 1
+    | Ok addr ->
+      with_obs metrics events @@ fun obs ->
+      Printf.printf "anonet serve: listening on %s\n%!" listen;
+      Anonet_net.Server.run ~obs ?domains:jobs ~max_queue addr
+  in
+  let listen =
+    let doc = "Listen address: unix:PATH or tcp:HOST:PORT." in
+    Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let jobs =
+    let doc =
+      "Number of domains jobs are multiplexed across (defaults to the \
+       machine's recommended domain count).  Up to this many jobs execute \
+       concurrently."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let max_queue =
+    let doc =
+      "Backpressure bound: submits beyond this many queued jobs are \
+       answered with an immediate rejection (exit code 11 on the client)."
+    in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run solve/derandomize/experiment jobs for remote clients over \
+             the anonet wire protocol.")
+    Term.(const run $ listen $ jobs $ max_queue $ metrics_arg $ events_arg)
+
+let client_cmd =
+  let run connect jobfile events =
+    match Anonet_net.Addr.of_string connect with
+    | Error m -> prerr_endline m; exit 1
+    | Ok addr ->
+      let text =
+        if jobfile = "-" then In_channel.input_all stdin
+        else In_channel.with_open_bin jobfile In_channel.input_all
+      in
+      match Job.of_text text with
+      | Error m -> prerr_endline m; exit 1
+      | Ok job ->
+        let close_events, on_event =
+          match events with
+          | None -> (fun () -> ()), fun _ -> ()
+          | Some path ->
+            let oc = open_out path in
+            ( (fun () -> close_out oc),
+              fun line -> output_string oc line; output_char oc '\n' )
+        in
+        let outcome = Client.submit addr job ~on_event in
+        close_events ();
+        print_string outcome.Runner.out;
+        if outcome.Runner.code <> 0 then prerr_endline outcome.Runner.err;
+        exit outcome.Runner.code
+  in
+  let connect =
+    let doc = "Server address: unix:PATH or tcp:HOST:PORT." in
+    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let jobfile =
+    let doc =
+      "Job file: key=value lines ('-' reads stdin).  Needs \
+       kind=solve|derandomize|experiment plus that kind's keys — the same \
+       knobs the local subcommands take, e.g. kind=solve, problem=2hop, \
+       graph=cycle:6, seed=5, faults=loss=0.2,seed=21, retransmit=true."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBFILE" ~doc)
+  in
+  let events =
+    let doc =
+      "Write the job's streamed NDJSON events to $(docv), exactly as the \
+       equivalent local run's --events would."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Submit a job to a running anonet serve and stream its output.")
+    Term.(const run $ connect $ jobfile $ events)
+
 let main =
   let doc = "anonymous networks: randomization = 2-hop coloring (PODC 2014)" in
   Cmd.group (Cmd.info "anonet" ~version:"1.0.0" ~doc)
     [ views_cmd; factor_cmd; solve_cmd; derandomize_cmd; decouple_cmd; norris_cmd;
-      stoneage_cmd; experiments_cmd ]
+      stoneage_cmd; experiments_cmd; serve_cmd; client_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Spec errors — from argument parsing deep inside a run — are user
+   errors, not crashes: report the message alone and exit 1. *)
+let () =
+  try exit (Cmd.eval ~catch:false main) with
+  | Runner.Bad_spec m | Failure m ->
+    prerr_endline m;
+    exit 1

@@ -33,7 +33,7 @@ let networks =
   ]
 
 let direct g seed =
-  match Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm g ~seed () with
+  match Las_vegas.solve_msg Anonet_algorithms.Rand_mis.algorithm g ~seed () with
   | Ok r -> r.Las_vegas.outcome.Executor.rounds
   | Error m -> failwith m
 

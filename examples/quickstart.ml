@@ -25,7 +25,7 @@ let () =
   (* --- 2. Randomized 2-hop coloring --------------------------------- *)
   let report =
     match
-      Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g ~seed:2024 ()
+      Las_vegas.solve_msg Anonet_algorithms.Rand_two_hop.algorithm g ~seed:2024 ()
     with
     | Ok r -> r
     | Error m -> failwith m

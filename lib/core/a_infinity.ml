@@ -87,5 +87,3 @@ let solve ?(ctx = Run_ctx.default) ~gran g ?(order = Min_search.Round_major)
          Ok { outputs; view_graph; found; decider_confirmed = true })
   end
 
-let solve_legacy ~gran g ?order ?max_len ?decider_seed ?pool () =
-  solve ~ctx:(Run_ctx.make ?pool ()) ~gran g ?order ?max_len ?decider_seed ()

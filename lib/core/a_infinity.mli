@@ -52,14 +52,3 @@ val solve :
   ?decider_seed:int ->
   unit ->
   (result, string) Stdlib.result
-
-val solve_legacy :
-  gran:Anonet_problems.Gran.t ->
-  Anonet_graph.Graph.t ->
-  ?order:Min_search.order ->
-  ?max_len:int ->
-  ?decider_seed:int ->
-  ?pool:Anonet_parallel.Pool.t ->
-  unit ->
-  (result, string) Stdlib.result
-[@@deprecated "use solve ?ctx — pass the pool via Run_ctx.make"]

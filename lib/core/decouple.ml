@@ -21,7 +21,7 @@ type result = {
 
 let solve ~gran g ~seed ~stage_two ?max_rounds () =
   (* Stage 1: the generic randomized preprocessing — a 2-hop coloring. *)
-  match Las_vegas.solve Rand_two_hop.algorithm g ~seed ?max_rounds () with
+  match Las_vegas.solve_msg Rand_two_hop.algorithm g ~seed ?max_rounds () with
   | Error m -> Error ("stage 1 (2-hop coloring) failed: " ^ m)
   | Ok report ->
     let coloring = report.Las_vegas.outcome.Executor.outputs in

@@ -397,9 +397,6 @@ let minimal_successful ?(ctx = Run_ctx.default) ~solver g ~base ?order
   minimal_successful_with ~obs:(Run_ctx.obs ctx) ~pool:(Run_ctx.pool ctx)
     ~solver g ~base ?order ?max_states ~len ()
 
-let minimal_successful_legacy ~solver g ~base ?order ?max_states ?pool ~len () =
-  minimal_successful_with ~obs:Obs.null ~pool ~solver g ~base ?order ?max_states
-    ~len ()
 
 (* ---------- resumable round-major search (incremental phase engine) ---- *)
 

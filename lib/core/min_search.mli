@@ -95,18 +95,6 @@ val minimal_successful :
   unit ->
   found option
 
-val minimal_successful_legacy :
-  solver:Anonet_runtime.Algorithm.t ->
-  Anonet_graph.Graph.t ->
-  base:Bit_assignment.t ->
-  ?order:order ->
-  ?max_states:int ->
-  ?pool:Anonet_parallel.Pool.t ->
-  len:length_constraint ->
-  unit ->
-  found option
-[@@deprecated "use minimal_successful ?ctx — pass the pool via Run_ctx.make"]
-
 (** A warm-startable round-major search.
 
     For an [Exactly l] constraint, the breadth-first exploration —

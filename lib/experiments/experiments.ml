@@ -508,7 +508,7 @@ let exp_a3 ~ctx () =
       avg (fun seed ->
           match Las_vegas.solve bundle.Gran.solver g ~seed () with
           | Ok r -> float_of_int r.Las_vegas.outcome.Executor.rounds
-          | Error m -> failwith m)
+          | Error f -> failwith f.Las_vegas.message)
     in
     let s1 = ref 0.0 and s2 = ref 0.0 in
     List.iter
@@ -578,7 +578,7 @@ let exp_a4 ~ctx () =
                Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g ~seed:47 ()
              with
              | Ok r -> r.Las_vegas.outcome.Executor.outputs
-             | Error m -> failwith m
+             | Error f -> failwith f.Las_vegas.message
            in
            let reduced =
              match
@@ -849,7 +849,7 @@ let exp_r2 ~ctx () =
   let las_vegas_case algo problem ~strength trial () =
     let run_ctx = Run_ctx.make ~adversary:(adversary ~strength ~trial) () in
     match
-      Las_vegas.solve_detailed ~ctx:run_ctx algo c6
+      Las_vegas.solve ~ctx:run_ctx algo c6
         ~seed:(Prng.hash2 9400 trial) ~attempts:4 ~divergence:4.0 ()
     with
     | Ok r when problem.Problem.is_valid_output c6 r.Las_vegas.outcome.Executor.outputs
@@ -986,8 +986,3 @@ let run_all ?(ctx = Run_ctx.default) () =
       match run ~ctx id with Ok o -> o | Error m -> failwith m)
     registry
 
-let run_legacy ?pool id =
-  Result.map (render stdout) (run ~ctx:(Run_ctx.make ?pool ()) id)
-
-let run_all_legacy ?pool () =
-  List.iter (render stdout) (run_all ~ctx:(Run_ctx.make ?pool ()) ())

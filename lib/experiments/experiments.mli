@@ -54,10 +54,3 @@ val run_all : ?ctx:Anonet_runtime.Run_ctx.t -> unit -> output list
 (** [render oc out] writes the experiment in the historical stdout
     format: prelude, then each row's [line], then the coda. *)
 val render : out_channel -> output -> unit
-
-val run_legacy :
-  ?pool:Anonet_parallel.Pool.t -> string -> (unit, string) result
-[@@deprecated "use run ?ctx and render stdout"]
-
-val run_all_legacy : ?pool:Anonet_parallel.Pool.t -> unit -> unit
-[@@deprecated "use run_all ?ctx and render stdout"]

@@ -1,0 +1,37 @@
+type t = Unix_sock of string | Tcp of string * int
+
+let of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+    let path = String.sub s (i + 1) (String.length s - i - 1) in
+    if path = "" then Error "empty unix socket path" else Ok (Unix_sock path)
+  | Some i when String.sub s 0 i = "tcp" -> begin
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "tcp address %S needs HOST:PORT" rest)
+      | Some j -> begin
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p <= 0xFFFF -> Ok (Tcp (host, p))
+          | _ -> Error (Printf.sprintf "bad tcp port %S" port)
+        end
+    end
+  | _ -> Error (Printf.sprintf "unknown address %S (want unix:PATH or tcp:HOST:PORT)" s)
+
+let to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let sockaddr = function
+  | Unix_sock p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) -> begin
+      match Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+      | { Unix.ai_addr; _ } :: _ -> ai_addr
+      | [] -> failwith (Printf.sprintf "cannot resolve host %S" host)
+    end
+
+let domain = function
+  | Unix_sock _ -> Unix.PF_UNIX
+  | Tcp _ as a -> Unix.domain_of_sockaddr (sockaddr a)

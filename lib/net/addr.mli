@@ -1,0 +1,15 @@
+(** Listen/connect address specs: [unix:PATH] for a Unix-domain socket,
+    [tcp:HOST:PORT] for TCP. *)
+
+type t =
+  | Unix_sock of string
+  | Tcp of string * int  (** host, port *)
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+
+val sockaddr : t -> Unix.sockaddr
+(** Resolves the host for TCP addresses.
+    @raise Failure if the host does not resolve. *)
+
+val domain : t -> Unix.socket_domain

@@ -1,0 +1,50 @@
+(** Executes a {!Job.t} — the one engine behind both the CLI subcommands
+    and the server's job loop, which is what makes "the same job over a
+    socket" byte-identical to "the same job in-process": both sides build
+    the same {!Anonet_runtime.Run_ctx}, run the same entry points, and
+    render the same text.
+
+    Observability: the caller supplies the handle.  The CLI wires its
+    [--metrics]/[--events] flags in; the server gives each job an
+    event-only handle whose NDJSON lines become [event] frames on the
+    job's stream. *)
+
+exception Bad_spec of string
+(** The job (or one of its knob values) does not parse — a rejection, not
+    an execution failure: nothing was run.  The server maps this to an
+    [error] frame with {!Anonet_runtime.Run_error.Rejected}'s code; the
+    CLI prints the message and exits 1. *)
+
+type outcome = {
+  code : int;  (** 0 on success, else the {!Anonet_runtime.Run_error} code *)
+  out : string;  (** stdout text, exactly as the CLI subcommand prints it *)
+  err : string;  (** diagnostic on failure; [""] on success *)
+}
+
+val bundle_of_spec : string -> Anonet_problems.Gran.t
+(** [mis], [coloring], [2hop]/[two-hop] or [matching].
+    @raise Bad_spec otherwise. *)
+
+val coloring_of_spec :
+  Anonet_graph.Graph.t -> string -> Anonet_graph.Label.t array
+(** [unique], [mod:K] or [random:SEED] (the latter runs the Las-Vegas
+    2-hop solver).  @raise Bad_spec on unknown specs or a [mod:K] that is
+    not a 2-hop coloring of the graph. *)
+
+val graph_of_spec : string -> Anonet_graph.Graph.t
+(** {!Anonet_graph.Spec.graph} with failures mapped to {!Bad_spec}. *)
+
+val execute : ?obs:Anonet_obs.Obs.t -> Job.t -> outcome
+(** Runs the job to completion on the calling thread.  Job keys:
+
+    - [solve]: [problem], [graph] (required); [seed] (default 1),
+      [faults], [adversary], [divergence], [retransmit] ([true]/[false]),
+      [jobs] (domains for attempt racing, default 1);
+    - [derandomize]: [problem], [graph] (required); [colors] (default
+      [random:1]), [method] ([a-infinity], default, or [a-star]), [jobs];
+    - [experiment]: [id] (all experiments when absent), [jobs].
+
+    @raise Bad_spec on unknown keys' values that do not parse, missing
+    required keys, or unparseable specs.  Exceptions from the run itself
+    (e.g. [Invalid_argument] when fault injection breaks an unwrapped
+    algorithm's protocol) propagate. *)

@@ -1,0 +1,311 @@
+module Pool = Anonet_parallel.Pool
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
+module Run_error = Anonet_runtime.Run_error
+
+let protocol_code =
+  Run_error.exit_code (Run_error.Net (Run_error.Protocol { message = "" }))
+
+let rejected_code =
+  Run_error.exit_code (Run_error.Net (Run_error.Rejected { message = "" }))
+
+type conn = {
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+      (* serializes writes and guards [closed]/[draining]/[pending]/
+         [cancelled]: a job's frames must not interleave bytes with
+         another job's on the same socket *)
+  mutable closed : bool;
+  mutable draining : bool;  (* reader finished; close once pending = 0 *)
+  mutable pending : int;  (* queued + running jobs on this connection *)
+  cancelled : (int, unit) Hashtbl.t;
+}
+
+type entry = { conn : conn; stream : int; job : Job.t }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  addr : Addr.t;
+  queue : entry Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable shutdown : bool;
+  mutable inflight : int;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable stopped : bool;
+  max_queue : int;
+  pool : Pool.t;
+  obs : Obs.t;
+  frames_in : Anonet_obs.Metrics.counter option;
+  frames_out : Anonet_obs.Metrics.counter option;
+  frames_rejected : Anonet_obs.Metrics.counter option;
+  connections : Anonet_obs.Metrics.counter option;
+  jobs_gauge : Anonet_obs.Metrics.gauge option;
+  mutable accept_thread : Thread.t option;
+  mutable worker_thread : Thread.t option;
+}
+
+(* ---------- connection plumbing ---------- *)
+
+let close_fd_once conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (* shutdown first: a reader thread blocked in [read(2)] on this fd is
+       not woken by a bare [close(2)] from another thread *)
+    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* With [conn.lock] held. *)
+let maybe_close conn = if conn.draining && conn.pending = 0 then close_fd_once conn
+
+let send t conn frame =
+  let sent =
+    Mutex.protect conn.lock (fun () ->
+        (not conn.closed)
+        &&
+        try
+          Frame.write conn.fd frame;
+          true
+        with Unix.Unix_error _ -> close_fd_once conn; false)
+  in
+  if sent then Obs.incr t.frames_out
+
+let error_frame code message stream =
+  { Frame.typ = Frame.Error; stream; payload = String.make 1 (Char.chr code) ^ message }
+
+let result_frame out stream =
+  { Frame.typ = Frame.Result; stream; payload = "\x00" ^ out }
+
+(* ---------- job execution (worker side) ---------- *)
+
+let job_done t conn =
+  Mutex.protect conn.lock (fun () ->
+      conn.pending <- conn.pending - 1;
+      maybe_close conn);
+  Mutex.protect t.qlock (fun () ->
+      t.inflight <- t.inflight - 1;
+      Obs.set t.jobs_gauge t.inflight)
+
+let execute t { conn; stream; job } =
+  let cancelled () =
+    Mutex.protect conn.lock (fun () -> Hashtbl.mem conn.cancelled stream)
+  in
+  (if cancelled () then send t conn (error_frame rejected_code "cancelled" stream)
+   else begin
+     let emit line =
+       if not (cancelled ()) then
+         send t conn { Frame.typ = Frame.Event; stream; payload = line }
+     in
+     let obs = Obs.make ~events:(Events.ndjson_lines emit) () in
+     let outcome =
+       try Runner.execute ~obs job with
+       | Runner.Bad_spec m -> { Runner.code = rejected_code; out = ""; err = m }
+       | exn ->
+         {
+           Runner.code = rejected_code;
+           out = "";
+           err = "job failed: " ^ Printexc.to_string exn;
+         }
+     in
+     if cancelled () then send t conn (error_frame rejected_code "cancelled" stream)
+     else if outcome.Runner.code = 0 then
+       send t conn (result_frame outcome.Runner.out stream)
+     else send t conn (error_frame outcome.Runner.code outcome.Runner.err stream)
+   end);
+  job_done t conn
+
+let rec worker t =
+  Mutex.lock t.qlock;
+  while Queue.is_empty t.queue && not t.shutdown do
+    Condition.wait t.qcond t.qlock
+  done;
+  let item = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.qlock;
+  match item with
+  | None -> ()
+  | Some entry ->
+    execute t entry;
+    worker t
+
+(* ---------- frame handling (reader side) ---------- *)
+
+let reject t conn stream code message =
+  Obs.incr t.frames_rejected;
+  send t conn (error_frame code message stream)
+
+let handle_submit t conn stream payload =
+  match Job.decode payload with
+  | Error m -> reject t conn stream protocol_code ("malformed submit payload: " ^ m)
+  | Ok job ->
+    let verdict =
+      Mutex.protect t.qlock (fun () ->
+          if t.shutdown then `Reject "server shutting down"
+          else if Queue.length t.queue >= t.max_queue then
+            `Reject "server busy (job queue full)"
+          else begin
+            Mutex.protect conn.lock (fun () -> conn.pending <- conn.pending + 1);
+            Queue.add { conn; stream; job } t.queue;
+            t.inflight <- t.inflight + 1;
+            Obs.set t.jobs_gauge t.inflight;
+            Condition.signal t.qcond;
+            `Accepted
+          end)
+    in
+    (match verdict with
+    | `Accepted -> ()
+    | `Reject why -> reject t conn stream rejected_code why)
+
+let handle t conn (frame : Frame.t) =
+  match frame.Frame.typ with
+  | Frame.Submit -> handle_submit t conn frame.Frame.stream frame.Frame.payload
+  | Frame.Cancel ->
+    Mutex.protect conn.lock (fun () ->
+        Hashtbl.replace conn.cancelled frame.Frame.stream ())
+  | Frame.Event | Frame.Result | Frame.Error ->
+    reject t conn frame.Frame.stream protocol_code
+      "unexpected server-to-client frame type from client"
+
+let finish_reader conn =
+  Mutex.protect conn.lock (fun () ->
+      conn.draining <- true;
+      maybe_close conn)
+
+let rec reader t conn =
+  match Frame.read conn.fd with
+  | exception Unix.Unix_error _ -> finish_reader conn
+  | Ok None -> finish_reader conn
+  | Error e ->
+    Obs.incr t.frames_rejected;
+    send t conn
+      (error_frame protocol_code
+         (Format.asprintf "%a" Frame.pp_protocol_error e)
+         0);
+    finish_reader conn
+  | Ok (Some frame) ->
+    Obs.incr t.frames_in;
+    handle t conn frame;
+    reader t conn
+
+(* ---------- lifecycle ---------- *)
+
+let unlink_stale_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ | (exception Unix.Unix_error _) -> ()
+
+let accept_loop t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | fd, _peer ->
+      Obs.incr t.connections;
+      let conn =
+        {
+          fd;
+          lock = Mutex.create ();
+          closed = false;
+          draining = false;
+          pending = 0;
+          cancelled = Hashtbl.create 7;
+        }
+      in
+      let thread = Thread.create (fun () -> reader t conn) () in
+      Mutex.protect t.qlock (fun () ->
+          t.conns <- conn :: t.conns;
+          t.readers <- thread :: t.readers);
+      go ()
+  in
+  go ()
+
+let start ?(obs = Obs.null) ?domains ?(max_queue = 64) addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match addr with
+  | Addr.Unix_sock path -> unlink_stale_socket path
+  | Addr.Tcp _ -> ());
+  let listen_fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Addr.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+  | Addr.Unix_sock _ -> ());
+  (try Unix.bind listen_fd (Addr.sockaddr addr)
+   with e -> (try Unix.close listen_fd with _ -> ()); raise e);
+  Unix.listen listen_fd 16;
+  let pool = Pool.create ~obs ?domains () in
+  let t =
+    {
+      listen_fd;
+      addr;
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      shutdown = false;
+      inflight = 0;
+      conns = [];
+      readers = [];
+      stopped = false;
+      max_queue;
+      pool;
+      obs;
+      frames_in = Obs.counter obs "server.frames.in";
+      frames_out = Obs.counter obs "server.frames.out";
+      frames_rejected = Obs.counter obs "server.frames.rejected";
+      connections = Obs.counter obs "server.connections";
+      jobs_gauge = Obs.gauge obs "server.jobs.in_flight";
+      accept_thread = None;
+      worker_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.worker_thread <-
+    Some
+      (Thread.create
+         (fun () -> Pool.run pool ~n:(Pool.domains pool) (fun _ -> worker t))
+         ());
+  t
+
+let bound_port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | Unix.ADDR_UNIX _ -> None
+
+let stop t =
+  let first =
+    Mutex.protect t.qlock (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          t.shutdown <- true;
+          Condition.broadcast t.qcond;
+          true
+        end)
+  in
+  if first then begin
+    (* wake the accept thread: on Linux a blocked [accept(2)] survives a
+       plain [close(2)] from another thread, but [shutdown(2)] on the
+       listening socket makes it return EINVAL *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (* workers drain the queue, then exit; running jobs finish *)
+    Option.iter Thread.join t.worker_thread;
+    let conns, readers =
+      Mutex.protect t.qlock (fun () -> (t.conns, t.readers))
+    in
+    List.iter (fun c -> Mutex.protect c.lock (fun () -> close_fd_once c)) conns;
+    List.iter Thread.join readers;
+    Pool.shutdown t.pool;
+    match t.addr with
+    | Addr.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Addr.Tcp _ -> ()
+  end
+
+let run ?obs ?domains ?max_queue addr =
+  let t = start ?obs ?domains ?max_queue addr in
+  let rec forever () =
+    Unix.sleep 86_400;
+    forever ()
+  in
+  try forever () with e -> stop t; raise e

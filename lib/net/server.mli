@@ -1,0 +1,49 @@
+(** The [anonet serve] loop: accepts connections, decodes {!Frame}s,
+    and multiplexes submitted jobs across one shared
+    {!Anonet_parallel.Pool} of domains.
+
+    Concurrency model: the pool's [n] domains each run a worker loop that
+    drains a shared job queue, so up to [n] jobs execute at once — every
+    job runs sequentially on its worker unless its own [jobs=K] key asks
+    for a private pool.  One reader thread per connection parses frames;
+    writes to a connection are serialized by a per-connection lock, so a
+    job's [event] frames never interleave bytes with another job's on the
+    same socket.
+
+    Backpressure: the job queue is bounded ([max_queue]); a [submit] that
+    arrives with the queue full is answered immediately with an [error]
+    frame carrying {!Anonet_runtime.Run_error.Rejected}'s exit code
+    instead of stalling the connection's reader.
+
+    Cancellation ([cancel] frame): a queued job is dropped; a running
+    job's output is suppressed.  Either way the stream is answered with a
+    single [error] frame ([Rejected], message ["cancelled"]).
+
+    Metrics (when [obs] is live): [server.connections] and
+    [server.frames.in]/[server.frames.out]/[server.frames.rejected]
+    counters, and the [server.jobs.in_flight] gauge (queued + running). *)
+
+type t
+
+val start :
+  ?obs:Anonet_obs.Obs.t ->
+  ?domains:int ->
+  ?max_queue:int ->
+  Addr.t ->
+  t
+(** Binds, listens, and spawns the accept and worker threads; returns
+    once the server is accepting.  [domains] defaults to
+    [Domain.recommended_domain_count ()]; [max_queue] to 64.  A stale
+    Unix-socket path is unlinked before binding.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val bound_port : t -> int option
+(** The actual TCP port — useful after binding port 0 in tests. *)
+
+val stop : t -> unit
+(** Stops accepting, drains running jobs, joins every thread and the
+    pool, and closes all sockets.  Idempotent. *)
+
+val run : ?obs:Anonet_obs.Obs.t -> ?domains:int -> ?max_queue:int -> Addr.t -> unit
+(** [start] then block forever (until the process is signalled) — the
+    CLI entry point. *)

@@ -8,7 +8,11 @@
 
 type value = Bool of bool | Int of int | Float of float | String of string
 
-type kind = Null | Human of out_channel | Ndjson of out_channel
+type kind =
+  | Null
+  | Human of out_channel
+  | Ndjson of out_channel
+  | Ndjson_lines of (string -> unit)
 
 type t = {
   kind : kind;
@@ -23,6 +27,7 @@ let make kind =
 let null = make Null
 let human oc = make (Human oc)
 let ndjson oc = make (Ndjson oc)
+let ndjson_lines f = make (Ndjson_lines f)
 let live t = t.kind <> Null
 
 let value_to_json = function
@@ -68,17 +73,27 @@ let human_line ~ts ~seq name fields =
 let emit t name fields =
   match t.kind with
   | Null -> ()
-  | Human oc | Ndjson oc ->
+  | Human _ | Ndjson _ | Ndjson_lines _ ->
       let seq = Atomic.fetch_and_add t.seq 1 in
       let ts = Unix.gettimeofday () -. t.t0 in
       let line =
         match t.kind with
-        | Ndjson _ -> ndjson_line ~ts ~seq name fields
-        | _ -> human_line ~ts ~seq name fields
+        | Null | Ndjson _ | Ndjson_lines _ -> ndjson_line ~ts ~seq name fields
+        | Human _ -> human_line ~ts ~seq name fields
       in
       Mutex.lock t.lock;
-      output_string oc line;
+      (match t.kind with
+       | Null -> ()
+       | Human oc | Ndjson oc -> output_string oc line
+       | Ndjson_lines f ->
+         (* Hand over the rendered line without its terminating newline:
+            consumers that re-frame lines (the wire protocol's event
+            frames) should not have to strip it, and consumers that write
+            files add their own. *)
+         f (String.sub line 0 (String.length line - 1)));
       Mutex.unlock t.lock
 
 let flush t =
-  match t.kind with Null -> () | Human oc | Ndjson oc -> flush oc
+  match t.kind with
+  | Null | Ndjson_lines _ -> ()
+  | Human oc | Ndjson oc -> flush oc

@@ -22,6 +22,14 @@ val ndjson : out_channel -> t
 (** One JSON object per line:
     [{"ts":<s>,"seq":<n>,"event":"<name>",<field>:<value>,...}]. *)
 
+val ndjson_lines : (string -> unit) -> t
+(** Renders each event exactly as {!ndjson} would and hands the finished
+    line — {e without} its terminating newline — to the callback, under
+    the sink's mutex.  This is how the serve frontend turns a job's event
+    stream into wire frames: one frame per line, byte-identical to the
+    line an {!ndjson} sink would have written.  The callback must not
+    re-enter the sink. *)
+
 val live : t -> bool
 (** [false] only for {!null}; guard expensive field construction with it. *)
 

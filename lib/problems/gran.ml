@@ -14,7 +14,7 @@ type t = {
 let check_solved t g outputs = t.problem.Problem.is_valid_output g outputs
 
 let decide t g ~seed =
-  match Anonet_runtime.Las_vegas.solve t.decider g ~seed () with
+  match Anonet_runtime.Las_vegas.solve_msg t.decider g ~seed () with
   | Error m -> Error m
   | Ok report ->
     let votes = report.Anonet_runtime.Las_vegas.outcome.Anonet_runtime.Executor.outputs in

@@ -27,11 +27,6 @@ let pp_failure fmt = function
   | Stalled { events } ->
     Format.fprintf fmt "stalled after %d events: no messages in flight" events
 
-let exit_code = function
-  | Event_limit_exceeded _ -> 5
-  | Tape_exhausted _ -> 3
-  | Stalled _ -> 6
-
 let sample_delay scheduler rng ~source =
   match scheduler with
   | Fifo -> 1
@@ -264,6 +259,3 @@ let run ?(ctx = Run_ctx.default) algo g ~tape ~scheduler ~max_events =
     ~obs:(Run_ctx.obs ctx)
     (module A) g ~tape ~scheduler ~max_events
 
-let run_legacy ?faults algo g ~tape ~scheduler ~max_events =
-  let (module A : Algorithm.S) = algo in
-  run_mod ?faults ~obs:Obs.null (module A) g ~tape ~scheduler ~max_events

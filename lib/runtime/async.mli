@@ -45,10 +45,6 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
-val exit_code : failure -> int
-[@@deprecated "use Run_error.exit_code (Run_error.Async f) — one numbering \
-               for both executors"]
-
 (** [sample_delay scheduler rng ~source] draws one delivery delay — the
     deterministic core of the adversary, exposed so tests can pin the
     documented range: every scheduler draws from [1..max_delay], with
@@ -88,15 +84,3 @@ val run :
   scheduler:scheduler ->
   max_events:int ->
   (outcome, failure) result
-
-val run_legacy :
-  ?faults:Faults.t ->
-  Algorithm.t ->
-  Anonet_graph.Graph.t ->
-  tape:Tape.t ->
-  scheduler:scheduler ->
-  max_events:int ->
-  (outcome, failure) result
-[@@deprecated "use run ?ctx — pass the fault plan via Run_ctx.make. (This \
-               shim takes an instantiated injector, for callers that \
-               inspect its event log after the run.)"]

@@ -15,11 +15,6 @@ let pp_failure fmt = function
   | All_nodes_crashed { round } ->
     Format.fprintf fmt "every node crash-stopped by round %d" round
 
-let exit_code = function
-  | Max_rounds_exceeded _ -> 2
-  | Tape_exhausted _ -> 3
-  | All_nodes_crashed _ -> 4
-
 type outcome = {
   outputs : Label.t array;
   rounds : int;
@@ -736,7 +731,3 @@ let run ?(ctx = Run_ctx.default) algo g ~tape ~max_rounds =
     ~adversary:(Run_ctx.adversary_instance ctx) ~obs:(Run_ctx.obs ctx) algo g
     ~tape ~max_rounds
 
-let run_legacy ?scramble_seed ?faults algo g ~tape ~max_rounds =
-  run_with
-    ~scramble:(Option.map Run_ctx.scramble_of_seed scramble_seed)
-    ~faults ~adversary:None ~obs:Obs.null algo g ~tape ~max_rounds

@@ -33,10 +33,6 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
-val exit_code : failure -> int
-[@@deprecated "use Run_error.exit_code (Run_error.Sync f) — one numbering \
-               for both executors"]
-
 type outcome = {
   outputs : Anonet_graph.Label.t array;
   rounds : int;
@@ -87,19 +83,9 @@ val run :
   tape:Tape.t ->
   max_rounds:int ->
   (outcome, failure) result
-
-val run_legacy :
-  ?scramble_seed:int ->
-  ?faults:Faults.t ->
-  Algorithm.t ->
-  Anonet_graph.Graph.t ->
-  tape:Tape.t ->
-  max_rounds:int ->
-  (outcome, failure) result
-[@@deprecated "use run ?ctx — pass scramble_seed/faults via Run_ctx.make. \
-               (Unlike the ctx path, this shim takes an instantiated \
-               injector, which callers inspecting the event log after the \
-               run still need.)"]
+(** Callers that need the injector's event log after a run should record
+    through {!Trace.record} (whose trace captures [fault_events]) rather
+    than run with a shared injector instance. *)
 
 module Incremental : sig
   (** Values of type [t] are persistent: {!step} copies what it changes

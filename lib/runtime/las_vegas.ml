@@ -308,7 +308,7 @@ let solve_with ~obs ~faults ~adversary ~pool algo g ~seed ?max_rounds
          ]));
   result
 
-let solve_detailed ?(ctx = Run_ctx.default) algo g ~seed ?max_rounds ?attempts
+let solve ?(ctx = Run_ctx.default) algo g ~seed ?max_rounds ?attempts
     ?backoff ?giveup ?divergence () =
   (* The context's policy supplies the base budget unless the caller pins
      one explicitly; the default policy reproduces the historical
@@ -322,16 +322,9 @@ let solve_detailed ?(ctx = Run_ctx.default) algo g ~seed ?max_rounds ?attempts
     ~adversary:(Run_ctx.adversary ctx) ~pool:(Run_ctx.pool ctx) algo g ~seed
     ~max_rounds ?attempts ?backoff ?giveup ?divergence ()
 
-let solve ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ?divergence
-    () =
+let solve_msg ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup
+    ?divergence () =
   Result.map_error
     (fun f -> f.message)
-    (solve_detailed ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup
+    (solve ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup
        ?divergence ())
-
-let solve_legacy algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ?faults
-    ?pool () =
-  Result.map_error
-    (fun f -> f.message)
-    (solve_with ~obs:Obs.null ~faults ~adversary:None ~pool algo g ~seed
-       ?max_rounds ?attempts ?backoff ?giveup ())

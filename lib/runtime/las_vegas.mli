@@ -52,7 +52,12 @@ val pp_failure : Format.formatter -> failure -> unit
 
 (** [solve ?ctx algo g ~seed ?max_rounds ?attempts ?backoff ?giveup ()]
     runs [algo] with random tapes derived from [seed], retrying up to
-    [attempts] times (default 20).  Attempt [i] gets a budget of
+    [attempts] times (default 20), and reports failures {e structured}:
+    the [Error] case is a {!failure} whose [reason] distinguishes giving
+    up from divergence from a dead network (so callers can pick an exit
+    code via {!Run_error.exit_code} without parsing text) and whose
+    [message] is the full diagnostic string.  Callers that only want the
+    text can use {!solve_msg}.  Attempt [i] gets a budget of
     [max_rounds * backoff^(i-1)] rounds ([max_rounds] defaults to the
     context's {!Run_ctx.max_rounds_policy}, i.e. [64 * (n + 4)] for the
     default context; [backoff] to [2.0]; pass [~backoff:1.0] for the old
@@ -106,14 +111,14 @@ val solve :
   ?giveup:int ->
   ?divergence:float ->
   unit ->
-  (report, string) result
+  (report, failure) result
 
-(** [solve_detailed] is {!solve} with a structured failure instead of a
-    bare string; [solve] is [solve_detailed] with the failure mapped to
-    its [message].  Use this when the caller needs to distinguish giving
-    up from divergence from a dead network — e.g. to pick an exit code via
-    {!Run_error.exit_code}. *)
-val solve_detailed :
+(** [solve_msg] is {!solve} with the failure erased to its [message] — a
+    thin convenience wrapper for callers (scripts, examples, deciders)
+    that only propagate the diagnostic text and never branch on the
+    reason.  [solve_msg ... = Result.map_error (fun f -> f.message)
+    (solve ...)], argument for argument. *)
+val solve_msg :
   ?ctx:Run_ctx.t ->
   Algorithm.t ->
   Anonet_graph.Graph.t ->
@@ -124,18 +129,4 @@ val solve_detailed :
   ?giveup:int ->
   ?divergence:float ->
   unit ->
-  (report, failure) result
-
-val solve_legacy :
-  Algorithm.t ->
-  Anonet_graph.Graph.t ->
-  seed:int ->
-  ?max_rounds:int ->
-  ?attempts:int ->
-  ?backoff:float ->
-  ?giveup:int ->
-  ?faults:Faults.plan ->
-  ?pool:Anonet_parallel.Pool.t ->
-  unit ->
   (report, string) result
-[@@deprecated "use solve ?ctx — pass faults/pool via Run_ctx.make"]

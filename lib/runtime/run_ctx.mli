@@ -6,8 +6,8 @@
     ([?scramble_seed ?faults ?pool ...]) threaded inconsistently through
     [Executor], [Async], [Las_vegas], [Min_search], [A_infinity] and
     [Experiments]; every new concern multiplied signatures.  A [Run_ctx.t]
-    is built once (typically by the CLI) and passed down whole; the legacy
-    labelled-argument signatures remain as deprecated shims for one PR.
+    is built once (typically by the CLI or the serve frontend) and passed
+    down whole; the legacy labelled-argument shims are gone.
 
     The context is a pure description: it holds a fault {e plan}, not a
     stateful injector, so one context can be reused across runs and
@@ -69,8 +69,8 @@ val adversary_instance : t -> Adversary.t option
 
 val scramble_of_seed :
   int -> node:int -> degree:int -> round:int -> int array
-(** The canonical scramble derivation (seed mixing is pinned by regression
-    tests; both the ctx path and the legacy [?scramble_seed] shim use it). *)
+(** The canonical scramble derivation (the seed mixing is pinned by
+    regression tests). *)
 
 val scramble :
   t -> (node:int -> degree:int -> round:int -> int array) option

@@ -103,9 +103,6 @@ let record ?(ctx = Run_ctx.default) algo g ~tape ~max_rounds =
     ~adversary:(Run_ctx.adversary_instance ctx) ~obs:(Run_ctx.obs ctx) algo g
     ~tape ~max_rounds
 
-let record_legacy ?faults algo g ~tape ~max_rounds =
-  record_with ~scramble:None ~faults ~adversary:None ~obs:Obs.null algo g ~tape
-    ~max_rounds
 
 let output_rounds t = Array.copy t.output_rounds
 

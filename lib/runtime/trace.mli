@@ -25,17 +25,6 @@ val record :
   max_rounds:int ->
   (t * Executor.outcome, t * Executor.failure) result
 
-val record_legacy :
-  ?faults:Faults.t ->
-  Algorithm.t ->
-  Anonet_graph.Graph.t ->
-  tape:Tape.t ->
-  max_rounds:int ->
-  (t * Executor.outcome, t * Executor.failure) result
-[@@deprecated "use record ?ctx — pass the fault plan via Run_ctx.make. \
-               (This shim takes an instantiated injector, for callers that \
-               inspect its event log after the run.)"]
-
 (** [output_rounds t] maps each node to the round at which it produced its
     output ([None] if it never did). *)
 val output_rounds : t -> int option array

@@ -285,7 +285,7 @@ let test_las_vegas_pool_identity_under_adversary () =
   let algo = Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm in
   let adversary = Adversary.eavesdropper 2 ~strength:0.6 ~seed:11 in
   let solve pool =
-    Las_vegas.solve_detailed
+    Las_vegas.solve
       ~ctx:(Run_ctx.make ~adversary ?pool ())
       algo g ~seed:4 ~max_rounds:120 ~attempts:6 ()
   in
@@ -308,7 +308,7 @@ let test_divergence_detection () =
   let algo = Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm in
   let faults = Faults.with_loss 1.0 ~seed:2 in
   let solve pool =
-    Las_vegas.solve_detailed
+    Las_vegas.solve
       ~ctx:(Run_ctx.make ~faults ?pool ())
       algo g ~seed:3 ~max_rounds:50 ~attempts:10 ~divergence:3.0 ()
   in
@@ -328,14 +328,14 @@ let test_divergence_detection () =
 
 let test_divergence_validates () =
   (match
-     Las_vegas.solve_detailed Anonet_algorithms.Rand_mis.algorithm
+     Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm
        (Gen.cycle 4) ~seed:1 ~divergence:(-1.0) ()
    with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument for divergence <= 0");
   (* and a clean run with a threshold set still succeeds *)
   match
-    Las_vegas.solve_detailed Anonet_algorithms.Rand_mis.algorithm (Gen.cycle 4)
+    Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm (Gen.cycle 4)
       ~seed:1 ~divergence:8.0 ()
   with
   | Ok r ->

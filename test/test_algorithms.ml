@@ -9,7 +9,7 @@ open Anonet_algorithms
 let check = Alcotest.(check bool)
 
 let solve algo g seed =
-  match Las_vegas.solve algo g ~seed () with
+  match Las_vegas.solve_msg algo g ~seed () with
   | Error m -> Alcotest.failf "las vegas failed: %s" m
   | Ok r -> r.Las_vegas.outcome.Executor.outputs
 
@@ -342,7 +342,7 @@ let test_vertex_transitive_hard_cases () =
 
 let test_round_counts_reasonable () =
   let g = Gen.cycle 6 in
-  match Las_vegas.solve Rand_two_hop.algorithm g ~seed:2 () with
+  match Las_vegas.solve_msg Rand_two_hop.algorithm g ~seed:2 () with
   | Error m -> Alcotest.fail m
   | Ok r ->
     check "rounds bounded" true (r.Las_vegas.outcome.Executor.rounds <= 200)

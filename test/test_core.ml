@@ -747,7 +747,7 @@ let arb_colored_instance =
 let colored_of (seed, n, p) =
   let g = Gen.random_connected ~seed n p in
   match
-    Anonet_runtime.Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g
+    Anonet_runtime.Las_vegas.solve_msg Anonet_algorithms.Rand_two_hop.algorithm g
       ~seed:(seed + 13) ()
   with
   | Error m -> failwith m

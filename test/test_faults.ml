@@ -8,12 +8,6 @@ open Anonet_runtime
 module Catalog = Anonet_problems.Catalog
 module Problem = Anonet_problems.Problem
 
-(* This file deliberately exercises the deprecated legacy entry points
-   ([Executor.run_legacy ~faults] and friends take an {e instantiated}
-   injector, which the event-log assertions below need) alongside the
-   [?ctx] path.  Keep both alive until the shims are dropped. *)
-[@@@alert "-deprecated"]
-
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
@@ -185,8 +179,8 @@ let test_sync_loss_silently_nulls () =
   (* Under total loss the executor still runs: receivers just see empty
      inboxes, so gossip hears nothing at all. *)
   let g = labeled_path3 () in
-  let faults = Faults.make (Faults.with_loss 1.0 ~seed:5) in
-  match Executor.run_legacy ~faults gossip g ~tape:Tape.zero ~max_rounds:5 with
+  let ctx = Run_ctx.make ~faults:(Faults.with_loss 1.0 ~seed:5) () in
+  match Executor.run ~ctx gossip g ~tape:Tape.zero ~max_rounds:5 with
   | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok { outputs; messages; _ } ->
     check "everyone hears silence" true
@@ -196,8 +190,10 @@ let test_sync_loss_silently_nulls () =
 let test_sync_dead_link () =
   let g = labeled_path3 () in
   let plan = { Faults.no_faults with Faults.dead_links = [ 1, 0 ] } in
-  let faults = Faults.make plan in
-  match Executor.run_legacy ~faults gossip g ~tape:Tape.zero ~max_rounds:5 with
+  match
+    Executor.run ~ctx:(Run_ctx.make ~faults:plan ()) gossip g ~tape:Tape.zero
+      ~max_rounds:5
+  with
   | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok { outputs; _ } ->
     check "node 0 cut off" true (Label.equal outputs.(0) (Label.List []));
@@ -253,8 +249,10 @@ let test_crash_recovery_resumes_with_state () =
       Faults.crashes = [ { Faults.node = 0; from_round = 1; until_round = Some 4 } ];
     }
   in
-  let faults = Faults.make plan in
-  match Executor.run_legacy ~faults bit_collector g ~tape ~max_rounds:10 with
+  match
+    Executor.run ~ctx:(Run_ctx.make ~faults:plan ()) bit_collector g ~tape
+      ~max_rounds:10
+  with
   | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok { outputs; rounds; _ } ->
     check "recovered node reads rounds 4-6" true
@@ -272,8 +270,10 @@ let test_crash_stop_starves () =
       Faults.crashes = [ { Faults.node = 1; from_round = 2; until_round = None } ];
     }
   in
-  let faults = Faults.make plan in
-  match Executor.run_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:8 with
+  match
+    Executor.run ~ctx:(Run_ctx.make ~faults:plan ()) bit_collector g
+      ~tape:(Tape.random ~seed:1) ~max_rounds:8
+  with
   | Error (Executor.Max_rounds_exceeded 8) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected the run to starve"
 
@@ -288,11 +288,13 @@ let test_all_nodes_crashed () =
         ];
     }
   in
-  let faults = Faults.make plan in
-  match Executor.run_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:50 with
+  match
+    Executor.run ~ctx:(Run_ctx.make ~faults:plan ()) bit_collector g
+      ~tape:(Tape.random ~seed:1) ~max_rounds:50
+  with
   | Error (Executor.All_nodes_crashed { round } as f) ->
     check "detected as soon as the last node is down" true (round <= 2);
-    check_int "distinct exit code" 4 (Executor.exit_code f)
+    check_int "distinct exit code" 4 (Run_error.exit_code (Run_error.Sync f))
   | Ok _ | Error _ -> Alcotest.fail "expected All_nodes_crashed"
 
 let test_crash_events_logged () =
@@ -303,23 +305,26 @@ let test_crash_events_logged () =
       Faults.crashes = [ { Faults.node = 0; from_round = 1; until_round = Some 4 } ];
     }
   in
-  let faults = Faults.make plan in
-  (match
-     Executor.run_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:3) ~max_rounds:10
-   with
-  | Ok _ -> ()
-  | Error e -> Alcotest.failf "should finish: %a" Executor.pp_failure e);
-  let kinds = List.map (fun e -> e.Faults.kind) (Faults.events faults) in
-  check "crash logged" true (List.mem (Faults.Crashed 0) kinds);
-  check "recovery logged" true (List.mem (Faults.Recovered 0) kinds)
+  match
+    Trace.record ~ctx:(Run_ctx.make ~faults:plan ()) bit_collector g
+      ~tape:(Tape.random ~seed:3) ~max_rounds:10
+  with
+  | Error (_, e) -> Alcotest.failf "should finish: %a" Executor.pp_failure e
+  | Ok (t, _) ->
+    let kinds = List.map (fun e -> e.Faults.kind) (Trace.fault_events t) in
+    check "crash logged" true (List.mem (Faults.Crashed 0) kinds);
+    check "recovery logged" true (List.mem (Faults.Recovered 0) kinds)
 
 (* ---------- trace integration ---------- *)
 
 let test_trace_shows_faults () =
   let g = Gen.cycle 5 in
-  let faults = Faults.make (Faults.with_loss 0.3 ~seed:4) in
   let algo = Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm in
-  match Trace.record_legacy ~faults algo g ~tape:(Tape.random ~seed:8) ~max_rounds:2000 with
+  match
+    Trace.record
+      ~ctx:(Run_ctx.make ~faults:(Faults.with_loss 0.3 ~seed:4) ())
+      algo g ~tape:(Tape.random ~seed:8) ~max_rounds:2000
+  with
   | Error (_, e) -> Alcotest.failf "should finish: %a" Executor.pp_failure e
   | Ok (t, _) ->
     check "events captured" true (Trace.fault_events t <> []);
@@ -345,10 +350,12 @@ let test_trace_detects_doom () =
         ];
     }
   in
-  let faults = Faults.make plan in
-  match Trace.record_legacy ~faults bit_collector g ~tape:(Tape.random ~seed:1) ~max_rounds:50 with
+  match
+    Trace.record ~ctx:(Run_ctx.make ~faults:plan ()) bit_collector g
+      ~tape:(Tape.random ~seed:1) ~max_rounds:50
+  with
   | Error (_, (Executor.All_nodes_crashed _ as f)) ->
-    check_int "exit code 4" 4 (Executor.exit_code f)
+    check_int "exit code 4" 4 (Run_error.exit_code (Run_error.Sync f))
   | Ok _ | Error _ -> Alcotest.fail "expected All_nodes_crashed from the recorder"
 
 (* ---------- retransmission wrapper ---------- *)
@@ -389,9 +396,10 @@ let test_retransmit_survives_loss () =
   List.iter
     (fun (name, g) ->
       for seed = 1 to 50 do
-        let faults = Faults.make (Faults.with_loss 0.2 ~seed) in
         match
-          Executor.run_legacy ~faults algo g
+          Executor.run
+            ~ctx:(Run_ctx.make ~faults:(Faults.with_loss 0.2 ~seed) ())
+            algo g
             ~tape:(Tape.random ~seed:(Prng.hash2 seed 77))
             ~max_rounds:(64 * (Graph.n g + 4))
         with
@@ -412,9 +420,10 @@ let test_retransmit_survives_duplication_and_corruption_free_loss () =
   let algo = Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm in
   for seed = 1 to 10 do
     let plan = { (Faults.with_loss 0.2 ~seed) with Faults.duplicate = 0.3 } in
-    let faults = Faults.make plan in
     match
-      Executor.run_legacy ~faults algo g
+      Executor.run
+        ~ctx:(Run_ctx.make ~faults:plan ())
+        algo g
         ~tape:(Tape.random ~seed:(Prng.hash2 seed 78))
         ~max_rounds:2000
     with
@@ -525,9 +534,10 @@ let test_alpha_synchronizer_breaks_under_loss () =
      one lost message starves its receiver forever. *)
   let g = Gen.cycle 6 in
   for seed = 1 to 5 do
-    let faults = Faults.make (Faults.with_loss 0.2 ~seed) in
     match
-      Async.run_legacy ~faults Anonet_algorithms.Rand_two_hop.algorithm g
+      Async.run
+        ~ctx:(Run_ctx.make ~faults:(Faults.with_loss 0.2 ~seed) ())
+        Anonet_algorithms.Rand_two_hop.algorithm g
         ~tape:(Tape.random ~seed:(Prng.hash2 seed 79))
         ~scheduler:Async.Fifo ~max_events:200_000
     with
@@ -545,9 +555,10 @@ let test_async_crash_stops_forever () =
       Faults.crashes = [ { Faults.node = 2; from_round = 1; until_round = Some 3 } ];
     }
   in
-  let faults = Faults.make plan in
   match
-    Async.run_legacy ~faults Anonet_algorithms.Rand_two_hop.algorithm g
+    Async.run
+      ~ctx:(Run_ctx.make ~faults:plan ())
+      Anonet_algorithms.Rand_two_hop.algorithm g
       ~tape:(Tape.random ~seed:5) ~scheduler:Async.Fifo ~max_events:100_000
   with
   | Error (Async.Stalled _) -> ()  (* recovery is ignored: crash-stop reading *)
@@ -560,7 +571,7 @@ let test_las_vegas_with_faults () =
   let g = Gen.cycle 6 in
   let plan = Faults.with_loss 0.2 ~seed:21 in
   match
-    Las_vegas.solve ~ctx:(Run_ctx.make ~faults:plan ())
+    Las_vegas.solve_msg ~ctx:(Run_ctx.make ~faults:plan ())
       (Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm)
       g ~seed:5 ()
   with
@@ -582,7 +593,7 @@ let test_las_vegas_rejects_total_crash () =
     }
   in
   match
-    Las_vegas.solve ~ctx:(Run_ctx.make ~faults:plan ())
+    Las_vegas.solve_msg ~ctx:(Run_ctx.make ~faults:plan ())
       Anonet_algorithms.Rand_mis.algorithm g ~seed:1 ()
   with
   | Ok _ -> Alcotest.fail "expected immediate failure"
@@ -598,14 +609,16 @@ let test_las_vegas_rejects_total_crash () =
 
 let test_exit_codes_distinct () =
   let sync_codes =
-    List.map Executor.exit_code
+    List.map
+      (fun f -> Run_error.exit_code (Run_error.Sync f))
       [ Executor.Max_rounds_exceeded 9;
         Executor.Tape_exhausted { round = 3 };
         Executor.All_nodes_crashed { round = 2 };
       ]
   in
   let async_codes =
-    List.map Async.exit_code
+    List.map
+      (fun f -> Run_error.exit_code (Run_error.Async f))
       [ Async.Event_limit_exceeded 9;
         Async.Tape_exhausted { round = 3 };
         Async.Stalled { events = 5 };
@@ -623,23 +636,20 @@ let test_exit_codes_distinct () =
   check "async distinct" true (distinct async_codes)
 
 let test_run_error_consolidates () =
-  (* The consolidated numbering must agree with the legacy per-executor
-     mappings... *)
+  (* The consolidated numbering pins the documented per-executor codes... *)
   List.iter
-    (fun f ->
-      check_int "sync agrees" (Executor.exit_code f)
-        (Run_error.exit_code (Run_error.Sync f)))
-    [ Executor.Max_rounds_exceeded 9;
-      Executor.Tape_exhausted { round = 3 };
-      Executor.All_nodes_crashed { round = 2 };
+    (fun (f, code) ->
+      check_int "sync code" code (Run_error.exit_code (Run_error.Sync f)))
+    [ Executor.Max_rounds_exceeded 9, 2;
+      Executor.Tape_exhausted { round = 3 }, 3;
+      Executor.All_nodes_crashed { round = 2 }, 4;
     ];
   List.iter
-    (fun f ->
-      check_int "async agrees" (Async.exit_code f)
-        (Run_error.exit_code (Run_error.Async f)))
-    [ Async.Event_limit_exceeded 9;
-      Async.Tape_exhausted { round = 3 };
-      Async.Stalled { events = 5 };
+    (fun (f, code) ->
+      check_int "async code" code (Run_error.exit_code (Run_error.Async f)))
+    [ Async.Event_limit_exceeded 9, 5;
+      Async.Tape_exhausted { round = 3 }, 3;
+      Async.Stalled { events = 5 }, 6;
     ];
   (* ...give the Las-Vegas harness's structured failures the documented
      codes (Network_dead shares 4 with All_nodes_crashed: both mean the
@@ -654,14 +664,22 @@ let test_run_error_consolidates () =
       Las_vegas.Diverged, 9;
       Las_vegas.Network_dead, 4;
     ];
+  (* ...give the wire layer's failures the 10..12 band... *)
+  List.iter
+    (fun (f, code) ->
+      check_int "net code" code (Run_error.exit_code (Run_error.Net f)))
+    [ Run_error.Protocol { message = "m" }, 10;
+      Run_error.Rejected { message = "m" }, 11;
+      Run_error.Connection { message = "m" }, 12;
+    ];
   (* ...and round-trip: every representative maps to a code that
      [of_exit_code] resolves back to the same code.  [Run_error.all]
-     covers every constructor of all three failure types, so this is
+     covers every constructor of all four failure types, so this is
      exhaustive over the numbering. *)
   List.iter
     (fun e ->
       let c = Run_error.exit_code e in
-      check "code in the reserved 2..9 band" true (c >= 2 && c <= 9);
+      check "code in the reserved 2..12 band" true (c >= 2 && c <= 12);
       match Run_error.of_exit_code c with
       | None -> Alcotest.failf "code %d does not resolve" c
       | Some e' -> check_int "round-trips" c (Run_error.exit_code e'))
@@ -674,7 +692,7 @@ let test_run_error_consolidates () =
   check "unknown codes resolve to nothing" true
     (Run_error.of_exit_code 0 = None
     && Run_error.of_exit_code 1 = None
-    && Run_error.of_exit_code 10 = None)
+    && Run_error.of_exit_code 13 = None)
 
 let () =
   Alcotest.run "anonet_faults"

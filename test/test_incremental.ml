@@ -191,7 +191,7 @@ let prop_a_star_warm_equals_cold =
       let g = Gen.random_connected ~seed n p in
       let inst =
         match
-          Anonet_runtime.Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm g
+          Anonet_runtime.Las_vegas.solve_msg Anonet_algorithms.Rand_two_hop.algorithm g
             ~seed:(seed + 13) ()
         with
         | Error m -> failwith m

@@ -1,0 +1,364 @@
+(* Tests for the wire layer: the frame codec (round-trips, truncation,
+   bad-magic/version/type rejection, the payload size cap), the job spec
+   codecs (binary and job-file text), address parsing, and the acceptance
+   bar of the service mode — a loopback server over a Unix socket running
+   two concurrent jobs whose streamed events, result text and exit code
+   are byte-identical (modulo wall-clock fields) to the same jobs run
+   in-process through the same runner. *)
+
+module Frame = Anonet_net.Frame
+module Job = Anonet_net.Job
+module Addr = Anonet_net.Addr
+module Runner = Anonet_net.Runner
+module Server = Anonet_net.Server
+module Client = Anonet_net.Client
+module Obs = Anonet_obs.Obs
+module Events = Anonet_obs.Events
+module Run_error = Anonet_runtime.Run_error
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---------- frame codec ---------- *)
+
+let frame typ stream payload = { Frame.typ; stream; payload }
+
+let frame_equal a b =
+  a.Frame.typ = b.Frame.typ
+  && a.Frame.stream = b.Frame.stream
+  && String.equal a.Frame.payload b.Frame.payload
+
+let test_frame_roundtrip_basic () =
+  List.iter
+    (fun f ->
+      let s = Frame.encode f in
+      match Frame.decode s ~off:0 with
+      | Frame.Decoded (f', n) ->
+        check "frame round-trips" true (frame_equal f f');
+        check_int "consumed everything" (String.length s) n
+      | Frame.Need_more _ | Frame.Malformed _ ->
+        Alcotest.fail "expected a decoded frame")
+    [ frame Frame.Submit 1 "payload";
+      frame Frame.Cancel 0xFFFF_FFFF "";
+      frame Frame.Event 7 "{\"ts\":1}";
+      frame Frame.Result 2 "\x00text";
+      frame Frame.Error 3 "\x09diverged";
+    ]
+
+let test_frame_decode_at_offset () =
+  let a = Frame.encode (frame Frame.Event 1 "first") in
+  let b = Frame.encode (frame Frame.Result 2 "\x00second") in
+  match Frame.decode (a ^ b) ~off:(String.length a) with
+  | Frame.Decoded (f, n) ->
+    check "decodes the second frame" true
+      (frame_equal f (frame Frame.Result 2 "\x00second"));
+    check_int "consumed b" (String.length b) n
+  | _ -> Alcotest.fail "expected the second frame"
+
+let test_frame_rejections () =
+  let good = Frame.encode (frame Frame.Submit 1 "x") in
+  let patch i c =
+    let b = Bytes.of_string good in
+    Bytes.set b i c;
+    Bytes.unsafe_to_string b
+  in
+  (match Frame.decode (patch 0 'B') ~off:0 with
+  | Frame.Malformed Frame.Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic not rejected");
+  (match Frame.decode (patch 4 '\x02') ~off:0 with
+  | Frame.Malformed (Frame.Bad_version 2) -> ()
+  | _ -> Alcotest.fail "bad version not rejected");
+  (match Frame.decode (patch 5 '\x63') ~off:0 with
+  | Frame.Malformed (Frame.Bad_type 0x63) -> ()
+  | _ -> Alcotest.fail "bad type not rejected");
+  (* a declared length over the cap is rejected from the header alone,
+     before any payload arrives *)
+  let b = Bytes.of_string good in
+  Bytes.set_int32_be b 10 (Int32.of_int (Frame.max_payload + 1));
+  (match Frame.decode (Bytes.unsafe_to_string b) ~off:0 with
+  | Frame.Malformed (Frame.Oversized n) ->
+    check_int "reports the declared size" (Frame.max_payload + 1) n
+  | _ -> Alcotest.fail "oversized frame not rejected");
+  match Frame.encode (frame Frame.Submit 1 (String.make (Frame.max_payload + 1) 'a')) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode accepted an oversized payload"
+
+let qcheck_frame_roundtrip =
+  QCheck.Test.make ~name:"frame encode/decode round-trips" ~count:300
+    QCheck.(triple (int_range 1 5) (int_range 0 0xFFFF) string)
+    (fun (t, stream, payload) ->
+      let typ =
+        match t with
+        | 1 -> Frame.Submit
+        | 2 -> Frame.Cancel
+        | 3 -> Frame.Event
+        | 4 -> Frame.Result
+        | _ -> Frame.Error
+      in
+      let f = frame typ stream payload in
+      let s = Frame.encode f in
+      match Frame.decode s ~off:0 with
+      | Frame.Decoded (f', n) -> frame_equal f f' && n = String.length s
+      | _ -> false)
+
+let qcheck_frame_truncation =
+  (* No strict prefix of a valid frame ever decodes or errors: the decoder
+     always asks for more bytes, and never more than the true size. *)
+  QCheck.Test.make ~name:"truncated frames ask for more, never decode"
+    ~count:300
+    QCheck.(pair small_string (int_range 0 1000))
+    (fun (payload, cut) ->
+      let s = Frame.encode (frame Frame.Event 3 payload) in
+      let cut = cut mod String.length s in
+      match Frame.decode (String.sub s 0 cut) ~off:0 with
+      | Frame.Need_more n -> n <= String.length s
+      | Frame.Decoded _ | Frame.Malformed _ -> false)
+
+(* ---------- job codec ---------- *)
+
+let test_job_roundtrip () =
+  let job =
+    {
+      Job.kind = Job.Solve;
+      pairs =
+        [ "graph", "cycle:6"; "problem", "2hop"; "seed", "5";
+          "faults", "loss=0.2,seed=21"; "empty", ""; "binary", "\x00\xff=\n";
+        ];
+    }
+  in
+  (match Job.decode (Job.encode job) with
+  | Ok job' -> check "binary round-trip" true (job = job')
+  | Error m -> Alcotest.fail m);
+  match Job.of_text (Job.to_text job) with
+  | Ok job' ->
+    check "text round-trip (text-safe pairs)" true
+      (List.filter (fun (k, _) -> k <> "binary" && k <> "empty") job'.Job.pairs
+      = List.filter (fun (k, _) -> k <> "binary" && k <> "empty") job.Job.pairs)
+  | Error m -> Alcotest.fail m
+
+let test_job_text_parses () =
+  match
+    Job.of_text
+      "# a job\nkind=solve\n\nproblem = 2hop\ngraph=cycle:6\nfaults=loss=0.2,seed=1\n"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok job ->
+    check "kind" true (job.Job.kind = Job.Solve);
+    check_string "spaces trimmed" "2hop" (Option.get (Job.get job "problem"));
+    check_string "value keeps its own '='" "loss=0.2,seed=1"
+      (Option.get (Job.get job "faults"))
+
+let test_job_rejects () =
+  check "missing kind" true (Result.is_error (Job.of_text "problem=mis\n"));
+  check "unknown kind" true (Result.is_error (Job.of_text "kind=frobnicate\n"));
+  check "no equals" true (Result.is_error (Job.of_text "kind=solve\nnonsense\n"));
+  check "empty binary" true (Result.is_error (Job.decode ""));
+  check "bad kind code" true (Result.is_error (Job.decode "\x7f\x00\x00"));
+  let s = Job.encode { Job.kind = Job.Solve; pairs = [ "a", "b" ] } in
+  check "truncated binary" true
+    (Result.is_error (Job.decode (String.sub s 0 (String.length s - 1))));
+  check "trailing garbage" true (Result.is_error (Job.decode (s ^ "x")))
+
+let qcheck_job_roundtrip =
+  QCheck.Test.make ~name:"job binary codec round-trips" ~count:200
+    QCheck.(small_list (pair small_string string))
+    (fun pairs ->
+      let job = { Job.kind = Job.Experiment; pairs } in
+      match Job.decode (Job.encode job) with
+      | Ok job' -> job = job'
+      | Error _ -> false)
+
+(* ---------- addresses ---------- *)
+
+let test_addr_parse () =
+  check "unix" true
+    (Addr.of_string "unix:/tmp/x.sock" = Ok (Addr.Unix_sock "/tmp/x.sock"));
+  check "tcp" true
+    (Addr.of_string "tcp:127.0.0.1:9000" = Ok (Addr.Tcp ("127.0.0.1", 9000)));
+  check "bad scheme" true (Result.is_error (Addr.of_string "http:x"));
+  check "bad port" true (Result.is_error (Addr.of_string "tcp:h:notaport"));
+  check "empty unix path" true (Result.is_error (Addr.of_string "unix:"))
+
+(* ---------- run error net band ---------- *)
+
+let test_net_error_codes () =
+  check_int "protocol = 10" 10
+    (Run_error.exit_code (Run_error.Net (Run_error.Protocol { message = "m" })));
+  check_int "rejected = 11" 11
+    (Run_error.exit_code (Run_error.Net (Run_error.Rejected { message = "m" })));
+  check_int "connection = 12" 12
+    (Run_error.exit_code (Run_error.Net (Run_error.Connection { message = "m" })))
+
+(* ---------- loopback integration ---------- *)
+
+(* Strip the wall-clock fields ("ts" timestamps, "ns" span durations)
+   from an NDJSON line; everything else must match byte for byte. *)
+let scrub line =
+  let drop_num_field key line =
+    let pat = Printf.sprintf "\"%s\":" key in
+    let plen = String.length pat and n = String.length line in
+    let rec find i =
+      if i + plen > n then None
+      else if String.sub line i plen = pat then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> line
+    | Some i ->
+      let j = ref (i + plen) in
+      while
+        !j < n && (match line.[!j] with '0' .. '9' | '-' | '.' -> true | _ -> false)
+      do
+        incr j
+      done;
+      let i, j =
+        if !j < n && line.[!j] = ',' then (i, !j + 1) (* leading field *)
+        else if i > 0 && line.[i - 1] = ',' then (i - 1, !j)
+        else (i, !j)
+      in
+      String.sub line 0 i ^ String.sub line j (n - j)
+  in
+  drop_num_field "ts" (drop_num_field "ns" line)
+
+let solve_job seed =
+  {
+    Job.kind = Job.Solve;
+    pairs =
+      [ "problem", "2hop"; "graph", "cycle:6"; "seed", string_of_int seed;
+        "faults", "loss=0.2,seed=21"; "retransmit", "true";
+      ];
+  }
+
+let run_local job =
+  let lines = ref [] in
+  let obs = Obs.make ~events:(Events.ndjson_lines (fun l -> lines := l :: !lines)) () in
+  let outcome = Runner.execute ~obs job in
+  (outcome, List.rev_map scrub !lines)
+
+let with_server ?(domains = 2) ?max_queue f =
+  let path = Filename.temp_file "anonet-test" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~domains ?max_queue (Addr.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f (Addr.Unix_sock path))
+
+let submit_collecting addr job =
+  let lines = ref [] in
+  let outcome = Client.submit addr job ~on_event:(fun l -> lines := l :: !lines) in
+  (outcome, List.rev_map scrub !lines)
+
+let test_loopback_two_concurrent_jobs () =
+  let job_a = solve_job 5 and job_b = solve_job 42 in
+  let expected_a = run_local job_a and expected_b = run_local job_b in
+  with_server @@ fun addr ->
+  (* two clients in flight at once, each on its own connection *)
+  let result_b = ref None in
+  let thread =
+    Thread.create (fun () -> result_b := Some (submit_collecting addr job_b)) ()
+  in
+  let got_a = submit_collecting addr job_a in
+  Thread.join thread;
+  let got_b = Option.get !result_b in
+  let check_job name (expected_outcome, expected_lines) (outcome, lines) =
+    check_int (name ^ ": exit code") expected_outcome.Runner.code
+      outcome.Runner.code;
+    check_string (name ^ ": stdout text") expected_outcome.Runner.out
+      outcome.Runner.out;
+    check_int (name ^ ": event count") (List.length expected_lines)
+      (List.length lines);
+    List.iter2 (check_string (name ^ ": event line")) expected_lines lines
+  in
+  check_job "job a" expected_a got_a;
+  check_job "job b" expected_b got_b
+
+let test_loopback_failure_code () =
+  (* a diverging job must come back with the same structured exit code the
+     in-process run maps to (9) *)
+  let job =
+    {
+      Job.kind = Job.Solve;
+      pairs =
+        [ "problem", "2hop"; "graph", "cycle:6"; "seed", "5";
+          "faults", "loss=1.0,seed=3"; "retransmit", "true"; "divergence", "2.";
+        ];
+    }
+  in
+  let expected, _ = run_local job in
+  check_int "local run diverges" 9 expected.Runner.code;
+  with_server @@ fun addr ->
+  let outcome, _ = submit_collecting addr job in
+  check_int "remote exit code" expected.Runner.code outcome.Runner.code;
+  check_string "remote diagnostic" expected.Runner.err outcome.Runner.err
+
+let test_loopback_bad_job_rejected () =
+  with_server @@ fun addr ->
+  let outcome, _ =
+    submit_collecting addr
+      { Job.kind = Job.Solve; pairs = [ "problem", "mis"; "graph", "nope:1" ] }
+  in
+  check_int "rejected code" 11 outcome.Runner.code;
+  check "message names the spec" true
+    (let m = outcome.Runner.err in
+     String.length m > 0 && m <> "cancelled")
+
+let test_loopback_queue_full () =
+  (* max_queue 0 rejects every submit before it reaches a worker *)
+  with_server ~max_queue:0 @@ fun addr ->
+  let outcome, _ = submit_collecting addr (solve_job 5) in
+  check_int "busy code" 11 outcome.Runner.code
+
+let test_loopback_garbage_rejected () =
+  with_server @@ fun addr ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Addr.sockaddr addr);
+      let garbage = "GET / HTTP/1.1\r\n\r\n" in
+      ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+      match Frame.read fd with
+      | Ok (Some { Frame.typ = Frame.Error; payload; _ }) ->
+        check_int "protocol error code" 10 (Char.code payload.[0])
+      | _ -> Alcotest.fail "expected an error frame for garbage bytes")
+
+let test_client_connection_refused () =
+  let outcome =
+    Client.submit
+      (Addr.Unix_sock "/tmp/anonet-no-such-socket.sock")
+      (solve_job 1)
+      ~on_event:(fun _ -> ())
+  in
+  check_int "connection code" 12 outcome.Runner.code
+
+(* ---------- suite ---------- *)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "anonet_net"
+    [
+      ( "frame",
+        [ t "round-trips" test_frame_roundtrip_basic;
+          t "decodes at an offset" test_frame_decode_at_offset;
+          t "rejects bad magic/version/type/size" test_frame_rejections;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ qcheck_frame_roundtrip; qcheck_frame_truncation ] );
+      ( "job",
+        [ t "round-trips" test_job_roundtrip;
+          t "parses job files" test_job_text_parses;
+          t "rejects malformed specs" test_job_rejects;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ qcheck_job_roundtrip ] );
+      ("addr", [ t "parses" test_addr_parse ]);
+      ("run-error", [ t "net band codes" test_net_error_codes ]);
+      ( "loopback",
+        [ t "two concurrent jobs byte-identical" test_loopback_two_concurrent_jobs;
+          t "failure code survives the wire" test_loopback_failure_code;
+          t "bad job rejected" test_loopback_bad_job_rejected;
+          t "queue full rejected" test_loopback_queue_full;
+          t "garbage bytes rejected" test_loopback_garbage_rejected;
+          t "connection refused reported" test_client_connection_refused;
+        ] );
+    ]

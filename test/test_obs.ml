@@ -2,7 +2,7 @@
    counters, gauges, histograms, snapshots, both renderers), the structured
    event sink (NDJSON schema, sequence numbers, escaping), profiling spans
    (nesting, exception safety), and the acceptance bar of the Run_ctx
-   redesign — null-handle byte-identity of the deprecated shims, and live
+   redesign — live-handle byte-identity of instrumented runs, and live
    counters matching the runtime's own reports exactly on the three fixed
    scenarios (fault-free run, lossy retransmitted solve, node-major
    search). *)
@@ -17,10 +17,6 @@ module Pool = Anonet_parallel.Pool
 module Catalog = Anonet_problems.Catalog
 module Problem = Anonet_problems.Problem
 module Experiments = Anonet_experiments.Experiments
-
-(* The shim byte-identity tests below call the deprecated legacy entry
-   points on purpose: their whole point is old-vs-new agreement. *)
-[@@@alert "-deprecated"]
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -423,7 +419,7 @@ let test_counters_lossy_solve () =
       (Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm)
       g ~seed:5 ()
   with
-  | Error m -> Alcotest.fail m
+  | Error f -> Alcotest.fail f.Las_vegas.message
   | Ok r ->
     check_int "lv.attempts" r.Las_vegas.attempts (counter_of registry "lv.attempts");
     check_int "lv.rounds_spent" r.Las_vegas.rounds_spent
@@ -453,9 +449,9 @@ let test_counters_node_major_search () =
       (List.mem_assoc "span.min_search.node_major.ns"
          (Metrics.snapshot registry).Metrics.histograms)
 
-(* ---------- acceptance: shims and null handle are byte-identical ---------- *)
+(* ---------- acceptance: live handles are byte-identical to null ---------- *)
 
-let test_executor_shim_identity () =
+let test_executor_obs_identity () =
   let g = Gen.petersen () in
   let plan = Faults.with_loss 0.3 ~seed:4 in
   let via_ctx =
@@ -464,13 +460,7 @@ let test_executor_shim_identity () =
       Anonet_algorithms.Rand_mis.algorithm g ~tape:(Tape.random ~seed:3)
       ~max_rounds:1_000
   in
-  let via_legacy =
-    Executor.run_legacy ~scramble_seed:7 ~faults:(Faults.make plan)
-      Anonet_algorithms.Rand_mis.algorithm g ~tape:(Tape.random ~seed:3)
-      ~max_rounds:1_000
-  in
-  check "legacy run agrees" true (via_ctx = via_legacy);
-  (* and a live-metrics context never changes the result *)
+  (* a live-metrics context never changes the result *)
   let _, live = live_ctx () in
   let observed =
     Executor.run
@@ -480,7 +470,7 @@ let test_executor_shim_identity () =
   in
   check "instrumented run agrees" true (via_ctx = observed)
 
-let test_las_vegas_shim_identity () =
+let test_las_vegas_obs_identity () =
   let g = Gen.cycle 6 in
   let plan = Faults.with_loss 0.2 ~seed:21 in
   let algo = Retransmit.wrap Anonet_algorithms.Rand_two_hop.algorithm in
@@ -488,14 +478,10 @@ let test_las_vegas_shim_identity () =
     Las_vegas.solve ~ctx:(Run_ctx.make ~faults:plan ?pool ()) algo g ~seed:5 ()
   in
   let sequential = solve_with () in
-  let legacy = Las_vegas.solve_legacy algo g ~seed:5 ~faults:plan () in
-  check "legacy solve agrees" true (sequential = legacy);
-  (* byte-identity across jobs 1 and 4, with and without the shim *)
+  (* byte-identity across jobs 1 and 4 *)
   Pool.with_pool ~domains:4 (fun pool ->
       let raced = solve_with ~pool () in
-      check "jobs=4 agrees with jobs=1" true (sequential = raced);
-      let legacy_raced = Las_vegas.solve_legacy algo g ~seed:5 ~faults:plan ~pool () in
-      check "legacy jobs=4 agrees" true (sequential = legacy_raced))
+      check "jobs=4 agrees with jobs=1" true (sequential = raced))
 
 (* ---------- acceptance: NDJSON stream of a seed-fixed faulty solve ---------- *)
 
@@ -517,7 +503,9 @@ let test_ndjson_golden_solve () =
           (Gen.cycle 6) ~seed:5 ())
   in
   close_out oc;
-  (match result with Error m -> Alcotest.fail m | Ok _ -> ());
+  (match result with
+  | Error f -> Alcotest.fail f.Las_vegas.message
+  | Ok _ -> ());
   let events = List.map parse_json (read_lines path) in
   check "stream non-empty" true (events <> []);
   let allowed =
@@ -648,8 +636,8 @@ let () =
         [ t "counters: fault-free run" test_counters_fault_free_run;
           t "counters: lossy retransmitted solve" test_counters_lossy_solve;
           t "counters: node-major search" test_counters_node_major_search;
-          t "shim identity: executor" test_executor_shim_identity;
-          t "shim identity: las-vegas, jobs 1 and 4" test_las_vegas_shim_identity;
+          t "obs identity: executor" test_executor_obs_identity;
+          t "obs identity: las-vegas, jobs 1 and 4" test_las_vegas_obs_identity;
           t "ndjson golden solve" test_ndjson_golden_solve;
           t "null-handle overhead guard" test_null_overhead_guard;
         ] );

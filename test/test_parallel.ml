@@ -159,17 +159,22 @@ let check_lv_equivalent name solve =
               (Printf.sprintf "%s: identical report (%d domains)" name domains)
               true (report_equal a b)
           | Error a, Error b ->
+            check
+              (Printf.sprintf "%s: identical failure reason (%d domains)" name
+                 domains)
+              true
+              (a.Las_vegas.reason = b.Las_vegas.reason);
             check_string
               (Printf.sprintf "%s: identical error (%d domains)" name domains)
-              a b
-          | Ok _, Error m ->
+              a.Las_vegas.message b.Las_vegas.message
+          | Ok _, Error f ->
             Alcotest.fail
               (Printf.sprintf "%s: sequential Ok but %d domains Error %s" name
-                 domains m)
-          | Error m, Ok _ ->
+                 domains f.Las_vegas.message)
+          | Error f, Ok _ ->
             Alcotest.fail
-              (Printf.sprintf "%s: sequential Error %s but %d domains Ok" name m
-                 domains)))
+              (Printf.sprintf "%s: sequential Error %s but %d domains Ok" name
+                 f.Las_vegas.message domains)))
     pool_sizes
 
 let test_lv_equivalence_easy () =
@@ -227,7 +232,7 @@ let test_lv_backoff_overflow_clamped () =
      with the cap message (a wrapped negative budget would either sail
      past the cap or turn the budget arithmetic nonsensical). *)
   let r =
-    Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
+    Las_vegas.solve_msg Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
       ~seed:2 ~max_rounds:1 ~backoff:10.0 ~attempts:30 ~giveup:1000 ()
   in
   (match r with
@@ -246,7 +251,7 @@ let test_lv_backoff_overflow_clamped () =
      (attempt budgets saturate at max_int / 2 — success comes quickly once
      the budget is astronomically generous). *)
   match
-    Las_vegas.solve Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
+    Las_vegas.solve_msg Anonet_algorithms.Rand_two_hop.algorithm (Gen.cycle 6)
       ~seed:2 ~max_rounds:1 ~backoff:10.0 ~attempts:30 ()
   with
   | Ok r -> check "eventually succeeds" true (r.Las_vegas.attempts >= 1)
@@ -463,7 +468,9 @@ let qcheck_lv_equivalence =
           Pool.with_pool ~domains (fun p ->
               match sequential, solve (Some p) with
               | Ok a, Ok b -> report_equal a b
-              | Error a, Error b -> String.equal a b
+              | Error a, Error b ->
+                a.Las_vegas.reason = b.Las_vegas.reason
+                && String.equal a.Las_vegas.message b.Las_vegas.message
               | _ -> false))
         [ 2; 4 ])
 

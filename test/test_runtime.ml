@@ -219,7 +219,7 @@ let never : Algorithm.t =
 
 let test_las_vegas_solves () =
   let g = Gen.cycle 5 in
-  match Las_vegas.solve Anonet_algorithms.Rand_coloring.algorithm g ~seed:1 () with
+  match Las_vegas.solve_msg Anonet_algorithms.Rand_coloring.algorithm g ~seed:1 () with
   | Error m -> Alcotest.fail m
   | Ok { outcome; attempts; _ } ->
     check "valid coloring" true
@@ -230,7 +230,7 @@ let test_las_vegas_solves () =
 let test_las_vegas_deterministic_given_seed () =
   let g = Gen.cycle 5 in
   let run () =
-    match Las_vegas.solve Anonet_algorithms.Rand_coloring.algorithm g ~seed:3 () with
+    match Las_vegas.solve_msg Anonet_algorithms.Rand_coloring.algorithm g ~seed:3 () with
     | Error m -> Alcotest.fail m
     | Ok r -> r.Las_vegas.outcome.Executor.outputs
   in
@@ -244,7 +244,7 @@ let contains needle hay =
 
 let test_las_vegas_error_includes_failure () =
   let g = Gen.path 2 in
-  match Las_vegas.solve never g ~seed:1 ~max_rounds:5 ~attempts:2 () with
+  match Las_vegas.solve_msg never g ~seed:1 ~max_rounds:5 ~attempts:2 () with
   | Ok _ -> Alcotest.fail "never must not succeed"
   | Error m ->
     check "counts the attempts" true (contains "no success in 2 attempts" m);
@@ -254,18 +254,18 @@ let test_las_vegas_error_includes_failure () =
 let test_las_vegas_backoff_escalates () =
   (* backoff 2.0: budgets 5, 10 — 15 rounds total when both fail. *)
   let g = Gen.path 2 in
-  (match Las_vegas.solve never g ~seed:1 ~max_rounds:5 ~attempts:2 () with
+  (match Las_vegas.solve_msg never g ~seed:1 ~max_rounds:5 ~attempts:2 () with
   | Ok _ -> Alcotest.fail "never must not succeed"
   | Error m -> check "second budget doubled" true (contains "budget 10" m));
   Alcotest.check_raises "backoff < 1 rejected"
     (Invalid_argument "Las_vegas.solve: backoff < 1")
     (fun () ->
-      ignore (Las_vegas.solve never g ~seed:1 ~backoff:0.5 ()))
+      ignore (Las_vegas.solve_msg never g ~seed:1 ~backoff:0.5 ()))
 
 let test_las_vegas_giveup_caps_total () =
   let g = Gen.path 2 in
   match
-    Las_vegas.solve never g ~seed:1 ~max_rounds:8 ~attempts:20 ~giveup:20 ()
+    Las_vegas.solve_msg never g ~seed:1 ~max_rounds:8 ~attempts:20 ~giveup:20 ()
   with
   | Ok _ -> Alcotest.fail "never must not succeed"
   | Error m ->
@@ -275,7 +275,7 @@ let test_las_vegas_giveup_caps_total () =
 
 let test_las_vegas_reports_rounds_spent () =
   let g = Gen.cycle 5 in
-  match Las_vegas.solve Anonet_algorithms.Rand_coloring.algorithm g ~seed:1 () with
+  match Las_vegas.solve_msg Anonet_algorithms.Rand_coloring.algorithm g ~seed:1 () with
   | Error m -> Alcotest.fail m
   | Ok r ->
     check "spent at least the final run" true
