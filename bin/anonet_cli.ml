@@ -481,10 +481,16 @@ let serve_cmd =
   let run listen jobs max_queue metrics events =
     match Anonet_net.Addr.of_string listen with
     | Error m -> prerr_endline m; exit 1
-    | Ok addr ->
+    | Ok addr -> (
       with_obs metrics events @@ fun obs ->
-      Printf.printf "anonet serve: listening on %s\n%!" listen;
-      Anonet_net.Server.run ~obs ?domains:jobs ~max_queue addr
+      match Anonet_net.Server.start ~obs ?domains:jobs ~max_queue addr with
+      | Error m -> prerr_endline ("anonet serve: " ^ m); exit 1
+      | Ok server ->
+        Printf.printf "anonet serve: listening on %s\n%!" listen;
+        (* block until the process is signalled *)
+        let rec forever () = Unix.sleep 86_400; forever () in
+        (try forever ()
+         with e -> Anonet_net.Server.stop server; raise e))
   in
   let listen =
     let doc = "Listen address: unix:PATH or tcp:HOST:PORT." in

@@ -23,15 +23,17 @@ let to_string = function
   | Unix_sock p -> "unix:" ^ p
   | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
 
-let sockaddr = function
-  | Unix_sock p -> Unix.ADDR_UNIX p
+(* One getaddrinfo call yields both the family and the address: resolving
+   them separately can disagree under round-robin DNS (PF_INET6 socket,
+   IPv4 sockaddr) and would double the lookup cost per connect/bind. *)
+let resolve = function
+  | Unix_sock p -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX p)
   | Tcp (host, port) -> begin
-      match Unix.getaddrinfo host (string_of_int port)
-              [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
-      | { Unix.ai_addr; _ } :: _ -> ai_addr
-      | [] -> failwith (Printf.sprintf "cannot resolve host %S" host)
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_family; ai_addr; _ } :: _ -> Ok (ai_family, ai_addr)
+      | [] | (exception Unix.Unix_error _) ->
+        Error (Printf.sprintf "cannot resolve host %S" host)
     end
-
-let domain = function
-  | Unix_sock _ -> Unix.PF_UNIX
-  | Tcp _ as a -> Unix.domain_of_sockaddr (sockaddr a)

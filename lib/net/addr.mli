@@ -8,8 +8,8 @@ type t =
 val of_string : string -> (t, string) result
 val to_string : t -> string
 
-val sockaddr : t -> Unix.sockaddr
-(** Resolves the host for TCP addresses.
-    @raise Failure if the host does not resolve. *)
-
-val domain : t -> Unix.socket_domain
+val resolve : t -> (Unix.socket_domain * Unix.sockaddr, string) result
+(** The socket family and address to bind/connect, from a single
+    resolution (for TCP, one [getaddrinfo] call — family and address
+    always agree, even when the host resolves round-robin).  Never
+    raises; an unresolvable host is an [Error]. *)

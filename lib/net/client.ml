@@ -14,9 +14,12 @@ let connection m = net_outcome (Run_error.Connection { message = m })
 let protocol m = net_outcome (Run_error.Protocol { message = m })
 
 let submit ?(stream = 1) addr job ~on_event =
+  match Addr.resolve addr with
+  | Error m -> connection m
+  | Ok (domain, sockaddr) ->
   match
-    let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Addr.sockaddr addr)
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
      with e -> (try Unix.close fd with _ -> ()); raise e);
     fd
   with
@@ -24,7 +27,6 @@ let submit ?(stream = 1) addr job ~on_event =
     connection
       (Printf.sprintf "cannot connect to %s: %s" (Addr.to_string addr)
          (Unix.error_message err))
-  | exception Failure m -> connection m
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())

@@ -49,7 +49,10 @@ let coloring_of_spec g spec =
         Las_vegas.solve_msg Anonet_algorithms.Rand_two_hop.algorithm g ~seed ()
       with
       | Ok r -> r.Las_vegas.outcome.Executor.outputs
-      | Error m -> failwith m
+      | Error m ->
+        (* a rejection like every other unrealizable colors= spec, not a
+           bare Failure escaping to the generic job-failed handler *)
+        bad_spec "random:%d base coloring failed: %s" seed m
     end
   | _ -> bad_spec "unknown coloring spec %S" spec
 

@@ -9,19 +9,33 @@ let protocol_code =
 let rejected_code =
   Run_error.exit_code (Run_error.Net (Run_error.Rejected { message = "" }))
 
+(* A connection whose outbox backs up this far has stopped reading its
+   socket while jobs keep producing; it is treated as dead rather than
+   buffering without bound. *)
+let max_outbox = 16_384
+
 type conn = {
   fd : Unix.file_descr;
   lock : Mutex.t;
-      (* serializes writes and guards [closed]/[draining]/[pending]/
-         [cancelled]: a job's frames must not interleave bytes with
-         another job's on the same socket *)
+      (* guards every mutable field below.  Two rules keep one stalled
+         connection from wedging the server: [lock] is never held across
+         I/O (only the writer thread touches the socket for output, and
+         it writes with the lock released), and [lock] is never acquired
+         while [t.qlock] is held (the reverse nesting would chain every
+         reader and worker behind a single blocked connection). *)
+  wake : Condition.t;  (* signals the writer: outbox or lifecycle changed *)
+  outbox : Frame.t Queue.t;
   mutable closed : bool;
-  mutable draining : bool;  (* reader finished; close once pending = 0 *)
+  mutable draining : bool;  (* reader finished; close once flushed + idle *)
   mutable pending : int;  (* queued + running jobs on this connection *)
-  cancelled : (int, unit) Hashtbl.t;
+  jobs : (int, bool ref) Hashtbl.t;
+      (* stream id -> cancelled flag, live jobs only: entries are added
+         when a submit is accepted and removed when the stream's final
+         frame is enqueued, so a finished stream id can be reused and a
+         stale [cancel] is a no-op instead of a poison pill *)
 }
 
-type entry = { conn : conn; stream : int; job : Job.t }
+type entry = { conn : conn; stream : int; job : Job.t; cancelled : bool ref }
 
 type t = {
   listen_fd : Unix.file_descr;
@@ -32,7 +46,7 @@ type t = {
   mutable shutdown : bool;
   mutable inflight : int;
   mutable conns : conn list;
-  mutable readers : Thread.t list;
+  mutable threads : Thread.t list;  (* one reader + one writer per conn *)
   mutable stopped : bool;
   max_queue : int;
   pool : Pool.t;
@@ -48,6 +62,7 @@ type t = {
 
 (* ---------- connection plumbing ---------- *)
 
+(* With [conn.lock] held. *)
 let close_fd_once conn =
   if not conn.closed then begin
     conn.closed <- true;
@@ -57,20 +72,57 @@ let close_fd_once conn =
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
 
-(* With [conn.lock] held. *)
-let maybe_close conn = if conn.draining && conn.pending = 0 then close_fd_once conn
+(* With [conn.lock] held: the peer is gone or not reading. *)
+let kill_conn conn =
+  close_fd_once conn;
+  Queue.clear conn.outbox;
+  Condition.broadcast conn.wake
 
-let send t conn frame =
-  let sent =
-    Mutex.protect conn.lock (fun () ->
-        (not conn.closed)
-        &&
-        try
-          Frame.write conn.fd frame;
-          true
-        with Unix.Unix_error _ -> close_fd_once conn; false)
+(* [send] never touches the socket: it enqueues for the connection's
+   writer thread, so callers (readers holding no lock, workers mid-job)
+   can never block on a peer that has stopped reading. *)
+let send _t conn frame =
+  Mutex.protect conn.lock (fun () ->
+      if not conn.closed then begin
+        if Queue.length conn.outbox >= max_outbox then kill_conn conn
+        else begin
+          Queue.add frame conn.outbox;
+          Condition.signal conn.wake
+        end
+      end)
+
+(* With [conn.lock] held: nothing left to deliver, ever. *)
+let conn_finished conn =
+  conn.closed
+  || (conn.draining && conn.pending = 0 && Queue.is_empty conn.outbox)
+
+(* One writer thread per connection drains the outbox.  The socket has
+   SO_SNDTIMEO set, so a write to a peer that stopped reading fails with
+   EAGAIN after the timeout instead of blocking a thread forever — the
+   connection is then dropped. *)
+let writer t conn =
+  let rec go () =
+    Mutex.lock conn.lock;
+    while Queue.is_empty conn.outbox && not (conn_finished conn) do
+      Condition.wait conn.wake conn.lock
+    done;
+    if conn.closed || Queue.is_empty conn.outbox then begin
+      (* closed, or drained with the last frame flushed *)
+      close_fd_once conn;
+      Mutex.unlock conn.lock
+    end
+    else begin
+      let frame = Queue.pop conn.outbox in
+      Mutex.unlock conn.lock;
+      match Frame.write conn.fd frame with
+      | () ->
+        Obs.incr t.frames_out;
+        go ()
+      | exception Unix.Unix_error _ ->
+        Mutex.protect conn.lock (fun () -> kill_conn conn)
+    end
   in
-  if sent then Obs.incr t.frames_out
+  go ()
 
 let error_frame code message stream =
   { Frame.typ = Frame.Error; stream; payload = String.make 1 (Char.chr code) ^ message }
@@ -80,22 +132,31 @@ let result_frame out stream =
 
 (* ---------- job execution (worker side) ---------- *)
 
+(* Retires the stream id BEFORE its final frame is enqueued: a client
+   that has read the stream's result can reuse the id (or send a stale
+   cancel) without racing the server's own bookkeeping.  The worker
+   keeps cancellation working through [entry.cancelled], which it holds
+   directly. *)
+let stream_done conn stream =
+  Mutex.protect conn.lock (fun () -> Hashtbl.remove conn.jobs stream)
+
 let job_done t conn =
   Mutex.protect conn.lock (fun () ->
       conn.pending <- conn.pending - 1;
-      maybe_close conn);
+      Condition.signal conn.wake);
   Mutex.protect t.qlock (fun () ->
       t.inflight <- t.inflight - 1;
       Obs.set t.jobs_gauge t.inflight)
 
-let execute t { conn; stream; job } =
-  let cancelled () =
-    Mutex.protect conn.lock (fun () -> Hashtbl.mem conn.cancelled stream)
-  in
-  (if cancelled () then send t conn (error_frame rejected_code "cancelled" stream)
+let execute t { conn; stream; job; cancelled } =
+  let is_cancelled () = Mutex.protect conn.lock (fun () -> !cancelled) in
+  (if is_cancelled () then begin
+     stream_done conn stream;
+     send t conn (error_frame rejected_code "cancelled" stream)
+   end
    else begin
      let emit line =
-       if not (cancelled ()) then
+       if not (is_cancelled ()) then
          send t conn { Frame.typ = Frame.Event; stream; payload = line }
      in
      let obs = Obs.make ~events:(Events.ndjson_lines emit) () in
@@ -109,7 +170,9 @@ let execute t { conn; stream; job } =
            err = "job failed: " ^ Printexc.to_string exn;
          }
      in
-     if cancelled () then send t conn (error_frame rejected_code "cancelled" stream)
+     stream_done conn stream;
+     if is_cancelled () then
+       send t conn (error_frame rejected_code "cancelled" stream)
      else if outcome.Runner.code = 0 then
        send t conn (result_frame outcome.Runner.out stream)
      else send t conn (error_frame outcome.Runner.code outcome.Runner.err stream)
@@ -139,30 +202,53 @@ let handle_submit t conn stream payload =
   match Job.decode payload with
   | Error m -> reject t conn stream protocol_code ("malformed submit payload: " ^ m)
   | Ok job ->
-    let verdict =
-      Mutex.protect t.qlock (fun () ->
-          if t.shutdown then `Reject "server shutting down"
-          else if Queue.length t.queue >= t.max_queue then
-            `Reject "server busy (job queue full)"
-          else begin
-            Mutex.protect conn.lock (fun () -> conn.pending <- conn.pending + 1);
-            Queue.add { conn; stream; job } t.queue;
-            t.inflight <- t.inflight + 1;
-            Obs.set t.jobs_gauge t.inflight;
-            Condition.signal t.qcond;
-            `Accepted
-          end)
+    let cancelled = ref false in
+    (* claim the stream and a pending slot before taking [t.qlock] —
+       see the lock-order rule on [conn.lock] *)
+    let fresh =
+      Mutex.protect conn.lock (fun () ->
+          (not (Hashtbl.mem conn.jobs stream))
+          && begin
+               Hashtbl.replace conn.jobs stream cancelled;
+               conn.pending <- conn.pending + 1;
+               true
+             end)
     in
-    (match verdict with
-    | `Accepted -> ()
-    | `Reject why -> reject t conn stream rejected_code why)
+    if not fresh then
+      reject t conn stream protocol_code
+        (Printf.sprintf "stream %d already has a job in flight" stream)
+    else begin
+      let verdict =
+        Mutex.protect t.qlock (fun () ->
+            if t.shutdown then `Reject "server shutting down"
+            else if Queue.length t.queue >= t.max_queue then
+              `Reject "server busy (job queue full)"
+            else begin
+              Queue.add { conn; stream; job; cancelled } t.queue;
+              t.inflight <- t.inflight + 1;
+              Obs.set t.jobs_gauge t.inflight;
+              Condition.signal t.qcond;
+              `Accepted
+            end)
+      in
+      match verdict with
+      | `Accepted -> ()
+      | `Reject why ->
+        Mutex.protect conn.lock (fun () ->
+            Hashtbl.remove conn.jobs stream;
+            conn.pending <- conn.pending - 1;
+            Condition.signal conn.wake);
+        reject t conn stream rejected_code why
+    end
 
 let handle t conn (frame : Frame.t) =
   match frame.Frame.typ with
   | Frame.Submit -> handle_submit t conn frame.Frame.stream frame.Frame.payload
   | Frame.Cancel ->
     Mutex.protect conn.lock (fun () ->
-        Hashtbl.replace conn.cancelled frame.Frame.stream ())
+        match Hashtbl.find_opt conn.jobs frame.Frame.stream with
+        | Some flag -> flag := true
+        | None -> ())  (* finished or never submitted: nothing to cancel *)
   | Frame.Event | Frame.Result | Frame.Error ->
     reject t conn frame.Frame.stream protocol_code
       "unexpected server-to-client frame type from client"
@@ -170,7 +256,7 @@ let handle t conn (frame : Frame.t) =
 let finish_reader conn =
   Mutex.protect conn.lock (fun () ->
       conn.draining <- true;
-      maybe_close conn)
+      Condition.signal conn.wake)
 
 let rec reader t conn =
   match Frame.read conn.fd with
@@ -196,75 +282,93 @@ let unlink_stale_socket path =
     try Unix.unlink path with Unix.Unix_error _ -> ())
   | _ | (exception Unix.Unix_error _) -> ()
 
-let accept_loop t =
+let accept_loop t ~send_timeout =
   let rec go () =
     match Unix.accept t.listen_fd with
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | fd, _peer ->
       Obs.incr t.connections;
+      if send_timeout > 0. then
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout
+         with Unix.Unix_error _ -> ());
       let conn =
         {
           fd;
           lock = Mutex.create ();
+          wake = Condition.create ();
+          outbox = Queue.create ();
           closed = false;
           draining = false;
           pending = 0;
-          cancelled = Hashtbl.create 7;
+          jobs = Hashtbl.create 7;
         }
       in
-      let thread = Thread.create (fun () -> reader t conn) () in
+      let rd = Thread.create (fun () -> reader t conn) () in
+      let wr = Thread.create (fun () -> writer t conn) () in
       Mutex.protect t.qlock (fun () ->
           t.conns <- conn :: t.conns;
-          t.readers <- thread :: t.readers);
+          t.threads <- rd :: wr :: t.threads);
       go ()
   in
   go ()
 
-let start ?(obs = Obs.null) ?domains ?(max_queue = 64) addr =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  (match addr with
-  | Addr.Unix_sock path -> unlink_stale_socket path
-  | Addr.Tcp _ -> ());
-  let listen_fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
-  (match addr with
-  | Addr.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
-  | Addr.Unix_sock _ -> ());
-  (try Unix.bind listen_fd (Addr.sockaddr addr)
-   with e -> (try Unix.close listen_fd with _ -> ()); raise e);
-  Unix.listen listen_fd 16;
-  let pool = Pool.create ~obs ?domains () in
-  let t =
-    {
-      listen_fd;
-      addr;
-      queue = Queue.create ();
-      qlock = Mutex.create ();
-      qcond = Condition.create ();
-      shutdown = false;
-      inflight = 0;
-      conns = [];
-      readers = [];
-      stopped = false;
-      max_queue;
-      pool;
-      obs;
-      frames_in = Obs.counter obs "server.frames.in";
-      frames_out = Obs.counter obs "server.frames.out";
-      frames_rejected = Obs.counter obs "server.frames.rejected";
-      connections = Obs.counter obs "server.connections";
-      jobs_gauge = Obs.gauge obs "server.jobs.in_flight";
-      accept_thread = None;
-      worker_thread = None;
-    }
-  in
-  t.accept_thread <- Some (Thread.create accept_loop t);
-  t.worker_thread <-
-    Some
-      (Thread.create
-         (fun () -> Pool.run pool ~n:(Pool.domains pool) (fun _ -> worker t))
-         ());
-  t
+let start ?(obs = Obs.null) ?domains ?(max_queue = 64) ?(send_timeout = 30.)
+    addr =
+  match Addr.resolve addr with
+  | Error m -> Error m
+  | Ok (domain, sockaddr) ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (match addr with
+    | Addr.Unix_sock path -> unlink_stale_socket path
+    | Addr.Tcp _ -> ());
+    let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match
+      (match addr with
+      | Addr.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+      | Addr.Unix_sock _ -> ());
+      Unix.bind listen_fd sockaddr;
+      Unix.listen listen_fd 16
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot listen on %s: %s" (Addr.to_string addr)
+           (Unix.error_message e))
+    | () ->
+      let pool = Pool.create ~obs ?domains () in
+      let t =
+        {
+          listen_fd;
+          addr;
+          queue = Queue.create ();
+          qlock = Mutex.create ();
+          qcond = Condition.create ();
+          shutdown = false;
+          inflight = 0;
+          conns = [];
+          threads = [];
+          stopped = false;
+          max_queue;
+          pool;
+          obs;
+          frames_in = Obs.counter obs "server.frames.in";
+          frames_out = Obs.counter obs "server.frames.out";
+          frames_rejected = Obs.counter obs "server.frames.rejected";
+          connections = Obs.counter obs "server.connections";
+          jobs_gauge = Obs.gauge obs "server.jobs.in_flight";
+          accept_thread = None;
+          worker_thread = None;
+        }
+      in
+      t.accept_thread <-
+        Some (Thread.create (fun () -> accept_loop t ~send_timeout) ());
+      t.worker_thread <-
+        Some
+          (Thread.create
+             (fun () -> Pool.run pool ~n:(Pool.domains pool) (fun _ -> worker t))
+             ());
+      Ok t
 
 let bound_port t =
   match Unix.getsockname t.listen_fd with
@@ -289,23 +393,24 @@ let stop t =
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     Option.iter Thread.join t.accept_thread;
-    (* workers drain the queue, then exit; running jobs finish *)
+    (* workers drain the queue, then exit; running jobs finish and their
+       final frames land in the per-connection outboxes *)
     Option.iter Thread.join t.worker_thread;
-    let conns, readers =
-      Mutex.protect t.qlock (fun () -> (t.conns, t.readers))
+    let conns, threads =
+      Mutex.protect t.qlock (fun () -> (t.conns, t.threads))
     in
-    List.iter (fun c -> Mutex.protect c.lock (fun () -> close_fd_once c)) conns;
-    List.iter Thread.join readers;
+    (* mark every connection draining: its writer flushes what is left
+       (bounded by SO_SNDTIMEO per write) and then closes the fd, which
+       wakes the reader out of [read(2)] *)
+    List.iter
+      (fun c ->
+        Mutex.protect c.lock (fun () ->
+            c.draining <- true;
+            Condition.broadcast c.wake))
+      conns;
+    List.iter Thread.join threads;
     Pool.shutdown t.pool;
     match t.addr with
     | Addr.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | Addr.Tcp _ -> ()
   end
-
-let run ?obs ?domains ?max_queue addr =
-  let t = start ?obs ?domains ?max_queue addr in
-  let rec forever () =
-    Unix.sleep 86_400;
-    forever ()
-  in
-  try forever () with e -> stop t; raise e

@@ -5,15 +5,28 @@
     Concurrency model: the pool's [n] domains each run a worker loop that
     drains a shared job queue, so up to [n] jobs execute at once — every
     job runs sequentially on its worker unless its own [jobs=K] key asks
-    for a private pool.  One reader thread per connection parses frames;
-    writes to a connection are serialized by a per-connection lock, so a
-    job's [event] frames never interleave bytes with another job's on the
-    same socket.
+    for a private pool.  Each connection gets two threads: a reader that
+    parses frames, and a writer that drains a per-connection outbox of
+    outbound frames — workers and readers only ever {e enqueue} output,
+    so no thread holding a lock or a pool slot can block on a peer's
+    socket, and a job's [event] frames never interleave bytes with
+    another job's on the same socket.
 
-    Backpressure: the job queue is bounded ([max_queue]); a [submit] that
+    Backpressure: three bounds, each answered without stalling anything
+    shared.  The job queue is bounded ([max_queue]); a [submit] that
     arrives with the queue full is answered immediately with an [error]
-    frame carrying {!Anonet_runtime.Run_error.Rejected}'s exit code
-    instead of stalling the connection's reader.
+    frame carrying {!Anonet_runtime.Run_error.Rejected}'s exit code.  The
+    per-connection outbox is bounded; a client that stops reading while
+    its jobs keep producing is dropped.  Socket writes carry a send
+    timeout ([send_timeout], via [SO_SNDTIMEO]); a write that cannot make
+    progress within it drops the connection instead of wedging the writer
+    thread forever.
+
+    Streams: ids are chosen by the client, scoped per connection, and
+    live from an accepted [submit] to the stream's final frame — after
+    which the id may be reused.  A [submit] on a stream that is still in
+    flight is a protocol error; a [cancel] for an unknown (or already
+    finished) stream is a no-op.
 
     Cancellation ([cancel] frame): a queued job is dropped; a running
     job's output is suppressed.  Either way the stream is answered with a
@@ -29,21 +42,21 @@ val start :
   ?obs:Anonet_obs.Obs.t ->
   ?domains:int ->
   ?max_queue:int ->
+  ?send_timeout:float ->
   Addr.t ->
-  t
+  (t, string) result
 (** Binds, listens, and spawns the accept and worker threads; returns
     once the server is accepting.  [domains] defaults to
-    [Domain.recommended_domain_count ()]; [max_queue] to 64.  A stale
-    Unix-socket path is unlinked before binding.
-    @raise Unix.Unix_error if the address cannot be bound. *)
+    [Domain.recommended_domain_count ()]; [max_queue] to 64;
+    [send_timeout] to 30 seconds (0 disables the write deadline).  A
+    stale Unix-socket path is unlinked before binding.  An unresolvable
+    host or an address that cannot be bound is an [Error] with a
+    human-readable diagnostic; nothing is left running in that case. *)
 
 val bound_port : t -> int option
 (** The actual TCP port — useful after binding port 0 in tests. *)
 
 val stop : t -> unit
-(** Stops accepting, drains running jobs, joins every thread and the
-    pool, and closes all sockets.  Idempotent. *)
-
-val run : ?obs:Anonet_obs.Obs.t -> ?domains:int -> ?max_queue:int -> Addr.t -> unit
-(** [start] then block forever (until the process is signalled) — the
-    CLI entry point. *)
+(** Stops accepting, drains running jobs, flushes each connection's
+    outbox (bounded by [send_timeout] per write), joins every thread and
+    the pool, and closes all sockets.  Idempotent. *)

@@ -239,10 +239,12 @@ let run_local job =
 let with_server ?(domains = 2) ?max_queue f =
   let path = Filename.temp_file "anonet-test" ".sock" in
   Sys.remove path;
-  let server = Server.start ~domains ?max_queue (Addr.Unix_sock path) in
-  Fun.protect
-    ~finally:(fun () -> Server.stop server)
-    (fun () -> f (Addr.Unix_sock path))
+  match Server.start ~domains ?max_queue (Addr.Unix_sock path) with
+  | Error m -> Alcotest.fail ("server did not start: " ^ m)
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () -> Server.stop server)
+      (fun () -> f (Addr.Unix_sock path))
 
 let submit_collecting addr job =
   let lines = ref [] in
@@ -309,19 +311,83 @@ let test_loopback_queue_full () =
   let outcome, _ = submit_collecting addr (solve_job 5) in
   check_int "busy code" 11 outcome.Runner.code
 
-let test_loopback_garbage_rejected () =
-  with_server @@ fun addr ->
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+(* A raw client socket, for tests that speak frames directly. *)
+let with_raw_conn addr f =
+  let domain, sa = Result.get_ok (Addr.resolve addr) in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      Unix.connect fd (Addr.sockaddr addr);
-      let garbage = "GET / HTTP/1.1\r\n\r\n" in
-      ignore (Unix.write_substring fd garbage 0 (String.length garbage));
-      match Frame.read fd with
-      | Ok (Some { Frame.typ = Frame.Error; payload; _ }) ->
-        check_int "protocol error code" 10 (Char.code payload.[0])
-      | _ -> Alcotest.fail "expected an error frame for garbage bytes")
+      Unix.connect fd sa;
+      f fd)
+
+let test_loopback_garbage_rejected () =
+  with_server @@ fun addr ->
+  with_raw_conn addr @@ fun fd ->
+  let garbage = "GET / HTTP/1.1\r\n\r\n" in
+  ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+  match Frame.read fd with
+  | Ok (Some { Frame.typ = Frame.Error; payload; _ }) ->
+    check_int "protocol error code" 10 (Char.code payload.[0])
+  | _ -> Alcotest.fail "expected an error frame for garbage bytes"
+
+(* Skips event frames; returns the result/error frame closing [stream]. *)
+let await_final fd stream =
+  let rec go () =
+    match Frame.read fd with
+    | Ok (Some { Frame.typ = Frame.Event; _ }) -> go ()
+    | Ok (Some ({ Frame.typ = Frame.Result | Frame.Error; stream = s; _ } as f))
+      when s = stream -> f
+    | _ -> Alcotest.fail "connection died before the stream's final frame"
+  in
+  go ()
+
+let test_stream_reuse_after_stale_cancel () =
+  (* cancels for streams that never existed, or that already finished,
+     must be no-ops: they must not poison a later submit reusing the id *)
+  with_server @@ fun addr ->
+  with_raw_conn addr @@ fun fd ->
+  Frame.write fd { Frame.typ = Frame.Cancel; stream = 7; payload = "" };
+  Frame.write fd
+    { Frame.typ = Frame.Submit; stream = 7; payload = Job.encode (solve_job 5) };
+  let first = await_final fd 7 in
+  check "pre-submit cancel did not poison the stream" true
+    (first.Frame.typ = Frame.Result);
+  Frame.write fd { Frame.typ = Frame.Cancel; stream = 7; payload = "" };
+  Frame.write fd
+    { Frame.typ = Frame.Submit; stream = 7; payload = Job.encode (solve_job 42) };
+  let second = await_final fd 7 in
+  check "stream id is reusable after its final frame" true
+    (second.Frame.typ = Frame.Result)
+
+let test_duplicate_stream_rejected () =
+  (* two submits on the same still-in-flight stream: the second is a
+     protocol error, the first still completes normally *)
+  with_server @@ fun addr ->
+  with_raw_conn addr @@ fun fd ->
+  let submit seed =
+    Frame.write fd
+      { Frame.typ = Frame.Submit; stream = 3; payload = Job.encode (solve_job seed) }
+  in
+  submit 5;
+  submit 42;
+  (* per-connection frames are FIFO: the duplicate's rejection (enqueued
+     by the reader) precedes the first job's result (enqueued later by a
+     worker) *)
+  let saw_dup = ref false in
+  let rec go () =
+    match Frame.read fd with
+    | Ok (Some { Frame.typ = Frame.Error; stream = 3; payload }) ->
+      check_int "duplicate rejected as protocol error" 10
+        (Char.code payload.[0]);
+      saw_dup := true;
+      go ()
+    | Ok (Some { Frame.typ = Frame.Result; stream = 3; _ }) -> ()
+    | Ok (Some _) -> go ()
+    | _ -> Alcotest.fail "connection died before the job's result"
+  in
+  go ();
+  check "saw the duplicate-stream rejection" true !saw_dup
 
 let test_client_connection_refused () =
   let outcome =
@@ -359,6 +425,9 @@ let () =
           t "bad job rejected" test_loopback_bad_job_rejected;
           t "queue full rejected" test_loopback_queue_full;
           t "garbage bytes rejected" test_loopback_garbage_rejected;
+          t "stale cancel does not poison stream reuse"
+            test_stream_reuse_after_stale_cancel;
+          t "duplicate in-flight stream rejected" test_duplicate_stream_rejected;
           t "connection refused reported" test_client_connection_refused;
         ] );
     ]
