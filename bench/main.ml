@@ -254,6 +254,44 @@ let bench_tests () =
           (Staged.stage (solve ~incremental:false Bundles.mis c12i));
       ]
   in
+  let core_pruning =
+    (* The core-guided pruning ablation: the same workloads with the
+       sensitivity cores + cross-level subsumption on (the default) and
+       off.  Wall-clock complements the states-explored ratios in the
+       JSON's [search_states] section — pruning pays a sensitivity probe
+       per expanded entry, so the time win is smaller than the state win
+       but must not invert it.  Fixtures: the two largest ablate-bits
+       searches, and the deepest a-star-phases schedule end to end. *)
+    let min_search ~pruning g () =
+      ignore
+        (Min_search.minimal_successful
+           ~solver:Anonet_algorithms.Rand_mis.algorithm g
+           ~base:(Bit_assignment.empty (Graph.n g))
+           ~pruning ~len:(Min_search.At_most 16) ())
+    in
+    let k4 = Gen.label_with_ints (Gen.cycle 4) in
+    let k5 = Gen.label_with_ints (Gen.cycle 5) in
+    let a_star ~pruning () =
+      match A_star.solve ~gran:Bundles.two_hop_coloring c6i ~pruning () with
+      | Ok _ -> ()
+      | Error m -> failwith m
+    in
+    Test.make_grouped ~name:"core-pruning"
+      [
+        Test.make ~name:"min-search-mis-k4-pruned"
+          (Staged.stage (min_search ~pruning:true k4));
+        Test.make ~name:"min-search-mis-k4-exhaustive"
+          (Staged.stage (min_search ~pruning:false k4));
+        Test.make ~name:"min-search-mis-k5-pruned"
+          (Staged.stage (min_search ~pruning:true k5));
+        Test.make ~name:"min-search-mis-k5-exhaustive"
+          (Staged.stage (min_search ~pruning:false k5));
+        Test.make ~name:"a-star-2hop-c6-pruned"
+          (Staged.stage (a_star ~pruning:true));
+        Test.make ~name:"a-star-2hop-c6-exhaustive"
+          (Staged.stage (a_star ~pruning:false));
+      ]
+  in
   Test.make_grouped ~name:"anonet"
     [
       fig1;
@@ -265,6 +303,7 @@ let bench_tests () =
       views_intern;
       faults;
       a_star_phases;
+      core_pruning;
     ]
 
 let analyze_benchmarks () =
@@ -437,6 +476,34 @@ let alloc_rows () =
         per (s1.Gc.major_words -. s0.Gc.major_words) ))
     workloads
 
+(* Search-effort telemetry for the core-guided pruning ablation: exact
+   [states_explored] counts with pruning on and off over the ablate-bits
+   fixture family.  Deterministic — these are state-space sizes, not
+   timings — so CI can assert the reduction ratio (>= 2x on k4/k5)
+   without a host guard. *)
+let search_states_rows () =
+  List.map
+    (fun k ->
+      let g =
+        Gen.label_with_ints (if k = 2 then Gen.path 2 else Gen.cycle k)
+      in
+      let states ~pruning =
+        match
+          Min_search.minimal_successful
+            ~solver:Anonet_algorithms.Rand_mis.algorithm g
+            ~base:(Bit_assignment.empty k) ~pruning
+            ~len:(Min_search.At_most 16) ()
+        with
+        | Some f -> f.Min_search.states_explored
+        | None -> failwith (Printf.sprintf "min-search-mis-k%d found nothing" k)
+      in
+      let pruned = states ~pruning:true in
+      let exhaustive = states ~pruning:false in
+      ( Printf.sprintf "min-search-mis-k%d" k,
+        pruned, exhaustive,
+        float_of_int exhaustive /. float_of_int pruned ))
+    [ 2; 3; 4; 5 ]
+
 (* A metrics snapshot of the instrumented pipeline — a Las-Vegas solve,
    an A_infinity derandomization and a warm A* derandomization against a
    live registry — so BENCH.json records the work performed (rounds,
@@ -494,10 +561,15 @@ let run_bench_json ?history path =
   let scaling = pool_scaling_rows () in
   Printf.printf "measuring GC allocation deltas...\n%!";
   let allocs = alloc_rows () in
+  Printf.printf "counting search states (pruning ablation)...\n%!";
+  let search_states = search_states_rows () in
   let sha = git_short_sha () in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"anonet-bench/3\",\n";
+  (* Schema 4 adds the "search_states" array (core-guided pruning
+     ablation); readers that ignore unknown keys — the regression gate
+     among them — stay compatible with mixed-schema histories. *)
+  Buffer.add_string buf "  \"schema\": \"anonet-bench/4\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"commit\": \"%s\",\n" (json_escape sha));
   Buffer.add_string buf
@@ -539,6 +611,17 @@ let run_bench_json ?history path =
            (json_float major)
            (if i = List.length allocs - 1 then "" else ",")))
     allocs;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"search_states\": [\n";
+  List.iteri
+    (fun i (name, pruned, exhaustive, ratio) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"workload\": \"%s\", \"states_pruned\": %d, \
+            \"states_exhaustive\": %d, \"ratio\": %s }%s\n"
+           (json_escape name) pruned exhaustive (json_float ratio)
+           (if i = List.length search_states - 1 then "" else ",")))
+    search_states;
   Buffer.add_string buf "  ]\n";
   Buffer.add_string buf "}\n";
   let contents = Buffer.contents buf in

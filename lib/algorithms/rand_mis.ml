@@ -51,10 +51,20 @@ let round s ~bit ~inbox =
         | _ -> s
       end
   in
-  (* Broadcast the (possibly new) status with a fresh coin; decided nodes'
-     coins are ignored by receivers. *)
-  let s = { s with my_coin = Some bit } in
-  s, Algorithm.broadcast ~degree:s.degree (msg s.status bit)
+  (* Broadcast the (possibly new) status.  A decided node's coin is dead
+     state — receivers ignore the coin on non-"u" messages and the node
+     never reads its own coin after deciding — so it is canonicalized
+     away: once decided, the successor state and outgoing messages no
+     longer depend on the tape, which both collapses duplicate states in
+     the search dedup tables and lets the core-guided pruner certify the
+     node's bit as insensitive. *)
+  match s.status with
+  | Undecided ->
+    let s = { s with my_coin = Some bit } in
+    s, Algorithm.broadcast ~degree:s.degree (msg s.status bit)
+  | In_mis | Out_mis ->
+    let s = { s with my_coin = None } in
+    s, Algorithm.broadcast ~degree:s.degree (msg s.status false)
 
 let algorithm : Algorithm.t =
   (module struct
@@ -72,10 +82,11 @@ let algorithm : Algorithm.t =
 (* Flat companion: one word per node, one word per message slot.
 
    State word: bits 0-1 = status (0 undecided / 1 in / 2 out), bits 2-3 =
-   my_coin (0 none / 1 Some false / 2 Some true).  [degree] is constant
-   and [out] is determined by [status], so the word is an injective
-   encoding of the boxed state — the flat dedup key distinguishes exactly
-   the states the boxed Marshal fingerprint does.
+   my_coin (0 none / 1 Some false / 2 Some true; always 0 once decided —
+   the boxed round canonicalizes the dead coin to [None] the same way).
+   [degree] is constant and [out] is determined by [status], so the word
+   is an injective encoding of the boxed state — the flat dedup key
+   distinguishes exactly the states the boxed Marshal fingerprint does.
 
    Message word: [1 + (status lsl 1 lor coin)] (so nonzero; a zero slot
    means no message, which never happens here — every node broadcasts
@@ -115,10 +126,12 @@ let flat_instance : Algorithm.Flat.instance =
             else 0
           end
         in
-        Array.unsafe_set state off
-          (status lor ((if bit then 2 else 1) lsl 2));
-        Array.unsafe_set send soff
-          (1 + ((status lsl 1) lor (if bit then 1 else 0)));
+        (* Decided nodes canonicalize their dead coin to "none" and
+           broadcast coin=false, mirroring the boxed round exactly. *)
+        let coin_bits = if status <> 0 then 0 else if bit then 2 else 1 in
+        let sent_coin = if status = 0 && bit then 1 else 0 in
+        Array.unsafe_set state off (status lor (coin_bits lsl 2));
+        Array.unsafe_set send soff (1 + ((status lsl 1) lor sent_coin));
         true);
     output =
       (fun ~state ~off ->

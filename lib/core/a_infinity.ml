@@ -14,7 +14,7 @@ type result = {
 }
 
 let solve ?(ctx = Run_ctx.default) ~gran g ?(order = Min_search.Round_major)
-    ?(max_len = 64) ?(decider_seed = 1) () =
+    ?(max_len = 64) ?(decider_seed = 1) ?pruning () =
   Obs.span (Run_ctx.obs ctx) "a_infinity.solve" @@ fun () ->
   let colored = Problem.colored_variant gran.Gran.problem in
   if not (colored.Problem.is_instance g) then
@@ -31,7 +31,7 @@ let solve ?(ctx = Run_ctx.default) ~gran g ?(order = Min_search.Round_major)
       let base = Bit_assignment.empty (Graph.n j) in
       (match
          Min_search.minimal_successful ~ctx ~solver:gran.Gran.solver j ~base
-           ~order ~len:(Min_search.At_most max_len) ()
+           ~order ?pruning ~len:(Min_search.At_most max_len) ()
        with
        (* The search's typed limits degrade to ordinary errors here: the
           caller learns the instance is out of reach instead of eating an

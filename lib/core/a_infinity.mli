@@ -38,6 +38,9 @@ type result = {
                         (default {!Min_search.Round_major})
     @param max_len      simulation length bound (default [64])
     @param decider_seed seed for the (randomized) decider run (default 1)
+    @param pruning      core-guided pruning for the search (default
+                        [true]; see {!Min_search.minimal_successful} —
+                        value-identical either way, kept for ablation)
     @return [Error] if [g] is not an instance of [Π^c], if the decider
     rejects [J], if no successful simulation exists within [max_len], or
     if the search hits its state/branching limits
@@ -50,5 +53,6 @@ val solve :
   ?order:Min_search.order ->
   ?max_len:int ->
   ?decider_seed:int ->
+  ?pruning:bool ->
   unit ->
   (result, string) Stdlib.result

@@ -76,7 +76,7 @@ let cand_evict_locked t =
 
 let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
     ?(max_search_states = 1_000_000) ?(incremental = true)
-    ?(search_cache_cap = 32) () : Algorithm.t =
+    ?(search_cache_cap = 32) ?(pruning = true) () : Algorithm.t =
   (module struct
     let name = "a-star:" ^ gran.Gran.problem.Anonet_problems.Problem.name
 
@@ -139,6 +139,8 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
 
     let cache_resumed_c = Obs.counter obs "cache.search.resumed_levels"
 
+    let cache_floor_c = Obs.counter obs "cache.search.floor_hits"
+
     let touch e =
       incr cache_clock;
       e.stamp <- !cache_clock
@@ -167,23 +169,32 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
         | Min_search.Round_major ->
           Some
             (Min_search.Resumable.create ~ctx ~max_states:max_search_states
-               ~solver:gran.Gran.solver j ~base:assignment ())
+               ~pruning ~solver:gran.Gran.solver j ~base:assignment ())
         | Min_search.Node_major -> None
       in
       { sim; search; stamp = 0 }
 
     (* A handle whose frontier already advanced beyond [phase] (the same
        algorithm value re-run from phase 1) cannot serve a shallower
-       target: evict and rebuild. *)
+       target — unless its hardened lower bound already answers it
+       ([floor >= phase] proves the Exactly-[phase] search returns
+       [None]): then the handle is kept instead of evicted and rebuilt.
+       Otherwise: evict and rebuild. *)
     let lookup encoding j assignment ~phase =
       match Hashtbl.find_opt search_cache encoding with
       | Some e
         when (match e.search with
-              | Some h -> Min_search.Resumable.level h <= phase
+              | Some h ->
+                Min_search.Resumable.level h <= phase
+                || Min_search.Resumable.floor h >= phase
               | None -> true) ->
         Obs.incr cache_hits_c;
         (match e.search with
-         | Some h -> Obs.incr ~by:(Min_search.Resumable.level h) cache_resumed_c
+         | Some h ->
+           if Min_search.Resumable.level h > phase then
+             Obs.incr cache_floor_c
+           else
+             Obs.incr ~by:(Min_search.Resumable.level h) cache_resumed_c
          | None -> ());
         touch e;
         e
@@ -256,7 +267,7 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
                   | None ->
                     Min_search.minimal_successful ~ctx ~solver:gran.Gran.solver
                       j ~base:assignment ~order ~max_states:max_search_states
-                      ~len:(Min_search.Exactly phase) ()
+                      ~pruning ~len:(Min_search.Exactly phase) ()
                 in
                 entry.sim, found
               end
@@ -265,7 +276,7 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
                     ~bits:assignment,
                   Min_search.minimal_successful ~ctx ~solver:gran.Gran.solver j
                     ~base:assignment ~order ~max_states:max_search_states
-                    ~len:(Min_search.Exactly phase) () )
+                    ~pruning ~len:(Min_search.Exactly phase) () )
             in
             let new_output =
               if sim.Simulation.successful then sim.Simulation.outputs.(me)
@@ -382,12 +393,12 @@ let make ?(ctx = Run_ctx.default) ~gran ?(order = Min_search.Round_major)
   end)
 
 let solve ?(ctx = Run_ctx.default) ~gran g ?(order = Min_search.Round_major)
-    ?max_rounds ?incremental ?search_cache_cap () =
+    ?max_rounds ?incremental ?search_cache_cap ?pruning () =
   let n = Graph.n g in
   let max_rounds =
     match max_rounds with Some r -> r | None -> 4 * (n + 4) * (n + 4)
   in
-  let algo = make ~ctx ~gran ~order ?incremental ?search_cache_cap () in
+  let algo = make ~ctx ~gran ~order ?incremental ?search_cache_cap ?pruning () in
   Obs.span (Run_ctx.obs ctx) "a_star.solve" (fun () ->
       match Executor.run ~ctx algo g ~tape:Tape.zero ~max_rounds with
       | Ok outcome -> Ok outcome

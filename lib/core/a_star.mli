@@ -45,7 +45,10 @@
     asserts this directly.  Cache traffic is published on the context's
     registry as [cache.search.hits] / [cache.search.misses] /
     [cache.search.evictions] / [cache.search.resumed_levels] (the BFS
-    levels skipped by warm starts). *)
+    levels skipped by warm starts) / [cache.search.floor_hits] (handles
+    kept alive past shallower targets by their hardened lower bound —
+    {!Min_search.Resumable.floor} proves those targets return [None]
+    without a rebuild). *)
 
 (** [make ?ctx ~gran ()] builds [A*] for the given GRAN bundle.  The
     resulting algorithm expects [Π^c]-style instances (labels [<i, c>]
@@ -65,7 +68,10 @@
     handle's lifetime.
     @param incremental enable the cross-phase cache (default [true]; the
     cold path is kept for ablation and for the equivalence tests).
-    @param search_cache_cap bound on live cache entries (default [32]). *)
+    @param search_cache_cap bound on live cache entries (default [32]).
+    @param pruning core-guided pruning for the Update-Bits searches
+    (default [true]; see {!Min_search.minimal_successful} —
+    value-identical either way, kept for ablation). *)
 val make :
   ?ctx:Anonet_runtime.Run_ctx.t ->
   gran:Anonet_problems.Gran.t ->
@@ -73,6 +79,7 @@ val make :
   ?max_search_states:int ->
   ?incremental:bool ->
   ?search_cache_cap:int ->
+  ?pruning:bool ->
   unit ->
   Anonet_runtime.Algorithm.t
 
@@ -92,5 +99,6 @@ val solve :
   ?max_rounds:int ->
   ?incremental:bool ->
   ?search_cache_cap:int ->
+  ?pruning:bool ->
   unit ->
   (Anonet_runtime.Executor.outcome, string) result

@@ -79,54 +79,101 @@ let free_nodes ~base ~r =
   let n = Array.length base in
   List.filter (fun v -> Bits.length base.(v) < r) (List.init n (fun v -> v))
 
-(* Enumerate the bit vectors for round [r] (1-based) in node-major
-   lexicographic order, honoring prescribed base bits.  [free] must be
-   [free_nodes ~base ~r] — passed in so callers can hoist it per level. *)
-let round_vectors ~base ~free ~r =
+(* The bit vector prescribed for round [r] (1-based): base bits where
+   they exist, zeros on the free nodes. *)
+let prescribed_vec ~base ~r =
   let n = Array.length base in
-  let f = List.length free in
   let prescribed = Bitvec.create n in
   for v = 0 to n - 1 do
     if Bits.length base.(v) >= r then
       Bitvec.unsafe_set prescribed v (Bits.get base.(v) (r - 1))
   done;
-  let vector code =
-    let bits = Bitvec.copy prescribed in
-    List.iteri
-      (fun pos v -> Bitvec.unsafe_set bits v (code lsr (f - 1 - pos) land 1 = 1))
-      free;
-    bits
-  in
-  Seq.map vector (Seq.init (1 lsl f) Fun.id)
+  prescribed
+
+(* The round vector encoded by [code]: free node at position [pos] (in
+   [free] order) carries bit [f - 1 - pos] of [code], so increasing codes
+   enumerate the vectors in node-major lexicographic order. *)
+let vector_of_code ~prescribed ~free ~f code =
+  let bits = Bitvec.copy prescribed in
+  List.iteri
+    (fun pos v -> Bitvec.unsafe_set bits v (code lsr (f - 1 - pos) land 1 = 1))
+    free;
+  bits
 
 (* The round-major BFS state, shared by the one-shot search and the
    resumable handle.  [level] counts fully expanded levels; [explored]
-   is cumulative across every level expanded so far. *)
+   is cumulative across every level expanded so far.
+
+   [pruning] enables core-guided pruning (see DESIGN.md "Core-guided
+   pruning"): per-entry bit-sensitivity cores collapse provably
+   equivalent sibling vectors onto their lexicographically smallest
+   representative, and — when [subsume] is [Some] — a cross-level table
+   of execution states prunes any child whose state was already reached
+   at an earlier level.  The cross-level table is sound only for
+   [At_most] targets (length-first domination; completion padding breaks
+   the argument for [Exactly]) and only at levels >= [max_base], where
+   the set of allowed continuations no longer depends on the level. *)
 type bfs = {
   base : Bit_assignment.t;
   max_states : int;
   obs : Obs.t;
   pool : Pool.t option;
+  pruning : bool;
+  subsume : unit KeyTbl.t option;
+  max_base : int;
   states_c : Metrics.counter option;
   frontier_g : Metrics.gauge option;
+  pruned_c : Metrics.counter option;
+  probes_c : Metrics.counter option;
   mutable frontier : entry list;
   mutable level : int;
   mutable explored : int;
 }
 
-let bfs_start ~obs ~pool ~solver g ~base ~max_states ~consider =
+let bfs_start ~obs ~pool ~solver g ~base ~max_states ~pruning ~subsume
+    ~consider =
   let start = { rev_rounds = []; exec = Executor.Incremental.start solver g } in
+  let max_base = Bit_assignment.max_length base in
+  let subsume =
+    if pruning && subsume then begin
+      let tbl = KeyTbl.create 256 in
+      (* With no prescribed rounds at all the root itself subsumes: a
+         child re-reaching the initial state restarts the search one
+         level deeper and can only produce longer (dominated) successes. *)
+      if max_base = 0 then
+        KeyTbl.add tbl (Executor.Incremental.dedup_key start.exec) ();
+      Some tbl
+    end
+    else None
+  in
   {
     base;
     max_states;
     obs;
     pool;
+    pruning;
+    subsume;
+    max_base;
     states_c = Obs.counter obs "search.states_explored";
     frontier_g = Obs.gauge obs "search.frontier";
+    pruned_c = Obs.counter obs "search.pruned";
+    probes_c = Obs.counter obs "search.core_probes";
     frontier = (if consider start 0 then [] else [ start ]);
     level = 0;
     explored = 0;
   }
+
+(* Result of expanding one level: [Truncated] means the state budget ran
+   out mid-level.  The in-budget lexicographic prefix of the level has
+   then been fully absorbed — any success in it was recorded via
+   [consider], and the explored counters hold [max_states + 1] at any
+   [--jobs] — but [level]/[frontier] are left untouched; the caller
+   decides whether truncation is fatal. *)
+type level_outcome =
+  | Complete
+  | Truncated
+
+exception Budget
 
 (* Expand the frontier by one BFS level.  [consider entry level] must
    return [true] iff the entry has all-output (recording it as a success
@@ -135,65 +182,166 @@ let bfs_start ~obs ~pool ~solver g ~base ~max_states ~consider =
 let expand_level t ~consider =
   let r = t.level + 1 in
   (* Per-level constants, hoisted out of the per-entry loop: the free-node
-     set and the vector table are the same for every frontier entry. *)
+     set, the prescribed bits and the vector tables are the same for
+     every frontier entry. *)
   let free = free_nodes ~base:t.base ~r in
   let f = List.length free in
   check_branching ~free_bits:f ~limit:round_branching_limit;
-  Obs.set t.frontier_g (List.length t.frontier);
+  let frontier_size = List.length t.frontier in
+  Obs.set t.frontier_g frontier_size;
   Obs.eventf t.obs "search.level" (fun () ->
       [
         ("level", Events.Int r);
-        ("frontier", Events.Int (List.length t.frontier));
+        ("frontier", Events.Int frontier_size);
         ("free_bits", Events.Int f);
       ]);
-  let vectors = Array.of_seq (round_vectors ~base:t.base ~free ~r) in
-  let nvec = Array.length vectors in
-  let seen =
-    KeyTbl.create (max 16 (min 4096 (List.length t.frontier * nvec)))
+  let prescribed = prescribed_vec ~base:t.base ~r in
+  let vectors =
+    Array.init (1 lsl f) (vector_of_code ~prescribed ~free ~f)
   in
+  let nvec = Array.length vectors in
+  (* Core-guided enumeration: an entry's sensitivity mask (sensitive free
+     positions, in code-bit weights) partitions this round's [2^f]
+     vectors into classes whose members provably step the entry to the
+     same child; enumerating the subsets of the mask in increasing order
+     visits exactly the lexicographically smallest representative of each
+     class, so first-occurrence order — and hence the search's value — is
+     preserved while [nvec - 2^sensitive] siblings per entry are skipped.
+     Tables are memoized per distinct mask: frontier entries overwhelmingly
+     share masks, so the common case builds one table per level. *)
+  let full_mask = (1 lsl f) - 1 in
+  let pruning = t.pruning && f > 0 in
+  let mask_tables = Hashtbl.create 8 in
+  let mask_of sens =
+    let m = ref 0 in
+    List.iteri
+      (fun pos v -> if Bitvec.get sens v then m := !m lor (1 lsl (f - 1 - pos)))
+      free;
+    !m
+  in
+  let reps_of_mask mask =
+    if mask = full_mask then vectors
+    else
+      match Hashtbl.find_opt mask_tables mask with
+      | Some a -> a
+      | None ->
+        let acc = ref [] in
+        let s = ref 0 in
+        let continue = ref true in
+        while !continue do
+          acc := vector_of_code ~prescribed ~free ~f !s :: !acc;
+          s := (!s - mask) land mask;
+          if !s = 0 then continue := false
+        done;
+        let a = Array.of_list (List.rev !acc) in
+        Hashtbl.add mask_tables mask a;
+        a
+  in
+  (* Open an entry for expansion: probe its sensitivity core and account
+     the collapsed siblings.  Shared by both paths so [search.core_probes]
+     and [search.pruned] are identical at any [--jobs] — an entry counts
+     exactly when the expansion loop reaches it within budget. *)
+  let open_entry exec =
+    if not pruning then vectors
+    else begin
+      Obs.incr t.probes_c;
+      let reps =
+        reps_of_mask (mask_of (Executor.Incremental.bit_sensitivity exec))
+      in
+      let collapsed = nvec - Array.length reps in
+      if collapsed > 0 then Obs.incr ~by:collapsed t.pruned_c;
+      reps
+    end
+  in
+  let seen = KeyTbl.create (max 16 (min 4096 (frontier_size * nvec))) in
   let next = ref [] in
   (* Successors in lexicographic prefix order: entries outer (the
      frontier is sorted), this round's vectors inner.  The first
      occurrence of an execution state is its lexicographically smallest
-     prefix, so deduplication must scan in exactly this order. *)
-  let absorb entry bits exec fp =
-    if not (KeyTbl.mem seen fp) then begin
-      KeyTbl.add seen fp ();
-      let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
-      if not (consider entry r) then next := entry :: !next
+     prefix, so deduplication must scan in exactly this order.
+     [absorb_new] takes a child already known novel within this level:
+     it registers the state, then either prunes it as cross-level
+     subsumed, prunes it as a recorded success ([consider]), or pushes
+     it onto the next frontier. *)
+  let absorb_new entry bits exec fp =
+    KeyTbl.add seen fp ();
+    let subsumed =
+      match t.subsume with
+      | Some tbl when r >= t.max_base ->
+        KeyTbl.mem tbl fp
+        ||
+        (KeyTbl.add tbl fp ();
+         false)
+      | _ -> false
+    in
+    if subsumed then Obs.incr t.pruned_c
+    else begin
+      let child = { rev_rounds = bits :: entry.rev_rounds; exec } in
+      if not (consider child r) then next := child :: !next
     end
   in
+  let outcome = ref Complete in
   (match t.pool with
    | Some p ->
-     (* Shard the frontier expansion by entry chunks: stepping and
-        fingerprinting (the expensive part) runs on all domains; the
-        order-sensitive dedup/merge is sequential, in index order. *)
+     (* Shard the expensive work across domains in two waves — first the
+        per-entry sensitivity probes, then the child steps — while all
+        order-sensitive accounting (budget, probe/pruned counters,
+        dedup/merge) stays sequential, in index order, mirroring the
+        sequential path's per-child loop exactly.  Masks computed for
+        entries beyond a budget cut are simply unused (and uncounted). *)
      let entries = Array.of_list t.frontier in
-     let steps = Array.length entries * nvec in
-     let remaining = t.max_states - t.explored in
-     if steps > remaining then begin
-       (* Match the sequential accounting exactly: it counts the remaining
-          budget plus the one overshooting step before raising, so the
-          [search.states_explored] counter at raise time is the same at
-          any [--jobs]. *)
-       t.explored <- t.explored + remaining + 1;
-       Obs.incr ~by:(remaining + 1) t.states_c;
-       raise Search_limit_exceeded
-     end;
-     t.explored <- t.explored + steps;
-     Obs.incr ~by:steps t.states_c;
+     let nent = Array.length entries in
+     let masks =
+       if not pruning then [||]
+       else
+         Array.concat
+           (Array.to_list
+              (Pool.map p
+                 (fun (lo, hi) ->
+                   Array.init (hi - lo) (fun i ->
+                       mask_of
+                         (Executor.Incremental.bit_sensitivity
+                            entries.(lo + i).exec)))
+                 (chunk_bounds ~size:nent ~domains:(Pool.domains p))))
+     in
+     let work = ref [] in
+     (try
+        for i = 0 to nent - 1 do
+          let reps =
+            if not pruning then vectors
+            else begin
+              Obs.incr t.probes_c;
+              let reps = reps_of_mask masks.(i) in
+              let collapsed = nvec - Array.length reps in
+              if collapsed > 0 then Obs.incr ~by:collapsed t.pruned_c;
+              reps
+            end
+          in
+          Array.iter
+            (fun bits ->
+              t.explored <- t.explored + 1;
+              Obs.incr t.states_c;
+              if t.explored > t.max_states then raise_notrace Budget;
+              work := (i, bits) :: !work)
+            reps
+        done
+      with Budget -> outcome := Truncated);
+     let work = Array.of_list (List.rev !work) in
      let stepped =
        Pool.map p
          (fun (lo, hi) ->
-           Array.init ((hi - lo) * nvec) (fun k ->
-               let entry = entries.(lo + (k / nvec)) in
-               let bits = vectors.(k mod nvec) in
-               let exec = Executor.Incremental.step_vec entry.exec ~bits in
-               entry, bits, exec, Executor.Incremental.dedup_key exec))
-         (chunk_bounds ~size:(Array.length entries) ~domains:(Pool.domains p))
+           Array.init (hi - lo) (fun k ->
+               let i, bits = work.(lo + k) in
+               let exec =
+                 Executor.Incremental.step_vec entries.(i).exec ~bits
+               in
+               i, bits, exec, Executor.Incremental.dedup_key exec))
+         (chunk_bounds ~size:(Array.length work) ~domains:(Pool.domains p))
      in
      Array.iter
-       (Array.iter (fun (entry, bits, exec, fp) -> absorb entry bits exec fp))
+       (Array.iter (fun (i, bits, exec, fp) ->
+            if not (KeyTbl.mem seen fp) then
+              absorb_new entries.(i) bits exec fp))
        stepped
    | None ->
      (* Probe/commit stepping: write the child into the per-domain probe
@@ -202,27 +350,34 @@ let expand_level t ~consider =
         duplicates, the common case on symmetric graphs, cost nothing.
         Dedup semantics (and hence the explored count and first-occurrence
         order) are identical to the pooled path's step-then-absorb. *)
-     List.iter
-       (fun entry ->
-         Array.iter
-           (fun bits ->
-             t.explored <- t.explored + 1;
-             Obs.incr t.states_c;
-             if t.explored > t.max_states then raise Search_limit_exceeded;
-             let probe = Executor.Incremental.probe_vec entry.exec ~bits in
-             if not (KeyTbl.mem seen (Executor.Incremental.probe_key probe))
-             then begin
-               let exec, fp = Executor.Incremental.probe_commit probe in
-               KeyTbl.add seen fp ();
-               let entry = { rev_rounds = bits :: entry.rev_rounds; exec } in
-               if not (consider entry r) then next := entry :: !next
-             end)
-           vectors)
-       t.frontier);
-  t.level <- r;
-  t.frontier <- List.rev !next
+     (try
+        List.iter
+          (fun entry ->
+            let reps = open_entry entry.exec in
+            Array.iter
+              (fun bits ->
+                t.explored <- t.explored + 1;
+                Obs.incr t.states_c;
+                if t.explored > t.max_states then raise_notrace Budget;
+                let probe = Executor.Incremental.probe_vec entry.exec ~bits in
+                if
+                  not (KeyTbl.mem seen (Executor.Incremental.probe_key probe))
+                then begin
+                  let exec, fp = Executor.Incremental.probe_commit probe in
+                  absorb_new entry bits exec fp
+                end)
+              reps)
+          t.frontier
+      with Budget -> outcome := Truncated));
+  (match !outcome with
+   | Complete ->
+     t.level <- r;
+     t.frontier <- List.rev !next
+   | Truncated -> ());
+  !outcome
 
-let search_round_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
+let search_round_major ?pool ~obs ~solver g ~base ~max_states ~pruning
+    ~len_constraint =
   let max_base = Bit_assignment.max_length base in
   let hard_cap =
     match len_constraint with Exactly l -> l | At_most l -> l
@@ -270,10 +425,38 @@ let search_round_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
     | Some (a, _), At_most _ -> min hard_cap (Bit_assignment.max_length a)
     | _, _ -> hard_cap
   in
-  let t = bfs_start ~obs ~pool ~solver g ~base ~max_states ~consider in
-  while t.frontier <> [] && t.level < cap () do
-    expand_level t ~consider
-  done;
+  let subsume = match len_constraint with At_most _ -> true | Exactly _ -> false in
+  let t =
+    bfs_start ~obs ~pool ~solver g ~base ~max_states ~pruning ~subsume
+      ~consider
+  in
+  let truncated = ref false in
+  (* The frontier gauge must not outlive the search: reset it on every
+     exit path (success, exhaustion, raised limits) so later runs sharing
+     the registry do not inherit a stale size. *)
+  Fun.protect
+    ~finally:(fun () -> Obs.set t.frontier_g 0)
+    (fun () ->
+      while (not !truncated) && t.frontier <> [] && t.level < cap () do
+        if expand_level t ~consider = Truncated then truncated := true
+      done);
+  if !truncated then begin
+    (* Budget exhaustion mid-level.  The in-budget lexicographic prefix
+       of the truncated level [r] was expanded (identically at any
+       [--jobs]), so a recorded best may already be the global minimum:
+       for [At_most] with [max_base <= r], every unexplored completion is
+       either strictly longer than the best (length-first domination) or
+       a lex-later same-level prefix — in both cases round-major larger.
+       A longer base keeps candidate lengths tied at [max_base], where
+       unexplored lex-smaller completions could still exist, so only the
+       budget exception is sound there (and for [Exactly], always). *)
+    let sound =
+      match len_constraint, !best with
+      | At_most _, Some _ -> max_base <= t.level + 1
+      | _, _ -> false
+    in
+    if not sound then raise Search_limit_exceeded
+  end;
   match !best with
   | None -> None
   | Some (assignment, sim) ->
@@ -374,7 +557,7 @@ let search_node_major ?pool ~obs ~solver g ~base ~max_states ~len_constraint =
     Some { assignment; sim; states_explored = !explored }
 
 let minimal_successful_with ~obs ~pool ~solver g ~base ?(order = Round_major)
-    ?(max_states = 1_000_000) ~len () =
+    ?(max_states = 1_000_000) ?(pruning = true) ~len () =
   if Array.length base <> Graph.n g then
     invalid_arg "Min_search: assignment size differs from graph size";
   (* A one-domain pool computes nothing in parallel: take the sequential
@@ -385,17 +568,19 @@ let minimal_successful_with ~obs ~pool ~solver g ~base ?(order = Round_major)
   match order with
   | Round_major ->
     Obs.span obs "min_search.round_major" (fun () ->
-        search_round_major ?pool ~obs ~solver g ~base ~max_states
+        search_round_major ?pool ~obs ~solver g ~base ~max_states ~pruning
           ~len_constraint:len)
   | Node_major ->
+    (* The paper's reference order stays an exhaustive enumeration —
+       it is what the pruned search is asserted against. *)
     Obs.span obs "min_search.node_major" (fun () ->
         search_node_major ?pool ~obs ~solver g ~base ~max_states
           ~len_constraint:len)
 
 let minimal_successful ?(ctx = Run_ctx.default) ~solver g ~base ?order
-    ?max_states ~len () =
+    ?max_states ?pruning ~len () =
   minimal_successful_with ~obs:(Run_ctx.obs ctx) ~pool:(Run_ctx.pool ctx)
-    ~solver g ~base ?order ?max_states ~len ()
+    ~solver g ~base ?order ?max_states ?pruning ~len ()
 
 
 (* ---------- resumable round-major search (incremental phase engine) ---- *)
@@ -413,10 +598,17 @@ module Resumable = struct
     outputs : Anonet_graph.Label.t option array;
   }
 
+  (* [floor] is the lower-bound hardening: the largest [len] for which
+     [extend ~len] is known to return [None] (every level [<= floor] was
+     fully expanded with no success recorded at the time).  Later
+     [extend] targets at or below it short-circuit without touching the
+     frontier — even after the frontier has advanced past them, where
+     the pre-floor handle had to refuse the query. *)
   type t = {
     bfs : bfs;
     best : success option ref;
     consider : entry -> int -> bool;
+    mutable floor : int;
   }
 
   let compare_success ~base a b =
@@ -427,8 +619,8 @@ module Resumable = struct
       (complete ~base ~rev_rounds:a.rev_rounds ~level:a.found_level ~len)
       (complete ~base ~rev_rounds:b.rev_rounds ~level:b.found_level ~len)
 
-  let create ?(ctx = Run_ctx.default) ?(max_states = 1_000_000) ~solver g ~base
-      () =
+  let create ?(ctx = Run_ctx.default) ?(max_states = 1_000_000)
+      ?(pruning = true) ~solver g ~base () =
     if Array.length base <> Graph.n g then
       invalid_arg "Min_search: assignment size differs from graph size";
     let best = ref None in
@@ -454,27 +646,40 @@ module Resumable = struct
       | _ -> None
     in
     let bfs =
+      (* The handle serves [Exactly len] targets, whose completion
+         padding breaks cross-level domination — only the per-round
+         sensitivity cores apply here, never the subsumption table. *)
       bfs_start ~obs:(Run_ctx.obs ctx) ~pool ~solver g ~base ~max_states
-        ~consider
+        ~pruning ~subsume:false ~consider
     in
-    { bfs; best; consider }
+    { bfs; best; consider; floor = -1 }
 
   let level t = t.bfs.level
 
   let states_explored t = t.bfs.explored
 
+  let floor t = t.floor
+
   let extend t ~len =
     let bfs = t.bfs in
-    if len < bfs.level then
-      invalid_arg "Min_search.Resumable.extend: target below explored level";
     if Bit_assignment.max_length bfs.base > len then
       invalid_arg "Min_search: base longer than exact target";
-    Obs.span bfs.obs "min_search.extend" (fun () ->
+    if len <= t.floor then None
+    else if len < bfs.level then
+      invalid_arg "Min_search.Resumable.extend: target below explored level"
+    else
+      Obs.span bfs.obs "min_search.extend" (fun () ->
+        Fun.protect ~finally:(fun () -> Obs.set bfs.frontier_g 0) @@ fun () ->
         while bfs.frontier <> [] && bfs.level < len do
-          expand_level bfs ~consider:t.consider
+          if expand_level bfs ~consider:t.consider = Truncated then
+            raise Search_limit_exceeded
         done;
         match !(t.best) with
-        | None -> None
+        | None ->
+          (* Every level up to [len] is now fully expanded with no
+             success: harden the lower bound for later targets. *)
+          t.floor <- max t.floor len;
+          None
         | Some s ->
           let assignment =
             complete ~base:bfs.base ~rev_rounds:s.rev_rounds

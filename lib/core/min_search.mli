@@ -71,15 +71,37 @@ exception Branching_limit_exceeded of { free_bits : int; limit : int }
     search; [ctx.obs], when live, mirrors the search effort in the
     [search.states_explored] counter (equal to the returned
     [states_explored] within one call, in both execution modes), tracks the
-    breadth-first frontier in the [search.frontier] gauge, times the search
-    under a [min_search.round_major] / [min_search.node_major] span, and
-    emits ["search.level"] / ["search.length"] / ["search.block"] events.
+    breadth-first frontier in the [search.frontier] gauge (reset to 0 on
+    every exit, including raised limits), times the search under a
+    [min_search.round_major] / [min_search.node_major] span, and emits
+    ["search.level"] / ["search.length"] / ["search.block"] events.
     [ctx.faults] and [ctx.scramble_seed] are not consulted: the search
     semantics is the fault-free deterministic model (a stateful injector
     cannot be shared by branching executions).
 
+    [pruning] (default [true], round-major only) enables core-guided
+    pruning: per-round bit-sensitivity cores from
+    {!Anonet_runtime.Executor.Incremental.bit_sensitivity} collapse
+    sibling vectors that provably step an entry to the same child onto
+    their lexicographically smallest representative, and — for [At_most]
+    targets — a cross-level state table subsumes children whose execution
+    state was already reached at an earlier (hence round-major smaller)
+    level.  The search's value is unchanged — same [found] record as the
+    exhaustive search, asserted against {!Node_major} in the test suite —
+    while [states_explored] drops; the skipped siblings and subsumed
+    children are counted in the [search.pruned] counter and the
+    sensitivity probes in [search.core_probes].  See DESIGN.md
+    "Core-guided pruning" for the soundness argument.
+
     @param max_states abort threshold for the breadth-first frontier
-    (default [1_000_000]); raises {!Search_limit_exceeded} beyond it.
+    (default [1_000_000]).  Exhausting it raises {!Search_limit_exceeded}
+    — except when the in-budget lexicographic prefix of the truncated
+    level already recorded a success that provably dominates every
+    unexplored completion ([At_most] with the truncated level at or past
+    the longest base string), in which case that success is returned with
+    [states_explored = max_states + 1].  Identical at any [--jobs]: the
+    pooled search expands the same in-budget prefix as the sequential
+    one before deciding.
     @raise Branching_limit_exceeded if one branching step exceeds the
     enumeration limits above.
     @raise Invalid_argument if some [base] string already exceeds an
@@ -91,6 +113,7 @@ val minimal_successful :
   base:Bit_assignment.t ->
   ?order:order ->
   ?max_states:int ->
+  ?pruning:bool ->
   len:length_constraint ->
   unit ->
   found option
@@ -121,14 +144,19 @@ val minimal_successful :
 module Resumable : sig
   type t
 
-  (** [create ?ctx ?max_states ~solver g ~base ()] opens a search at
-      level 0.  [ctx] supplies the pool (sequential ≡ parallel
+  (** [create ?ctx ?max_states ?pruning ~solver g ~base ()] opens a
+      search at level 0.  [ctx] supplies the pool (sequential ≡ parallel
       byte-identity, as for {!minimal_successful}) and the observability
       handle; [max_states] bounds the {e cumulative} states explored
-      over the handle's lifetime (default [1_000_000]). *)
+      over the handle's lifetime (default [1_000_000]).  [pruning]
+      (default [true]) enables the per-round bit-sensitivity cores; the
+      cross-level subsumption table never applies here (the handle
+      serves [Exactly] targets, whose completion padding breaks the
+      cross-level domination argument). *)
   val create :
     ?ctx:Anonet_runtime.Run_ctx.t ->
     ?max_states:int ->
+    ?pruning:bool ->
     solver:Anonet_runtime.Algorithm.t ->
     Anonet_graph.Graph.t ->
     base:Bit_assignment.t ->
@@ -143,12 +171,22 @@ module Resumable : sig
       [minimal_successful ~len:(Exactly len)] would report. *)
   val states_explored : t -> int
 
+  (** Lower-bound hardening: the largest [len] for which this handle has
+      proven [extend ~len = None] — every level up to it fully expanded
+      with no success recorded.  [-1] when nothing is proven yet.
+      Monotone over the handle's lifetime; [extend] targets at or below
+      the floor are answered [None] without touching the frontier, even
+      below [level t]. *)
+  val floor : t -> int
+
   (** [extend t ~len] advances the frontier to level [len] (a no-op if
       already there) and returns the minimal successful [len]-extension,
       exactly as the cold [Exactly len] search would.  Timed under a
-      [min_search.extend] span.
-      @raise Invalid_argument if [len < level t], or if some [base]
-      string is longer than [len].
+      [min_search.extend] span; the [search.frontier] gauge is reset on
+      every exit.
+      @raise Invalid_argument if [floor t < len < level t] (the frontier
+      has advanced past a target the floor cannot answer), or if some
+      [base] string is longer than [len].
       @raise Search_limit_exceeded / Branching_limit_exceeded as the
       cold search would; the handle is dead afterwards. *)
   val extend : t -> len:int -> found option

@@ -228,11 +228,12 @@ module Incremental = struct
     mutable ss_send : int array;
     mutable ss_sent : Bytes.t;
     mutable ss_probe : int array;  (* probe child arena, exact [arena_size] *)
+    mutable ss_sense : int array;  (* two (state span, send span) micro-runs *)
   }
 
   let step_scratch_key =
     Domain.DLS.new_key (fun () ->
-        { ss_send = [||]; ss_sent = Bytes.empty; ss_probe = [||] })
+        { ss_send = [||]; ss_sent = Bytes.empty; ss_probe = [||]; ss_sense = [||] })
 
   let get_step_scratch ~send_len ~n =
     let s = Domain.DLS.get step_scratch_key in
@@ -539,6 +540,72 @@ module Incremental = struct
   let probe_key = function
     | Pboxed (_, k) -> k
     | Pflat p -> Kflat { khash = p.phash; karena = p.pbuf }
+
+  (* Per-node bit sensitivity: in one synchronous round a node's random
+     bit can only influence that node's own successor state and the
+     messages it emits — never another node's transition within the same
+     round — so sensitivity factors per node.  Each node's transition is
+     re-run with both bit values against the *same* parent state and the
+     results compared; a clear bit certifies that every setting of that
+     node's bit yields the identical successor execution state, so a
+     search may pin it without losing any outcome.  Conservative in the
+     sound direction only: a set bit may be a false positive (the boxed
+     path compares serialized bytes, where sharing differences can mask
+     equality), a clear bit is always a proof. *)
+  let flat_sensitivity f =
+    let lay = f.lay in
+    let inst = lay.inst in
+    let sw = lay.state_words and mw = lay.msg_words in
+    let span = sw + mw in
+    let scratch = get_step_scratch ~send_len:(lay.n * mw) ~n:lay.n in
+    if Array.length scratch.ss_sense < 2 * span then
+      scratch.ss_sense <- Array.make (2 * span) 0;
+    let buf = scratch.ss_sense in
+    let ssize = state_size lay in
+    let sens = Bitvec.create lay.n in
+    for v = 0 to lay.n - 1 do
+      let ioff = ssize + (Array.unsafe_get lay.slot_off v * mw) in
+      let degree = Array.unsafe_get lay.degrees v in
+      let run ~bit off =
+        for k = 0 to sw - 1 do
+          Array.unsafe_set buf (off + k) (Array.unsafe_get f.arena ((v * sw) + k))
+        done;
+        inst.round ~node:v ~bit ~degree ~state:buf ~off ~inbox:f.arena ~ioff
+          ~send:buf ~soff:(off + sw)
+      in
+      let b0 = run ~bit:false 0 in
+      let b1 = run ~bit:true span in
+      let equal =
+        b0 = b1
+        &&
+        let acc = ref 0 in
+        (* Send words only count when the node broadcasts: a silent
+           node's send span is scratch garbage by contract. *)
+        let words = if b0 then span else sw in
+        for k = 0 to words - 1 do
+          acc := !acc lor (Array.unsafe_get buf k lxor Array.unsafe_get buf (span + k))
+        done;
+        !acc = 0
+      in
+      if not equal then Bitvec.set sens v true
+    done;
+    sens
+
+  let boxed_sensitivity (Pack e) =
+    let module A = (val e.algo) in
+    let n = Graph.n e.graph in
+    let sens = Bitvec.create n in
+    for v = 0 to n - 1 do
+      let run bit = A.round e.states.(v) ~bit ~inbox:e.inboxes.(v) in
+      let enc r = Marshal.to_string r [] in
+      if not (String.equal (enc (run false)) (enc (run true))) then
+        Bitvec.set sens v true
+    done;
+    sens
+
+  let bit_sensitivity = function
+    | Flat f -> flat_sensitivity f
+    | Boxed b -> boxed_sensitivity b
 
   let probe_commit = function
     | Pboxed (t, k) -> t, k

@@ -199,6 +199,22 @@ module Incremental : sig
 
   (** The stable child state and a stable (retainable) dedup key for it. *)
   val probe_commit : probe -> t * key
+
+  (** Per-node sensitivity of the *next* round to each node's random bit:
+      bit [v] of the result is clear iff both settings of node [v]'s bit
+      — all other bits held fixed — provably yield the identical successor
+      execution state (same successor state for [v] and the same messages
+      on [v]'s out-ports; within one synchronous round a node's bit cannot
+      influence any other node's transition, so sensitivity factors per
+      node).  A search may therefore pin every clear bit to a canonical
+      value without losing any reachable outcome.  Conservative in the
+      sound direction only: a set bit may be a false positive (the boxed
+      path compares serialized representations), a clear bit is always a
+      proof.  Defined over the fault-free synchronous semantics — do not
+      use it to prune executions driven by fault/scramble/adversary
+      hooks.  Cost: two single-node transition re-runs per node into
+      per-domain scratch (≈ one full {!step_vec} per call). *)
+  val bit_sensitivity : t -> Anonet_graph.Bitvec.t
 end
 
 (** Reusable whole-run scratch for {!simulate_flat}: owns the state arena,

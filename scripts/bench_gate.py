@@ -23,6 +23,7 @@ mixed-schema histories remain comparable.  Comparison rules:
 - No history at all passes: the first snapshot seeds the trajectory.
 """
 
+import datetime
 import json
 import math
 import os
@@ -35,8 +36,21 @@ def load(path):
 
 
 def generated_at(path, doc):
-    # Schema 1 has no timestamp; file mtime orders those entries.
-    return doc.get("generated_at") or "0000" + format(os.path.getmtime(path), "020.6f")
+    # The sort key must be a number, not a string: schema >= 2 stores an
+    # ISO-8601 `generated_at` while schema 1 only has a file mtime, and
+    # a lexical sort between "2026-08-08T..." and a zero-padded epoch
+    # ranks every mtime-keyed entry older than every ISO-keyed one
+    # regardless of the actual times.  Parse both to epoch seconds.
+    stamp = doc.get("generated_at")
+    if stamp:
+        try:
+            return datetime.datetime.fromisoformat(
+                stamp.replace("Z", "+00:00")
+            ).timestamp()
+        except ValueError:
+            print(f"bench-gate: unparsable generated_at {stamp!r} in {path}; "
+                  "falling back to file mtime")
+    return os.path.getmtime(path)
 
 
 def newest_history(history_dir):
@@ -72,7 +86,68 @@ def group_of(name):
     return parts[1] if len(parts) >= 3 else parts[0]
 
 
+def self_test():
+    """Exercise the baseline-selection logic on a synthetic history.
+
+    Regression coverage for the schema-1 ordering bug: mtime-keyed and
+    ISO-keyed entries must interleave by actual time, in particular a
+    schema-1 snapshot written *after* the newest ISO-stamped one must
+    win the baseline.
+    """
+    import tempfile
+
+    failures = []
+
+    def expect(name, cond):
+        print(f"  self-test {name}: {'ok' if cond else 'FAIL'}")
+        if not cond:
+            failures.append(name)
+
+    iso = "2026-08-08T12:00:00Z"
+    iso_epoch = datetime.datetime(
+        2026, 8, 8, 12, tzinfo=datetime.timezone.utc
+    ).timestamp()
+
+    with tempfile.TemporaryDirectory() as d:
+        def snapshot(name, doc, mtime):
+            path = os.path.join(d, name)
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            os.utime(path, (mtime, mtime))
+            return path
+
+        p_iso = snapshot("BENCH_aaa.json", {"generated_at": iso}, iso_epoch + 9999)
+        expect("iso key ignores mtime", generated_at(p_iso, load(p_iso)) == iso_epoch)
+
+        p_old = snapshot("BENCH_bbb.json", {"schema": "anonet-bench/1"}, iso_epoch - 3600)
+        expect("older schema-1 loses", newest_history(d)[0] == p_iso)
+
+        p_new = snapshot("BENCH_ccc.json", {"schema": "anonet-bench/1"}, iso_epoch + 3600)
+        expect("newer schema-1 wins", newest_history(d)[0] == p_new)
+
+        p_bad = snapshot(
+            "BENCH_ddd.json", {"generated_at": "not-a-date"}, iso_epoch + 7200
+        )
+        expect("unparsable stamp falls back to mtime", newest_history(d)[0] == p_bad)
+
+        p_iso2 = snapshot(
+            "BENCH_eee.json", {"generated_at": "2026-08-08T15:00:00Z"}, iso_epoch - 9999
+        )
+        expect(
+            "iso entries order among themselves",
+            generated_at(p_iso2, load(p_iso2)) > generated_at(p_iso, load(p_iso)),
+        )
+
+    if failures:
+        print(f"bench-gate: self-test FAIL ({', '.join(failures)})")
+        return 1
+    print("bench-gate: self-test pass")
+    return 0
+
+
 def main():
+    if "--self-test" in sys.argv:
+        return self_test()
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     strict = "--strict" in sys.argv
     threshold = 1.20

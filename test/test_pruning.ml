@@ -1,0 +1,504 @@
+(* Core-guided pruning: value-preservation and budget-parity tests.
+
+   The pruned round-major search must be an *optimization*, never an
+   approximation: the returned [found] record — assignment and
+   simulation — is identical to the exhaustive search's on every
+   instance, while [states_explored] only shrinks.  These tests pin that
+   contract on fixed fixtures, on random connected graphs, across
+   domain pools of 1/2/4, for both [At_most] and [Exactly] targets, and
+   cross-check the minimal length against the node-major reference
+   enumeration.  The budget-exhaustion scan additionally asserts the
+   PR's truncation semantics: for every budget value, the pooled and
+   sequential searches either both raise [Search_limit_exceeded] or
+   both return the same minimal assignment (the in-budget lexicographic
+   prefix is expanded identically at any [--jobs]). *)
+
+open Anonet_graph
+open Anonet
+module Pool = Anonet_parallel.Pool
+module Run_ctx = Anonet_runtime.Run_ctx
+module Obs = Anonet_obs.Obs
+module Metrics = Anonet_obs.Metrics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let pool_sizes = [ 1; 2; 4 ]
+
+let assignment_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Bits.equal a b
+
+(* Full identity, states included — for sequential-vs-pooled checks. *)
+let found_equal (a : Min_search.found) (b : Min_search.found) =
+  a.Min_search.states_explored = b.Min_search.states_explored
+  && assignment_equal a.Min_search.assignment b.Min_search.assignment
+  && a.Min_search.sim.Simulation.successful
+     = b.Min_search.sim.Simulation.successful
+  && a.Min_search.sim.Simulation.rounds_run
+     = b.Min_search.sim.Simulation.rounds_run
+
+(* Value identity, states ignored — for pruned-vs-exhaustive checks,
+   where the whole point is that the state counts differ. *)
+let found_value_equal (a : Min_search.found) (b : Min_search.found) =
+  assignment_equal a.Min_search.assignment b.Min_search.assignment
+  && a.Min_search.sim.Simulation.successful
+     = b.Min_search.sim.Simulation.successful
+  && a.Min_search.sim.Simulation.rounds_run
+     = b.Min_search.sim.Simulation.rounds_run
+
+let search ?pool ?max_states ~solver ~pruning ~len g =
+  Min_search.minimal_successful ~solver g
+    ~base:(Bit_assignment.empty (Graph.n g))
+    ~order:Min_search.Round_major ?max_states ~pruning
+    ~ctx:(Run_ctx.make ?pool ()) ~len ()
+
+(* Asserts the pruned search's value identity and effort reduction on
+   one (graph, solver, len) point; returns (pruned, exhaustive) state
+   counts when the search succeeded. *)
+let check_pruned_vs_exhaustive name ~solver ~len g =
+  let pruned = search ~solver ~pruning:true ~len g in
+  let exhaustive = search ~solver ~pruning:false ~len g in
+  match pruned, exhaustive with
+  | None, None -> None
+  | Some p, Some e ->
+    check (name ^ ": pruned value = exhaustive value") true
+      (found_value_equal p e);
+    check
+      (Printf.sprintf "%s: pruned states (%d) <= exhaustive states (%d)" name
+         p.Min_search.states_explored e.Min_search.states_explored)
+      true
+      (p.Min_search.states_explored <= e.Min_search.states_explored);
+    Some (p.Min_search.states_explored, e.Min_search.states_explored)
+  | Some _, None ->
+    Alcotest.fail (name ^ ": pruned found an assignment exhaustive missed")
+  | None, Some _ ->
+    Alcotest.fail (name ^ ": pruning lost the minimal assignment")
+
+let fixtures =
+  [ "path-2", Gen.label_with_ints (Gen.path 2);
+    "cycle-3", Gen.label_with_ints (Gen.cycle 3);
+    "cycle-4", Gen.label_with_ints (Gen.cycle 4);
+    "cycle-5", Gen.label_with_ints (Gen.cycle 5);
+    "random-5", Gen.label_with_ints (Gen.random_connected ~seed:3 5 0.5);
+  ]
+
+let test_pruned_equals_exhaustive_rand_mis () =
+  List.iter
+    (fun (name, g) ->
+      match
+        check_pruned_vs_exhaustive ("rand-mis/" ^ name)
+          ~solver:Anonet_algorithms.Rand_mis.algorithm
+          ~len:(Min_search.At_most 16) g
+      with
+      | Some (p, e) ->
+        (* The dead-coin canonicalization makes decided nodes provably
+           insensitive, so every fixture must show a real reduction. *)
+        check (Printf.sprintf "rand-mis/%s: strict reduction" name) true (p < e)
+      | None -> Alcotest.fail ("rand-mis/" ^ name ^ ": no assignment found"))
+    fixtures
+
+let test_pruned_equals_exhaustive_two_hop () =
+  List.iter
+    (fun (name, g) ->
+      ignore
+        (check_pruned_vs_exhaustive ("two-hop/" ^ name)
+           ~solver:Anonet_algorithms.Rand_two_hop.algorithm
+           ~len:(Min_search.At_most 8) g))
+    [ "path-2", Gen.label_with_ints (Gen.path 2);
+      "cycle-3", Gen.label_with_ints (Gen.cycle 3);
+      "cycle-4", Gen.label_with_ints (Gen.cycle 4) ]
+
+let test_pruned_exactly () =
+  (* [Exactly] disables the cross-level subsumption table but keeps the
+     sensitivity cores; the value contract is the same.  Scan the exact
+     lengths around the minimal one so both Some and None outcomes are
+     exercised. *)
+  let g = Gen.label_with_ints (Gen.cycle 4) in
+  for l = 1 to 6 do
+    ignore
+      (check_pruned_vs_exhaustive
+         (Printf.sprintf "rand-mis/cycle-4/exactly-%d" l)
+         ~solver:Anonet_algorithms.Rand_mis.algorithm
+         ~len:(Min_search.Exactly l) g)
+  done
+
+let test_pruned_vs_node_major () =
+  (* The node-major enumeration uses a different total order, so only
+     the minimal length is comparable — but it is exhaustive by
+     construction, making it the reference the pruned search must not
+     undershoot or overshoot. *)
+  List.iter
+    (fun (name, g) ->
+      let rm =
+        search ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning:true
+          ~len:(Min_search.At_most 4) g
+      in
+      let nm =
+        Min_search.minimal_successful
+          ~solver:Anonet_algorithms.Rand_mis.algorithm g
+          ~base:(Bit_assignment.empty (Graph.n g))
+          ~order:Min_search.Node_major ~len:(Min_search.At_most 4) ()
+      in
+      match rm, nm with
+      | Some rm, Some nm ->
+        check_int
+          (name ^ ": pruned minimal length = node-major minimal length")
+          (Bit_assignment.max_length nm.Min_search.assignment)
+          (Bit_assignment.max_length rm.Min_search.assignment)
+      | None, None -> ()
+      | _ -> Alcotest.fail (name ^ ": presence differs from node-major"))
+    [ "path-2", Gen.label_with_ints (Gen.path 2);
+      "cycle-3", Gen.label_with_ints (Gen.cycle 3);
+      "cycle-4", Gen.label_with_ints (Gen.cycle 4) ]
+
+let test_pruned_pools_identical () =
+  (* The pooled pruned search must be bit-identical to the sequential
+     pruned search — found record, states_explored included. *)
+  List.iter
+    (fun (name, g) ->
+      let sequential =
+        search ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning:true
+          ~len:(Min_search.At_most 16) g
+      in
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains (fun p ->
+              let pooled =
+                search ~pool:p ~solver:Anonet_algorithms.Rand_mis.algorithm
+                  ~pruning:true ~len:(Min_search.At_most 16) g
+              in
+              match sequential, pooled with
+              | Some a, Some b ->
+                check
+                  (Printf.sprintf "%s: pooled pruned identical (%d domains)"
+                     name domains)
+                  true (found_equal a b)
+              | None, None -> ()
+              | _ ->
+                Alcotest.fail
+                  (Printf.sprintf "%s: presence differs at %d domains" name
+                     domains)))
+        pool_sizes)
+    fixtures
+
+let prop_pruned_random =
+  QCheck.Test.make ~name:"pruned = exhaustive on random graphs" ~count:12
+    (QCheck.make
+       ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%f" seed n p)
+       QCheck.Gen.(
+         triple (int_bound 10_000) (int_range 2 5) (float_bound_inclusive 0.6)))
+    (fun (seed, n, p) ->
+      let g = Gen.label_with_ints (Gen.random_connected ~seed n p) in
+      let name = Printf.sprintf "random/seed=%d" seed in
+      ignore
+        (check_pruned_vs_exhaustive name
+           ~solver:Anonet_algorithms.Rand_mis.algorithm
+           ~len:(Min_search.At_most 8) g);
+      let sequential =
+        search ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning:true
+          ~len:(Min_search.At_most 8) g
+      in
+      Pool.with_pool ~domains:2 (fun pl ->
+          let pooled =
+            search ~pool:pl ~solver:Anonet_algorithms.Rand_mis.algorithm
+              ~pruning:true ~len:(Min_search.At_most 8) g
+          in
+          match sequential, pooled with
+          | Some a, Some b ->
+            check (name ^ ": pooled identical") true (found_equal a b)
+          | None, None -> ()
+          | _ -> Alcotest.fail (name ^ ": pooled presence differs"));
+      true)
+
+(* ---------- budget exhaustion: pooled = sequential at every budget --- *)
+
+type budget_outcome =
+  | Found of Min_search.found
+  | Limit
+
+let outcome_equal a b =
+  match a, b with
+  | Limit, Limit -> true
+  | Found a, Found b -> found_equal a b
+  | _ -> false
+
+let budget_scan ~pruning ~budgets g =
+  (* The reference: the unlimited minimal assignment.  Every in-budget
+     success the scan returns must be exactly this assignment. *)
+  let unlimited =
+    match
+      search ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning
+        ~len:(Min_search.At_most 16) g
+    with
+    | Some f -> f
+    | None -> Alcotest.fail "budget scan: unlimited search found nothing"
+  in
+  let run ?pool budget =
+    match
+      search ?pool ~max_states:budget
+        ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning
+        ~len:(Min_search.At_most 16) g
+    with
+    | Some f -> Found f
+    | None -> Alcotest.fail "budget scan: lost the assignment"
+    | exception Min_search.Search_limit_exceeded -> Limit
+  in
+  let truncated_returns = ref 0 in
+  let limits = ref 0 in
+  Pool.with_pool ~domains:1 @@ fun p1 ->
+  Pool.with_pool ~domains:2 @@ fun p2 ->
+  Pool.with_pool ~domains:4 @@ fun p4 ->
+  List.iter
+    (fun budget ->
+      let sequential = run budget in
+      (match sequential with
+       | Limit -> incr limits
+       | Found f ->
+         check
+           (Printf.sprintf "budget %d: returned the minimal assignment" budget)
+           true
+           (assignment_equal f.Min_search.assignment
+              unlimited.Min_search.assignment);
+         if budget < unlimited.Min_search.states_explored then begin
+           (* The budget bit mid-level yet the in-budget prefix already
+              held the winner: the early return must record the
+              overflowing probe, exactly [budget + 1]. *)
+           incr truncated_returns;
+           check_int
+             (Printf.sprintf "budget %d: truncated states accounting" budget)
+             (budget + 1) f.Min_search.states_explored
+         end);
+      List.iter
+        (fun (domains, p) ->
+          check
+            (Printf.sprintf "budget %d: pooled outcome identical (%d domains)"
+               budget domains)
+            true
+            (outcome_equal sequential (run ~pool:p budget)))
+        [ 1, p1; 2, p2; 4, p4 ])
+    budgets;
+  !truncated_returns, !limits
+
+let test_budget_parity_scan_pruned () =
+  (* cycle-3's pruned search explores 72 states; scanning every budget
+     from 1 up crosses the raise region, the truncated-return region
+     (minimal assignment inside the final partial level — the PR 9
+     regression fixture), and the untruncated region. *)
+  let g = Gen.label_with_ints (Gen.cycle 3) in
+  let budgets = List.init 80 (fun i -> i + 1) in
+  let truncated, limits = budget_scan ~pruning:true ~budgets g in
+  check "scan exercised the raise region" true (limits > 0);
+  check "scan exercised the truncated-return region" true (truncated > 0)
+
+let test_budget_parity_scan_exhaustive () =
+  (* Same scan with pruning off: the truncation semantics is a property
+     of the search skeleton, not of the pruner. *)
+  let g = Gen.label_with_ints (Gen.cycle 3) in
+  let budgets = List.init 50 (fun i -> (5 * i) + 1) in
+  let truncated, limits = budget_scan ~pruning:false ~budgets g in
+  check "scan exercised the raise region" true (limits > 0);
+  check "scan exercised the truncated-return region" true (truncated > 0)
+
+let test_budget_exactly_always_raises () =
+  (* [Exactly] targets never take the early return: an unexplored
+     same-level completion could still be round-major smaller once
+     padded, so only the exception is sound. *)
+  let g = Gen.label_with_ints (Gen.cycle 4) in
+  let run ?pool () =
+    match
+      search ?pool ~max_states:40
+        ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning:true
+        ~len:(Min_search.Exactly 6) g
+    with
+    | (Some _ | None) -> Alcotest.fail "Exactly under budget did not raise"
+    | exception Min_search.Search_limit_exceeded -> ()
+  in
+  run ();
+  List.iter
+    (fun domains -> Pool.with_pool ~domains (fun p -> run ~pool:p ()))
+    pool_sizes
+
+(* ---------- Resumable: floor hardening ---------- *)
+
+let resumable_handle () =
+  Min_search.Resumable.create ~solver:Anonet_algorithms.Rand_mis.algorithm
+    (Gen.label_with_ints (Gen.cycle 4))
+    ~base:(Bit_assignment.empty 4) ()
+
+let minimal_len () =
+  let g = Gen.label_with_ints (Gen.cycle 4) in
+  match
+    search ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning:true
+      ~len:(Min_search.At_most 16) g
+  with
+  | Some f -> Bit_assignment.max_length f.Min_search.assignment
+  | None -> Alcotest.fail "no minimal assignment on cycle-4"
+
+let test_resumable_floor_monotone () =
+  let l = minimal_len () in
+  check "fixture minimal length >= 2" true (l >= 2);
+  let t = resumable_handle () in
+  check_int "fresh floor" (-1) (Min_search.Resumable.floor t);
+  for len = 0 to l - 1 do
+    (match Min_search.Resumable.extend t ~len with
+     | None -> ()
+     | Some _ -> Alcotest.fail (Printf.sprintf "success below minimal (%d)" len));
+    check_int
+      (Printf.sprintf "floor raised to %d" len)
+      len (Min_search.Resumable.floor t)
+  done;
+  let states_before = Min_search.Resumable.states_explored t in
+  (* Floor-answered queries are free: no frontier work, no states. *)
+  for len = 0 to l - 1 do
+    (match Min_search.Resumable.extend t ~len with
+     | None -> ()
+     | Some _ -> Alcotest.fail "floor query returned a success")
+  done;
+  check_int "floor answers cost no states" states_before
+    (Min_search.Resumable.states_explored t);
+  (match Min_search.Resumable.extend t ~len:l with
+   | Some f ->
+     (* Identical to the cold Exactly search, cumulative states included. *)
+     (match
+        search ~solver:Anonet_algorithms.Rand_mis.algorithm ~pruning:true
+          ~len:(Min_search.Exactly l)
+          (Gen.label_with_ints (Gen.cycle 4))
+      with
+      | Some cold -> check "extend = cold Exactly search" true (found_equal f cold)
+      | None -> Alcotest.fail "cold Exactly search found nothing")
+   | None -> Alcotest.fail "extend at minimal length found nothing");
+  (* A success does not raise the floor. *)
+  check_int "floor unchanged by success" (l - 1) (Min_search.Resumable.floor t)
+
+let test_resumable_floor_gap () =
+  (* Jumping straight past several levels proves them all at once:
+     every length at or below the proven floor answers None, even
+     though the frontier never stopped at those levels. *)
+  let l = minimal_len () in
+  let t = resumable_handle () in
+  (match Min_search.Resumable.extend t ~len:(l - 1) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "success below minimal");
+  check_int "floor covers the jumped levels" (l - 1)
+    (Min_search.Resumable.floor t);
+  for len = 0 to l - 1 do
+    match Min_search.Resumable.extend t ~len with
+    | None -> ()
+    | Some _ -> Alcotest.fail "floor query returned a success"
+  done
+
+let test_resumable_below_level_without_floor () =
+  (* Without a floor proof, a target strictly below the frontier is
+     still unanswerable — the Invalid_argument contract is unchanged. *)
+  let l = minimal_len () in
+  let t = resumable_handle () in
+  (match Min_search.Resumable.extend t ~len:l with
+   | Some _ -> ()
+   | None -> Alcotest.fail "extend at minimal length found nothing");
+  check_int "no floor from a successful extend" (-1)
+    (Min_search.Resumable.floor t);
+  Alcotest.check_raises "below-level target rejected"
+    (Invalid_argument "Min_search.Resumable.extend: target below explored level")
+    (fun () -> ignore (Min_search.Resumable.extend t ~len:(l - 1)))
+
+(* ---------- observability: gauge reset and the new counters ---------- *)
+
+let test_frontier_gauge_reset () =
+  let g = Gen.label_with_ints (Gen.cycle 4) in
+  let runs =
+    [ "success",
+      (fun ctx ->
+        ignore
+          (Min_search.minimal_successful
+             ~solver:Anonet_algorithms.Rand_mis.algorithm g
+             ~base:(Bit_assignment.empty 4) ~ctx ~len:(Min_search.At_most 16)
+             ()));
+      "no-success",
+      (fun ctx ->
+        ignore
+          (Min_search.minimal_successful
+             ~solver:Anonet_algorithms.Rand_mis.algorithm g
+             ~base:(Bit_assignment.empty 4) ~ctx ~len:(Min_search.At_most 1)
+             ()));
+      "limit",
+      (fun ctx ->
+        match
+          Min_search.minimal_successful
+            ~solver:Anonet_algorithms.Rand_mis.algorithm g
+            ~base:(Bit_assignment.empty 4) ~ctx ~max_states:5
+            ~len:(Min_search.Exactly 6) ()
+        with
+        | (Some _ | None) -> Alcotest.fail "expected Search_limit_exceeded"
+        | exception Min_search.Search_limit_exceeded -> ());
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let m = Metrics.create () in
+      run (Run_ctx.make ~obs:(Obs.make ~metrics:m ()) ());
+      check_int
+        (name ^ ": frontier gauge reset on exit")
+        0
+        (Metrics.gauge_value (Metrics.gauge m "search.frontier")))
+    runs
+
+let test_pruning_counters () =
+  let g = Gen.label_with_ints (Gen.cycle 4) in
+  let run ~pruning =
+    let m = Metrics.create () in
+    let f =
+      Min_search.minimal_successful
+        ~solver:Anonet_algorithms.Rand_mis.algorithm g
+        ~base:(Bit_assignment.empty 4) ~pruning
+        ~ctx:(Run_ctx.make ~obs:(Obs.make ~metrics:m ()) ())
+        ~len:(Min_search.At_most 16) ()
+    in
+    m, f
+  in
+  let m, f = run ~pruning:true in
+  (match f with
+   | Some f ->
+     check_int "states counter mirrors the found record"
+       f.Min_search.states_explored
+       (Metrics.counter_value (Metrics.counter m "search.states_explored"))
+   | None -> Alcotest.fail "no assignment found");
+  check "pruned counter counts the skipped work" true
+    (Metrics.counter_value (Metrics.counter m "search.pruned") > 0);
+  check "sensitivity probes counted" true
+    (Metrics.counter_value (Metrics.counter m "search.core_probes") > 0);
+  let m, _ = run ~pruning:false in
+  check_int "pruning off: nothing pruned" 0
+    (Metrics.counter_value (Metrics.counter m "search.pruned"));
+  check_int "pruning off: no probes" 0
+    (Metrics.counter_value (Metrics.counter m "search.core_probes"))
+
+let () =
+  Alcotest.run "pruning"
+    [ ( "value-preservation",
+        [ Alcotest.test_case "rand-mis fixtures" `Quick
+            test_pruned_equals_exhaustive_rand_mis;
+          Alcotest.test_case "two-hop fixtures" `Quick
+            test_pruned_equals_exhaustive_two_hop;
+          Alcotest.test_case "Exactly targets" `Quick test_pruned_exactly;
+          Alcotest.test_case "node-major reference" `Quick
+            test_pruned_vs_node_major;
+          Alcotest.test_case "pools identical" `Quick
+            test_pruned_pools_identical;
+          QCheck_alcotest.to_alcotest prop_pruned_random ] );
+      ( "budget-parity",
+        [ Alcotest.test_case "scan, pruned" `Quick
+            test_budget_parity_scan_pruned;
+          Alcotest.test_case "scan, exhaustive" `Quick
+            test_budget_parity_scan_exhaustive;
+          Alcotest.test_case "Exactly always raises" `Quick
+            test_budget_exactly_always_raises ] );
+      ( "resumable-floor",
+        [ Alcotest.test_case "monotone floor" `Quick
+            test_resumable_floor_monotone;
+          Alcotest.test_case "floor gap" `Quick test_resumable_floor_gap;
+          Alcotest.test_case "below level without floor" `Quick
+            test_resumable_below_level_without_floor ] );
+      ( "observability",
+        [ Alcotest.test_case "frontier gauge reset" `Quick
+            test_frontier_gauge_reset;
+          Alcotest.test_case "pruning counters" `Quick test_pruning_counters ]
+      ) ]
