@@ -21,7 +21,7 @@
    Graphs are described by compact specs, e.g.:
      cycle:6  path:5  complete:4  star:5  wheel:6  grid:3x4  torus:3x3
      hypercube:3  petersen  bintree:4  random:10,0.3,7  regular:10,3,7
-     hamiltonian:8,0.2,7  file:PATH
+     hamiltonian:8,0.2,7  gnp:1000000,8,1  file:PATH
 *)
 
 open Cmdliner
@@ -53,7 +53,7 @@ let parse_bundle = Runner.bundle_of_spec
 (* ---------- common args ---------- *)
 
 let graph_arg =
-  let doc = "Graph spec, e.g. cycle:6, petersen, random:10,0.3,7, file:PATH." in
+  let doc = "Graph spec, e.g. cycle:6, petersen, random:10,0.3,7, gnp:1000000,8,1, file:PATH." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
 
 let problem_arg pos_ix =
@@ -468,7 +468,7 @@ let experiments_cmd =
   let id =
     let doc =
       "Experiment id (f1, f2, f3, t2, t3, lemmas, a1, a2, a3, a4, e1, e2, r1, \
-       r2); all when omitted."
+       r2, avg); all when omitted."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in

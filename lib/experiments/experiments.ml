@@ -928,6 +928,139 @@ let exp_r2 ~ctx () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* AVG: average case — seeded random ensembles at scale                *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy mex coloring of the 2-hop ball, scanned in node-index order on
+   the CSR slices directly — O(sum_v deg(v)^2), no neighbor-set
+   materialization — so it reaches ensemble sizes the exact machinery
+   never could (minimizing chi_2 is NP-complete; the greedy value is the
+   standard upper bound, always within maxdeg^2 + 1).  Valid by
+   construction: distance <= 2 is symmetric, so when v picks its color
+   every earlier node in its ball has already been marked. *)
+let greedy_two_hop_palette g =
+  let n = Graph.n g in
+  let color = Array.make (max 1 n) (-1) in
+  (* [seen.(c) = v] iff color [c] occurs in v's 2-hop ball: a timestamp
+     per color instead of a clear per node. *)
+  let seen = Array.make (max 1 n) (-1) in
+  let mark v u = if u <> v && color.(u) >= 0 then seen.(color.(u)) <- v in
+  let ball v ~f =
+    Graph.iter_neighbors g v ~f:(fun u ->
+        f v u;
+        Graph.iter_neighbors g u ~f:(fun w -> f v w))
+  in
+  let palette = ref 0 in
+  for v = 0 to n - 1 do
+    ball v ~f:mark;
+    let c = ref 0 in
+    while seen.(!c) = v do incr c done;
+    color.(v) <- !c;
+    if !c >= !palette then palette := !c + 1
+  done;
+  (* Re-scan as a direct conflict check — same cost as the coloring pass,
+     so the invariant stays asserted even at ensemble sizes where
+     [Props.is_k_hop_coloring]'s per-node BFS is unaffordable. *)
+  for v = 0 to n - 1 do
+    ball v ~f:(fun v u -> if u <> v then assert (color.(u) <> color.(v)))
+  done;
+  !palette
+
+(* Ensemble sizes: n = 10^3 and 10^4 by default — run_all regenerates
+   EXPERIMENTS.md, so the default must stay CI-sized.  ANONET_AVG_NS
+   (comma-separated) overrides, and the generators/executor stream at
+   any of them: ANONET_AVG_NS=100000,1000000 reproduces the full sweep
+   of the paper-scale ensembles (minutes, not hours; see BENCH.md's
+   huge-graphs group for the per-phase throughput). *)
+let avg_sizes () =
+  match Sys.getenv_opt "ANONET_AVG_NS" with
+  | None | Some "" -> [ 1_000; 10_000 ]
+  | Some s -> List.map int_of_string (String.split_on_char ',' s)
+
+let exp_avg ~ctx () =
+  let title =
+    "AVG average case: Norris depth, greedy 2-hop palette, MIS rounds on \
+     random ensembles"
+  in
+  let prelude =
+    banner title
+    ^ Printf.sprintf "%-14s | %7s | %7s | %12s | %12s | %11s\n" "ensemble" "n"
+        "samples" "norris depth" "2hop palette" "mis rounds"
+  in
+  let families =
+    [ "gnp-avgdeg8",
+      (fun ~seed n ->
+        let p = if n <= 1 then 0.0 else 8.0 /. float_of_int (n - 1) in
+        Gen.random_connected ~seed n p);
+      "regular-d8", (fun ~seed n -> Gen.random_regular ~seed n 8);
+    ]
+  in
+  let samples_at n = if n <= 1_000 then 5 else if n <= 10_000 then 3 else 2 in
+  let stats xs =
+    let k = float_of_int (List.length xs) in
+    ( List.fold_left (fun a x -> a +. float_of_int x) 0.0 xs /. k,
+      List.fold_left max min_int xs )
+  in
+  let rows =
+    fan_out ~ctx
+      (List.concat_map
+         (fun n ->
+           List.map
+             (fun (name, gen) () ->
+               let samples = samples_at n in
+               let measure seed =
+                 let g = gen ~seed n in
+                 let depth = Norris.stable_view_depth g in
+                 let palette = greedy_two_hop_palette g in
+                 let rounds =
+                   match
+                     Las_vegas.solve Anonet_algorithms.Rand_mis.algorithm g
+                       ~seed:(Prng.hash2 9500 seed) ()
+                   with
+                   | Ok r ->
+                     assert (
+                       Catalog.mis.Problem.is_valid_output g
+                         r.Las_vegas.outcome.Executor.outputs);
+                     r.Las_vegas.outcome.Executor.rounds
+                   | Error f -> failwith f.Las_vegas.message
+                 in
+                 depth, palette, rounds
+               in
+               let ms = List.init samples (fun s -> measure (s + 1)) in
+               let depth_mean, depth_max = stats (List.map (fun (d, _, _) -> d) ms) in
+               let pal_mean, pal_max = stats (List.map (fun (_, p, _) -> p) ms) in
+               let r_mean, r_max = stats (List.map (fun (_, _, r) -> r) ms) in
+               row ~experiment:"avg"
+                 ~label:(Printf.sprintf "%s/n%d" name n)
+                 ~fields:
+                   [ "ensemble", Events.String name;
+                     "n", Events.Int n;
+                     "samples", Events.Int samples;
+                     "norris_depth_mean", Events.Float depth_mean;
+                     "norris_depth_max", Events.Int depth_max;
+                     "two_hop_palette_mean", Events.Float pal_mean;
+                     "two_hop_palette_max", Events.Int pal_max;
+                     "mis_rounds_mean", Events.Float r_mean;
+                     "mis_rounds_max", Events.Int r_max;
+                   ]
+                 (Printf.sprintf
+                    "%-14s | %7d | %7d | %6.1f / %3d | %6.1f / %3d | %6.1f / %2d\n"
+                    name n samples depth_mean depth_max pal_mean pal_max r_mean
+                    r_max))
+             families)
+         (avg_sizes ()))
+  in
+  { id = "avg"; title; prelude; rows;
+    coda =
+      "shape: on random ensembles every average-case statistic sits far\n\
+       below its worst case — views stabilize at depth O(1)-ish (vs the\n\
+       Norris bound n), the greedy 2-hop palette stays near the ball size\n\
+       (vs maxdeg^2+1), and MIS stabilizes in O(log n)-ish rounds.  The\n\
+       sweep streams: ANONET_AVG_NS=100000,1000000 runs the same rows at\n\
+       paper scale through the CSR builder and the flat executor.\n";
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registry and drivers                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -946,6 +1079,7 @@ let registry : (string * (string * (ctx:Run_ctx.t -> unit -> output))) list =
     "e2", ("extension: asynchronous execution", exp_e2);
     "r1", ("robustness: retransmission under message loss", exp_r1);
     "r2", ("robustness: degradation under an adaptive adversary", exp_r2);
+    "avg", ("average case: random ensembles at scale", exp_avg);
   ]
 
 let all = List.map (fun (id, (descr, _)) -> (id, descr)) registry

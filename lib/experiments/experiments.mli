@@ -11,7 +11,10 @@
     Ids: [f1] [f2] [f3] (the figures), [t2] [t3] (theorems), [lemmas],
     [a1] [a2] [a3] [a4] (ablations), [e1] [e2] (extensions), [r1]
     (robustness under injected faults), [r2] (degradation curves under an
-    adaptive adversary).
+    adaptive adversary), [avg] (average-case statistics — Norris depth,
+    greedy 2-hop palette, MIS rounds — over seeded G(n,p) and
+    random-regular ensembles; sizes default to n = 10^3, 10^4 and scale
+    to 10^6 via the ANONET_AVG_NS environment variable).
 
     From the context: [ctx.pool] fans independent graph-family rows out
     across the pool's domains (results are merged in input order — the

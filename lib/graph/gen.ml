@@ -1,102 +1,120 @@
+(* Every generator streams its edges straight into a [Graph.Builder] —
+   no intermediate edge list, so the peak footprint of a generated graph
+   is the builder's two endpoint arrays plus the final CSR.  [build]
+   wraps the common create/emit/finish cycle. *)
+let build ?edges_hint ~n emit =
+  let b = Graph.Builder.create ?edges_hint ~n () in
+  emit (fun u v -> Graph.Builder.add_edge b u v);
+  Graph.Builder.build_unlabeled b
+
 let cycle n =
   if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
-  Graph.unlabeled ~n ~edges:(List.init n (fun i -> i, (i + 1) mod n))
+  build ~edges_hint:n ~n (fun e ->
+      for i = 0 to n - 1 do
+        e i ((i + 1) mod n)
+      done)
 
 let path n =
   if n < 1 then invalid_arg "Gen.path: need n >= 1";
-  Graph.unlabeled ~n ~edges:(List.init (n - 1) (fun i -> i, i + 1))
+  build ~edges_hint:(n - 1) ~n (fun e ->
+      for i = 0 to n - 2 do
+        e i (i + 1)
+      done)
 
 let complete n =
   if n < 1 then invalid_arg "Gen.complete: need n >= 1";
-  let edges = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      edges := (u, v) :: !edges
-    done
-  done;
-  Graph.unlabeled ~n ~edges:!edges
+  build ~edges_hint:(n * (n - 1) / 2) ~n (fun e ->
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          e u v
+        done
+      done)
 
 let star n =
   if n < 1 then invalid_arg "Gen.star: need n >= 1";
-  Graph.unlabeled ~n:(n + 1) ~edges:(List.init n (fun i -> 0, i + 1))
+  build ~edges_hint:n ~n:(n + 1) (fun e ->
+      for i = 1 to n do
+        e 0 i
+      done)
 
 let wheel n =
   if n < 3 then invalid_arg "Gen.wheel: need n >= 3";
-  let rim = List.init n (fun i -> 1 + i, 1 + ((i + 1) mod n)) in
-  let spokes = List.init n (fun i -> 0, 1 + i) in
-  Graph.unlabeled ~n:(n + 1) ~edges:(rim @ spokes)
+  build ~edges_hint:(2 * n) ~n:(n + 1) (fun e ->
+      for i = 0 to n - 1 do
+        e (1 + i) (1 + ((i + 1) mod n));
+        e 0 (1 + i)
+      done)
 
 let complete_bipartite a b =
   if a < 1 || b < 1 then invalid_arg "Gen.complete_bipartite: need sides >= 1";
-  let edges = ref [] in
-  for u = 0 to a - 1 do
-    for v = 0 to b - 1 do
-      edges := (u, a + v) :: !edges
-    done
-  done;
-  Graph.unlabeled ~n:(a + b) ~edges:!edges
+  build ~edges_hint:(a * b) ~n:(a + b) (fun e ->
+      for u = 0 to a - 1 do
+        for v = 0 to b - 1 do
+          e u (a + v)
+        done
+      done)
 
 let grid w h =
   if w < 1 || h < 1 then invalid_arg "Gen.grid: need w, h >= 1";
   let id x y = (y * w) + x in
-  let edges = ref [] in
-  for y = 0 to h - 1 do
-    for x = 0 to w - 1 do
-      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
-      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
-    done
-  done;
-  Graph.unlabeled ~n:(w * h) ~edges:!edges
+  build ~edges_hint:(2 * w * h) ~n:(w * h) (fun e ->
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          if x + 1 < w then e (id x y) (id (x + 1) y);
+          if y + 1 < h then e (id x y) (id x (y + 1))
+        done
+      done)
 
 let torus w h =
   if w < 3 || h < 3 then invalid_arg "Gen.torus: need w, h >= 3";
   let id x y = (y * w) + x in
-  let edges = ref [] in
-  for y = 0 to h - 1 do
-    for x = 0 to w - 1 do
-      edges := (id x y, id ((x + 1) mod w) y) :: !edges;
-      edges := (id x y, id x ((y + 1) mod h)) :: !edges
-    done
-  done;
-  Graph.unlabeled ~n:(w * h) ~edges:!edges
+  build ~edges_hint:(2 * w * h) ~n:(w * h) (fun e ->
+      for y = 0 to h - 1 do
+        for x = 0 to w - 1 do
+          e (id x y) (id ((x + 1) mod w) y);
+          e (id x y) (id x ((y + 1) mod h))
+        done
+      done)
 
 let hypercube d =
   if d < 0 || d > 20 then invalid_arg "Gen.hypercube: need 0 <= d <= 20";
   let n = 1 lsl d in
-  let edges = ref [] in
-  for v = 0 to n - 1 do
-    for i = 0 to d - 1 do
-      let u = v lxor (1 lsl i) in
-      if v < u then edges := (v, u) :: !edges
-    done
-  done;
-  Graph.unlabeled ~n ~edges:!edges
+  build ~edges_hint:(n * d / 2) ~n (fun e ->
+      for v = 0 to n - 1 do
+        for i = 0 to d - 1 do
+          let u = v lxor (1 lsl i) in
+          if v < u then e v u
+        done
+      done)
 
 let petersen () =
   (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5. *)
-  let outer = List.init 5 (fun i -> i, (i + 1) mod 5) in
-  let inner = List.init 5 (fun i -> 5 + i, 5 + ((i + 2) mod 5)) in
-  let spokes = List.init 5 (fun i -> i, i + 5) in
-  Graph.unlabeled ~n:10 ~edges:(outer @ inner @ spokes)
+  build ~edges_hint:15 ~n:10 (fun e ->
+      for i = 0 to 4 do
+        e i ((i + 1) mod 5);
+        e (5 + i) (5 + ((i + 2) mod 5));
+        e i (i + 5)
+      done)
 
 let binary_tree depth =
   if depth < 1 then invalid_arg "Gen.binary_tree: need depth >= 1";
   let n = (1 lsl depth) - 1 in
-  let edges = ref [] in
-  for v = 1 to n - 1 do
-    edges := ((v - 1) / 2, v) :: !edges
-  done;
-  Graph.unlabeled ~n ~edges:!edges
+  build ~edges_hint:(n - 1) ~n (fun e ->
+      for v = 1 to n - 1 do
+        e ((v - 1) / 2) v
+      done)
 
 let random_tree ~seed n =
   if n < 1 then invalid_arg "Gen.random_tree: need n >= 1";
   let rng = Prng.create seed in
   (* Attach node v to a uniformly random earlier node: uniform over
      increasing trees, which covers all tree shapes. *)
-  let edges = List.init (n - 1) (fun i -> i + 1, Prng.int rng (i + 1)) in
-  Graph.unlabeled ~n ~edges
+  build ~edges_hint:(n - 1) ~n (fun e ->
+      for v = 1 to n - 1 do
+        e v (Prng.int rng v)
+      done)
 
-(* Union-find for connectivity patch-up in [random_connected]. *)
+(* Union-find for connectivity patch-up in the random generators. *)
 module Uf = struct
   let create n = Array.init n (fun i -> i)
 
@@ -113,75 +131,150 @@ let random_connected ~seed n p =
   if n < 1 then invalid_arg "Gen.random_connected: need n >= 1";
   if p < 0.0 || p > 1.0 then invalid_arg "Gen.random_connected: need p in [0, 1]";
   let rng = Prng.create seed in
+  let expected = int_of_float (p *. float_of_int n *. float_of_int (n - 1) /. 2.0) in
+  let b = Graph.Builder.create ~edges_hint:(max 64 (expected + (n / 8))) ~n () in
   let uf = Uf.create n in
-  let edges = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      let x = float_of_int (Prng.int rng 1_000_000) /. 1_000_000.0 in
-      if x < p then begin
-        edges := (u, v) :: !edges;
-        Uf.union uf u v
+  let components = ref n in
+  let add u v =
+    Graph.Builder.add_edge b u v;
+    if not (Uf.same uf u v) then begin
+      Uf.union uf u v;
+      decr components
+    end
+  in
+  (* Sample G(n, p) by geometric skips over the lexicographically ordered
+     pair space: instead of one Bernoulli draw per pair (O(n^2) — hopeless
+     at n = 10^6) draw the gap to the next present edge directly, which is
+     O(edges) draws total.  Pair index k enumerates (0,1) (0,2) ...
+     (0,n-1) (1,2) ...; [row]/[row_start] track the current node row so
+     unranking k is amortized O(1) as k increases. *)
+  if p >= 1.0 then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        add u v
+      done
+    done
+  else if p > 0.0 then begin
+    let total = n * (n - 1) / 2 in
+    let log1mp = log1p (-.p) in
+    let row = ref 0 and row_start = ref 0 in
+    let k = ref (-1) in
+    let finished = ref false in
+    while not !finished do
+      let u = Prng.float rng in
+      (* 1 + floor(log(1-u)/log(1-p)) is geometric with success prob p. *)
+      let gap = log1p (-.u) /. log1mp in
+      let skip = if gap >= 1e18 then max_int else int_of_float gap in
+      (* The next edge index is k + 1 + skip; stop once it passes the
+         last pair index total - 1. *)
+      if skip >= total - 1 - !k then finished := true
+      else begin
+        k := !k + 1 + skip;
+        while !k >= !row_start + (n - 1 - !row) do
+          row_start := !row_start + (n - 1 - !row);
+          incr row
+        done;
+        add !row (!row + 1 + (!k - !row_start))
       end
     done
-  done;
+  end;
   (* Patch connectivity: repeatedly join two random nodes from different
-     components. *)
-  let rec connect () =
-    let roots = ref [] in
-    for v = 0 to n - 1 do
-      if Uf.find uf v = v then roots := v :: !roots
-    done;
-    match !roots with
-    | [] | [ _ ] -> ()
-    | _ ->
-      let u = Prng.int rng n and v = Prng.int rng n in
-      if u <> v && not (Uf.same uf u v) then begin
-        edges := ((min u v, max u v)) :: !edges;
-        Uf.union uf u v
-      end;
-      connect ()
-  in
-  connect ();
-  Graph.unlabeled ~n ~edges:!edges
+     components.  The component count is maintained incrementally, so the
+     patch loop is O(joins α(n)) instead of re-scanning all roots per
+     candidate pair. *)
+  while !components > 1 do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (Uf.same uf u v) then add (min u v) (max u v)
+  done;
+  Graph.Builder.build_unlabeled b
 
 let random_regular ~seed n d =
   if d >= n || d < 1 then invalid_arg "Gen.random_regular: need 1 <= d < n";
   if n * d mod 2 <> 0 then invalid_arg "Gen.random_regular: n * d must be even";
   let rng = Prng.create seed in
-  (* Pairing model: n*d stubs, match uniformly, restart on loops/doubles or
-     disconnectedness.  Expected O(1) restarts for modest n, d. *)
+  let m = n * d / 2 in
+  (* Pairing model with local repair: shuffle the n*d stubs, pair them up,
+     then fix the (expected O(d^2), independent of n) self-loops and
+     duplicate pairs by random edge swaps instead of restarting the whole
+     shuffle — a full restart-until-simple loop has success probability
+     ~exp(-(d^2-1)/4) per attempt, hopeless already at d = 8.  A restart
+     only happens when the swap budget runs out or the repaired graph is
+     disconnected (both vanishingly rare for d >= 3). *)
+  let eu = Array.make m 0 and ev = Array.make m 0 in
+  let registered = Array.make m false in
   let attempt () =
     let stubs = Array.init (n * d) (fun i -> i / d) in
     Prng.shuffle rng stubs;
-    let seen = Hashtbl.create (n * d) in
-    let uf = Uf.create n in
-    let ok = ref true in
-    let edges = ref [] in
-    let m = n * d / 2 in
+    let seen = Hashtbl.create (4 * m) in
+    let key u v = if u < v then (u * n) + v else (v * n) + u in
+    Array.fill registered 0 m false;
+    let bad = ref [] in
     for i = 0 to m - 1 do
       let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
-      let e = min u v, max u v in
-      if u = v || Hashtbl.mem seen e then ok := false
+      eu.(i) <- u;
+      ev.(i) <- v;
+      if u <> v && not (Hashtbl.mem seen (key u v)) then begin
+        Hashtbl.add seen (key u v) ();
+        registered.(i) <- true
+      end
+      else bad := i :: !bad
+    done;
+    let budget = ref ((50 * (List.length !bad + 1)) + 1000) in
+    let ok = ref true in
+    while !bad <> [] && !ok do
+      if !budget <= 0 then ok := false
       else begin
-        Hashtbl.add seen e ();
-        Uf.union uf u v;
-        edges := e :: !edges
+        decr budget;
+        match !bad with
+        | [] -> ()
+        | i :: rest ->
+          let j = Prng.int rng m in
+          if j <> i && registered.(j) then begin
+            (* Rewire (u_i,v_i),(u_j,v_j) -> (u_i,v_j),(u_j,v_i) iff both
+               new pairs are loop-free, absent, and distinct. *)
+            let ui = eu.(i) and vi = ev.(i) and uj = eu.(j) and vj = ev.(j) in
+            let k1 = key ui vj and k2 = key uj vi in
+            if
+              ui <> vj && uj <> vi && k1 <> k2
+              && (not (Hashtbl.mem seen k1))
+              && not (Hashtbl.mem seen k2)
+            then begin
+              Hashtbl.remove seen (key uj vj);
+              ev.(i) <- vj;
+              ev.(j) <- vi;
+              Hashtbl.add seen k1 ();
+              Hashtbl.add seen k2 ();
+              registered.(i) <- true;
+              bad := rest
+            end
+          end
       end
     done;
-    let connected =
-      let r = Uf.find uf 0 in
-      let all = ref true in
-      for v = 1 to n - 1 do
-        if Uf.find uf v <> r then all := false
+    if not !ok then None
+    else begin
+      let uf = Uf.create n in
+      for i = 0 to m - 1 do
+        Uf.union uf eu.(i) ev.(i)
       done;
-      !all
-    in
-    if !ok && connected then Some !edges else None
+      let connected = ref true in
+      let r = Uf.find uf 0 in
+      for v = 1 to n - 1 do
+        if Uf.find uf v <> r then connected := false
+      done;
+      if not !connected then None
+      else begin
+        let b = Graph.Builder.create ~edges_hint:m ~n () in
+        for i = 0 to m - 1 do
+          Graph.Builder.add_edge b eu.(i) ev.(i)
+        done;
+        Some (Graph.Builder.build_unlabeled b)
+      end
+    end
   in
   let rec retry k =
     if k > 10_000 then failwith "Gen.random_regular: too many restarts";
     match attempt () with
-    | Some edges -> Graph.unlabeled ~n ~edges
+    | Some g -> g
     | None -> retry (k + 1)
   in
   retry 0
@@ -190,16 +283,17 @@ let random_hamiltonian ~seed n p =
   if n < 3 then invalid_arg "Gen.random_hamiltonian: need n >= 3";
   if p < 0.0 || p > 1.0 then invalid_arg "Gen.random_hamiltonian: need p in [0, 1]";
   let rng = Prng.create seed in
-  let cycle_edges = List.init n (fun i -> i, (i + 1) mod n) in
-  let chords = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 2 to n - 1 do
-      let adjacent_on_cycle = (u = 0 && v = n - 1) || v = u + 1 in
-      let x = float_of_int (Prng.int rng 1_000_000) /. 1_000_000.0 in
-      if (not adjacent_on_cycle) && x < p then chords := (u, v) :: !chords
-    done
-  done;
-  Graph.unlabeled ~n ~edges:(cycle_edges @ !chords)
+  build ~edges_hint:n ~n (fun e ->
+      for i = 0 to n - 1 do
+        e i ((i + 1) mod n)
+      done;
+      for u = 0 to n - 1 do
+        for v = u + 2 to n - 1 do
+          let adjacent_on_cycle = (u = 0 && v = n - 1) || v = u + 1 in
+          let x = float_of_int (Prng.int rng 1_000_000) /. 1_000_000.0 in
+          if (not adjacent_on_cycle) && x < p then e u v
+        done
+      done)
 
 let circulant n offsets =
   if n < 3 then invalid_arg "Gen.circulant: need n >= 3";
@@ -210,16 +304,23 @@ let circulant n offsets =
         invalid_arg "Gen.circulant: offsets must satisfy 1 <= o <= n/2")
     offsets;
   let offsets = List.sort_uniq Int.compare offsets in
-  let edges = ref [] in
-  List.iter
-    (fun o ->
-      for v = 0 to n - 1 do
-        let u = (v + o) mod n in
-        let e = min v u, max v u in
-        if not (List.mem e !edges) then edges := e :: !edges
-      done)
-    offsets;
-  let g = Graph.unlabeled ~n ~edges:!edges in
+  (* Distinct offsets o <= n/2 generate disjoint edge sets except that the
+     half-offset o = n/2 hits each edge from both endpoints — emit only the
+     lower half of its orbit.  No membership scan needed. *)
+  let g =
+    build ~edges_hint:(n * List.length offsets) ~n (fun e ->
+        List.iter
+          (fun o ->
+            if 2 * o = n then
+              for v = 0 to (n / 2) - 1 do
+                e v (v + o)
+              done
+            else
+              for v = 0 to n - 1 do
+                e v ((v + o) mod n)
+              done)
+          offsets)
+  in
   (* connectivity check without depending on Props (layering) *)
   let seen = Array.make n false in
   let queue = Queue.create () in
@@ -228,14 +329,12 @@ let circulant n offsets =
   let count = ref 1 in
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    Array.iter
-      (fun u ->
+    Graph.iter_neighbors g v ~f:(fun u ->
         if not seen.(u) then begin
           seen.(u) <- true;
           incr count;
           Queue.add u queue
         end)
-      (Graph.neighbors g v)
   done;
   if !count <> n then invalid_arg "Gen.circulant: disconnected (gcd of offsets and n > 1)";
   g
@@ -243,38 +342,38 @@ let circulant n offsets =
 let lollipop clique tail =
   if clique < 3 then invalid_arg "Gen.lollipop: need clique >= 3";
   if tail < 1 then invalid_arg "Gen.lollipop: need tail >= 1";
-  let n = clique + tail in
-  let clique_edges = ref [] in
-  for u = 0 to clique - 1 do
-    for v = u + 1 to clique - 1 do
-      clique_edges := (u, v) :: !clique_edges
-    done
-  done;
-  let tail_edges = List.init tail (fun i -> clique - 1 + i, clique + i) in
-  Graph.unlabeled ~n ~edges:(!clique_edges @ tail_edges)
+  build ~n:(clique + tail) (fun e ->
+      for u = 0 to clique - 1 do
+        for v = u + 1 to clique - 1 do
+          e u v
+        done
+      done;
+      for i = 0 to tail - 1 do
+        e (clique - 1 + i) (clique + i)
+      done)
 
 let caterpillar ~seed n =
   if n < 2 then invalid_arg "Gen.caterpillar: need n >= 2";
   let rng = Prng.create seed in
   let spine = max 2 (n / 2) in
-  let spine_edges = List.init (spine - 1) (fun i -> i, i + 1) in
-  let leg_edges =
-    List.init (n - spine) (fun i -> Prng.int rng spine, spine + i)
-  in
-  Graph.unlabeled ~n ~edges:(spine_edges @ leg_edges)
+  build ~edges_hint:n ~n (fun e ->
+      for i = 0 to spine - 2 do
+        e i (i + 1)
+      done;
+      for i = 0 to n - spine - 1 do
+        e (Prng.int rng spine) (spine + i)
+      done)
 
 let barbell k =
   if k < 3 then invalid_arg "Gen.barbell: need k >= 3";
-  let clique base =
-    let edges = ref [] in
-    for u = 0 to k - 1 do
-      for v = u + 1 to k - 1 do
-        edges := (base + u, base + v) :: !edges
-      done
-    done;
-    !edges
-  in
-  Graph.unlabeled ~n:(2 * k) ~edges:((k - 1, k) :: (clique 0 @ clique k))
+  build ~n:(2 * k) (fun e ->
+      e (k - 1) k;
+      for u = 0 to k - 1 do
+        for v = u + 1 to k - 1 do
+          e u v;
+          e (k + u) (k + v)
+        done
+      done)
 
 let c6_figure1 () =
   Graph.relabel (cycle 6) (fun v -> Label.Int ((v mod 3) + 1))

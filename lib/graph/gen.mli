@@ -46,11 +46,18 @@ val random_tree : seed:int -> int -> Graph.t
 
 (** [random_connected ~seed n p] samples G(n, p) and, if disconnected, adds
     uniformly chosen edges between components until connected ([n >= 1],
-    [0 <= p <= 1]). *)
+    [0 <= p <= 1]).  Sampling draws geometric skips over the ordered pair
+    space — O(n + edges) work, not O(n^2) — and streams edges straight
+    into a {!Graph.Builder}, so million-node sparse graphs build in one
+    pass. *)
 val random_connected : seed:int -> int -> float -> Graph.t
 
 (** [random_regular ~seed n d] samples a connected [d]-regular graph on [n]
-    nodes by the pairing model with restarts.
+    nodes by the pairing model: stubs are shuffled and paired, and the
+    expected-O(d^2) self-loops/duplicate pairs are repaired by random edge
+    swaps (restart-until-simple has success probability ~exp(-(d^2-1)/4)
+    per shuffle, unusable beyond small d).  A full restart only happens on
+    swap-budget exhaustion or a disconnected result.
     @raise Invalid_argument if [n * d] is odd or [d >= n]. *)
 val random_regular : seed:int -> int -> int -> Graph.t
 

@@ -33,49 +33,107 @@ let to_string g =
       Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v));
   Buffer.contents buf
 
-let of_string s =
-  let n = ref None in
-  let labels = Hashtbl.create 16 in
-  let edges = ref [] in
-  let fail line_no msg =
-    invalid_arg (Printf.sprintf "Graph_io: line %d: %s" line_no msg)
-  in
-  List.iteri
-    (fun i line ->
-      let line_no = i + 1 in
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then ()
-      else begin
-        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
-        | [ "n"; count ] -> begin
-            match int_of_string_opt count with
-            | Some c when c >= 0 -> n := Some c
-            | Some _ | None -> fail line_no "bad node count"
-          end
-        | [ "node"; v; label ] -> begin
-            match int_of_string_opt v with
-            | None -> fail line_no "bad node index"
-            | Some v ->
-              (try Hashtbl.replace labels v (label_of_string label)
-               with Invalid_argument m -> fail line_no m)
-          end
-        | [ "edge"; u; v ] -> begin
-            match int_of_string_opt u, int_of_string_opt v with
-            | Some u, Some v -> edges := (u, v) :: !edges
-            | _, _ -> fail line_no "bad edge endpoints"
-          end
-        | _ -> fail line_no (Printf.sprintf "unrecognized directive %S" line)
-      end)
-    (String.split_on_char '\n' s);
-  match !n with
+(* Streaming parser state: edges land in two growable flat int arrays (the
+   'edge' directive may legally precede 'n', so the endpoint store cannot
+   be a [Graph.Builder] yet) and are drained into a builder once the node
+   count is known — no edge list, no per-edge boxing, so a million-edge
+   file loads with the same footprint it occupies loaded. *)
+type parse_state = {
+  mutable pn : int option;
+  plabels : (int, Label.t) Hashtbl.t;
+  mutable peu : int array;
+  mutable pev : int array;
+  mutable pm : int;
+}
+
+let new_parse_state () =
+  {
+    pn = None;
+    plabels = Hashtbl.create 16;
+    peu = Array.make 64 0;
+    pev = Array.make 64 0;
+    pm = 0;
+  }
+
+let push_edge st u v =
+  if st.pm = Array.length st.peu then begin
+    let cap' = 2 * st.pm in
+    let eu' = Array.make cap' 0 and ev' = Array.make cap' 0 in
+    Array.blit st.peu 0 eu' 0 st.pm;
+    Array.blit st.pev 0 ev' 0 st.pm;
+    st.peu <- eu';
+    st.pev <- ev'
+  end;
+  st.peu.(st.pm) <- u;
+  st.pev.(st.pm) <- v;
+  st.pm <- st.pm + 1
+
+let parse_line st line_no line =
+  let fail msg = invalid_arg (Printf.sprintf "Graph_io: line %d: %s" line_no msg) in
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else begin
+    match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+    | [ "n"; count ] -> begin
+        match int_of_string_opt count with
+        | Some c when c >= 0 -> st.pn <- Some c
+        | Some _ | None -> fail "bad node count"
+      end
+    | [ "node"; v; label ] -> begin
+        match int_of_string_opt v with
+        | None -> fail "bad node index"
+        | Some v ->
+          (try Hashtbl.replace st.plabels v (label_of_string label)
+           with Invalid_argument m -> fail m)
+      end
+    | [ "edge"; u; v ] -> begin
+        match int_of_string_opt u, int_of_string_opt v with
+        | Some u, Some v -> push_edge st u v
+        | _, _ -> fail "bad edge endpoints"
+      end
+    | _ -> fail (Printf.sprintf "unrecognized directive %S" line)
+  end
+
+let finish st =
+  match st.pn with
   | None -> invalid_arg "Graph_io: missing 'n <count>' directive"
   | Some n ->
-    let label_array =
+    let labels =
       Array.init n (fun v ->
-          Option.value ~default:Label.Unit (Hashtbl.find_opt labels v))
+          Option.value ~default:Label.Unit (Hashtbl.find_opt st.plabels v))
     in
-    Graph.create ~n ~edges:(List.rev !edges) ~labels:label_array
+    let b = Graph.Builder.create ~edges_hint:st.pm ~n () in
+    for i = 0 to st.pm - 1 do
+      Graph.Builder.add_edge b st.peu.(i) st.pev.(i)
+    done;
+    Graph.Builder.build b ~labels
 
-let load path = of_string (In_channel.with_open_text path In_channel.input_all)
+let of_string s =
+  let st = new_parse_state () in
+  List.iteri (fun i line -> parse_line st (i + 1) line) (String.split_on_char '\n' s);
+  finish st
 
-let save path g = Out_channel.with_open_text path (fun oc -> output_string oc (to_string g))
+let load path =
+  In_channel.with_open_text path (fun ic ->
+      let st = new_parse_state () in
+      let rec go line_no =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          parse_line st line_no line;
+          go (line_no + 1)
+      in
+      go 1;
+      finish st)
+
+(* [save] streams directly to the channel — same bytes as
+   [output_string oc (to_string g)] without ever holding the whole
+   rendering (or an edge list) in memory. *)
+let save path g =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "n %d\n" (Graph.n g);
+      Graph.iter_nodes g ~f:(fun v ->
+          let l = Graph.label g v in
+          if not (Label.equal l Label.Unit) then
+            Printf.fprintf oc "node %d %s\n" v (label_to_string l));
+      Graph.iter_edges g ~f:(fun u v -> Printf.fprintf oc "edge %d %d\n" u v))

@@ -6,13 +6,11 @@ let bfs_distances g v =
   Queue.add v queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
-      (fun w ->
+    Graph.iter_neighbors g u ~f:(fun w ->
         if dist.(w) = max_int then begin
           dist.(w) <- dist.(u) + 1;
           Queue.add w queue
         end)
-      (Graph.neighbors g u)
   done;
   dist
 

@@ -27,6 +27,19 @@ let graph spec =
           (float_of_string p)
       | _ -> fail ()
     end
+  | [ "gnp"; args ] -> begin
+      (* G(n, p) parameterized by average degree instead of p — the
+         natural knob for huge sparse ensembles, where writing p itself
+         (e.g. 8e-6 at n = 10^6) invites precision slips. *)
+      match String.split_on_char ',' args with
+      | [ n; deg; seed ] ->
+        let n = int_of_string n in
+        let p =
+          if n <= 1 then 0.0 else float_of_string deg /. float_of_int (n - 1)
+        in
+        Gen.random_connected ~seed:(int_of_string seed) n p
+      | _ -> fail ()
+    end
   | [ "hamiltonian"; args ] -> begin
       match String.split_on_char ',' args with
       | [ n; p; seed ] ->

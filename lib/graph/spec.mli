@@ -1,8 +1,10 @@
 (** Compact textual graph specs, e.g. [cycle:6], [petersen],
-    [random:10,0.3,7], [grid:3x4], [file:PATH].  One grammar shared by
-    every frontend — the CLI subcommands and the wire layer's job specs
-    parse through this module, so a graph description means the same
-    thing locally and over a socket. *)
+    [random:10,0.3,7], [gnp:1000000,8,1], [grid:3x4], [file:PATH].  One
+    grammar shared by every frontend — the CLI subcommands and the wire
+    layer's job specs parse through this module, so a graph description
+    means the same thing locally and over a socket.  [gnp:n,avgdeg,seed]
+    is connected G(n, p) parameterized by average degree rather than p —
+    the natural knob for huge sparse ensembles. *)
 
 (** [graph spec] builds the described graph.
     @raise Failure on an unknown or malformed spec. *)

@@ -125,27 +125,24 @@ module Incremental = struct
     | None -> None
     | Some inst ->
       let n = Graph.n g in
-      let degrees = Array.init n (Graph.degree g) in
-      let slot_off = Array.make (n + 1) 0 in
-      for v = 0 to n - 1 do
-        slot_off.(v + 1) <- slot_off.(v) + degrees.(v)
-      done;
-      let total_slots = slot_off.(n) in
-      let src = Array.make total_slots 0 in
-      for v = 0 to n - 1 do
-        for p = 0 to degrees.(v) - 1 do
-          src.(slot_off.(v) + p) <- Graph.neighbor g v p
-        done
-      done;
+      (* The graph already stores its adjacency as exactly this CSR shape:
+         [Graph.offsets] is the slot-offset array (port [p] of node [v] is
+         directed slot [offsets.(v) + p]) and [Graph.adjacency] is the
+         per-slot source node.  Alias both — the layout never mutates
+         them, and sharing makes layout construction O(n) (the degree
+         diff) instead of re-walking every edge through the accessor
+         API. *)
+      let slot_off = Graph.offsets g in
+      let degrees = Array.init n (fun v -> slot_off.(v + 1) - slot_off.(v)) in
       Some
         {
           n;
           degrees;
           state_words = inst.state_words;
           msg_words = inst.msg_words;
-          total_slots;
+          total_slots = slot_off.(n);
           slot_off;
-          src;
+          src = Graph.adjacency g;
           inst;
         }
 

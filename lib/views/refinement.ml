@@ -42,11 +42,12 @@ let refine_once g classes =
      neighbor classes): this path runs once per quotient depth per phase
      in candidate construction, so the per-element list cells added up. *)
   let signature v =
-    let nbr = Array.map (fun u -> classes.(u)) (Graph.neighbors g v) in
+    let d = Graph.degree g v in
+    let nbr = Array.init d (fun j -> classes.(Graph.neighbor g v j)) in
     Array.sort Int.compare nbr;
-    let s = Array.make (Array.length nbr + 1) classes.(v) in
+    let s = Array.make (d + 1) classes.(v) in
     (* Prefixing the old class makes the new partition refine the old one. *)
-    Array.blit nbr 0 s 1 (Array.length nbr);
+    Array.blit nbr 0 s 1 d;
     s
   in
   number_by_sorted_keys ~compare:compare_int_arrays

@@ -5,10 +5,15 @@ snapshot in bench/history/ and fail on a >20% slowdown in any group.
 Usage: bench_gate.py FRESH_JSON HISTORY_DIR [--threshold 1.20] [--strict]
 
 Snapshots are the files `main.exe bench-json PATH --history DIR` writes
-(schema anonet-bench/1, /2 or /3).  Schema 3 adds an "allocs" array of
-per-workload GC word deltas (minor_words_per_run / major_words_per_run);
-the gate compares wall-clock only and ignores keys it does not know, so
-mixed-schema histories remain comparable.  Comparison rules:
+(schema anonet-bench/1 through /5).  Schema 3 adds an "allocs" array of
+per-workload GC word deltas (minor_words_per_run / major_words_per_run),
+schema 4 a "search_states" array of pruning-ablation counters, and
+schema 5 a "huge" array of one-shot million-node build/simulate rows;
+the gate compares wall-clock "tests" rows only and ignores keys it does
+not know, so mixed-schema histories remain comparable.  The schema-5
+huge-graphs bechamel group gates like any other group once a schema-5
+snapshot is the baseline (new groups start their own trajectory).
+Comparison rules:
 
 - The baseline is the history entry with the newest `generated_at`
   (file mtime for schema-1 entries, which lack the field).

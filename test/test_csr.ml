@@ -1,0 +1,254 @@
+(* Tests for the CSR graph core: the flat offsets/adjacency representation
+   must be observationally identical to the legacy per-node adjacency-list
+   semantics — same neighbor order, same ports, same degrees — and every
+   functional update must keep minting fresh ids (the canonical-encoding
+   cache is keyed by them).  On top, the end-to-end solve/derandomize text
+   must stay byte-identical across --jobs 1/2/4 on fixed and random
+   graphs: the parallel executor aliases the CSR arrays instead of copying
+   them, so any mutation slip in the flat layout would surface here. *)
+
+open Anonet_graph
+module Job = Anonet_net.Job
+module Runner = Anonet_net.Runner
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+(* The reference model: the pre-CSR representation kept one int array per
+   node, the neighbor list sorted ascending; a port was an index into it. *)
+let reference_adjacency n edges =
+  let buckets = Array.make (max 1 n) [] in
+  List.iter
+    (fun (u, v) ->
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v))
+    edges;
+  Array.init n (fun v -> Array.of_list (List.sort Int.compare buckets.(v)))
+
+(* Simple-graph edge sampler (deterministic in [seed]; ~30% density, so
+   small instances cover empty nodes, leaves and dense nodes alike). *)
+let random_edges ~seed n =
+  let r = Prng.create seed in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.int r 100 < 30 then edges := (u, v) :: !edges
+    done
+  done;
+  !edges
+
+(* The observational-equivalence core: every accessor, flat or not, must
+   agree with the reference model built from the same edge list. *)
+let agree name g edges =
+  let n = Graph.n g in
+  let ref_adj = reference_adjacency n edges in
+  let off = Graph.offsets g and adj = Graph.adjacency g in
+  check_int (name ^ ": num_edges") (List.length edges) (Graph.num_edges g);
+  check_int (name ^ ": offsets length") (n + 1) (Array.length off);
+  check_int (name ^ ": total slots") (2 * List.length edges) off.(n);
+  check (name ^ ": ports sorted") true (Graph.ports_sorted g);
+  check (name ^ ": edge set") true
+    (List.sort_uniq compare edges = List.sort compare (Graph.edges g));
+  for v = 0 to n - 1 do
+    let expect = ref_adj.(v) in
+    let d = Array.length expect in
+    check_int (Printf.sprintf "%s: degree %d" name v) d (Graph.degree g v);
+    check_int (Printf.sprintf "%s: slice width %d" name v) d (off.(v + 1) - off.(v));
+    Alcotest.(check (array int))
+      (Printf.sprintf "%s: neighbors %d" name v)
+      expect (Graph.neighbors g v);
+    Array.iteri
+      (fun p u ->
+        check_int (Printf.sprintf "%s: neighbor %d.%d" name v p) u
+          (Graph.neighbor g v p);
+        check_int (Printf.sprintf "%s: slot %d.%d" name v p) u (adj.(off.(v) + p));
+        check_int (Printf.sprintf "%s: port_to %d->%d" name v u) p
+          (Graph.port_to g v u);
+        check (Printf.sprintf "%s: has_edge %d-%d" name v u) true
+          (Graph.has_edge g v u))
+      expect;
+    let folded =
+      List.rev (Graph.fold_neighbors g v ~init:[] ~f:(fun acc u -> u :: acc))
+    in
+    check (Printf.sprintf "%s: fold order %d" name v) true
+      (Array.to_list expect = folded);
+    let iterated = ref [] in
+    Graph.iter_neighbors g v ~f:(fun u -> iterated := u :: !iterated);
+    check (Printf.sprintf "%s: iter order %d" name v) true
+      (Array.to_list expect = List.rev !iterated);
+    (* One non-neighbor probe per node: port_to must raise, has_edge deny. *)
+    let non_neighbor =
+      List.find_opt
+        (fun w -> w <> v && not (Array.exists (fun u -> u = w) expect))
+        (List.init n (fun i -> i))
+    in
+    Option.iter
+      (fun w ->
+        check (Printf.sprintf "%s: no edge %d-%d" name v w) false
+          (Graph.has_edge g v w);
+        check (Printf.sprintf "%s: no port %d->%d" name v w) true
+          (match Graph.port_to g v w with
+           | _ -> false
+           | exception Not_found -> true))
+      non_neighbor
+  done
+
+let fixed_graphs =
+  [ "petersen", Gen.petersen ();
+    "cycle-7", Gen.cycle 7;
+    "grid-3x4", Gen.grid 3 4;
+    "star-6", Gen.star 6;
+    "path-2", Gen.path 2;
+  ]
+
+let test_fixed_graphs_agree () =
+  List.iter (fun (name, g) -> agree name g (Graph.edges g)) fixed_graphs
+
+let test_empty_and_singleton () =
+  agree "empty" (Graph.unlabeled ~n:0 ~edges:[]) [];
+  agree "singleton" (Graph.unlabeled ~n:1 ~edges:[]) [];
+  agree "two-isolated" (Graph.unlabeled ~n:2 ~edges:[]) []
+
+let qcheck_csr_agrees =
+  QCheck.Test.make ~name:"CSR = legacy adjacency on random graphs" ~count:60
+    QCheck.(pair (int_range 2 30) (int_range 1 10_000))
+    (fun (n, seed) ->
+      let edges = random_edges ~seed n in
+      agree (Printf.sprintf "n%d-seed%d" n seed) (Graph.unlabeled ~n ~edges) edges;
+      true)
+
+(* ---------- functional updates: fresh ids, stable adjacency ---------- *)
+
+let reversing_perms g =
+  Array.init (Graph.n g) (fun v ->
+      let d = Graph.degree g v in
+      Array.init d (fun j -> d - 1 - j))
+
+let test_functional_update_ids () =
+  let g = Gen.petersen () in
+  let g1 = Graph.relabel g (fun v -> Label.Int v) in
+  let g2 = Graph.with_labels g (Array.make 10 (Label.Int 9)) in
+  let g3 = Graph.map_labels g (fun l -> l) in
+  let g4 = Graph.permute_ports g (reversing_perms g) in
+  let ids = List.map Graph.id [ g; g1; g2; g3; g4 ] in
+  check_int "all ids distinct" (List.length ids)
+    (List.length (List.sort_uniq Int.compare ids));
+  (* relabel shares the structure, only the labels move *)
+  Graph.iter_nodes g ~f:(fun v ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "relabel keeps neighbors of %d" v)
+        (Graph.neighbors g v) (Graph.neighbors g1 v);
+      check "relabel applied" true (Label.equal (Graph.label g1 v) (Label.Int v)))
+
+let test_permute_ports_semantics () =
+  let g = Gen.petersen () in
+  let gp = Graph.permute_ports g (reversing_perms g) in
+  check "reversed ports are unsorted" false (Graph.ports_sorted gp);
+  Graph.iter_nodes g ~f:(fun v ->
+      let d = Graph.degree g v in
+      for j = 0 to d - 1 do
+        check_int
+          (Printf.sprintf "port %d.%d reversed" v j)
+          (Graph.neighbor g v (d - 1 - j))
+          (Graph.neighbor gp v j)
+      done;
+      (* port_to falls back to a linear scan on unsorted ports and must
+         still find every neighbor — and only neighbors. *)
+      Graph.iter_neighbors g v ~f:(fun u ->
+          check_int
+            (Printf.sprintf "port_to %d->%d on unsorted" v u)
+            u
+            (Graph.neighbor gp v (Graph.port_to gp v u))))
+
+let test_encode_streaming_vs_sorting () =
+  (* A sorted graph encodes through the streaming CSR walk; the same graph
+     with permuted ports falls back to the materialize-and-sort path.  The
+     two must agree byte-for-byte (port numbering is not observable in the
+     encoding), on fixed and random graphs. *)
+  let graphs =
+    fixed_graphs
+    @ List.map
+        (fun seed ->
+          ( Printf.sprintf "random-%d" seed,
+            Gen.random_connected ~seed 13 0.3 ))
+        [ 1; 2; 3 ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let identity = Array.init (Graph.n g) (fun i -> i) in
+      check_string
+        (name ^ ": canonical = to_string identity")
+        (Encode.to_string g ~order:identity)
+        (Encode.canonical g);
+      let gp = Graph.permute_ports g (reversing_perms g) in
+      check_string
+        (name ^ ": streaming = sorting path")
+        (Encode.canonical g) (Encode.canonical gp))
+    graphs
+
+(* ---------- solve/derandomize byte-identity across --jobs ---------- *)
+
+let run_job kind pairs ~jobs =
+  Runner.execute { Job.kind; pairs = pairs @ [ "jobs", string_of_int jobs ] }
+
+let check_jobs_invariant name kind pairs =
+  let base = run_job kind pairs ~jobs:1 in
+  check_int (name ^ ": sequential exit code") 0 base.Runner.code;
+  List.iter
+    (fun jobs ->
+      let o = run_job kind pairs ~jobs in
+      check_int (Printf.sprintf "%s: exit code at --jobs %d" name jobs)
+        base.Runner.code o.Runner.code;
+      check_string (Printf.sprintf "%s: stdout at --jobs %d" name jobs)
+        base.Runner.out o.Runner.out;
+      check_string (Printf.sprintf "%s: stderr at --jobs %d" name jobs)
+        base.Runner.err o.Runner.err)
+    [ 2; 4 ]
+
+let test_solve_byte_identity () =
+  check_jobs_invariant "solve mis/petersen" Job.Solve
+    [ "problem", "mis"; "graph", "petersen"; "seed", "3" ];
+  check_jobs_invariant "solve 2hop/random" Job.Solve
+    [ "problem", "2hop"; "graph", "random:12,0.3,5"; "seed", "7" ];
+  check_jobs_invariant "solve mis/gnp" Job.Solve
+    [ "problem", "mis"; "graph", "gnp:60,4,2"; "seed", "9" ]
+
+let test_derandomize_byte_identity () =
+  check_jobs_invariant "derandomize a-infinity/c6" Job.Derandomize
+    [ "problem", "mis"; "graph", "cycle:6"; "colors", "mod:3" ];
+  check_jobs_invariant "derandomize a-star/c6" Job.Derandomize
+    [ "problem", "mis"; "graph", "cycle:6"; "colors", "mod:3";
+      "method", "a-star";
+    ]
+
+let () =
+  Alcotest.run "csr"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "fixed graphs agree with reference" `Quick
+            test_fixed_graphs_agree;
+          Alcotest.test_case "empty and singleton graphs" `Quick
+            test_empty_and_singleton;
+          QCheck_alcotest.to_alcotest qcheck_csr_agrees;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "functional updates mint fresh ids" `Quick
+            test_functional_update_ids;
+          Alcotest.test_case "permute_ports semantics" `Quick
+            test_permute_ports_semantics;
+          Alcotest.test_case "streaming encode = sorting encode" `Quick
+            test_encode_streaming_vs_sorting;
+        ] );
+      ( "byte-identity",
+        [
+          Alcotest.test_case "solve across --jobs" `Quick
+            test_solve_byte_identity;
+          Alcotest.test_case "derandomize across --jobs" `Quick
+            test_derandomize_byte_identity;
+        ] );
+    ]
